@@ -1,0 +1,69 @@
+"""Ablation: aggregation rules under a Byzantine client.
+
+The paper uses plain FedAvg; in its adversarial setting a poisoned
+client could corrupt the global model.  This bench aggregates honest
+weight sets plus one scaled (poisoned) update under each rule and
+reports the distance of the aggregate from the honest mean — the
+robustness argument for median/trimmed-mean/Krum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.federated.aggregation import get as get_aggregator
+from repro.experiments.reporting import render_table
+from repro.forecasting.models import build_forecaster
+
+RULES = ("fedavg", "median", "trimmed_mean", "krum")
+
+
+@pytest.fixture(scope="module")
+def weight_sets():
+    rng = np.random.default_rng(0)
+    honest_count = 4
+    base = build_forecaster(lstm_units=16, dense_units=8)
+    base.build((24, 1), seed=1)
+    template = base.get_weights()
+    honest = [
+        [w + rng.normal(0, 0.01, size=w.shape) for w in template]
+        for _ in range(honest_count)
+    ]
+    poisoned = [w * 50.0 for w in template]
+    honest_mean = [
+        np.mean([weights[i] for weights in honest], axis=0)
+        for i in range(len(template))
+    ]
+    return honest, poisoned, honest_mean
+
+
+def distance_to_honest_mean(aggregated, honest_mean):
+    return float(
+        np.sqrt(
+            sum(np.sum((a - h) ** 2) for a, h in zip(aggregated, honest_mean))
+        )
+    )
+
+
+def test_aggregation_robustness(weight_sets, benchmark):
+    honest, poisoned, honest_mean = weight_sets
+
+    def run_all():
+        results = {}
+        for rule in RULES:
+            aggregator = get_aggregator(rule)
+            aggregated = aggregator.aggregate(honest + [poisoned])
+            results[rule] = distance_to_honest_mean(aggregated, honest_mean)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["rule", "L2 distance to honest mean"],
+            [[rule, dist] for rule, dist in sorted(results.items(), key=lambda kv: kv[1])],
+            title="Ablation — aggregation under one Byzantine client (4 honest + 1 poisoned)",
+        )
+    )
+    # Robust rules must shrug the poisoned update off; FedAvg must not.
+    for robust in ("median", "trimmed_mean", "krum"):
+        assert results[robust] < 0.1 * results["fedavg"], robust

@@ -1,0 +1,48 @@
+"""Ablation: look-back sequence length (paper fixes 24 hours).
+
+Sweeps the forecaster's window length on one client and reports R² —
+showing that 24 h (one full daily cycle) is a sensible operating point.
+"""
+
+import pytest
+
+from repro.data import build_paper_clients, generate_paper_dataset
+from repro.experiments.reporting import render_table
+from repro.forecasting import FederatedForecaster, forecaster_builder
+
+SEQUENCE_LENGTHS = (6, 12, 24, 48)
+
+
+@pytest.fixture(scope="module")
+def client():
+    return build_paper_clients(generate_paper_dataset(seed=17, n_timestamps=1500))[0]
+
+
+def evaluate_length(client, sequence_length):
+    prepared = {client.name: client.prepare(sequence_length, 0.8)}
+    forecaster = FederatedForecaster(
+        rounds=2,
+        epochs_per_round=5,
+        builder=forecaster_builder(lstm_units=24, dense_units=8),
+        seed=18,
+    )
+    result = forecaster.train_evaluate(prepared)
+    return result.metrics_of(client.name)
+
+
+def test_sequence_length_sweep(client, benchmark):
+    results = benchmark.pedantic(
+        lambda: {n: evaluate_length(client, n) for n in SEQUENCE_LENGTHS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            ["sequence length (h)", "MAE", "RMSE", "R2"],
+            [[n, m.mae, m.rmse, m.r2] for n, m in results.items()],
+            title="Ablation — look-back window sweep (zone 102, reduced scale)",
+        )
+    )
+    # The paper's 24 h window must beat the myopic 6 h window.
+    assert results[24].r2 > results[6].r2

@@ -1,0 +1,67 @@
+"""Bench: LSTM forecaster vs. classical baselines.
+
+The paper's introduction positions LSTMs against "traditional
+statistical models".  This bench measures the federated LSTM against
+persistence, seasonal-naive and linear-AR baselines on the same client
+windows.
+"""
+
+import pytest
+
+from repro.data import build_paper_clients, generate_paper_dataset
+from repro.experiments.reporting import render_table
+from repro.forecasting import (
+    AutoregressiveForecaster,
+    FederatedForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    evaluate_regression,
+    forecaster_builder,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared_client():
+    client = build_paper_clients(generate_paper_dataset(seed=23, n_timestamps=2000))[0]
+    return client.name, client.prepare(24, 0.8)
+
+
+def run_comparison(name, data):
+    results = {}
+    baselines = {
+        "persistence": PersistenceForecaster(),
+        "seasonal_naive": SeasonalNaiveForecaster(24),
+        "linear_ar": AutoregressiveForecaster().fit(data.x_train, data.y_train),
+    }
+    for label, baseline in baselines.items():
+        predictions = data.inverse_predictions(baseline.predict(data.x_test))
+        results[label] = evaluate_regression(data.test_targets_kwh, predictions)
+
+    forecaster = FederatedForecaster(
+        rounds=3,
+        epochs_per_round=5,
+        builder=forecaster_builder(lstm_units=32, dense_units=8),
+        seed=24,
+    )
+    results["federated_lstm"] = forecaster.train_evaluate({name: data}).metrics_of(name)
+    return results
+
+
+def test_lstm_vs_baselines(prepared_client, benchmark):
+    name, data = prepared_client
+    results = benchmark.pedantic(
+        run_comparison, args=(name, data), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["model", "MAE", "RMSE", "R2"],
+            [[label, m.mae, m.rmse, m.r2] for label, m in results.items()],
+            title="LSTM vs. classical baselines (zone 102, reduced scale)",
+        )
+    )
+    # The LSTM must beat the naive floor and be competitive with the
+    # best linear model (the paper's motivation for deep forecasters).
+    assert results["federated_lstm"].r2 > results["persistence"].r2
+    assert results["federated_lstm"].r2 > results["seasonal_naive"].r2
+    assert results["federated_lstm"].rmse < 1.25 * results["linear_ar"].rmse

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 2 (Client 1 RMSE/MAE bars, three scenarios)."""
+
+from repro.experiments.fig2 import fig2_series, render_fig2
+
+
+def test_fig2(experiment_result, benchmark):
+    series = benchmark.pedantic(
+        fig2_series, args=(experiment_result,), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig2(experiment_result))
+
+    # Paper shape: attacked bars are the tallest, filtering pulls both
+    # error metrics back toward the clean level.
+    assert series.rmse["Attacked"] > series.rmse["Clean"]
+    assert series.mae["Attacked"] > series.mae["Clean"]
+    assert series.rmse["Filtered"] < series.rmse["Attacked"]
+    assert series.mae["Filtered"] < series.mae["Attacked"]

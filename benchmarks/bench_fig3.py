@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 3 (per-client R², federated vs. centralized)."""
+
+from repro.experiments.fig3 import fig3_series, render_fig3
+
+
+def test_fig3(experiment_result, benchmark):
+    series = benchmark.pedantic(
+        fig3_series, args=(experiment_result,), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig3(experiment_result))
+
+    for client, federated_r2 in series.federated.items():
+        assert federated_r2 > series.centralized[client]

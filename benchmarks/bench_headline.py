@@ -1,0 +1,21 @@
+"""Bench: the paper's abstract-level headline metrics.
+
+15.2% R² improvement (fed vs cent), 47.9% attack-degradation recovery,
+91.3% overall precision, 1.21% FPR, 18.1% training-time reduction.
+"""
+
+from repro.experiments.runner import render_headlines
+
+
+def test_headlines(experiment_result, benchmark):
+    measured = benchmark.pedantic(
+        experiment_result.headline_metrics, rounds=1, iterations=1
+    )
+    print()
+    print(render_headlines(experiment_result))
+
+    assert measured["r2_improvement_pct"] > 0.0  # federated wins
+    assert 0.0 < measured["attack_recovery_pct"] <= 150.0  # filtering recovers
+    assert measured["overall_precision"] > 0.5  # precision-focused
+    assert measured["overall_fpr_pct"] < 5.0  # low FPR
+    assert measured["time_reduction_pct"] > 0.0  # federated faster

@@ -1,0 +1,59 @@
+"""Substrate microbenches: LSTM/Dense throughput and training-step cost.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+quantifying the numpy substrate the entire reproduction runs on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig, build_autoencoder
+from repro.nn import LSTM, Adam, Dense, MeanSquaredError, Sequential
+
+
+@pytest.fixture(scope="module")
+def forecaster_batch():
+    rng = np.random.default_rng(0)
+    model = Sequential([LSTM(50), Dense(10, activation="relu"), Dense(1)])
+    model.compile(Adam(0.001), "mse")
+    x = rng.normal(size=(32, 24, 1))
+    y = rng.normal(size=(32, 1))
+    model.forward(x)  # build
+    return model, x, y
+
+
+def test_lstm_forward(benchmark, forecaster_batch):
+    model, x, _ = forecaster_batch
+    benchmark(model.forward, x)
+
+
+def test_train_on_batch(benchmark, forecaster_batch):
+    model, x, y = forecaster_batch
+    benchmark(model.train_on_batch, x, y)
+
+
+def test_dense_forward(benchmark):
+    rng = np.random.default_rng(1)
+    layer = Dense(64)
+    layer.build((128,), rng)
+    x = rng.normal(size=(256, 128))
+    benchmark(layer.forward, x)
+
+
+def test_autoencoder_forward(benchmark):
+    config = AutoencoderConfig(sequence_length=24)
+    model = build_autoencoder(config, seed=2)
+    x = np.random.default_rng(3).random((32, 24, 1))
+    benchmark(model.forward, x)
+
+
+def test_backward_pass(benchmark, forecaster_batch):
+    model, x, y = forecaster_batch
+    loss = MeanSquaredError()
+
+    def full_step():
+        predictions = model.forward(x, training=True)
+        model.zero_grads()
+        model.backward(loss.gradient(y, predictions))
+
+    benchmark(full_step)

@@ -1,0 +1,32 @@
+"""Bench: regenerate Table I (Client 1, four scenarios).
+
+Prints the measured MAE/RMSE/R²/time rows next to the paper's values and
+asserts the paper's qualitative orderings.
+"""
+
+import pytest
+
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+def test_table1(experiment_result, benchmark):
+    rows = benchmark.pedantic(
+        table1_rows, args=(experiment_result,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table1(experiment_result))
+
+    by_key = {(r.scenario, r.architecture): r for r in rows}
+    clean = by_key[("Clean Data", "Federated")]
+    attacked = by_key[("Attacked Data", "Federated")]
+    filtered = by_key[("Filtered Data", "Federated")]
+    centralized = by_key[("Filtered Data", "Centralized")]
+
+    # Paper shape: attacks degrade, filtering recovers, federated beats
+    # centralized on identical filtered data, federated trains faster.
+    assert clean.r2 > attacked.r2
+    assert filtered.r2 > attacked.r2
+    assert attacked.rmse > clean.rmse
+    assert filtered.r2 > centralized.r2
+    assert filtered.mae < centralized.mae
+    assert filtered.time_seconds < centralized.time_seconds

@@ -1,0 +1,34 @@
+"""Benchmark fixtures.
+
+Each bench regenerates one table or figure of the paper and prints the
+same rows the paper reports, side by side with the paper's values.
+
+Profile selection: ``REPRO_PROFILE=fast`` (default here) runs the
+shape-preserving reduced configuration in a few minutes;
+``REPRO_PROFILE=paper`` runs the full-scale configuration (tens of
+minutes).  All benches share one memoised experiment execution per
+process, so the suite costs one experiment run plus the ablations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import PROFILE_ENV_VAR, ExperimentConfig
+from repro.experiments.scenarios import get_or_run
+
+#: Benchmarks default to the fast profile unless the caller overrides.
+os.environ.setdefault(PROFILE_ENV_VAR, "fast")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def experiment_result(experiment_config):
+    """The shared four-scenario experiment run (memoised per process)."""
+    return get_or_run(experiment_config)

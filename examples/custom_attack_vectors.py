@@ -1,0 +1,85 @@
+"""Future-work attack vectors: FDI and temporal disruption.
+
+The paper's Sec. III-G flags "false data injection and sophisticated
+adversarial patterns" and "temporal pattern disruption" as open threat
+vectors.  This example trains the paper's spike detector once and runs
+it against four vectors, showing which evade a threshold calibrated for
+volume spikes — and how a seasonal imputer changes repair quality.
+
+Run:  python examples/custom_attack_vectors.py
+Takes a couple of minutes.
+"""
+
+import numpy as np
+
+from repro.anomaly import (
+    AutoencoderConfig,
+    EVChargingAnomalyFilter,
+    SeasonalImputer,
+    detection_metrics,
+)
+from repro.attacks import (
+    BiasInjection,
+    DDoSVolumeAttack,
+    RampInjection,
+    SegmentShuffle,
+    TimeShift,
+)
+from repro.data import build_paper_clients, generate_paper_dataset, temporal_split
+
+SEED = 21
+
+client = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=1500))[0]
+train, _ = temporal_split(client.series, 0.8)
+
+ae_config = AutoencoderConfig(
+    sequence_length=24, encoder_units=(32, 16), decoder_units=(16, 32),
+    epochs=15, patience=5,
+)
+spike_detector = EVChargingAnomalyFilter(sequence_length=24, config=ae_config, seed=SEED)
+print("training the paper's spike detector on clean data ...")
+spike_detector.fit(train)
+
+vectors = {
+    "DDoS volume spikes (paper)": DDoSVolumeAttack(),
+    "FDI constant bias (stealthy)": BiasInjection(),
+    "FDI slow ramp": RampInjection(),
+    "temporal shuffle": SegmentShuffle(),
+    "time shift (replay)": TimeShift(),
+}
+
+print(f"\n{'vector':<30} {'precision':>9} {'recall':>7} {'F1':>6} {'FPR':>7}")
+for name, attack in vectors.items():
+    injected = attack.inject(client.series, seed=SEED)
+    outcome = spike_detector.filter_anomalies(injected.attacked)
+    metrics = detection_metrics(injected.labels, outcome.flags)
+    print(
+        f"{name:<30} {metrics.precision:>9.3f} {metrics.recall:>7.3f} "
+        f"{metrics.f1:>6.3f} {metrics.false_positive_rate:>7.4f}"
+    )
+
+print(
+    "\nAs the paper anticipates, the spike-calibrated detector catches DDoS"
+    "\nbursts but largely misses stealthy FDI and temporal manipulation —"
+    "\nthose vectors need dedicated detectors (future work)."
+)
+
+# Mitigation upgrade: repair a DDoS attack with the paper's linear
+# interpolation vs. a seasonal imputer, measured against the true data.
+injected = DDoSVolumeAttack().inject(client.series, seed=SEED)
+outcome_linear = spike_detector.filter_anomalies(injected.attacked)
+seasonal_filter = EVChargingAnomalyFilter(
+    sequence_length=24, imputer=SeasonalImputer(period=24),
+    config=ae_config, seed=SEED,
+)
+seasonal_filter.fit(train)
+outcome_seasonal = seasonal_filter.filter_anomalies(injected.attacked)
+
+mask = injected.labels
+linear_mae = np.abs(outcome_linear.filtered[mask] - client.series[mask]).mean()
+seasonal_mae = np.abs(outcome_seasonal.filtered[mask] - client.series[mask]).mean()
+attacked_mae = np.abs(injected.attacked[mask] - client.series[mask]).mean()
+print(f"\nrepair MAE at attacked hours (true-data reference):")
+print(f"  no repair:            {attacked_mae:8.3f} kWh")
+print(f"  linear interpolation: {linear_mae:8.3f} kWh  (paper's method)")
+print(f"  seasonal imputer:     {seasonal_mae:8.3f} kWh  (future-work upgrade)")

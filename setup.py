@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which shell out to ``bdist_wheel``) fail.
+This shim keeps ``pip install -e . --no-use-pep517 --no-build-isolation``
+working; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Federated Anomaly Detection and Mitigation
+for EV Charging Forecasting Under Cyberattacks" (Babayomi & Kim).
+
+A from-scratch, numpy-only implementation of the paper's complete
+system and every substrate it depends on:
+
+- :mod:`repro.nn` — a pure-numpy deep-learning framework (LSTM with
+  hand-derived BPTT, Dense, Dropout, RepeatVector, TimeDistributed,
+  Adam/SGD/RMSProp, early stopping, serialization).
+- :mod:`repro.data` — synthetic Shenzhen-like EV charging data for the
+  paper's three traffic zones plus the preprocessing pipeline
+  (per-client MinMax scaling, temporal 80/20 split, 24 h windows).
+- :mod:`repro.attacks` — the DDoS traffic model (33,000 → 350,500 p/s,
+  100 ms slots) translated into volume-spike injection, plus FDI and
+  temporal-disruption extensions.
+- :mod:`repro.anomaly` — the ``EVChargingAnomalyFilter``: LSTM
+  autoencoder detection (98th-percentile threshold) and
+  interpolation-based mitigation.
+- :mod:`repro.federated` — FedAvg client/server simulation with
+  robust-aggregation alternatives and communication accounting.
+- :mod:`repro.forecasting` — the LSTM(50)→Dense(10,relu)→Dense(1)
+  forecaster in federated and centralized pipelines.
+- :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation (Tables I–III, Figs. 2–3, headline metrics).
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, get_or_run, full_report
+    result = get_or_run(ExperimentConfig.fast())
+    print(full_report(result))
+"""
+
+from repro import anomaly, attacks, data, experiments, federated, forecasting, nn, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "anomaly",
+    "attacks",
+    "data",
+    "experiments",
+    "federated",
+    "forecasting",
+    "nn",
+    "utils",
+    "__version__",
+]

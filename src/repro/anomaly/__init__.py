@@ -1,0 +1,73 @@
+"""Anomaly detection and mitigation (the paper's cybersecurity layer).
+
+LSTM autoencoder (50→25 / 25→50, dropout 0.2) trained on normal data,
+98th-percentile reconstruction-MSE threshold, ≤2-gap segment merging and
+linear-interpolation repair — plus the threshold rules (MSD/MAD) and
+advanced imputers the paper references for ablations and future work.
+"""
+
+from repro.anomaly.autoencoder import (
+    AutoencoderConfig,
+    LSTMAutoencoder,
+    build_autoencoder,
+)
+from repro.anomaly.baselines import (
+    BaselineDetector,
+    IQRDetector,
+    RollingMADDetector,
+    ZScoreDetector,
+)
+from repro.anomaly.detector import DetectionReport, ReconstructionAnomalyDetector
+from repro.anomaly.filter import EVChargingAnomalyFilter, FilterOutcome
+from repro.anomaly.metrics import (
+    ConfusionCounts,
+    DetectionMetrics,
+    aggregate_detection_metrics,
+    confusion_counts,
+    detection_metrics,
+)
+from repro.anomaly.mitigation import (
+    Imputer,
+    LinearInterpolationImputer,
+    MovingAverageImputer,
+    SeasonalImputer,
+    SplineImputer,
+    find_segments,
+    merge_small_gaps,
+)
+from repro.anomaly.thresholds import (
+    MADThreshold,
+    MeanStdThreshold,
+    PercentileThreshold,
+    ThresholdRule,
+)
+
+__all__ = [
+    "BaselineDetector",
+    "IQRDetector",
+    "RollingMADDetector",
+    "ZScoreDetector",
+    "AutoencoderConfig",
+    "LSTMAutoencoder",
+    "build_autoencoder",
+    "DetectionReport",
+    "ReconstructionAnomalyDetector",
+    "EVChargingAnomalyFilter",
+    "FilterOutcome",
+    "ConfusionCounts",
+    "DetectionMetrics",
+    "aggregate_detection_metrics",
+    "confusion_counts",
+    "detection_metrics",
+    "Imputer",
+    "LinearInterpolationImputer",
+    "MovingAverageImputer",
+    "SeasonalImputer",
+    "SplineImputer",
+    "find_segments",
+    "merge_small_gaps",
+    "MADThreshold",
+    "MeanStdThreshold",
+    "PercentileThreshold",
+    "ThresholdRule",
+]

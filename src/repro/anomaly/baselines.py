@@ -1,0 +1,149 @@
+"""Statistical anomaly-detection baselines.
+
+Non-learned comparators for the LSTM-autoencoder detector: the classic
+amplitude tests a practitioner would deploy first.  All share the
+``fit(normal_series)`` / ``detect(series) -> flags`` API (original
+units — unlike the AE detector these need no scaling).
+
+* :class:`ZScoreDetector` — global mean/std band.
+* :class:`IQRDetector` — Tukey fences on the interquartile range.
+* :class:`RollingMADDetector` — rolling-median band scaled by the
+  median absolute deviation (robust, locally adaptive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d
+
+
+class BaselineDetector:
+    """Common API for the statistical detectors."""
+
+    name = "baseline_detector"
+
+    def fit(self, normal_series: np.ndarray) -> "BaselineDetector":
+        raise NotImplementedError
+
+    def detect(self, series: np.ndarray) -> np.ndarray:
+        """Boolean per-point anomaly flags."""
+        raise NotImplementedError
+
+    def _check_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute) is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before detect()")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ZScoreDetector(BaselineDetector):
+    """Flag points more than ``k`` standard deviations from the mean."""
+
+    name = "zscore"
+
+    def __init__(self, k: float = 3.0) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = float(k)
+        self.mean_: float | None = None
+        self.std_: float | None = None
+
+    def fit(self, normal_series: np.ndarray) -> "ZScoreDetector":
+        normal_series = check_1d(normal_series, "normal_series")
+        self.mean_ = float(normal_series.mean())
+        self.std_ = float(normal_series.std()) or 1.0
+        return self
+
+    def detect(self, series: np.ndarray) -> np.ndarray:
+        self._check_fitted("mean_")
+        series = check_1d(series, "series")
+        return np.abs(series - self.mean_) > self.k * self.std_
+
+
+class IQRDetector(BaselineDetector):
+    """Tukey fences: flag outside ``[q1 - k*IQR, q3 + k*IQR]``."""
+
+    name = "iqr"
+
+    def __init__(self, k: float = 1.5) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = float(k)
+        self.lower_: float | None = None
+        self.upper_: float | None = None
+
+    def fit(self, normal_series: np.ndarray) -> "IQRDetector":
+        normal_series = check_1d(normal_series, "normal_series")
+        q1, q3 = np.percentile(normal_series, [25, 75])
+        iqr = float(q3 - q1) or 1.0
+        self.lower_ = float(q1) - self.k * iqr
+        self.upper_ = float(q3) + self.k * iqr
+        return self
+
+    def detect(self, series: np.ndarray) -> np.ndarray:
+        self._check_fitted("lower_")
+        series = check_1d(series, "series")
+        return (series < self.lower_) | (series > self.upper_)
+
+
+class RollingMADDetector(BaselineDetector):
+    """Rolling-median band: flag ``|x - med_w(x)| > k * 1.4826 * MAD``.
+
+    The MAD scale is calibrated globally on the normal series; the
+    rolling median adapts the band to the daily demand level, making
+    this the strongest non-learned comparator of the three.
+    """
+
+    name = "rolling_mad"
+
+    NORMAL_CONSISTENCY = 1.4826
+
+    def __init__(self, window: int = 25, k: float = 4.0) -> None:
+        if window < 3 or window % 2 == 0:
+            raise ValueError(f"window must be odd and >= 3, got {window}")
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.window = int(window)
+        self.k = float(k)
+        self.scale_: float | None = None
+
+    def fit(self, normal_series: np.ndarray) -> "RollingMADDetector":
+        normal_series = check_1d(normal_series, "normal_series")
+        residuals = normal_series - self._rolling_median(normal_series)
+        mad = float(np.median(np.abs(residuals)))
+        self.scale_ = (mad or 1.0) * self.NORMAL_CONSISTENCY
+        return self
+
+    def detect(self, series: np.ndarray) -> np.ndarray:
+        self._check_fitted("scale_")
+        series = check_1d(series, "series")
+        residuals = np.abs(series - self._rolling_median(series))
+        return residuals > self.k * self.scale_
+
+    def _rolling_median(self, series: np.ndarray) -> np.ndarray:
+        half = self.window // 2
+        padded = np.pad(series, half, mode="edge")
+        windows = np.lib.stride_tricks.sliding_window_view(padded, self.window)
+        return np.median(windows, axis=1)
+
+
+_REGISTRY: dict[str, type[BaselineDetector]] = {
+    "zscore": ZScoreDetector,
+    "iqr": IQRDetector,
+    "rolling_mad": RollingMADDetector,
+}
+
+
+def get(name_or_detector: str | BaselineDetector) -> BaselineDetector:
+    """Resolve a baseline detector by name, or pass an instance through."""
+    if isinstance(name_or_detector, BaselineDetector):
+        return name_or_detector
+    try:
+        return _REGISTRY[name_or_detector]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown baseline detector {name_or_detector!r}; known: {known}"
+        ) from None

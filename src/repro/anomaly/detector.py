@@ -1,0 +1,137 @@
+"""Reconstruction-error anomaly detection.
+
+Combines the LSTM autoencoder with a threshold rule: train on normal
+data, score a series by reconstruction error, flag points whose score
+exceeds the calibrated boundary (the paper's 98th-percentile rule).
+
+Two scoring modes map window-level reconstructions to per-point scores:
+
+* ``"point"`` (default) — squared error per timestep, reduced over the
+  overlapping windows covering the point ("min" by default: a point
+  is anomalous only if *no* covering window can explain it, which
+  resists the smearing of burst errors onto normal neighbours).
+* ``"window"`` — the paper's per-window MSE, assigned to each window's
+  final timestep (the decision is about "the newest point given its
+  24 h context"); the first ``sequence_length - 1`` points are
+  unscored and treated as normal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
+from repro.anomaly.thresholds import PercentileThreshold, ThresholdRule
+from repro.data.windowing import errors_per_point, make_autoencoder_windows
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_1d
+
+_SCORING_MODES = ("point", "window")
+
+
+@dataclass
+class DetectionReport:
+    """Scores and decisions for one series."""
+
+    scores: np.ndarray
+    flags: np.ndarray
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.scores.shape != self.flags.shape:
+            raise ValueError("scores and flags must have equal shapes")
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.flags.sum())
+
+
+class ReconstructionAnomalyDetector:
+    """Autoencoder + threshold-rule detector operating on scaled series.
+
+    The detector works in *scaled* space — callers (usually
+    :class:`~repro.anomaly.filter.EVChargingAnomalyFilter`) own the
+    MinMax scaling, which matches the paper's per-client normalisation.
+    """
+
+    def __init__(
+        self,
+        autoencoder: LSTMAutoencoder | None = None,
+        threshold_rule: ThresholdRule | None = None,
+        scoring: str = "point",
+        reduction: str = "min",
+        calibration_split: float = 0.15,
+        config: AutoencoderConfig | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if scoring not in _SCORING_MODES:
+            raise ValueError(f"scoring must be one of {_SCORING_MODES}, got {scoring!r}")
+        if not 0.0 <= calibration_split < 1.0:
+            raise ValueError(
+                f"calibration_split must be in [0, 1), got {calibration_split}"
+            )
+        self.config = config or AutoencoderConfig()
+        self.autoencoder = autoencoder or LSTMAutoencoder(self.config, seed=seed)
+        self.threshold_rule = threshold_rule or PercentileThreshold(98.0)
+        self.scoring = scoring
+        self.reduction = reduction
+        self.calibration_split = float(calibration_split)
+        self.fitted = False
+
+    @property
+    def sequence_length(self) -> int:
+        return self.autoencoder.config.sequence_length
+
+    def fit(self, normal_series: np.ndarray, verbose: bool = False) -> "ReconstructionAnomalyDetector":
+        """Train the AE on normal data and calibrate the threshold.
+
+        Matches the paper: the autoencoder sees only normal segments, and
+        the threshold rule (98th percentile by default) is fitted on
+        normal-data scores.  With ``calibration_split > 0`` the threshold
+        is calibrated on a *held-out tail* of the normal series that the
+        autoencoder never trained on — scores on training data are
+        optimistically low, so calibrating on them understates the
+        operating threshold and inflates the deployed false-positive
+        rate.
+        """
+        normal_series = check_1d(normal_series, "normal_series")
+        boundary = int(len(normal_series) * (1.0 - self.calibration_split))
+        train_part = normal_series[:boundary]
+        if len(train_part) <= self.sequence_length:
+            train_part = normal_series
+            boundary = len(normal_series)
+        windows = make_autoencoder_windows(train_part, self.sequence_length)
+        self.autoencoder.fit(windows, verbose=verbose)
+        scores = self.score(normal_series)
+        calibration_scores = scores[boundary:] if boundary < len(scores) else scores
+        valid = calibration_scores[np.isfinite(calibration_scores)]
+        if valid.size == 0:
+            valid = scores[np.isfinite(scores)]
+        self.threshold_rule.fit(valid)
+        self.fitted = True
+        return self
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        """Per-point anomaly scores; NaN where the mode leaves no score."""
+        series = check_1d(series, "series")
+        windows = make_autoencoder_windows(series, self.sequence_length)
+        if self.scoring == "point":
+            pointwise = self.autoencoder.pointwise_errors(windows)
+            return errors_per_point(
+                pointwise, len(series), self.sequence_length, reduction=self.reduction
+            )
+        window_mse = self.autoencoder.window_errors(windows)
+        scores = np.full(len(series), np.nan)
+        scores[self.sequence_length - 1 :] = window_mse
+        return scores
+
+    def detect(self, series: np.ndarray) -> DetectionReport:
+        """Score and threshold a series into a :class:`DetectionReport`."""
+        if not self.fitted:
+            raise RuntimeError("detector must be fitted before detect()")
+        scores = self.score(series)
+        flags = self.threshold_rule.flag(scores)
+        assert self.threshold_rule.threshold_ is not None
+        return DetectionReport(scores=scores, flags=flags, threshold=self.threshold_rule.threshold_)

@@ -1,0 +1,123 @@
+"""Anomaly-score thresholding rules.
+
+The paper fixes "the 98th percentile threshold ... applied to MSE values
+computed on the training set".  The cited prior work ([4] Shrestha et
+al.) thresholds with Mean-Standard-Deviation (MSD) and Median-Absolute-
+Deviation (MAD) rules instead, so those are implemented for the
+threshold ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d
+
+
+class ThresholdRule:
+    """Base rule: :meth:`fit` on training scores, then :meth:`flag`."""
+
+    def __init__(self) -> None:
+        self.threshold_: float | None = None
+
+    def fit(self, training_scores: np.ndarray) -> "ThresholdRule":
+        """Calibrate the decision boundary from normal-data scores."""
+        scores = check_1d(training_scores, "training_scores")
+        if scores.size == 0:
+            raise ValueError("cannot fit a threshold on zero scores")
+        self.threshold_ = self._compute(scores)
+        return self
+
+    def _compute(self, scores: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def flag(self, scores: np.ndarray) -> np.ndarray:
+        """Boolean anomaly decisions for ``scores`` (NaN → not anomalous)."""
+        if self.threshold_ is None:
+            raise RuntimeError("threshold rule must be fitted before flagging")
+        scores = np.asarray(scores, dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            return np.nan_to_num(scores, nan=-np.inf) > self.threshold_
+
+    def __repr__(self) -> str:
+        fitted = f", threshold={self.threshold_:.6g}" if self.threshold_ is not None else ""
+        return f"{type(self).__name__}({self._params()}{fitted})"
+
+    def _params(self) -> str:
+        return ""
+
+
+class PercentileThreshold(ThresholdRule):
+    """Flag scores above the q-th percentile of training scores.
+
+    The paper's rule with ``q = 98``: by construction ~2% of *training*
+    points sit above the boundary, which is what bounds the false
+    positive rate near the reported 1.21%.
+    """
+
+    def __init__(self, q: float = 98.0) -> None:
+        super().__init__()
+        if not 0.0 < q < 100.0:
+            raise ValueError(f"q must be in (0, 100), got {q}")
+        self.q = float(q)
+
+    def _compute(self, scores: np.ndarray) -> float:
+        return float(np.percentile(scores, self.q))
+
+    def _params(self) -> str:
+        return f"q={self.q}"
+
+
+class MeanStdThreshold(ThresholdRule):
+    """MSD rule: ``mean + k * std`` of training scores (cited work [4])."""
+
+    def __init__(self, k: float = 3.0) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = float(k)
+
+    def _compute(self, scores: np.ndarray) -> float:
+        return float(scores.mean() + self.k * scores.std())
+
+    def _params(self) -> str:
+        return f"k={self.k}"
+
+
+class MADThreshold(ThresholdRule):
+    """MAD rule: ``median + k * 1.4826 * MAD`` (robust to heavy tails)."""
+
+    #: Consistency constant making MAD estimate the std under normality.
+    NORMAL_CONSISTENCY = 1.4826
+
+    def __init__(self, k: float = 3.5) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = float(k)
+
+    def _compute(self, scores: np.ndarray) -> float:
+        median = float(np.median(scores))
+        mad = float(np.median(np.abs(scores - median)))
+        return median + self.k * self.NORMAL_CONSISTENCY * mad
+
+    def _params(self) -> str:
+        return f"k={self.k}"
+
+
+_REGISTRY: dict[str, type[ThresholdRule]] = {
+    "percentile": PercentileThreshold,
+    "msd": MeanStdThreshold,
+    "mad": MADThreshold,
+}
+
+
+def get(name_or_rule: str | ThresholdRule) -> ThresholdRule:
+    """Resolve a threshold rule by name (with paper defaults)."""
+    if isinstance(name_or_rule, ThresholdRule):
+        return name_or_rule
+    try:
+        return _REGISTRY[name_or_rule]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown threshold rule {name_or_rule!r}; known: {known}") from None

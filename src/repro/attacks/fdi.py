@@ -1,0 +1,131 @@
+"""False data injection (FDI) attacks — paper future-work vector (2).
+
+The paper's Sec. III-G names "false data injection and sophisticated
+adversarial patterns" as the next attack vectors to study.  This module
+implements two classic FDI shapes against which the detection ablation
+benches run:
+
+* :class:`BiasInjection` — a small constant offset over long windows
+  (stealthy; nearly invisible to spike detectors).
+* :class:`RampInjection` — slowly growing drift that ends in a plateau,
+  the canonical state-estimation FDI pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_1d, check_probability
+
+
+@dataclass(frozen=True)
+class FDIConfig:
+    """Shared schedule parameters for FDI attacks."""
+
+    attack_fraction: float = 0.08
+    window_hours_min: int = 12
+    window_hours_max: int = 48
+
+    def __post_init__(self) -> None:
+        check_probability(self.attack_fraction, "attack_fraction")
+        if self.window_hours_min < 2:
+            raise ValueError(f"window_hours_min must be >= 2, got {self.window_hours_min}")
+        if self.window_hours_max < self.window_hours_min:
+            raise ValueError("window_hours_max must be >= window_hours_min")
+
+
+class _WindowedFDI(Attack):
+    """Common scheduling for windowed FDI attacks."""
+
+    def __init__(self, config: FDIConfig | None = None) -> None:
+        self.config = config or FDIConfig()
+
+    def _windows(self, n: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+        target = int(round(self.config.attack_fraction * n))
+        covered = np.zeros(n, dtype=bool)
+        windows: list[tuple[int, int]] = []
+        attempts = 0
+        while covered.sum() < target and attempts < 50 * max(target, 1):
+            attempts += 1
+            duration = int(
+                rng.integers(self.config.window_hours_min, self.config.window_hours_max + 1)
+            )
+            start = int(rng.integers(0, n))
+            end = min(start + duration, n)
+            if covered[max(start - 1, 0) : min(end + 1, n)].any():
+                continue
+            covered[start:end] = True
+            windows.append((start, end))
+        return windows
+
+    def _perturb(
+        self, series: np.ndarray, start: int, end: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def inject(self, series: np.ndarray, seed: SeedLike = None) -> AttackResult:
+        series = check_1d(series, "series")
+        rng = as_generator(seed)
+        attacked = series.copy()
+        labels = np.zeros(len(series), dtype=bool)
+        for start, end in self._windows(len(series), rng):
+            attacked[start:end] = self._perturb(series, start, end, rng)
+            labels[start:end] = True
+        return AttackResult(
+            original=series,
+            attacked=np.maximum(attacked, 0.0),
+            labels=labels,
+            metadata={"attack": self.name},
+        )
+
+
+class BiasInjection(_WindowedFDI):
+    """Constant additive bias over scheduled windows.
+
+    ``bias_scale`` is the offset relative to the series' interquartile
+    range; 0.3 by default — large enough to corrupt forecasts, small
+    enough to evade spike-threshold detectors.
+    """
+
+    name = "fdi_bias"
+
+    def __init__(self, config: FDIConfig | None = None, bias_scale: float = 0.3) -> None:
+        super().__init__(config)
+        if bias_scale <= 0:
+            raise ValueError(f"bias_scale must be > 0, got {bias_scale}")
+        self.bias_scale = float(bias_scale)
+
+    def _perturb(
+        self, series: np.ndarray, start: int, end: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        iqr = float(np.subtract(*np.percentile(series, [75, 25]))) or 1.0
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return series[start:end] + sign * self.bias_scale * iqr
+
+
+class RampInjection(_WindowedFDI):
+    """Linearly growing drift that plateaus at ``ramp_scale`` × IQR."""
+
+    name = "fdi_ramp"
+
+    def __init__(self, config: FDIConfig | None = None, ramp_scale: float = 0.6) -> None:
+        super().__init__(config)
+        if ramp_scale <= 0:
+            raise ValueError(f"ramp_scale must be > 0, got {ramp_scale}")
+        self.ramp_scale = float(ramp_scale)
+
+    def _perturb(
+        self, series: np.ndarray, start: int, end: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        iqr = float(np.subtract(*np.percentile(series, [75, 25]))) or 1.0
+        length = end - start
+        ramp_end = max(length // 2, 1)
+        profile = np.concatenate(
+            [np.linspace(0.0, 1.0, ramp_end), np.ones(length - ramp_end)]
+        )
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return series[start:end] + sign * self.ramp_scale * iqr * profile

@@ -1,0 +1,98 @@
+"""Temporal pattern-disruption attacks — paper future-work vector.
+
+Sec. III-G: "other attack vectors such as subtle data manipulation or
+*temporal pattern disruption* warrant investigation".  Two disruptions:
+
+* :class:`SegmentShuffle` — permutes day-long blocks, destroying the
+  daily rhythm while preserving the value distribution (invisible to
+  amplitude thresholds by construction).
+* :class:`TimeShift` — rolls windows by several hours, modelling
+  timestamp manipulation / replay of stale telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_1d, check_probability
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """Schedule parameters for temporal-disruption attacks."""
+
+    attack_fraction: float = 0.10
+    block_hours: int = 24
+
+    def __post_init__(self) -> None:
+        check_probability(self.attack_fraction, "attack_fraction")
+        if self.block_hours < 2:
+            raise ValueError(f"block_hours must be >= 2, got {self.block_hours}")
+
+
+class SegmentShuffle(Attack):
+    """Shuffle the interior of day-long blocks at random positions."""
+
+    name = "temporal_shuffle"
+
+    def __init__(self, config: TemporalConfig | None = None) -> None:
+        self.config = config or TemporalConfig()
+
+    def inject(self, series: np.ndarray, seed: SeedLike = None) -> AttackResult:
+        series = check_1d(series, "series")
+        rng = as_generator(seed)
+        n = len(series)
+        block = self.config.block_hours
+        attacked = series.copy()
+        labels = np.zeros(n, dtype=bool)
+
+        n_blocks = max(int(round(self.config.attack_fraction * n / block)), 0)
+        available = np.arange(0, max(n - block, 0))
+        for _ in range(n_blocks):
+            if available.size == 0:
+                break
+            start = int(rng.choice(available))
+            end = start + block
+            permutation = rng.permutation(block)
+            attacked[start:end] = attacked[start:end][permutation]
+            labels[start:end] = True
+            available = available[(available < start - block) | (available >= end + block)]
+
+        return AttackResult(series, attacked, labels, {"attack": self.name})
+
+
+class TimeShift(Attack):
+    """Roll scheduled windows by ``shift_hours`` (replayed stale data)."""
+
+    name = "temporal_shift"
+
+    def __init__(self, config: TemporalConfig | None = None, shift_hours: int = 6) -> None:
+        self.config = config or TemporalConfig()
+        if shift_hours == 0:
+            raise ValueError("shift_hours must be non-zero")
+        self.shift_hours = int(shift_hours)
+
+    def inject(self, series: np.ndarray, seed: SeedLike = None) -> AttackResult:
+        series = check_1d(series, "series")
+        rng = as_generator(seed)
+        n = len(series)
+        block = self.config.block_hours
+        attacked = series.copy()
+        labels = np.zeros(n, dtype=bool)
+
+        n_blocks = max(int(round(self.config.attack_fraction * n / block)), 0)
+        available = np.arange(0, max(n - block, 0))
+        for _ in range(n_blocks):
+            if available.size == 0:
+                break
+            start = int(rng.choice(available))
+            end = start + block
+            attacked[start:end] = np.roll(series[start:end], self.shift_hours)
+            labels[start:end] = True
+            available = available[(available < start - block) | (available >= end + block)]
+
+        return AttackResult(series, attacked, labels, {"attack": self.name})

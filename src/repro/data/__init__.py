@@ -1,0 +1,52 @@
+"""Data substrate: synthetic Shenzhen EV charging data and preprocessing.
+
+The paper's dataset (Shenzhen, Sep 2022–Feb 2023, zones 102/105/108,
+4,344 hourly points per zone) is not public; :mod:`repro.data.shenzhen`
+synthesises series with the same structure (see DESIGN.md substitutions).
+The rest of the package is the preprocessing the paper describes:
+per-client MinMax scaling, temporal 80/20 splits and 24-hour windowing.
+"""
+
+from repro.data.datasets import ClientDataset, PreparedData, build_paper_clients
+from repro.data.scaling import MinMaxScaler, StandardScaler
+from repro.data.shenzhen import (
+    PAPER_ZONE_CONFIGS,
+    PAPER_ZONES,
+    STUDY_TIMESTAMPS,
+    ChargingSeries,
+    ZoneConfig,
+    generate_paper_dataset,
+    generate_zone_series,
+)
+from repro.data.splits import split_boundary, split_mask, temporal_split
+from repro.data.weather import WeatherSeries, generate_weather
+from repro.data.windowing import (
+    errors_per_point,
+    make_autoencoder_windows,
+    make_supervised,
+    sliding_windows,
+)
+
+__all__ = [
+    "ClientDataset",
+    "PreparedData",
+    "build_paper_clients",
+    "MinMaxScaler",
+    "StandardScaler",
+    "PAPER_ZONE_CONFIGS",
+    "PAPER_ZONES",
+    "STUDY_TIMESTAMPS",
+    "ChargingSeries",
+    "ZoneConfig",
+    "generate_paper_dataset",
+    "generate_zone_series",
+    "split_boundary",
+    "split_mask",
+    "temporal_split",
+    "WeatherSeries",
+    "generate_weather",
+    "errors_per_point",
+    "make_autoencoder_windows",
+    "make_supervised",
+    "sliding_windows",
+]

@@ -1,0 +1,119 @@
+"""Structural components of synthetic EV charging demand.
+
+The real Shenzhen dataset is proprietary; the generator composes demand
+from interpretable pieces so the evaluation exercises the same phenomena
+the paper relies on:
+
+* a *daily* double-peak profile (morning commute + evening charge-up),
+* *weekly* modulation (weekday vs. weekend behaviour),
+* a slow *seasonal* drift across the Sep–Feb study window,
+* autocorrelated (AR(1)) demand noise, and
+* occasional *natural demand spikes* — crucial for zone 108, whose
+  attack-like organic spikes depress detection recall in the paper.
+
+All components are vectorised over an hour-index array and deterministic
+given a :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+HOURS_PER_WEEK = 168
+
+
+def daily_profile(
+    hours: np.ndarray,
+    morning_peak: float,
+    evening_peak: float,
+    morning_hour: float = 8.0,
+    evening_hour: float = 19.0,
+    width: float = 2.5,
+) -> np.ndarray:
+    """Double-Gaussian daily shape evaluated at absolute hour indices.
+
+    ``hours`` may span many days; the profile depends only on the hour of
+    day.  Peaks are Gaussian bumps centred at ``morning_hour`` and
+    ``evening_hour`` with common ``width`` (in hours).
+    """
+    hour_of_day = np.asarray(hours) % HOURS_PER_DAY
+    morning = morning_peak * _wrapped_gaussian(hour_of_day, morning_hour, width)
+    evening = evening_peak * _wrapped_gaussian(hour_of_day, evening_hour, width)
+    return morning + evening
+
+
+def weekly_modulation(hours: np.ndarray, weekend_factor: float) -> np.ndarray:
+    """Multiplicative weekday/weekend factor.
+
+    Days 5 and 6 of each week (the weekend under a Monday-start epoch)
+    are scaled by ``weekend_factor``; weekdays by 1.0.
+    """
+    day_of_week = (np.asarray(hours) // HOURS_PER_DAY) % 7
+    return np.where(day_of_week >= 5, weekend_factor, 1.0)
+
+
+def seasonal_trend(hours: np.ndarray, total_hours: int, amplitude: float) -> np.ndarray:
+    """Slow drift over the study window (Sep→Feb cooling season).
+
+    A half-cosine that rises by ``amplitude`` over the full window,
+    reflecting EV adoption growth plus winter charging demand.
+    """
+    phase = np.asarray(hours) / max(total_hours - 1, 1)
+    return amplitude * 0.5 * (1.0 - np.cos(np.pi * phase))
+
+
+def ar1_noise(
+    n: int,
+    sigma: float,
+    phi: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Stationary AR(1) noise: ``x_t = phi * x_{t-1} + eps_t``.
+
+    Innovations are scaled so the marginal standard deviation is
+    ``sigma`` regardless of ``phi``.
+    """
+    if not 0.0 <= phi < 1.0:
+        raise ValueError(f"phi must be in [0, 1), got {phi}")
+    innovations = rng.normal(0.0, sigma * np.sqrt(1.0 - phi * phi), size=n)
+    noise = np.empty(n)
+    previous = rng.normal(0.0, sigma)
+    for t in range(n):
+        previous = phi * previous + innovations[t]
+        noise[t] = previous
+    return noise
+
+
+def natural_spikes(
+    n: int,
+    rate_per_day: float,
+    scale: float,
+    duration_hours: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Additive organic demand spikes (events, fleet arrivals, holidays).
+
+    Spike onsets follow a Bernoulli-per-hour process with the given daily
+    rate; each spike lasts ``duration_hours`` with linearly decaying
+    magnitude drawn from an exponential with mean ``scale``.
+    """
+    spikes = np.zeros(n)
+    hourly_probability = rate_per_day / HOURS_PER_DAY
+    onsets = np.flatnonzero(rng.random(n) < hourly_probability)
+    for onset in onsets:
+        magnitude = rng.exponential(scale)
+        for offset in range(duration_hours):
+            index = onset + offset
+            if index >= n:
+                break
+            decay = 1.0 - offset / duration_hours
+            spikes[index] += magnitude * decay
+    return spikes
+
+
+def _wrapped_gaussian(hour_of_day: np.ndarray, centre: float, width: float) -> np.ndarray:
+    """Gaussian bump on the 24 h circle (so 23:00 and 0:00 are close)."""
+    delta = np.abs(hour_of_day - centre)
+    delta = np.minimum(delta, HOURS_PER_DAY - delta)
+    return np.exp(-0.5 * (delta / width) ** 2)

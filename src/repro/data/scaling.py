@@ -1,0 +1,117 @@
+"""Feature scaling.
+
+The paper applies ``MinMaxScaler`` normalisation *independently to each
+client's raw data* so every client trains on the [0, 1] range; metrics
+are reported in original kWh units, so the scaler must round-trip
+exactly.  A ``StandardScaler`` is included for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Scale features to a target range (default [0, 1]), per column.
+
+    Accepts 1-D or 2-D input; 1-D input is treated as a single feature
+    column and returned with the same shape.  Constant columns map to the
+    lower bound of the feature range (and inverse-transform back to the
+    constant), matching scikit-learn's behaviour.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if not high > low:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(low), float(high))
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column min/max from ``values``."""
+        array = self._as_2d(np.asarray(values, dtype=np.float64))
+        if array.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("cannot fit scaler on non-finite data")
+        self.data_min_ = array.min(axis=0)
+        self.data_max_ = array.max(axis=0)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Map into the feature range using the fitted min/max."""
+        self._check_fitted()
+        array = np.asarray(values, dtype=np.float64)
+        was_1d = array.ndim == 1
+        array2d = self._as_2d(array)
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span == 0.0, 1.0, span)
+        low, high = self.feature_range
+        scaled = (array2d - self.data_min_) / safe_span * (high - low) + low
+        scaled = np.where(span == 0.0, low, scaled)
+        return scaled.ravel() if was_1d else scaled
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map from the feature range back to original units."""
+        self._check_fitted()
+        array = np.asarray(values, dtype=np.float64)
+        was_1d = array.ndim == 1
+        array2d = self._as_2d(array)
+        span = self.data_max_ - self.data_min_
+        low, high = self.feature_range
+        original = (array2d - low) / (high - low) * span + self.data_min_
+        return original.ravel() if was_1d else original
+
+    def _check_fitted(self) -> None:
+        if self.data_min_ is None:
+            raise RuntimeError("scaler must be fitted before use")
+
+    @staticmethod
+    def _as_2d(array: np.ndarray) -> np.ndarray:
+        if array.ndim == 1:
+            return array[:, None]
+        if array.ndim == 2:
+            return array
+        raise ValueError(f"scaler expects 1-D or 2-D input, got shape {array.shape}")
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling, per column (ablation alternative)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        array = MinMaxScaler._as_2d(np.asarray(values, dtype=np.float64))
+        if array.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = array.mean(axis=0)
+        std = array.std(axis=0)
+        self.std_ = np.where(std == 0.0, 1.0, std)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before use")
+        array = np.asarray(values, dtype=np.float64)
+        was_1d = array.ndim == 1
+        array2d = MinMaxScaler._as_2d(array)
+        scaled = (array2d - self.mean_) / self.std_
+        return scaled.ravel() if was_1d else scaled
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before use")
+        array = np.asarray(values, dtype=np.float64)
+        was_1d = array.ndim == 1
+        array2d = MinMaxScaler._as_2d(array)
+        original = array2d * self.std_ + self.mean_
+        return original.ravel() if was_1d else original

@@ -1,0 +1,48 @@
+"""Temporal train/test splitting.
+
+The paper uses a *temporal* 80/20 split — the first 80% of each client's
+series trains, the final 20% tests — never a shuffled split, because
+shuffling would leak future values into training windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_probability
+
+
+def temporal_split(
+    series: np.ndarray, train_fraction: float = 0.8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a series into contiguous (train, test) segments.
+
+    ``train_fraction`` of the points (floored) go to train; the rest to
+    test.  Both segments are copies, so mutating one cannot corrupt the
+    other (important when attacks are injected into a segment).
+    """
+    series = check_1d(series, "series")
+    check_probability(train_fraction, "train_fraction")
+    if len(series) < 2:
+        raise ValueError(f"series too short to split (length {len(series)})")
+    boundary = int(len(series) * train_fraction)
+    if boundary == 0 or boundary == len(series):
+        raise ValueError(
+            f"train_fraction={train_fraction} leaves an empty split for "
+            f"series of length {len(series)}"
+        )
+    return series[:boundary].copy(), series[boundary:].copy()
+
+
+def split_boundary(n: int, train_fraction: float = 0.8) -> int:
+    """Index of the first test point under :func:`temporal_split`."""
+    check_probability(train_fraction, "train_fraction")
+    return int(n * train_fraction)
+
+
+def split_mask(n: int, train_fraction: float = 0.8) -> np.ndarray:
+    """Boolean mask, ``True`` for train positions (prefix), else test."""
+    boundary = split_boundary(n, train_fraction)
+    mask = np.zeros(n, dtype=bool)
+    mask[:boundary] = True
+    return mask

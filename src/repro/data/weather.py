@@ -1,0 +1,69 @@
+"""Synthetic meteorological covariates.
+
+The paper's dataset "encompasses ... weather data from meteorological
+observatories ... as contextual information, though not directly
+incorporated into the forecasting models".  We mirror that: a weather
+generator exists, the examples show how to join it with charging data,
+but — exactly as in the paper — the forecasting models do not consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.profiles import HOURS_PER_DAY
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class WeatherSeries:
+    """Hourly temperature (°C) and relative humidity (%) series."""
+
+    temperature_c: np.ndarray
+    humidity_pct: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.temperature_c = np.asarray(self.temperature_c, dtype=np.float64)
+        self.humidity_pct = np.asarray(self.humidity_pct, dtype=np.float64)
+        if self.temperature_c.shape != self.humidity_pct.shape:
+            raise ValueError("temperature and humidity must have equal shapes")
+        if self.temperature_c.ndim != 1:
+            raise ValueError("weather series must be 1-D")
+
+    def __len__(self) -> int:
+        return len(self.temperature_c)
+
+    def as_features(self) -> np.ndarray:
+        """Stack into an ``(n, 2)`` covariate matrix."""
+        return np.stack([self.temperature_c, self.humidity_pct], axis=1)
+
+
+def generate_weather(
+    n_timestamps: int,
+    seed: SeedLike = None,
+    mean_temperature: float = 21.0,
+    seasonal_swing: float = 8.0,
+    diurnal_swing: float = 4.0,
+) -> WeatherSeries:
+    """Generate Shenzhen-like Sep→Feb weather.
+
+    Temperature follows a cooling seasonal ramp (subtropical autumn into
+    winter) plus a diurnal cycle and AR-ish noise; humidity is inversely
+    correlated with the diurnal temperature cycle and clipped to [30, 100].
+    """
+    if n_timestamps < 1:
+        raise ValueError(f"n_timestamps must be >= 1, got {n_timestamps}")
+    rng = as_generator(seed)
+    hours = np.arange(n_timestamps)
+    phase = hours / max(n_timestamps - 1, 1)
+
+    seasonal = -seasonal_swing * phase  # Sep (warm) → Feb (cool)
+    diurnal = diurnal_swing * np.sin(2.0 * np.pi * ((hours % HOURS_PER_DAY) - 9) / 24.0)
+    temperature = mean_temperature + seasonal + diurnal + rng.normal(0.0, 1.0, n_timestamps)
+
+    humidity = 70.0 - 2.0 * diurnal + 10.0 * np.sin(2.0 * np.pi * phase) + rng.normal(
+        0.0, 4.0, n_timestamps
+    )
+    return WeatherSeries(temperature, np.clip(humidity, 30.0, 100.0))

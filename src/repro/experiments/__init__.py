@@ -1,0 +1,53 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.config import PROFILE_ENV_VAR, ExperimentConfig
+from repro.experiments.fig2 import PAPER_FIG2, Fig2Series, fig2_series, render_fig2
+from repro.experiments.fig3 import PAPER_FIG3, Fig3Series, fig3_series, render_fig3
+from repro.experiments.reporting import render_bars, render_comparison, render_table
+from repro.experiments.runner import PAPER_HEADLINES, full_report, render_headlines
+from repro.experiments.scenarios import (
+    CLIENT_NAMES,
+    ExperimentResult,
+    clear_memo,
+    get_or_run,
+    run_experiment,
+)
+from repro.experiments.table1 import PAPER_TABLE1, Table1Row, render_table1, table1_rows
+from repro.experiments.table2 import PAPER_TABLE2, Table2Row, render_table2, table2_rows
+from repro.experiments.table3 import PAPER_TABLE3, Table3Row, render_table3, table3_rows
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "ExperimentConfig",
+    "PAPER_FIG2",
+    "Fig2Series",
+    "fig2_series",
+    "render_fig2",
+    "PAPER_FIG3",
+    "Fig3Series",
+    "fig3_series",
+    "render_fig3",
+    "render_bars",
+    "render_comparison",
+    "render_table",
+    "PAPER_HEADLINES",
+    "full_report",
+    "render_headlines",
+    "CLIENT_NAMES",
+    "ExperimentResult",
+    "clear_memo",
+    "get_or_run",
+    "run_experiment",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "render_table1",
+    "table1_rows",
+    "PAPER_TABLE2",
+    "Table2Row",
+    "render_table2",
+    "table2_rows",
+    "PAPER_TABLE3",
+    "Table3Row",
+    "render_table3",
+    "table3_rows",
+]

@@ -1,0 +1,59 @@
+"""Fig. 3 — R² of federated vs. centralized LSTM on filtered data.
+
+Grouped bars per client; the federated bar exceeds the centralized bar
+for every client (the R² column of Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_bars
+from repro.experiments.scenarios import ExperimentResult
+
+#: Paper Fig. 3 values (Table III R² column).
+PAPER_FIG3: dict[str, tuple[float, float]] = {
+    "Client 1": (0.8883, 0.7646),
+    "Client 2": (0.8350, 0.7463),
+    "Client 3": (0.7792, 0.6356),
+}
+
+
+@dataclass(frozen=True)
+class Fig3Series:
+    """Per-client R² for both architectures."""
+
+    federated: dict[str, float]
+    centralized: dict[str, float]
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        return [
+            (client, self.federated[client], self.centralized[client])
+            for client in self.federated
+        ]
+
+
+def fig3_series(result: ExperimentResult) -> Fig3Series:
+    """Measured per-client R² pairs on filtered data."""
+    federated = {
+        name: result.federated_filtered.metrics_of(name).r2
+        for name in result.data_stage.labels
+    }
+    centralized = {
+        name: result.centralized_filtered.metrics_of(name).r2
+        for name in result.data_stage.labels
+    }
+    return Fig3Series(federated=federated, centralized=centralized)
+
+
+def render_fig3(result: ExperimentResult) -> str:
+    """ASCII rendition of the grouped R² bar chart."""
+    series = fig3_series(result)
+    bars: dict[str, float] = {}
+    for client in series.federated:
+        paper = PAPER_FIG3.get(client, (float("nan"), float("nan")))
+        bars[f"{client} Federated   (paper {paper[0]:.3f})"] = series.federated[client]
+        bars[f"{client} Centralized (paper {paper[1]:.3f})"] = series.centralized[client]
+    return render_bars(
+        bars, title="Fig. 3 — R², federated vs. centralized (filtered data)"
+    )

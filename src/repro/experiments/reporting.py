@@ -1,0 +1,107 @@
+"""Text rendering of tables and figure series.
+
+The benches print the same rows/series the paper reports; these helpers
+render aligned ASCII tables (with optional paper-reference columns) and
+simple horizontal bar charts for the two figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with per-column alignment.
+
+    Numbers are right-aligned and formatted to 4 decimals; everything
+    else is left-aligned ``str()``.
+    """
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row} has {len(row)} cells, expected {columns}")
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows)) if rendered_rows else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    numeric = [
+        all(_is_numeric_cell(row[i]) for row in rendered_rows) if rendered_rows else False
+        for i in range(columns)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append(separator)
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def render_bars(
+    series: dict[str, float],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (used for Figs. 2 and 3)."""
+    if not series:
+        raise ValueError("cannot render an empty series")
+    label_width = max(len(label) for label in series)
+    peak = max(abs(value) for value in series.values()) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in series.items():
+        bar = "#" * max(int(round(abs(value) / peak * width)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.4f}{unit}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rows: Sequence[tuple[str, float, float]],
+    value_name: str = "value",
+    title: str | None = None,
+) -> str:
+    """Paper-vs-measured table with relative deviation column."""
+    table_rows = []
+    for label, paper_value, measured in rows:
+        if paper_value:
+            deviation = 100.0 * (measured - paper_value) / abs(paper_value)
+            deviation_repr = f"{deviation:+.1f}%"
+        else:
+            deviation_repr = "n/a"
+        table_rows.append([label, paper_value, measured, deviation_repr])
+    return render_table(
+        ["quantity", f"paper {value_name}", f"measured {value_name}", "deviation"],
+        table_rows,
+        title=title,
+    )
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def _is_numeric_cell(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

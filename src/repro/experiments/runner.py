@@ -1,0 +1,98 @@
+"""Experiment runner and command-line entry point.
+
+``repro-experiments`` (installed console script) runs the complete
+four-scenario experiment and prints every table and figure the paper
+reports, plus the headline-metric comparison.  ``--profile fast`` gives
+a minutes-scale shape-preserving run; ``--profile paper`` is the
+full-scale configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig2 import render_fig2
+from repro.experiments.fig3 import render_fig3
+from repro.experiments.reporting import render_comparison
+from repro.experiments.scenarios import ExperimentResult, get_or_run
+from repro.experiments.table1 import render_table1
+from repro.experiments.table2 import render_table2
+from repro.experiments.table3 import render_table3
+
+#: The paper's headline claims (abstract) for the comparison table.
+PAPER_HEADLINES: dict[str, float] = {
+    "r2_improvement_pct": 15.2,
+    "attack_recovery_pct": 47.9,
+    "overall_precision": 0.913,
+    "overall_fpr_pct": 1.21,
+    "time_reduction_pct": 18.1,
+}
+
+
+def render_headlines(result: ExperimentResult) -> str:
+    """Paper-vs-measured table for the five abstract-level claims."""
+    measured = result.headline_metrics()
+    rows = [
+        (name, PAPER_HEADLINES[name], measured[name]) for name in PAPER_HEADLINES
+    ]
+    return render_comparison(rows, title="Headline metrics — paper vs. measured")
+
+
+def full_report(result: ExperimentResult) -> str:
+    """Every table and figure plus headlines, as one printable report."""
+    sections = [
+        render_table1(result),
+        render_table2(result),
+        render_table3(result),
+        render_fig2(result),
+        render_fig3(result),
+        render_headlines(result),
+    ]
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the experiment suite and print/save the report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Federated Anomaly Detection "
+            "and Mitigation for EV Charging Forecasting Under Cyberattacks'."
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("paper", "fast"),
+        default="fast",
+        help="experiment scale: 'paper' is full-scale, 'fast' preserves shape (default)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--output", type=Path, default=None, help="also write the report to this file"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log per-epoch training losses"
+    )
+    args = parser.parse_args(argv)
+
+    config = (
+        ExperimentConfig.paper(seed=args.seed)
+        if args.profile == "paper"
+        else ExperimentConfig.fast(seed=args.seed)
+    )
+    print(f"running profile={args.profile} seed={args.seed} ...", flush=True)
+    result = get_or_run(config, verbose=args.verbose)
+    report = full_report(result)
+    print(report)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report + "\n", encoding="utf-8")
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

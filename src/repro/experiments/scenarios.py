@@ -1,0 +1,166 @@
+"""Full experiment execution: the paper's four scenarios, one call.
+
+:func:`run_experiment` produces an :class:`ExperimentResult` holding
+everything Tables I–III and Figs. 2–3 are derived from:
+
+1. Federated LSTM on clean data,
+2. Federated LSTM on attacked data,
+3. Federated LSTM on filtered data,
+4. Centralized LSTM on the same filtered data,
+
+plus the per-client detection artefacts from the data stage.  Results
+are memoised per config within the process (the five benches share one
+run) and the scenario/architecture comparison uses identical filtered
+datasets, mirroring the paper's fairness note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import build_paper_clients
+from repro.data.shenzhen import generate_paper_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.forecasting.centralized import CentralizedForecaster, CentralizedForecastResult
+from repro.forecasting.federated import FederatedForecaster, FederatedForecastResult
+from repro.forecasting.models import forecaster_builder
+from repro.forecasting.pipeline import DataStageResult
+from repro.utils.rng import spawn
+
+#: Paper client naming, reused by tables and reports.
+CLIENT_NAMES = ("Client 1", "Client 2", "Client 3")
+
+
+@dataclass
+class ExperimentResult:
+    """All scenario outputs for one configuration."""
+
+    config: ExperimentConfig
+    data_stage: DataStageResult
+    federated_clean: FederatedForecastResult
+    federated_attacked: FederatedForecastResult
+    federated_filtered: FederatedForecastResult
+    centralized_filtered: CentralizedForecastResult
+
+    def federated_result(self, variant: str) -> FederatedForecastResult:
+        return {
+            "clean": self.federated_clean,
+            "attacked": self.federated_attacked,
+            "filtered": self.federated_filtered,
+        }[variant]
+
+    # -- headline numbers (paper abstract / Secs. III-C..F) -------------
+    def r2_improvement_pct(self, client_name: str = "Client 1") -> float:
+        """Federated-over-centralized R² gain on filtered data (paper: 15.2%)."""
+        federated = self.federated_filtered.metrics_of(client_name).r2
+        centralized = self.centralized_filtered.metrics_of(client_name).r2
+        return 100.0 * (federated - centralized) / abs(centralized)
+
+    def attack_recovery_pct(self, client_name: str = "Client 1") -> float:
+        """Share of attack-induced R² loss recovered by filtering (paper: 47.9%)."""
+        clean = self.federated_clean.metrics_of(client_name).r2
+        attacked = self.federated_attacked.metrics_of(client_name).r2
+        filtered = self.federated_filtered.metrics_of(client_name).r2
+        degradation = clean - attacked
+        if degradation <= 0:
+            return 100.0
+        return 100.0 * (filtered - attacked) / degradation
+
+    def time_reduction_pct(self) -> float:
+        """Federated vs. centralized training-time saving (paper: 18.1%)."""
+        federated = self.federated_filtered.parallel_seconds
+        centralized = self.centralized_filtered.train_seconds
+        return 100.0 * (centralized - federated) / centralized
+
+    def headline_metrics(self) -> dict[str, float]:
+        """The abstract's five headline numbers, measured."""
+        overall = self.data_stage.overall_detection_metrics()
+        return {
+            "r2_improvement_pct": self.r2_improvement_pct(),
+            "attack_recovery_pct": self.attack_recovery_pct(),
+            "overall_precision": overall.precision,
+            "overall_fpr_pct": 100.0 * overall.false_positive_rate,
+            "time_reduction_pct": self.time_reduction_pct(),
+        }
+
+
+def run_experiment(config: ExperimentConfig, verbose: bool = False) -> ExperimentResult:
+    """Execute the full four-scenario experiment for ``config``."""
+    dataset = generate_paper_dataset(
+        seed=spawn(config.seed, "data"),
+        n_timestamps=config.n_timestamps,
+        zones=config.zones,
+    )
+    clients = build_paper_clients(dataset)
+
+    pipeline = config.pipeline()
+    data_stage = pipeline.run_data_stage(clients, verbose=verbose)
+
+    builder = forecaster_builder(
+        lstm_units=config.lstm_units,
+        dense_units=config.dense_units,
+        learning_rate=config.learning_rate,
+    )
+
+    # Evaluation protocol: each scenario is scored on its own dataset
+    # variant (the paper's protocol — Table I's attacked row is the
+    # attacked dataset's own test segment).  ``evaluate_against="clean"``
+    # switches to the trustworthy-forecasting view where every variant is
+    # scored against the true demand.
+    if config.evaluate_against == "clean":
+        override_targets = data_stage.clean_test_targets_kwh()
+    else:
+        override_targets = None
+
+    def federated(variant: str, key: str) -> FederatedForecastResult:
+        forecaster = FederatedForecaster(
+            rounds=config.federated_rounds,
+            epochs_per_round=config.epochs_per_round,
+            batch_size=config.batch_size,
+            builder=builder,
+            seed=spawn(config.seed, key),
+        )
+        return forecaster.train_evaluate(
+            data_stage.prepared(variant), targets_kwh=override_targets
+        )
+
+    federated_clean = federated("clean", "fed/clean")
+    federated_attacked = federated("attacked", "fed/attacked")
+    federated_filtered = federated("filtered", "fed/filtered")
+
+    centralized = CentralizedForecaster(
+        epochs=config.centralized_epochs,
+        batch_size=config.batch_size,
+        sequence_length=config.sequence_length,
+        train_fraction=config.train_fraction,
+        scaling=config.centralized_scaling,
+        builder=builder,
+        seed=spawn(config.seed, "centralized"),
+    )
+    centralized_filtered = centralized.train_evaluate(
+        data_stage.variant("filtered"), targets_kwh=override_targets
+    )
+
+    return ExperimentResult(
+        config=config,
+        data_stage=data_stage,
+        federated_clean=federated_clean,
+        federated_attacked=federated_attacked,
+        federated_filtered=federated_filtered,
+        centralized_filtered=centralized_filtered,
+    )
+
+
+_MEMO: dict[ExperimentConfig, ExperimentResult] = {}
+
+
+def get_or_run(config: ExperimentConfig, verbose: bool = False) -> ExperimentResult:
+    """Memoised :func:`run_experiment` — benches share one execution."""
+    if config not in _MEMO:
+        _MEMO[config] = run_experiment(config, verbose=verbose)
+    return _MEMO[config]
+
+
+def clear_memo() -> None:
+    """Drop memoised results (tests use this for isolation)."""
+    _MEMO.clear()

@@ -1,0 +1,92 @@
+"""Table III — client-specific performance comparison for filtered data.
+
+Paper rows (architecture, MAE / RMSE / R²):
+
+===============  ===========  ======  ======  ======
+Client (Zone)    Architecture MAE     RMSE    R²
+===============  ===========  ======  ======  ======
+Client 1 (102)   Federated    3.9801  5.7921  0.8883
+                 Centralized  6.8277  8.4567  0.7646
+Client 2 (105)   Federated    5.2215  5.5876  0.8350
+                 Centralized  6.5100  8.1582  0.7463
+Client 3 (108)   Federated    5.0459  6.2328  0.7792
+                 Centralized  5.1554  9.1659  0.6356
+===============  ===========  ======  ======  ======
+
+Both architectures consume identical filtered datasets; the federated
+model wins every client, with the centralized compromise effect worst
+for heterogeneous zone 108.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.experiments.scenarios import ExperimentResult
+
+#: Paper Table III: (client, architecture) -> (MAE, RMSE, R2).
+PAPER_TABLE3: dict[tuple[str, str], tuple[float, float, float]] = {
+    ("Client 1", "Federated"): (3.9801, 5.7921, 0.8883),
+    ("Client 1", "Centralized"): (6.8277, 8.4567, 0.7646),
+    ("Client 2", "Federated"): (5.2215, 5.5876, 0.8350),
+    ("Client 2", "Centralized"): (6.5100, 8.1582, 0.7463),
+    ("Client 3", "Federated"): (5.0459, 6.2328, 0.7792),
+    ("Client 3", "Centralized"): (5.1554, 9.1659, 0.6356),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One measured row of Table III."""
+
+    client_name: str
+    zone_id: str
+    architecture: str
+    mae: float
+    rmse: float
+    r2: float
+
+
+def table3_rows(result: ExperimentResult) -> list[Table3Row]:
+    """Measured federated/centralized pairs per client, filtered data."""
+    rows = []
+    zone_by_client = {
+        client.name: client.zone_id for client in result.data_stage.clean.values()
+    }
+    for client_name in result.data_stage.labels:
+        zone = zone_by_client[client_name]
+        federated = result.federated_filtered.metrics_of(client_name)
+        centralized = result.centralized_filtered.metrics_of(client_name)
+        rows.append(
+            Table3Row(client_name, zone, "Federated", federated.mae, federated.rmse, federated.r2)
+        )
+        rows.append(
+            Table3Row(
+                client_name, zone, "Centralized", centralized.mae, centralized.rmse, centralized.r2
+            )
+        )
+    return rows
+
+
+def render_table3(result: ExperimentResult) -> str:
+    """Printable Table III with paper reference values."""
+    body = []
+    for row in table3_rows(result):
+        paper = PAPER_TABLE3.get((row.client_name, row.architecture))
+        paper_repr = f"{paper[0]:.4f}/{paper[1]:.4f}/{paper[2]:.4f}" if paper else "-"
+        body.append(
+            [
+                f"{row.client_name} ({row.zone_id})",
+                row.architecture,
+                row.mae,
+                row.rmse,
+                row.r2,
+                paper_repr,
+            ]
+        )
+    return render_table(
+        ["Client (Zone)", "Architecture", "MAE", "RMSE", "R2", "paper MAE/RMSE/R2"],
+        body,
+        title="Table III — client-specific performance comparison, filtered data",
+    )

@@ -1,0 +1,51 @@
+"""Federated-learning runtime (Flower-style in-process simulation).
+
+Clients train identical local LSTMs on local data; a server synchronises
+weights with FederatedAveraging (robust rules available for ablations);
+a communication log accounts for every payload, demonstrating that only
+model parameters — never data — leave a client.
+"""
+
+from repro.federated.aggregation import (
+    Aggregator,
+    CoordinateMedian,
+    FedAvg,
+    Krum,
+    TrimmedMean,
+)
+from repro.federated.client import FederatedClient
+from repro.federated.communication import CommunicationLog, TransferRecord, payload_bytes
+from repro.federated.privacy import (
+    GaussianMechanism,
+    PrivateFedAvg,
+    SecureAggregationSimulator,
+    UpdateClipper,
+    gaussian_sigma,
+)
+from repro.federated.server import FederatedServer
+from repro.federated.simulation import (
+    FederatedRunResult,
+    FederatedSimulation,
+    RoundRecord,
+)
+
+__all__ = [
+    "Aggregator",
+    "CoordinateMedian",
+    "FedAvg",
+    "Krum",
+    "TrimmedMean",
+    "FederatedClient",
+    "CommunicationLog",
+    "TransferRecord",
+    "payload_bytes",
+    "GaussianMechanism",
+    "PrivateFedAvg",
+    "SecureAggregationSimulator",
+    "UpdateClipper",
+    "gaussian_sigma",
+    "FederatedServer",
+    "FederatedRunResult",
+    "FederatedSimulation",
+    "RoundRecord",
+]

@@ -1,0 +1,216 @@
+"""Model-update aggregation rules.
+
+The paper uses FederatedAveraging ("the Federated Averaging mechanism
+facilitated global model coordination through weight synchronization").
+Because the setting is adversarial, the ablation benches also exercise
+Byzantine-robust rules: coordinate-wise median, trimmed mean, and Krum.
+
+All aggregators consume ``client_weights`` — a list (one entry per
+client) of weight lists as returned by ``Sequential.get_weights()`` —
+and produce one aggregated weight list of the same structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Aggregator:
+    """Base aggregation rule."""
+
+    name = "aggregator"
+
+    def aggregate(
+        self,
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None = None,
+    ) -> list[np.ndarray]:
+        """Combine client weight lists into one global weight list."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None,
+    ) -> None:
+        if not client_weights:
+            raise ValueError("need at least one client's weights to aggregate")
+        reference = client_weights[0]
+        for index, weights in enumerate(client_weights):
+            if len(weights) != len(reference):
+                raise ValueError(
+                    f"client {index} has {len(weights)} tensors, expected {len(reference)}"
+                )
+            for tensor_index, (tensor, ref) in enumerate(zip(weights, reference)):
+                if tensor.shape != ref.shape:
+                    raise ValueError(
+                        f"client {index} tensor {tensor_index} has shape "
+                        f"{tensor.shape}, expected {ref.shape}"
+                    )
+        if sample_counts is not None:
+            if len(sample_counts) != len(client_weights):
+                raise ValueError(
+                    f"sample_counts has {len(sample_counts)} entries for "
+                    f"{len(client_weights)} clients"
+                )
+            if any(count < 0 for count in sample_counts):
+                raise ValueError("sample_counts must be non-negative")
+            if sum(sample_counts) == 0:
+                raise ValueError("sample_counts sum to zero")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FedAvg(Aggregator):
+    """FederatedAveraging (McMahan et al.): per-tensor weighted mean.
+
+    With ``weighted=True`` clients are weighted by their sample counts
+    (the canonical rule); with ``weighted=False`` the plain mean is used
+    — the paper's three clients hold identical 4,344-point datasets, so
+    both variants coincide in the main experiments.
+    """
+
+    name = "fedavg"
+
+    def __init__(self, weighted: bool = True) -> None:
+        self.weighted = bool(weighted)
+
+    def aggregate(
+        self,
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None = None,
+    ) -> list[np.ndarray]:
+        self._validate(client_weights, sample_counts)
+        if self.weighted and sample_counts is not None:
+            total = float(sum(sample_counts))
+            coefficients = [count / total for count in sample_counts]
+        else:
+            coefficients = [1.0 / len(client_weights)] * len(client_weights)
+        n_tensors = len(client_weights[0])
+        return [
+            sum(
+                coefficient * weights[tensor_index]
+                for coefficient, weights in zip(coefficients, client_weights)
+            )
+            for tensor_index in range(n_tensors)
+        ]
+
+
+class CoordinateMedian(Aggregator):
+    """Coordinate-wise median — robust to < 50% arbitrary corruptions."""
+
+    name = "median"
+
+    def aggregate(
+        self,
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None = None,
+    ) -> list[np.ndarray]:
+        self._validate(client_weights, sample_counts)
+        n_tensors = len(client_weights[0])
+        return [
+            np.median(
+                np.stack([weights[tensor_index] for weights in client_weights]), axis=0
+            )
+            for tensor_index in range(n_tensors)
+        ]
+
+
+class TrimmedMean(Aggregator):
+    """Coordinate-wise trimmed mean: drop the ``trim_ratio`` tails.
+
+    ``trim_ratio`` is the fraction trimmed from *each* end; it must leave
+    at least one client after trimming.
+    """
+
+    name = "trimmed_mean"
+
+    def __init__(self, trim_ratio: float = 0.2) -> None:
+        if not 0.0 <= trim_ratio < 0.5:
+            raise ValueError(f"trim_ratio must be in [0, 0.5), got {trim_ratio}")
+        self.trim_ratio = float(trim_ratio)
+
+    def aggregate(
+        self,
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None = None,
+    ) -> list[np.ndarray]:
+        self._validate(client_weights, sample_counts)
+        n_clients = len(client_weights)
+        k = int(np.floor(self.trim_ratio * n_clients))
+        if 2 * k >= n_clients:
+            k = (n_clients - 1) // 2
+        n_tensors = len(client_weights[0])
+        aggregated = []
+        for tensor_index in range(n_tensors):
+            stacked = np.stack([weights[tensor_index] for weights in client_weights])
+            ordered = np.sort(stacked, axis=0)
+            kept = ordered[k : n_clients - k] if k else ordered
+            aggregated.append(kept.mean(axis=0))
+        return aggregated
+
+
+class Krum(Aggregator):
+    """Krum (Blanchard et al.): select the update closest to its peers.
+
+    Scores each client by the sum of squared distances to its
+    ``n - f - 2`` nearest neighbours and returns the lowest-scoring
+    client's weights verbatim.  ``f`` is the assumed number of Byzantine
+    clients.
+    """
+
+    name = "krum"
+
+    def __init__(self, n_byzantine: int = 0) -> None:
+        if n_byzantine < 0:
+            raise ValueError(f"n_byzantine must be >= 0, got {n_byzantine}")
+        self.n_byzantine = int(n_byzantine)
+
+    def aggregate(
+        self,
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None = None,
+    ) -> list[np.ndarray]:
+        self._validate(client_weights, sample_counts)
+        n_clients = len(client_weights)
+        n_neighbours = n_clients - self.n_byzantine - 2
+        if n_neighbours < 1:
+            # Degenerate small federations: fall back to nearest single peer
+            # (Krum needs n >= f + 3 for its guarantee).
+            n_neighbours = max(n_clients - 2, 1)
+        flattened = [
+            np.concatenate([tensor.ravel() for tensor in weights])
+            for weights in client_weights
+        ]
+        scores = []
+        for i in range(n_clients):
+            distances = sorted(
+                float(np.sum((flattened[i] - flattened[j]) ** 2))
+                for j in range(n_clients)
+                if j != i
+            )
+            scores.append(sum(distances[:n_neighbours]))
+        winner = int(np.argmin(scores))
+        return [tensor.copy() for tensor in client_weights[winner]]
+
+
+_REGISTRY: dict[str, type[Aggregator]] = {
+    "fedavg": FedAvg,
+    "median": CoordinateMedian,
+    "trimmed_mean": TrimmedMean,
+    "krum": Krum,
+}
+
+
+def get(name_or_aggregator: str | Aggregator) -> Aggregator:
+    """Resolve an aggregation rule by name (paper default: FedAvg)."""
+    if isinstance(name_or_aggregator, Aggregator):
+        return name_or_aggregator
+    try:
+        return _REGISTRY[name_or_aggregator]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown aggregator {name_or_aggregator!r}; known: {known}"
+        ) from None

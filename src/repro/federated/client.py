@@ -1,0 +1,99 @@
+"""Federated client: a local model bound to local data.
+
+Each paper client is one traffic zone's charging station controller: it
+holds its own (scaled, windowed) training data, trains an identical
+local LSTM model for ``EPOCHS_PER_ROUND`` epochs per round, and only
+ever ships model weights — never data — to the server.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.utils.rng import SeedLike, as_generator, spawn
+from repro.utils.timing import Timer
+
+ModelBuilder = Callable[[], Sequential]
+
+
+class FederatedClient:
+    """One participant of the federation.
+
+    Parameters
+    ----------
+    name:
+        Client identity (paper: "Client 1" … "Client 3").
+    model_builder:
+        Zero-argument callable producing a *compiled but unbuilt*
+        :class:`~repro.nn.model.Sequential`; every client (and the
+        server) must use the same builder so weight lists align.
+    x_train / y_train:
+        Local supervised training tensors.
+    seed:
+        Drives this client's weight init and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model_builder: ModelBuilder,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        seed: SeedLike = None,
+    ) -> None:
+        if len(x_train) != len(y_train):
+            raise ValueError(
+                f"x_train/y_train length mismatch: {len(x_train)} vs {len(y_train)}"
+            )
+        if len(x_train) == 0:
+            raise ValueError(f"client {name!r} has no training data")
+        self.name = name
+        self.x_train = np.asarray(x_train, dtype=np.float64)
+        self.y_train = np.asarray(y_train, dtype=np.float64)
+        rng = as_generator(seed)
+        self.model = model_builder()
+        if self.model.optimizer is None:
+            raise ValueError("model_builder must return a compiled model")
+        self.model.build(self.x_train.shape[1:], seed=spawn(rng, f"{name}/init"))
+        self._fit_rng = spawn(rng, f"{name}/fit")
+        self.round_losses: list[float] = []
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.x_train)
+
+    def get_weights(self) -> list[np.ndarray]:
+        return self.model.get_weights()
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        self.model.set_weights(weights)
+
+    def train_round(self, epochs: int, batch_size: int) -> tuple[float, float]:
+        """Run one local training round.
+
+        Returns ``(final_epoch_loss, wall_seconds)``.  The local Adam
+        state persists across rounds (each client keeps its optimizer),
+        which matches how per-client Keras models behave when ``fit`` is
+        called repeatedly.
+        """
+        with Timer() as timer:
+            history = self.model.fit(
+                self.x_train,
+                self.y_train,
+                epochs=epochs,
+                batch_size=batch_size,
+                seed=self._fit_rng,
+            )
+        final_loss = history.history["loss"][-1]
+        self.round_losses.append(final_loss)
+        return final_loss, timer.elapsed
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Local-model loss on an arbitrary dataset."""
+        return self.model.evaluate(x, y)
+
+    def __repr__(self) -> str:
+        return f"FederatedClient(name={self.name!r}, n_samples={self.n_samples})"

@@ -1,0 +1,68 @@
+"""Communication accounting for the federated simulation.
+
+"Only model parameters were exchanged between clients, maintaining
+privacy and data sovereignty principles" — the simulator quantifies
+exactly that: per-round upload/download payloads (serialized weight
+bytes) per client, so benches can report the privacy/bandwidth side of
+the paper's argument (weights exchanged vs. raw data kept local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def payload_bytes(weights: list[np.ndarray]) -> int:
+    """Size in bytes of one weight-list payload (sum of tensor buffers)."""
+    return int(sum(tensor.nbytes for tensor in weights))
+
+
+@dataclass
+class TransferRecord:
+    """One direction of one client's exchange in one round."""
+
+    round_index: int
+    client_name: str
+    direction: str  # "upload" (client → server) or "download"
+    n_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("upload", "download"):
+            raise ValueError(f"direction must be upload/download, got {self.direction!r}")
+        if self.n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+
+
+@dataclass
+class CommunicationLog:
+    """Accumulates every weight transfer of a federated run."""
+
+    records: list[TransferRecord] = field(default_factory=list)
+
+    def record(
+        self, round_index: int, client_name: str, direction: str, weights: list[np.ndarray]
+    ) -> None:
+        self.records.append(
+            TransferRecord(round_index, client_name, direction, payload_bytes(weights))
+        )
+
+    def total_bytes(self, direction: str | None = None) -> int:
+        """Total bytes transferred, optionally filtered by direction."""
+        return sum(
+            record.n_bytes
+            for record in self.records
+            if direction is None or record.direction == direction
+        )
+
+    def bytes_by_client(self) -> dict[str, int]:
+        """Total transfer per client (both directions)."""
+        totals: dict[str, int] = {}
+        for record in self.records:
+            totals[record.client_name] = totals.get(record.client_name, 0) + record.n_bytes
+        return totals
+
+    def rounds(self) -> int:
+        """Number of distinct rounds that transferred anything."""
+        return len({record.round_index for record in self.records})

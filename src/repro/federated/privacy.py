@@ -1,0 +1,188 @@
+"""Privacy mechanisms for the federated runtime.
+
+The paper's privacy argument is architectural (only weights leave a
+client).  This module adds the standard cryptographic/statistical
+strengthening on top, as library-level building blocks:
+
+* :class:`UpdateClipper` — bound each client update's L2 norm (the
+  sensitivity bound differential privacy needs).
+* :class:`GaussianMechanism` — calibrated Gaussian noise for
+  (ε, δ)-differential privacy of the aggregated update.
+* :class:`PrivateFedAvg` — an :class:`~repro.federated.aggregation.Aggregator`
+  that clips every client update around the previous global weights,
+  averages, and noises the result (DP-FedAvg, McMahan et al. 2018).
+* :class:`SecureAggregationSimulator` — pairwise additive masking
+  (Bonawitz et al. 2017): each pair of clients shares antisymmetric
+  masks that cancel in the sum, so the server can recover the *sum* of
+  updates while every individual upload looks like noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.federated.aggregation import Aggregator, FedAvg
+from repro.utils.rng import SeedLike, as_generator, spawn
+
+
+def gaussian_sigma(epsilon: float, delta: float, sensitivity: float = 1.0) -> float:
+    """Noise scale of the analytic Gaussian mechanism.
+
+    The classical calibration ``σ = sqrt(2 ln(1.25/δ)) * Δ / ε`` for
+    (ε, δ)-DP with L2 sensitivity Δ (valid for ε ≤ 1; a conservative
+    bound above).
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if sensitivity <= 0:
+        raise ValueError(f"sensitivity must be > 0, got {sensitivity}")
+    return math.sqrt(2.0 * math.log(1.25 / delta)) * sensitivity / epsilon
+
+
+class UpdateClipper:
+    """Clip a weight-list update to a maximum global L2 norm."""
+
+    def __init__(self, clip_norm: float) -> None:
+        if clip_norm <= 0:
+            raise ValueError(f"clip_norm must be > 0, got {clip_norm}")
+        self.clip_norm = float(clip_norm)
+
+    def norm(self, update: list[np.ndarray]) -> float:
+        """Global L2 norm across every tensor of the update."""
+        return float(np.sqrt(sum(np.sum(t * t) for t in update)))
+
+    def clip(self, update: list[np.ndarray]) -> list[np.ndarray]:
+        """Scale the update down onto the clip ball (identity if inside)."""
+        norm = self.norm(update)
+        if norm <= self.clip_norm or norm == 0.0:
+            return [t.copy() for t in update]
+        scale = self.clip_norm / norm
+        return [t * scale for t in update]
+
+
+class GaussianMechanism:
+    """Add i.i.d. Gaussian noise ``N(0, σ²)`` to every tensor."""
+
+    def __init__(self, sigma: float, seed: SeedLike = None) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = float(sigma)
+        self._rng = as_generator(seed)
+
+    @classmethod
+    def for_budget(
+        cls,
+        epsilon: float,
+        delta: float,
+        sensitivity: float,
+        seed: SeedLike = None,
+    ) -> "GaussianMechanism":
+        """Construct with σ calibrated to an (ε, δ) budget."""
+        return cls(gaussian_sigma(epsilon, delta, sensitivity), seed=seed)
+
+    def add_noise(self, update: list[np.ndarray]) -> list[np.ndarray]:
+        if self.sigma == 0.0:
+            return [t.copy() for t in update]
+        return [t + self._rng.normal(0.0, self.sigma, size=t.shape) for t in update]
+
+
+class PrivateFedAvg(Aggregator):
+    """DP-FedAvg: clip client deltas, average, noise the aggregate.
+
+    Client weights are interpreted relative to ``reference`` (the
+    previous global weights, set per round via :meth:`set_reference`):
+    the *delta* of each client is clipped to ``clip_norm``, deltas are
+    averaged uniformly, Gaussian noise of scale
+    ``noise_multiplier * clip_norm / n_clients`` is added, and the
+    reference is re-applied.  Without a reference, raw weights are
+    clipped directly (still useful against scaled poisoning).
+    """
+
+    name = "private_fedavg"
+
+    def __init__(
+        self,
+        clip_norm: float = 1.0,
+        noise_multiplier: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if noise_multiplier < 0:
+            raise ValueError(f"noise_multiplier must be >= 0, got {noise_multiplier}")
+        self.clipper = UpdateClipper(clip_norm)
+        self.noise_multiplier = float(noise_multiplier)
+        self._rng = spawn(seed, "private-fedavg")
+        self.reference: list[np.ndarray] | None = None
+
+    def set_reference(self, reference: list[np.ndarray]) -> None:
+        """Provide the previous global weights (deltas are w.r.t. these)."""
+        self.reference = [t.copy() for t in reference]
+
+    def aggregate(
+        self,
+        client_weights: list[list[np.ndarray]],
+        sample_counts: list[int] | None = None,
+    ) -> list[np.ndarray]:
+        self._validate(client_weights, sample_counts)
+        n_clients = len(client_weights)
+        reference = self.reference or [np.zeros_like(t) for t in client_weights[0]]
+
+        clipped_deltas = []
+        for weights in client_weights:
+            delta = [w - r for w, r in zip(weights, reference)]
+            clipped_deltas.append(self.clipper.clip(delta))
+
+        averaged = FedAvg(weighted=False).aggregate(clipped_deltas)
+        sigma = self.noise_multiplier * self.clipper.clip_norm / n_clients
+        mechanism = GaussianMechanism(sigma, seed=self._rng)
+        noised = mechanism.add_noise(averaged)
+        return [r + d for r, d in zip(reference, noised)]
+
+
+class SecureAggregationSimulator:
+    """Pairwise-mask secure aggregation (sum recovery, input privacy).
+
+    Each ordered client pair ``(i, j)`` with ``i < j`` derives a shared
+    mask; client ``i`` adds it, client ``j`` subtracts it.  Masks cancel
+    in the server-side sum, so the protocol is exact, yet any single
+    masked upload is statistically independent of its plaintext.
+    """
+
+    def __init__(self, n_clients: int, mask_scale: float = 100.0, seed: SeedLike = None) -> None:
+        if n_clients < 2:
+            raise ValueError(f"secure aggregation needs >= 2 clients, got {n_clients}")
+        if mask_scale <= 0:
+            raise ValueError(f"mask_scale must be > 0, got {mask_scale}")
+        self.n_clients = int(n_clients)
+        self.mask_scale = float(mask_scale)
+        self.seed = seed
+
+    def mask(self, client_index: int, update: list[np.ndarray]) -> list[np.ndarray]:
+        """The masked upload of one client."""
+        if not 0 <= client_index < self.n_clients:
+            raise ValueError(f"client_index {client_index} out of range")
+        masked = [t.astype(np.float64).copy() for t in update]
+        for other in range(self.n_clients):
+            if other == client_index:
+                continue
+            low, high = sorted((client_index, other))
+            pair_rng = spawn(self.seed, f"pair-{low}-{high}")
+            sign = 1.0 if client_index == low else -1.0
+            for tensor in masked:
+                tensor += sign * pair_rng.normal(0.0, self.mask_scale, size=tensor.shape)
+        return masked
+
+    def aggregate_masked(self, masked_updates: list[list[np.ndarray]]) -> list[np.ndarray]:
+        """Server-side sum of masked uploads — equals the plaintext sum."""
+        if len(masked_updates) != self.n_clients:
+            raise ValueError(
+                f"expected {self.n_clients} masked updates, got {len(masked_updates)}"
+            )
+        n_tensors = len(masked_updates[0])
+        return [
+            np.sum([update[i] for update in masked_updates], axis=0)
+            for i in range(n_tensors)
+        ]

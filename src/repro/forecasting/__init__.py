@@ -1,0 +1,54 @@
+"""Forecasting layer: the paper's models, pipelines and metrics."""
+
+from repro.forecasting.baselines import (
+    AutoregressiveForecaster,
+    BaselineForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.forecasting.centralized import (
+    CentralizedClientForecast,
+    CentralizedForecaster,
+    CentralizedForecastResult,
+)
+from repro.forecasting.evaluation import (
+    RegressionMetrics,
+    evaluate_regression,
+    mae,
+    r2_score,
+    rmse,
+)
+from repro.forecasting.federated import (
+    ClientForecast,
+    FederatedForecaster,
+    FederatedForecastResult,
+)
+from repro.forecasting.models import build_forecaster, forecaster_builder
+from repro.forecasting.pipeline import (
+    VARIANTS,
+    DataStageResult,
+    ScenarioPipeline,
+)
+
+__all__ = [
+    "AutoregressiveForecaster",
+    "BaselineForecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "CentralizedClientForecast",
+    "CentralizedForecaster",
+    "CentralizedForecastResult",
+    "RegressionMetrics",
+    "evaluate_regression",
+    "mae",
+    "r2_score",
+    "rmse",
+    "ClientForecast",
+    "FederatedForecaster",
+    "FederatedForecastResult",
+    "build_forecaster",
+    "forecaster_builder",
+    "VARIANTS",
+    "DataStageResult",
+    "ScenarioPipeline",
+]

@@ -1,0 +1,140 @@
+"""Classical forecasting baselines.
+
+The paper's introduction surveys "traditional statistical models"
+(ARIMA, etc.) that preceded deep forecasters.  These baselines give the
+benches a floor to compare the LSTM against on the same windows:
+
+* :class:`PersistenceForecaster` — tomorrow equals right now (the
+  canonical naive-1 forecast).
+* :class:`SeasonalNaiveForecaster` — this hour equals the same hour one
+  period (24 h) ago.
+* :class:`AutoregressiveForecaster` — ridge-regularised linear AR model
+  over the look-back window (an ARIMA(p,0,0) workalike fitted by least
+  squares).
+
+All three consume the same supervised tensors as the LSTM
+(``x: (n, L, 1)`` windows, ``y: (n, 1)`` next values), so they drop into
+any evaluation path of :mod:`repro.forecasting`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_3d
+
+
+class BaselineForecaster:
+    """Common API: optional :meth:`fit`, then :meth:`predict` on windows."""
+
+    name = "baseline"
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray) -> "BaselineForecaster":
+        """Fit on supervised windows (no-op for the naive baselines)."""
+        del x_train, y_train
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict the next value for each window; shape ``(n, 1)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PersistenceForecaster(BaselineForecaster):
+    """Predict the window's final value (naive-1 / random-walk forecast)."""
+
+    name = "persistence"
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = check_3d(x, "x")
+        return x[:, -1, :].mean(axis=1, keepdims=True)
+
+
+class SeasonalNaiveForecaster(BaselineForecaster):
+    """Predict the value one season (default 24 h) before the target.
+
+    The target follows the window, so the seasonal donor for a window of
+    length ``L`` sits at index ``L - period``.  Windows shorter than the
+    period fall back to persistence.
+    """
+
+    name = "seasonal_naive"
+
+    def __init__(self, period: int = 24) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = int(period)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = check_3d(x, "x")
+        length = x.shape[1]
+        if length < self.period:
+            return x[:, -1, :].mean(axis=1, keepdims=True)
+        donor = length - self.period
+        return x[:, donor, :].mean(axis=1, keepdims=True)
+
+
+class AutoregressiveForecaster(BaselineForecaster):
+    """Linear AR(L) model fitted by ridge-regularised least squares.
+
+    ``y ≈ [x_1 .. x_L, 1] @ w`` with an L2 penalty on ``w`` (bias
+    excluded).  This is the honest classical-statistics comparator the
+    paper's introduction alludes to: optimal among linear models of the
+    same look-back, no temporal nonlinearity.
+    """
+
+    name = "autoregressive"
+
+    def __init__(self, ridge: float = 1e-3) -> None:
+        if ridge < 0:
+            raise ValueError(f"ridge must be >= 0, got {ridge}")
+        self.ridge = float(ridge)
+        self.coefficients_: np.ndarray | None = None
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray) -> "AutoregressiveForecaster":
+        x_train = check_3d(x_train, "x_train")
+        y_train = np.asarray(y_train, dtype=np.float64)
+        if len(x_train) != len(y_train):
+            raise ValueError(
+                f"x_train/y_train length mismatch: {len(x_train)} vs {len(y_train)}"
+            )
+        if len(x_train) == 0:
+            raise ValueError("cannot fit on zero windows")
+        design = self._design_matrix(x_train)
+        targets = y_train.reshape(len(y_train), -1)
+        penalty = self.ridge * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0  # do not shrink the bias
+        gram = design.T @ design + penalty
+        self.coefficients_ = np.linalg.solve(gram, design.T @ targets)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coefficients_ is None:
+            raise RuntimeError("AutoregressiveForecaster must be fitted first")
+        x = check_3d(x, "x")
+        return self._design_matrix(x) @ self.coefficients_
+
+    @staticmethod
+    def _design_matrix(x: np.ndarray) -> np.ndarray:
+        flat = x.reshape(len(x), -1)
+        return np.concatenate([flat, np.ones((len(x), 1))], axis=1)
+
+
+_REGISTRY: dict[str, type[BaselineForecaster]] = {
+    "persistence": PersistenceForecaster,
+    "seasonal_naive": SeasonalNaiveForecaster,
+    "autoregressive": AutoregressiveForecaster,
+}
+
+
+def get(name_or_baseline: str | BaselineForecaster) -> BaselineForecaster:
+    """Resolve a baseline by name, or pass an instance through."""
+    if isinstance(name_or_baseline, BaselineForecaster):
+        return name_or_baseline
+    try:
+        return _REGISTRY[name_or_baseline]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown baseline {name_or_baseline!r}; known: {known}") from None

@@ -1,0 +1,75 @@
+"""Regression metrics: MAE, RMSE and R² (the paper's evaluation triple).
+
+Metrics are computed in original kWh units (predictions are
+inverse-transformed before scoring), matching Table I/III and Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_same_length
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _flatten(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _flatten(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    ``1 - SS_res / SS_tot``; a constant true series with non-zero
+    residuals yields ``-inf``-free 0.0 by convention (0/0 → 1.0).
+    """
+    y_true, y_pred = _flatten(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class RegressionMetrics:
+    """The paper's metric triple plus sample count."""
+
+    mae: float
+    rmse: float
+    r2: float
+    n_samples: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {"mae": self.mae, "rmse": self.rmse, "r2": self.r2}
+
+    def __str__(self) -> str:
+        return f"MAE={self.mae:.4f} RMSE={self.rmse:.4f} R2={self.r2:.4f}"
+
+
+def evaluate_regression(y_true: np.ndarray, y_pred: np.ndarray) -> RegressionMetrics:
+    """All three metrics at once."""
+    y_true, y_pred = _flatten(y_true, y_pred)
+    return RegressionMetrics(
+        mae=mae(y_true, y_pred),
+        rmse=rmse(y_true, y_pred),
+        r2=r2_score(y_true, y_pred),
+        n_samples=len(y_true),
+    )
+
+
+def _flatten(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    check_same_length(y_true, y_pred, "y_true/y_pred")
+    if len(y_true) == 0:
+        raise ValueError("cannot evaluate empty arrays")
+    return y_true, y_pred

@@ -1,0 +1,58 @@
+"""The paper's forecasting architecture.
+
+Both the centralized model and every federated local model are the same
+stack — "a Sequential model with LSTM (50) followed by Dense (10,
+activation='relu') and final Dense (1) output layers" — trained with
+Adam at learning rate 0.001 on MSE.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.nn import LSTM, Adam, Dense, Sequential
+
+ForecasterBuilder = Callable[[], Sequential]
+
+
+def build_forecaster(
+    lstm_units: int = 50,
+    dense_units: int = 10,
+    learning_rate: float = 0.001,
+    loss: str = "mse",
+) -> Sequential:
+    """Construct and compile one forecaster (unbuilt until first data)."""
+    model = Sequential(
+        [
+            LSTM(lstm_units, name="lstm"),
+            Dense(dense_units, activation="relu", name="dense_hidden"),
+            Dense(1, name="dense_out"),
+        ],
+        name="ev_forecaster",
+    )
+    model.compile(optimizer=Adam(learning_rate), loss=loss)
+    return model
+
+
+def forecaster_builder(
+    lstm_units: int = 50,
+    dense_units: int = 10,
+    learning_rate: float = 0.001,
+    loss: str = "mse",
+) -> ForecasterBuilder:
+    """Builder factory: the federated runtime instantiates one per client.
+
+    Every call of the returned function yields a fresh compiled model of
+    the identical architecture, which is what keeps client weight lists
+    structurally aligned for aggregation.
+    """
+
+    def _build() -> Sequential:
+        return build_forecaster(
+            lstm_units=lstm_units,
+            dense_units=dense_units,
+            learning_rate=learning_rate,
+            loss=loss,
+        )
+
+    return _build

@@ -1,0 +1,70 @@
+"""Pure-numpy neural-network substrate.
+
+The paper's models are Keras ``Sequential`` stacks; no deep-learning
+framework is available offline, so this package reimplements the needed
+subset from scratch: LSTM with hand-derived BPTT, Dense, Dropout,
+RepeatVector, TimeDistributed, MSE/MAE/Huber losses, SGD/Adam/RMSProp/
+Adagrad optimizers, early stopping, and weight serialization.  Gradients
+are validated against finite differences in the test suite.
+"""
+
+from repro.nn.callbacks import (
+    Callback,
+    EarlyStopping,
+    History,
+    LambdaCallback,
+    TerminateOnNaN,
+)
+from repro.nn.layers import (
+    LSTM,
+    Activation,
+    Dense,
+    Dropout,
+    Layer,
+    RepeatVector,
+    TimeDistributed,
+    Variable,
+)
+from repro.nn.losses import Huber, Loss, MeanAbsoluteError, MeanSquaredError
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adagrad, Adam, Optimizer, RMSProp
+from repro.nn.serialization import (
+    load_model,
+    load_weights,
+    model_from_config,
+    model_to_config,
+    save_model,
+    save_weights,
+)
+
+__all__ = [
+    "Callback",
+    "EarlyStopping",
+    "History",
+    "LambdaCallback",
+    "TerminateOnNaN",
+    "LSTM",
+    "Activation",
+    "Dense",
+    "Dropout",
+    "Layer",
+    "RepeatVector",
+    "TimeDistributed",
+    "Variable",
+    "Huber",
+    "Loss",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "Sequential",
+    "SGD",
+    "Adagrad",
+    "Adam",
+    "Optimizer",
+    "RMSProp",
+    "load_model",
+    "load_weights",
+    "model_from_config",
+    "model_to_config",
+    "save_model",
+    "save_weights",
+]

@@ -1,0 +1,149 @@
+"""Activation functions with analytic derivatives.
+
+Each activation is a small class exposing ``forward`` and ``backward``;
+``backward`` consumes the *forward output* (not the input) wherever the
+derivative is cheaper in terms of the output (sigmoid, tanh), which is
+what the LSTM backward pass exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Activation:
+    """Base class; subclasses implement ``forward`` and ``derivative``."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """d(activation)/dx given input ``x`` and forward output ``y``."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Chain an upstream gradient through the activation."""
+        return grad * self.derivative(x, y)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Linear(Activation):
+    """Identity activation (Keras ``linear``)."""
+
+    name = "linear"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del y
+        return np.ones_like(x)
+
+
+class ReLU(Activation):
+    """Rectified linear unit, max(0, x)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del y
+        return (x > 0).astype(x.dtype)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = float(alpha)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, self.alpha * x)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del y
+        return np.where(x > 0, 1.0, self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, numerically stabilised for large |x|."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return sigmoid(x)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del x
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del x
+        return 1.0 - y * y
+
+
+class Softplus(Activation):
+    """Softplus, log(1 + e^x), a smooth ReLU."""
+
+    name = "softplus"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # log1p(exp(-|x|)) + max(x, 0) is stable for both signs.
+        return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        del y
+        return sigmoid(x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid used throughout the LSTM."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+_REGISTRY: dict[str, type[Activation]] = {
+    "linear": Linear,
+    "identity": Linear,
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softplus": Softplus,
+}
+
+
+def get(name_or_activation: str | Activation | None) -> Activation:
+    """Resolve an activation by name; ``None`` means linear."""
+    if name_or_activation is None:
+        return Linear()
+    if isinstance(name_or_activation, Activation):
+        return name_or_activation
+    try:
+        return _REGISTRY[name_or_activation]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown activation {name_or_activation!r}; known: {known}"
+        ) from None

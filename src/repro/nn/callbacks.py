@@ -1,0 +1,172 @@
+"""Training callbacks.
+
+The paper uses early stopping with patience 10 for autoencoder training;
+:class:`EarlyStopping` mirrors the Keras behaviour including optional
+best-weight restoration.  :class:`History` is attached automatically by
+``Sequential.fit`` and is its return value.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class Callback:
+    """Base callback; ``model`` is attached by ``fit`` before training."""
+
+    def __init__(self) -> None:
+        self.model = None
+
+    def on_train_begin(self, logs: dict | None = None) -> None:
+        """Called once before the first epoch."""
+
+    def on_train_end(self, logs: dict | None = None) -> None:
+        """Called once after the last epoch."""
+
+    def on_epoch_begin(self, epoch: int, logs: dict | None = None) -> None:
+        """Called at the start of every epoch."""
+
+    def on_epoch_end(self, epoch: int, logs: dict | None = None) -> None:
+        """Called with the epoch's metric logs (``loss``, ``val_loss``...)."""
+
+
+class History(Callback):
+    """Records per-epoch metric logs into ``history[metric] -> list``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.history: dict[str, list[float]] = {}
+        self.epochs_run = 0
+
+    def on_train_begin(self, logs: dict | None = None) -> None:
+        # Intentionally do not reset: repeated fit() calls (federated
+        # rounds) accumulate one continuous history.
+        del logs
+
+    def on_epoch_end(self, epoch: int, logs: dict | None = None) -> None:
+        del epoch
+        self.epochs_run += 1
+        for key, value in (logs or {}).items():
+            self.history.setdefault(key, []).append(float(value))
+
+
+class EarlyStopping(Callback):
+    """Stop training when a monitored metric stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        Metric key in the epoch logs (``"loss"`` or ``"val_loss"``).
+    patience:
+        Number of non-improving epochs tolerated before stopping; the
+        paper uses 10 for autoencoder training.
+    min_delta:
+        Minimum decrease counting as an improvement.
+    restore_best_weights:
+        If ``True`` the model weights revert to the best epoch on stop.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "loss",
+        patience: int = 10,
+        min_delta: float = 0.0,
+        restore_best_weights: bool = True,
+    ) -> None:
+        super().__init__()
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be >= 0, got {min_delta}")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.restore_best_weights = bool(restore_best_weights)
+        self.best = math.inf
+        self.wait = 0
+        self.stopped_epoch: int | None = None
+        self._best_weights: list[np.ndarray] | None = None
+
+    def on_train_begin(self, logs: dict | None = None) -> None:
+        del logs
+        self.best = math.inf
+        self.wait = 0
+        self.stopped_epoch = None
+        self._best_weights = None
+
+    def on_epoch_end(self, epoch: int, logs: dict | None = None) -> None:
+        logs = logs or {}
+        if self.monitor not in logs:
+            raise KeyError(
+                f"EarlyStopping monitors {self.monitor!r} but epoch logs only "
+                f"contain {sorted(logs)}"
+            )
+        current = float(logs[self.monitor])
+        if math.isnan(current):
+            # NaN loss is never an improvement; treat as a non-improving epoch.
+            self.wait += 1
+        elif current < self.best - self.min_delta:
+            self.best = current
+            self.wait = 0
+            if self.restore_best_weights and self.model is not None:
+                self._best_weights = [w.copy() for w in self.model.get_weights()]
+        else:
+            self.wait += 1
+        if self.wait > self.patience and self.model is not None:
+            self.model.stop_training = True
+            self.stopped_epoch = epoch
+
+    def on_train_end(self, logs: dict | None = None) -> None:
+        del logs
+        if (
+            self.restore_best_weights
+            and self._best_weights is not None
+            and self.model is not None
+            and self.stopped_epoch is not None
+        ):
+            self.model.set_weights(self._best_weights)
+
+
+class TerminateOnNaN(Callback):
+    """Abort training as soon as the loss becomes NaN or infinite."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.terminated = False
+
+    def on_epoch_end(self, epoch: int, logs: dict | None = None) -> None:
+        del epoch
+        loss = (logs or {}).get("loss")
+        if loss is not None and not math.isfinite(float(loss)):
+            self.terminated = True
+            if self.model is not None:
+                self.model.stop_training = True
+
+
+class LambdaCallback(Callback):
+    """Attach ad-hoc functions to training events (testing/instrumentation)."""
+
+    def __init__(
+        self,
+        on_epoch_end=None,
+        on_train_begin=None,
+        on_train_end=None,
+    ) -> None:
+        super().__init__()
+        self._on_epoch_end = on_epoch_end
+        self._on_train_begin = on_train_begin
+        self._on_train_end = on_train_end
+
+    def on_train_begin(self, logs: dict | None = None) -> None:
+        if self._on_train_begin is not None:
+            self._on_train_begin(logs or {})
+
+    def on_train_end(self, logs: dict | None = None) -> None:
+        if self._on_train_end is not None:
+            self._on_train_end(logs or {})
+
+    def on_epoch_end(self, epoch: int, logs: dict | None = None) -> None:
+        if self._on_epoch_end is not None:
+            self._on_epoch_end(epoch, logs or {})

@@ -1,0 +1,109 @@
+"""Numerical gradient verification.
+
+The whole reproduction rests on the hand-derived BPTT in
+:mod:`repro.nn.layers.lstm`; these helpers compare analytic gradients
+against central finite differences so the test suite can prove the
+substrate's calculus is right (see ``tests/nn/test_gradcheck.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.model import Sequential
+
+
+def relative_error(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """Max elementwise relative error, guarded against division by ~0."""
+    analytic = np.asarray(analytic, dtype=np.float64)
+    numeric = np.asarray(numeric, dtype=np.float64)
+    scale = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+    return float(np.max(np.abs(analytic - numeric) / scale))
+
+
+def check_model_gradients(
+    model: Sequential,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    epsilon: float = 1e-6,
+    max_entries_per_variable: int = 24,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Return the worst relative error between analytic and numeric grads.
+
+    For every trainable variable, up to ``max_entries_per_variable``
+    entries are perturbed by ±epsilon (central differences).  The model
+    must already be built; dropout must be inactive (we forward with
+    ``training=False`` semantics by relying on deterministic layers —
+    pass models without Dropout, or rate 0, for exact checks).
+    """
+    rng = rng or np.random.default_rng(0)
+    inputs = np.asarray(inputs, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+
+    # Analytic gradients.
+    predictions = model.forward(inputs, training=False)
+    model.zero_grads()
+    model.backward(loss.gradient(targets, predictions))
+    analytic = {id(v): v.grad.copy() for v in model.trainable_variables}
+
+    worst = 0.0
+    for variable in model.trainable_variables:
+        flat = variable.value.reshape(-1)
+        size = flat.size
+        if size <= max_entries_per_variable:
+            entry_indices = np.arange(size)
+        else:
+            entry_indices = rng.choice(size, size=max_entries_per_variable, replace=False)
+        analytic_flat = analytic[id(variable)].reshape(-1)
+        for index in entry_indices:
+            original = flat[index]
+            flat[index] = original + epsilon
+            loss_plus = loss(targets, model.forward(inputs, training=False))
+            flat[index] = original - epsilon
+            loss_minus = loss(targets, model.forward(inputs, training=False))
+            flat[index] = original
+            numeric = (loss_plus - loss_minus) / (2.0 * epsilon)
+            worst = max(worst, relative_error(analytic_flat[index], numeric))
+    return worst
+
+
+def check_input_gradients(
+    model: Sequential,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    epsilon: float = 1e-6,
+    max_entries: int = 32,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Verify the gradient the model returns w.r.t. its *inputs*."""
+    rng = rng or np.random.default_rng(0)
+    inputs = np.asarray(inputs, dtype=np.float64).copy()
+    targets = np.asarray(targets, dtype=np.float64)
+
+    predictions = model.forward(inputs, training=False)
+    model.zero_grads()
+    grad_inputs = model.backward(loss.gradient(targets, predictions))
+
+    flat = inputs.reshape(-1)
+    grad_flat = np.asarray(grad_inputs).reshape(-1)
+    size = flat.size
+    if size <= max_entries:
+        entry_indices = np.arange(size)
+    else:
+        entry_indices = rng.choice(size, size=max_entries, replace=False)
+
+    worst = 0.0
+    for index in entry_indices:
+        original = flat[index]
+        flat[index] = original + epsilon
+        loss_plus = loss(targets, model.forward(inputs, training=False))
+        flat[index] = original - epsilon
+        loss_minus = loss(targets, model.forward(inputs, training=False))
+        flat[index] = original
+        numeric = (loss_plus - loss_minus) / (2.0 * epsilon)
+        worst = max(worst, relative_error(grad_flat[index], numeric))
+    return worst

@@ -1,0 +1,128 @@
+"""Weight initialisers for the numpy neural-network substrate.
+
+These mirror the Keras defaults used (implicitly) by the paper's models:
+``glorot_uniform`` for kernels, ``orthogonal`` for recurrent kernels and
+``zeros`` for biases (with the LSTM forget-gate bias set to one, handled
+inside the LSTM layer itself).
+
+Every initialiser takes an explicit :class:`numpy.random.Generator` so
+weight initialisation is reproducible under the experiment master seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+Initializer = Callable[[tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros tensor (bias default)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-ones tensor."""
+    del rng
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(value: float) -> Initializer:
+    """Initialiser factory producing a constant-filled tensor."""
+
+    def _init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        del rng
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return _init
+
+
+def random_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uniform in [-0.05, 0.05] (Keras ``RandomUniform`` default)."""
+    return rng.uniform(-0.05, 0.05, size=shape)
+
+
+def random_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Normal with stddev 0.05 (Keras ``RandomNormal`` default)."""
+    return rng.normal(0.0, 0.05, size=shape)
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-l, l) with ``l = sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    stddev = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, stddev, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(-l, l) with ``l = sqrt(6 / fan_in)`` (relu-friendly)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, 2 / fan_in)."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def orthogonal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """(Semi-)orthogonal matrix via QR of a Gaussian (recurrent kernels).
+
+    For non-square shapes the result has orthonormal rows or columns,
+    whichever fit.  Only 2-D shapes are supported.
+    """
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal initialiser requires a 2-D shape, got {shape}")
+    rows, cols = shape
+    size = max(rows, cols)
+    gaussian = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(gaussian)
+    # Sign correction makes the distribution uniform over orthogonal matrices.
+    q *= np.sign(np.diag(r))
+    return q[:rows, :cols].copy()
+
+
+_REGISTRY: dict[str, Initializer] = {
+    "zeros": zeros,
+    "ones": ones,
+    "random_uniform": random_uniform,
+    "random_normal": random_normal,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def get(name_or_fn: str | Initializer) -> Initializer:
+    """Resolve an initialiser by name, or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[name_or_fn]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown initializer {name_or_fn!r}; known: {known}") from None
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense/recurrent kernel shapes."""
+    if len(shape) < 1:
+        raise ValueError("initialiser shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    return shape[-2] * receptive, shape[-1] * receptive

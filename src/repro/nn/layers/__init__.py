@@ -1,0 +1,20 @@
+"""Layer zoo for the numpy neural-network substrate."""
+
+from repro.nn.layers.activation import Activation
+from repro.nn.layers.base import Layer, Variable
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.lstm import LSTM
+from repro.nn.layers.repeat_vector import RepeatVector
+from repro.nn.layers.time_distributed import TimeDistributed
+
+__all__ = [
+    "Activation",
+    "Layer",
+    "Variable",
+    "Dense",
+    "Dropout",
+    "LSTM",
+    "RepeatVector",
+    "TimeDistributed",
+]

@@ -1,0 +1,38 @@
+"""Standalone activation layer (for architectures that separate them)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import activations
+from repro.nn.layers.base import Layer
+
+
+class Activation(Layer):
+    """Apply a named activation element-wise."""
+
+    def __init__(self, activation: str, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self.activation = activations.get(activation)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        inputs = np.asarray(inputs, dtype=np.float64)
+        outputs = self.activation.forward(inputs)
+        self._cache = {"inputs": inputs, "outputs": outputs}
+        return outputs
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError("backward called before forward")
+        return self.activation.backward(
+            np.asarray(grad, dtype=np.float64),
+            self._cache["inputs"],
+            self._cache["outputs"],
+        )
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(activation=self.activation.name)
+        return config

@@ -1,0 +1,121 @@
+"""Layer and trainable-variable abstractions.
+
+A :class:`Layer` owns zero or more :class:`Variable` objects.  Forward
+passes cache whatever the matching backward pass needs; backward passes
+fill each variable's ``grad`` and return the gradient with respect to the
+layer input.  The :class:`~repro.nn.model.Sequential` model chains layers
+and hands the variable list to an optimizer.
+
+Shapes follow the Keras convention: the batch dimension is implicit, so
+``input_shape`` / ``output_shape`` describe a single sample, e.g.
+``(timesteps, features)`` for sequence input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Variable:
+    """A trainable tensor with an associated gradient buffer.
+
+    The identity of a ``Variable`` is stable for the lifetime of its
+    layer: weight loading assigns into ``value`` in place, so optimizer
+    slot state (e.g. Adam moments) keyed by variable identity survives
+    checkpoint round-trips.
+    """
+
+    def __init__(self, name: str, value: np.ndarray) -> None:
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def assign(self, value: np.ndarray) -> None:
+        """Overwrite the value in place, preserving identity and shape."""
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != self.value.shape:
+            raise ValueError(
+                f"cannot assign shape {value.shape} to variable "
+                f"{self.name!r} of shape {self.value.shape}"
+            )
+        self.value[...] = value
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Lifecycle: construct → :meth:`build` (allocates variables, given the
+    per-sample input shape and an RNG) → repeated :meth:`forward` /
+    :meth:`backward`.  ``forward(..., training=True)`` enables stochastic
+    behaviour (dropout); inference passes are deterministic.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__.lower()
+        self.built = False
+        self._variables: list[Variable] = []
+        self.input_shape: tuple[int, ...] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        """Allocate variables.  Subclasses must call ``super().build``."""
+        self.input_shape = tuple(input_shape)
+        self.built = True
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-sample output shape given per-sample input shape."""
+        return tuple(input_shape)
+
+    # -- computation ----------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop: fill variable grads, return gradient w.r.t. inputs."""
+        raise NotImplementedError
+
+    # -- variables ------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        initializer,
+        rng: np.random.Generator,
+    ) -> Variable:
+        """Create, register and return a trainable variable."""
+        variable = Variable(f"{self.name}/{name}", initializer(shape, rng))
+        self._variables.append(variable)
+        return variable
+
+    @property
+    def variables(self) -> list[Variable]:
+        return list(self._variables)
+
+    def count_params(self) -> int:
+        return sum(v.size for v in self._variables)
+
+    def zero_grads(self) -> None:
+        for variable in self._variables:
+            variable.zero_grad()
+
+    # -- serialization ---------------------------------------------------
+    def get_config(self) -> dict:
+        """JSON-serialisable constructor arguments (subclasses extend)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, built={self.built})"

@@ -1,0 +1,57 @@
+"""Inverted dropout layer.
+
+The paper's LSTM autoencoder uses dropout 0.2 between the recurrent
+stages to prevent overfitting.  We use *inverted* dropout (activations
+scaled by ``1/keep`` at training time) so inference is a plain identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.validation import check_probability
+
+
+class Dropout(Layer):
+    """Randomly zeroes a fraction ``rate`` of activations during training.
+
+    The layer owns its own random stream (seeded at build time from the
+    model RNG) so training runs are reproducible.
+    """
+
+    def __init__(self, rate: float, name: str | None = None) -> None:
+        super().__init__(name=name)
+        check_probability(rate, "rate")
+        if rate >= 1.0:
+            raise ValueError(f"rate must be < 1, got {rate}")
+        self.rate = float(rate)
+        self._rng: np.random.Generator | None = None
+        self._mask: np.ndarray | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        # Derive a private stream; keeps the layer deterministic under the
+        # model seed regardless of other layers' RNG consumption order.
+        self._rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        super().build(input_shape, rng)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        if self._rng is None:
+            raise RuntimeError("Dropout.forward called before build")
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return np.asarray(grad, dtype=np.float64)
+        return np.asarray(grad, dtype=np.float64) * self._mask
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(rate=self.rate)
+        return config

@@ -1,0 +1,219 @@
+"""LSTM layer with hand-derived backpropagation through time (BPTT).
+
+This is the workhorse of the reproduction: both the forecaster
+(``LSTM(50) → Dense(10, relu) → Dense(1)``) and the anomaly-detection
+autoencoder (``LSTM 50→25 / 25→50``) are built from this layer.
+
+Gate equations (Keras/standard orientation, gate order ``i, f, g, o``)::
+
+    z_t = x_t @ W_x + h_{t-1} @ W_h + b            # (batch, 4 * units)
+    i_t = sigmoid(z_i)    f_t = sigmoid(z_f)
+    g_t = tanh(z_g)       o_t = sigmoid(z_o)
+    c_t = f_t * c_{t-1} + i_t * g_t
+    h_t = o_t * tanh(c_t)
+
+The forward pass caches per-timestep tensors; the backward pass walks the
+sequence in reverse accumulating the recurrent gradients.  Gradients are
+verified against central finite differences in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.activations import sigmoid
+from repro.nn.layers.base import Layer
+
+
+class LSTM(Layer):
+    """Long Short-Term Memory layer.
+
+    Parameters
+    ----------
+    units:
+        Hidden/cell state dimensionality.
+    return_sequences:
+        If ``True`` the layer outputs the full hidden-state sequence
+        ``(batch, timesteps, units)``; otherwise only the final hidden
+        state ``(batch, units)`` (Keras semantics).
+    unit_forget_bias:
+        Initialise the forget-gate bias to 1.0 (Keras default), which
+        stabilises early training of gated recurrent nets.
+    kernel_initializer / recurrent_initializer:
+        Defaults match Keras: Glorot-uniform input kernel, orthogonal
+        recurrent kernel.
+    """
+
+    def __init__(
+        self,
+        units: int,
+        return_sequences: bool = False,
+        unit_forget_bias: bool = True,
+        kernel_initializer: str = "glorot_uniform",
+        recurrent_initializer: str = "orthogonal",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name=name)
+        if units < 1:
+            raise ValueError(f"units must be >= 1, got {units}")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.unit_forget_bias = bool(unit_forget_bias)
+        self.kernel_initializer = kernel_initializer
+        self.recurrent_initializer = recurrent_initializer
+        self._kernel = None  # (features, 4 * units)
+        self._recurrent = None  # (units, 4 * units)
+        self._bias = None  # (4 * units,)
+        self._cache: dict[str, object] = {}
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"LSTM expects (timesteps, features) input shape, got {input_shape}"
+            )
+        features = int(input_shape[-1])
+        self._kernel = self.add_variable(
+            "kernel",
+            (features, 4 * self.units),
+            initializers.get(self.kernel_initializer),
+            rng,
+        )
+        self._recurrent = self.add_variable(
+            "recurrent_kernel",
+            (self.units, 4 * self.units),
+            initializers.get(self.recurrent_initializer),
+            rng,
+        )
+        self._bias = self.add_variable("bias", (4 * self.units,), initializers.zeros, rng)
+        if self.unit_forget_bias:
+            # Gate order is (i, f, g, o): slots [units:2*units] are the forget gate.
+            self._bias.value[self.units : 2 * self.units] = 1.0
+        super().build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        timesteps = input_shape[0]
+        if self.return_sequences:
+            return (timesteps, self.units)
+        return (self.units,)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"LSTM expects (batch, timesteps, features) input, got {inputs.shape}"
+            )
+        batch, timesteps, _ = inputs.shape
+        units = self.units
+
+        # Input contribution for every timestep in one matmul.
+        z_input = inputs @ self._kernel.value + self._bias.value  # (B, T, 4U)
+
+        h = np.zeros((batch, units))
+        c = np.zeros((batch, units))
+        hs = np.empty((batch, timesteps, units))
+        cs = np.empty((batch, timesteps, units))
+        gates = np.empty((batch, timesteps, 4 * units))
+        tanh_cs = np.empty((batch, timesteps, units))
+
+        for t in range(timesteps):
+            z = z_input[:, t, :] + h @ self._recurrent.value
+            i = sigmoid(z[:, :units])
+            f = sigmoid(z[:, units : 2 * units])
+            g = np.tanh(z[:, 2 * units : 3 * units])
+            o = sigmoid(z[:, 3 * units :])
+            c = f * c + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+
+            gates[:, t, :units] = i
+            gates[:, t, units : 2 * units] = f
+            gates[:, t, 2 * units : 3 * units] = g
+            gates[:, t, 3 * units :] = o
+            cs[:, t, :] = c
+            hs[:, t, :] = h
+            tanh_cs[:, t, :] = tanh_c
+
+        self._cache = {"inputs": inputs, "hs": hs, "cs": cs, "gates": gates, "tanh_cs": tanh_cs}
+        if self.return_sequences:
+            return hs
+        return hs[:, -1, :]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError("backward called before forward")
+        inputs: np.ndarray = self._cache["inputs"]  # type: ignore[assignment]
+        hs: np.ndarray = self._cache["hs"]  # type: ignore[assignment]
+        cs: np.ndarray = self._cache["cs"]  # type: ignore[assignment]
+        gates: np.ndarray = self._cache["gates"]  # type: ignore[assignment]
+        tanh_cs: np.ndarray = self._cache["tanh_cs"]  # type: ignore[assignment]
+        batch, timesteps, _ = inputs.shape
+        units = self.units
+
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.return_sequences:
+            if grad.shape != hs.shape:
+                raise ValueError(f"gradient shape {grad.shape} != output shape {hs.shape}")
+            grad_hs = grad
+        else:
+            expected = (batch, units)
+            if grad.shape != expected:
+                raise ValueError(f"gradient shape {grad.shape} != output shape {expected}")
+            grad_hs = np.zeros_like(hs)
+            grad_hs[:, -1, :] = grad
+
+        grad_inputs = np.empty_like(inputs)
+        grad_z_all = np.empty((batch, timesteps, 4 * units))
+        dh_next = np.zeros((batch, units))
+        dc_next = np.zeros((batch, units))
+        recurrent_t = self._recurrent.value.T
+
+        for t in range(timesteps - 1, -1, -1):
+            i = gates[:, t, :units]
+            f = gates[:, t, units : 2 * units]
+            g = gates[:, t, 2 * units : 3 * units]
+            o = gates[:, t, 3 * units :]
+            tanh_c = tanh_cs[:, t, :]
+            c_prev = cs[:, t - 1, :] if t > 0 else np.zeros((batch, units))
+
+            dh = grad_hs[:, t, :] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+
+            dz = np.empty((batch, 4 * units))
+            dz[:, :units] = di * i * (1.0 - i)
+            dz[:, units : 2 * units] = df * f * (1.0 - f)
+            dz[:, 2 * units : 3 * units] = dg * (1.0 - g * g)
+            dz[:, 3 * units :] = do * o * (1.0 - o)
+
+            grad_z_all[:, t, :] = dz
+            dh_next = dz @ recurrent_t
+            grad_inputs[:, t, :] = dz @ self._kernel.value.T
+
+        # Parameter gradients in bulk matmuls over the flattened time axis.
+        flat_inputs = inputs.reshape(batch * timesteps, -1)
+        flat_dz = grad_z_all.reshape(batch * timesteps, 4 * units)
+        self._kernel.grad += flat_inputs.T @ flat_dz
+        self._bias.grad += flat_dz.sum(axis=0)
+        # Recurrent gradient pairs h_{t-1} with dz_t; h_{-1} is zero.
+        if timesteps > 1:
+            h_prev = hs[:, :-1, :].reshape(batch * (timesteps - 1), units)
+            dz_next = grad_z_all[:, 1:, :].reshape(batch * (timesteps - 1), 4 * units)
+            self._recurrent.grad += h_prev.T @ dz_next
+        return grad_inputs
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(
+            units=self.units,
+            return_sequences=self.return_sequences,
+            unit_forget_bias=self.unit_forget_bias,
+            kernel_initializer=self.kernel_initializer,
+            recurrent_initializer=self.recurrent_initializer,
+        )
+        return config

@@ -1,0 +1,44 @@
+"""RepeatVector layer — bridges encoder and decoder in the LSTM autoencoder.
+
+The autoencoder compresses a ``(timesteps, features)`` window into a
+single latent vector (the encoder's final hidden state); ``RepeatVector``
+tiles that vector back out to ``timesteps`` copies so the decoder LSTM
+can unroll a reconstruction of the same length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class RepeatVector(Layer):
+    """Repeat a ``(batch, features)`` input ``n`` times → ``(batch, n, features)``."""
+
+    def __init__(self, n: int, name: str | None = None) -> None:
+        super().__init__(name=name)
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = int(n)
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ValueError(f"RepeatVector expects (features,) input, got {input_shape}")
+        return (self.n, input_shape[0])
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2:
+            raise ValueError(f"RepeatVector expects (batch, features) input, got {inputs.shape}")
+        return np.repeat(inputs[:, None, :], self.n, axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        # Forward broadcast means the backward pass sums over the repeats.
+        return np.asarray(grad, dtype=np.float64).sum(axis=1)
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(n=self.n)
+        return config

@@ -1,0 +1,63 @@
+"""TimeDistributed wrapper — apply an inner layer to every timestep.
+
+Used for the autoencoder's output projection (``TimeDistributed(Dense(1))``
+in the Keras idiom).  Implementation folds the time axis into the batch
+axis, delegates to the inner layer, and unfolds again, so any layer that
+operates on ``(batch, features)`` works unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class TimeDistributed(Layer):
+    """Apply ``inner`` independently at every timestep of a 3-D input."""
+
+    def __init__(self, inner: Layer, name: str | None = None) -> None:
+        super().__init__(name=name or f"time_distributed_{inner.name}")
+        self.inner = inner
+        self._timesteps: int | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"TimeDistributed expects (timesteps, features) input, got {input_shape}"
+            )
+        self._timesteps = int(input_shape[0])
+        self.inner.build((input_shape[1],), rng)
+        # Adopt the inner layer's variables so the optimizer sees them.
+        self._variables = list(self.inner.variables)
+        super().build(input_shape, rng)
+
+    def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        inner_shape = self.inner.compute_output_shape((input_shape[1],))
+        return (input_shape[0],) + tuple(inner_shape)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"TimeDistributed expects (batch, timesteps, features), got {inputs.shape}"
+            )
+        batch, timesteps, features = inputs.shape
+        folded = inputs.reshape(batch * timesteps, features)
+        outputs = self.inner.forward(folded, training=training)
+        return outputs.reshape(batch, timesteps, -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad, dtype=np.float64)
+        batch, timesteps, features = grad.shape
+        folded = grad.reshape(batch * timesteps, features)
+        grad_inputs = self.inner.backward(folded)
+        return grad_inputs.reshape(batch, timesteps, -1)
+
+    def zero_grads(self) -> None:
+        self.inner.zero_grads()
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(inner=self.inner.get_config(), inner_class=type(self.inner).__name__)
+        return config

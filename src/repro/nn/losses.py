@@ -1,0 +1,110 @@
+"""Loss functions with analytic gradients.
+
+The paper trains both the forecaster and the autoencoder with mean
+squared error; MAE and Huber are provided for the robustness ablations.
+Losses reduce with a *mean over every element* (Keras convention), and
+``gradient`` returns dL/dy_pred with the same shape as the prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class: scalar ``__call__`` plus elementwise ``gradient``."""
+
+    name = "loss"
+
+    def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        y_true = np.asarray(y_true, dtype=np.float64)
+        y_pred = np.asarray(y_pred, dtype=np.float64)
+        if y_true.shape != y_pred.shape:
+            raise ValueError(
+                f"y_true shape {y_true.shape} != y_pred shape {y_pred.shape}"
+            )
+        return y_true, y_pred
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MeanSquaredError(Loss):
+    """``mean((y_true - y_pred)^2)`` over all elements."""
+
+    name = "mse"
+
+    def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        diff = y_pred - y_true
+        return float(np.mean(diff * diff))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return 2.0 * (y_pred - y_true) / y_true.size
+
+
+class MeanAbsoluteError(Loss):
+    """``mean(|y_true - y_pred|)``; subgradient 0 at exact equality."""
+
+    name = "mae"
+
+    def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return float(np.mean(np.abs(y_pred - y_true)))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        return np.sign(y_pred - y_true) / y_true.size
+
+
+class Huber(Loss):
+    """Huber loss: quadratic within ``delta`` of the target, linear outside."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be > 0, got {delta}")
+        self.delta = float(delta)
+
+    def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        diff = y_pred - y_true
+        abs_diff = np.abs(diff)
+        quadratic = 0.5 * diff * diff
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear)))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        y_true, y_pred = self._validate(y_true, y_pred)
+        diff = y_pred - y_true
+        clipped = np.clip(diff, -self.delta, self.delta)
+        return clipped / y_true.size
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    "mse": MeanSquaredError,
+    "mean_squared_error": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "mean_absolute_error": MeanAbsoluteError,
+    "huber": Huber,
+}
+
+
+def get(name_or_loss: str | Loss) -> Loss:
+    """Resolve a loss by name, or pass an instance through."""
+    if isinstance(name_or_loss, Loss):
+        return name_or_loss
+    try:
+        return _REGISTRY[name_or_loss]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown loss {name_or_loss!r}; known: {known}") from None

@@ -1,0 +1,262 @@
+"""Sequential model: the training loop of the numpy substrate.
+
+API intentionally mirrors the Keras subset the paper uses::
+
+    model = Sequential([
+        LSTM(50),
+        Dense(10, activation="relu"),
+        Dense(1),
+    ])
+    model.compile(optimizer=Adam(0.001), loss="mse")
+    history = model.fit(x, y, epochs=10, batch_size=32, seed=7)
+    predictions = model.predict(x_test)
+
+All stochasticity (weight init, batch shuffling, dropout) derives from
+the seed given to :meth:`Sequential.build` / :meth:`Sequential.fit`, so
+federated experiments are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import losses as losses_module
+from repro.nn import optimizers as optimizers_module
+from repro.nn.callbacks import Callback, History
+from repro.nn.layers.base import Layer, Variable
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Sequential:
+    """A linear stack of layers trained with mini-batch gradient descent."""
+
+    def __init__(self, layers: list[Layer] | None = None, name: str = "sequential") -> None:
+        self.name = name
+        self.layers: list[Layer] = []
+        self.built = False
+        self.stop_training = False
+        self.optimizer = None
+        self.loss = None
+        self._input_shape: tuple[int, ...] | None = None
+        for layer in layers or []:
+            self.add(layer)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, layer: Layer) -> None:
+        """Append a layer; must be called before :meth:`build`."""
+        if self.built:
+            raise RuntimeError("cannot add layers after the model is built")
+        if not isinstance(layer, Layer):
+            raise TypeError(f"expected a Layer, got {type(layer).__name__}")
+        self.layers.append(layer)
+
+    def build(self, input_shape: tuple[int, ...], seed: SeedLike = None) -> None:
+        """Allocate all layer variables for per-sample ``input_shape``."""
+        if self.built:
+            raise RuntimeError("model is already built")
+        if not self.layers:
+            raise RuntimeError("cannot build an empty model")
+        rng = as_generator(seed)
+        shape = tuple(int(dim) for dim in input_shape)
+        for layer in self.layers:
+            layer.build(shape, rng)
+            shape = tuple(layer.compute_output_shape(shape))
+        self._input_shape = tuple(int(dim) for dim in input_shape)
+        self.built = True
+
+    def compile(self, optimizer="adam", loss="mse") -> None:
+        """Attach an optimizer and a loss (names or instances)."""
+        self.optimizer = optimizers_module.get(optimizer)
+        self.loss = losses_module.get(loss)
+
+    @property
+    def input_shape(self) -> tuple[int, ...] | None:
+        return self._input_shape
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        if not self.built:
+            raise RuntimeError("model must be built to know its output shape")
+        shape = self._input_shape
+        for layer in self.layers:
+            shape = tuple(layer.compute_output_shape(shape))
+        return shape
+
+    # ------------------------------------------------------------------
+    # computation
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run a full forward pass (builds lazily from the batch shape)."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not self.built:
+            self.build(inputs.shape[1:])
+        outputs = inputs
+        for layer in self.layers:
+            outputs = layer.forward(outputs, training=training)
+        return outputs
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop an output gradient through every layer (reverse order)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference in batches; deterministic (dropout disabled)."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if len(inputs) == 0:
+            raise ValueError("predict called with an empty batch")
+        chunks = [
+            self.forward(inputs[start : start + batch_size], training=False)
+            for start in range(0, len(inputs), batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray, batch_size: int = 256) -> float:
+        """Mean loss over a dataset (no gradient updates)."""
+        if self.loss is None:
+            raise RuntimeError("model must be compiled before evaluate()")
+        predictions = self.predict(inputs, batch_size=batch_size)
+        return float(self.loss(np.asarray(targets, dtype=np.float64), predictions))
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        validation_data: tuple[np.ndarray, np.ndarray] | None = None,
+        callbacks: list[Callback] | None = None,
+        seed: SeedLike = None,
+        verbose: bool = False,
+    ) -> History:
+        """Mini-batch training loop; returns the :class:`History` callback.
+
+        ``seed`` drives batch shuffling (and lazy build when the model was
+        not built explicitly).  Training stops early when any callback
+        sets ``model.stop_training`` (e.g. :class:`EarlyStopping`).
+        """
+        if self.optimizer is None or self.loss is None:
+            raise RuntimeError("model must be compiled before fit()")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs and targets disagree on sample count: "
+                f"{len(inputs)} vs {len(targets)}"
+            )
+        if len(inputs) == 0:
+            raise ValueError("fit called with an empty dataset")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+        rng = as_generator(seed)
+        if not self.built:
+            self.build(inputs.shape[1:], seed=rng)
+
+        history = History()
+        all_callbacks: list[Callback] = [history] + list(callbacks or [])
+        for callback in all_callbacks:
+            callback.model = self
+        self.stop_training = False
+
+        for callback in all_callbacks:
+            callback.on_train_begin({})
+
+        sample_count = len(inputs)
+        for epoch in range(epochs):
+            for callback in all_callbacks:
+                callback.on_epoch_begin(epoch, {})
+            order = rng.permutation(sample_count) if shuffle else np.arange(sample_count)
+            epoch_loss = 0.0
+            for start in range(0, sample_count, batch_size):
+                batch_idx = order[start : start + batch_size]
+                x_batch = inputs[batch_idx]
+                y_batch = targets[batch_idx]
+                batch_loss = self.train_on_batch(x_batch, y_batch)
+                epoch_loss += batch_loss * len(batch_idx)
+            logs = {"loss": epoch_loss / sample_count}
+            if validation_data is not None:
+                logs["val_loss"] = self.evaluate(*validation_data)
+            if verbose:
+                rendered = ", ".join(f"{k}={v:.6f}" for k, v in logs.items())
+                print(f"epoch {epoch + 1}/{epochs}: {rendered}")
+            for callback in all_callbacks:
+                callback.on_epoch_end(epoch, logs)
+            if self.stop_training:
+                break
+
+        for callback in all_callbacks:
+            callback.on_train_end({})
+        return history
+
+    def train_on_batch(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        if self.optimizer is None or self.loss is None:
+            raise RuntimeError("model must be compiled before training")
+        predictions = self.forward(inputs, training=True)
+        loss_value = self.loss(targets, predictions)
+        self.zero_grads()
+        grad = self.loss.gradient(targets, predictions)
+        self.backward(grad)
+        self.optimizer.step(self.trainable_variables)
+        return float(loss_value)
+
+    # ------------------------------------------------------------------
+    # variables and weights
+    # ------------------------------------------------------------------
+    @property
+    def trainable_variables(self) -> list[Variable]:
+        variables: list[Variable] = []
+        for layer in self.layers:
+            variables.extend(layer.variables)
+        return variables
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of every trainable tensor, in layer order."""
+        return [variable.value.copy() for variable in self.trainable_variables]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Assign weights (shapes must match; order as :meth:`get_weights`)."""
+        variables = self.trainable_variables
+        if len(weights) != len(variables):
+            raise ValueError(
+                f"expected {len(variables)} weight arrays, got {len(weights)}"
+            )
+        for variable, weight in zip(variables, weights):
+            variable.assign(weight)
+
+    def count_params(self) -> int:
+        return sum(layer.count_params() for layer in self.layers)
+
+    def summary(self) -> str:
+        """Human-readable architecture table (also returned as a string)."""
+        lines = [f"Model: {self.name}", "-" * 60]
+        shape = self._input_shape
+        for layer in self.layers:
+            if self.built and shape is not None:
+                shape = tuple(layer.compute_output_shape(shape))
+                shape_repr = str((None,) + shape)
+            else:
+                shape_repr = "(unbuilt)"
+            lines.append(
+                f"{layer.name:<28} {shape_repr:<20} params={layer.count_params()}"
+            )
+        lines.append("-" * 60)
+        lines.append(f"Total params: {self.count_params()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Sequential(name={self.name!r}, layers={len(self.layers)}, built={self.built})"

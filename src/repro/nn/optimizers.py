@@ -1,0 +1,187 @@
+"""First-order optimizers.
+
+The paper trains with Adam at learning rate 0.001 (its
+``LEARNING_RATE = 0.001`` hyperparameter); SGD/RMSProp/Adagrad are
+provided for substrate completeness and ablations.
+
+Optimizers hold per-variable slot state keyed by variable identity
+(:class:`~repro.nn.layers.base.Variable` objects are identity-stable
+across weight loads), and expose a single :meth:`Optimizer.step` that
+applies one update from the gradients currently stored on the variables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Variable
+
+
+class Optimizer:
+    """Base optimizer: subclasses implement :meth:`_update_one`."""
+
+    def __init__(self, learning_rate: float = 0.01, clipnorm: float | None = None) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if clipnorm is not None and clipnorm <= 0:
+            raise ValueError(f"clipnorm must be > 0, got {clipnorm}")
+        self.learning_rate = float(learning_rate)
+        self.clipnorm = clipnorm
+        self.iterations = 0
+        self._slots: dict[int, dict[str, np.ndarray]] = {}
+
+    def step(self, variables: list[Variable]) -> None:
+        """Apply one update from each variable's current ``grad``."""
+        self.iterations += 1
+        if self.clipnorm is not None:
+            self._clip_global_norm(variables)
+        for variable in variables:
+            slots = self._slots.setdefault(id(variable), {})
+            self._update_one(variable, slots)
+
+    def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def _clip_global_norm(self, variables: list[Variable]) -> None:
+        total = float(sum(np.sum(v.grad * v.grad) for v in variables))
+        norm = np.sqrt(total)
+        if norm > self.clipnorm:
+            scale = self.clipnorm / (norm + 1e-12)
+            for variable in variables:
+                variable.grad *= scale
+
+    def reset(self) -> None:
+        """Drop all slot state (e.g. between federated rounds if desired)."""
+        self._slots.clear()
+        self.iterations = 0
+
+    def get_config(self) -> dict:
+        return {"learning_rate": self.learning_rate, "clipnorm": self.clipnorm}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        clipnorm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+
+    def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
+        if self.momentum == 0.0:
+            variable.value -= self.learning_rate * variable.grad
+            return
+        velocity = slots.setdefault("velocity", np.zeros_like(variable.value))
+        velocity *= self.momentum
+        velocity -= self.learning_rate * variable.grad
+        if self.nesterov:
+            variable.value += self.momentum * velocity - self.learning_rate * variable.grad
+        else:
+            variable.value += velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction — the paper's optimizer."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-7,
+        clipnorm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        if not 0.0 <= beta_1 < 1.0 or not 0.0 <= beta_2 < 1.0:
+            raise ValueError("beta_1 and beta_2 must be in [0, 1)")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+
+    def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
+        m = slots.setdefault("m", np.zeros_like(variable.value))
+        v = slots.setdefault("v", np.zeros_like(variable.value))
+        grad = variable.grad
+        m *= self.beta_1
+        m += (1.0 - self.beta_1) * grad
+        v *= self.beta_2
+        v += (1.0 - self.beta_2) * grad * grad
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta_1**t)
+        v_hat = v / (1.0 - self.beta_2**t)
+        variable.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decayed squared-gradient accumulator."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        rho: float = 0.9,
+        epsilon: float = 1e-7,
+        clipnorm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+
+    def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
+        accum = slots.setdefault("accum", np.zeros_like(variable.value))
+        accum *= self.rho
+        accum += (1.0 - self.rho) * variable.grad * variable.grad
+        variable.value -= self.learning_rate * variable.grad / (np.sqrt(accum) + self.epsilon)
+
+
+class Adagrad(Optimizer):
+    """Adagrad: per-parameter learning-rate decay by accumulated squares."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        epsilon: float = 1e-7,
+        clipnorm: float | None = None,
+    ) -> None:
+        super().__init__(learning_rate, clipnorm)
+        self.epsilon = float(epsilon)
+
+    def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
+        accum = slots.setdefault("accum", np.zeros_like(variable.value))
+        accum += variable.grad * variable.grad
+        variable.value -= self.learning_rate * variable.grad / (np.sqrt(accum) + self.epsilon)
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "rmsprop": RMSProp,
+    "adagrad": Adagrad,
+}
+
+
+def get(name_or_optimizer: str | Optimizer) -> Optimizer:
+    """Resolve an optimizer by name (with defaults), or pass through."""
+    if isinstance(name_or_optimizer, Optimizer):
+        return name_or_optimizer
+    try:
+        return _REGISTRY[name_or_optimizer]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown optimizer {name_or_optimizer!r}; known: {known}"
+        ) from None

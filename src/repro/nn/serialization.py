@@ -1,0 +1,105 @@
+"""Model configuration and weight (de)serialization.
+
+Architectures round-trip through plain dicts (JSON-safe) and weights
+through ``.npz`` archives, which is all the federated runtime needs to
+checkpoint global models between rounds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import (
+    LSTM,
+    Activation,
+    Dense,
+    Dropout,
+    Layer,
+    RepeatVector,
+    TimeDistributed,
+)
+from repro.nn.model import Sequential
+
+_LAYER_CLASSES: dict[str, type[Layer]] = {
+    "Dense": Dense,
+    "LSTM": LSTM,
+    "Dropout": Dropout,
+    "RepeatVector": RepeatVector,
+    "TimeDistributed": TimeDistributed,
+    "Activation": Activation,
+}
+
+
+def model_to_config(model: Sequential) -> dict:
+    """Serialise a model's architecture (not weights) to a plain dict."""
+    return {
+        "name": model.name,
+        "input_shape": list(model.input_shape) if model.input_shape else None,
+        "layers": [
+            {"class": type(layer).__name__, "config": layer.get_config()}
+            for layer in model.layers
+        ],
+    }
+
+
+def model_from_config(config: dict) -> Sequential:
+    """Rebuild an (unbuilt, uncompiled) model from :func:`model_to_config`."""
+    layers = [_layer_from_entry(entry) for entry in config["layers"]]
+    model = Sequential(layers, name=config.get("name", "sequential"))
+    input_shape = config.get("input_shape")
+    if input_shape:
+        model.build(tuple(input_shape), seed=0)
+    return model
+
+
+def _layer_from_entry(entry: dict) -> Layer:
+    class_name = entry["class"]
+    if class_name not in _LAYER_CLASSES:
+        known = ", ".join(sorted(_LAYER_CLASSES))
+        raise ValueError(f"unknown layer class {class_name!r}; known: {known}")
+    config = dict(entry["config"])
+    if class_name == "TimeDistributed":
+        inner_config = config.pop("inner")
+        inner_class = config.pop("inner_class")
+        inner = _layer_from_entry({"class": inner_class, "config": inner_config})
+        return TimeDistributed(inner, name=config.get("name"))
+    return _LAYER_CLASSES[class_name](**config)
+
+
+def save_model(model: Sequential, path: str | Path) -> None:
+    """Save architecture + weights: ``<path>.json`` and ``<path>.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path.with_suffix(".json"), "w", encoding="utf-8") as handle:
+        json.dump(model_to_config(model), handle, indent=2)
+    save_weights(model, path.with_suffix(".npz"))
+
+
+def load_model(path: str | Path) -> Sequential:
+    """Load a model saved by :func:`save_model` (architecture + weights)."""
+    path = Path(path)
+    with open(path.with_suffix(".json"), encoding="utf-8") as handle:
+        config = json.load(handle)
+    model = model_from_config(config)
+    if not model.built:
+        raise ValueError(
+            "saved config has no input_shape; build the model before saving"
+        )
+    load_weights(model, path.with_suffix(".npz"))
+    return model
+
+
+def save_weights(model: Sequential, path: str | Path) -> None:
+    """Save weights only, as an ``.npz`` archive keyed ``w0, w1, ...``."""
+    weights = model.get_weights()
+    np.savez(Path(path), **{f"w{i}": w for i, w in enumerate(weights)})
+
+
+def load_weights(model: Sequential, path: str | Path) -> None:
+    """Load an ``.npz`` archive produced by :func:`save_weights`."""
+    with np.load(Path(path)) as archive:
+        weights = [archive[f"w{i}"] for i in range(len(archive.files))]
+    model.set_weights(weights)

@@ -1,0 +1,32 @@
+"""Shared utilities: deterministic RNG management, timing, validation.
+
+Every stochastic component in :mod:`repro` accepts either an integer seed
+or a :class:`numpy.random.Generator`; the helpers here normalise between
+the two and fan a master seed out to independent child streams so that
+experiments are reproducible end to end.
+"""
+
+from repro.utils.rng import as_generator, spawn, spawn_many
+from repro.utils.timing import Stopwatch, Timer
+from repro.utils.validation import (
+    check_1d,
+    check_3d,
+    check_finite,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "spawn_many",
+    "Stopwatch",
+    "Timer",
+    "check_1d",
+    "check_3d",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

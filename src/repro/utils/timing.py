@@ -1,0 +1,87 @@
+"""Wall-clock measurement helpers.
+
+The paper reports training times (Table I); we measure our own wall-clock
+with :class:`Timer` and accumulate per-phase durations with
+:class:`Stopwatch` so the federated simulator can also report a
+*simulated-parallel* time (max across clients per round).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class Stopwatch:
+    """Accumulates named durations across repeated phases.
+
+    Used by the federated simulator to record per-client, per-round
+    training durations, from which both sequential total and
+    simulated-parallel wall-clock are derived.
+    """
+
+    def __init__(self) -> None:
+        self._durations: dict[str, list[float]] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        """Append a duration (seconds) under ``name``."""
+        if seconds < 0:
+            raise ValueError(f"duration must be non-negative, got {seconds}")
+        self._durations.setdefault(name, []).append(seconds)
+
+    def measure(self, name: str) -> "_StopwatchPhase":
+        """Context manager recording the phase duration under ``name``."""
+        return _StopwatchPhase(self, name)
+
+    def total(self, name: str) -> float:
+        """Sum of all durations recorded under ``name`` (0.0 if none)."""
+        return float(sum(self._durations.get(name, [])))
+
+    def series(self, name: str) -> list[float]:
+        """All durations recorded under ``name`` in order."""
+        return list(self._durations.get(name, []))
+
+    def names(self) -> list[str]:
+        """All recorded phase names, in first-recorded order."""
+        return list(self._durations)
+
+    def grand_total(self) -> float:
+        """Sum over every recorded duration."""
+        return float(sum(sum(v) for v in self._durations.values()))
+
+
+class _StopwatchPhase:
+    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StopwatchPhase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stopwatch.record(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,56 @@
+"""Input-validation helpers shared across the library.
+
+All validators raise ``ValueError`` with a message naming the offending
+argument; they return the (possibly converted) array so call sites can
+validate and normalise in one expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_1d(values: np.ndarray, name: str = "values") -> np.ndarray:
+    """Ensure ``values`` is a 1-D float array; returns a float64 copy/view."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    return array
+
+
+def check_3d(values: np.ndarray, name: str = "values") -> np.ndarray:
+    """Ensure ``values`` is a 3-D (batch, time, features) float array."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 3:
+        raise ValueError(
+            f"{name} must be 3-D (batch, time, features), got shape {array.shape}"
+        )
+    return array
+
+
+def check_finite(values: np.ndarray, name: str = "values") -> np.ndarray:
+    """Ensure all entries are finite (no NaN/inf)."""
+    array = np.asarray(values)
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite entries")
+    return array
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Ensure a scalar is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Ensure a scalar lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_same_length(a: np.ndarray, b: np.ndarray, names: str = "arrays") -> None:
+    """Ensure two arrays have equal first-dimension length."""
+    if len(a) != len(b):
+        raise ValueError(f"{names} must have the same length, got {len(a)} and {len(b)}")

@@ -1,0 +1,185 @@
+"""Tests for the LSTM autoencoder, detector and EVChargingAnomalyFilter.
+
+These use a tiny autoencoder (fixture ``tiny_ae_config``) so each train
+call stays around a second while exercising the full paper pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder, build_autoencoder
+from repro.anomaly.detector import ReconstructionAnomalyDetector
+from repro.anomaly.filter import EVChargingAnomalyFilter
+from repro.data.windowing import make_autoencoder_windows
+
+
+@pytest.fixture
+def trained_ae(sine_series, tiny_ae_config):
+    ae = LSTMAutoencoder(tiny_ae_config, seed=0)
+    scaled = (sine_series - sine_series.min()) / np.ptp(sine_series)
+    windows = make_autoencoder_windows(scaled[:240], tiny_ae_config.sequence_length)
+    ae.fit(windows)
+    return ae, scaled
+
+
+class TestAutoencoderConfig:
+    def test_paper_defaults(self):
+        config = AutoencoderConfig()
+        assert config.sequence_length == 24
+        assert config.encoder_units == (50, 25)
+        assert config.decoder_units == (25, 50)
+        assert config.dropout == 0.2
+        assert config.patience == 10
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"sequence_length": 1}, "sequence_length"),
+            ({"n_features": 0}, "n_features"),
+            ({"dropout": 1.0}, "dropout"),
+            ({"epochs": 0}, "epochs"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AutoencoderConfig(**kwargs)
+
+
+class TestBuildAutoencoder:
+    def test_reconstruction_shape(self, tiny_ae_config):
+        model = build_autoencoder(tiny_ae_config, seed=1)
+        x = np.random.default_rng(0).random((5, tiny_ae_config.sequence_length, 1))
+        assert model.predict(x).shape == x.shape
+
+    def test_layer_structure(self, tiny_ae_config):
+        model = build_autoencoder(tiny_ae_config, seed=1)
+        names = [type(layer).__name__ for layer in model.layers]
+        assert names == [
+            "LSTM", "Dropout", "LSTM", "RepeatVector",
+            "LSTM", "Dropout", "LSTM", "TimeDistributed",
+        ]
+
+
+class TestLSTMAutoencoder:
+    def test_training_reduces_loss(self, trained_ae):
+        ae, _ = trained_ae
+        losses = ae.history.history["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_window_errors_shape_and_sign(self, trained_ae, tiny_ae_config):
+        ae, scaled = trained_ae
+        windows = make_autoencoder_windows(scaled[:100], tiny_ae_config.sequence_length)
+        errors = ae.window_errors(windows)
+        assert errors.shape == (len(windows),)
+        assert np.all(errors >= 0)
+
+    def test_pointwise_errors_shape(self, trained_ae, tiny_ae_config):
+        ae, scaled = trained_ae
+        windows = make_autoencoder_windows(scaled[:60], tiny_ae_config.sequence_length)
+        errors = ae.pointwise_errors(windows)
+        assert errors.shape == (len(windows), tiny_ae_config.sequence_length)
+
+    def test_anomalous_window_scores_higher(self, trained_ae, tiny_ae_config):
+        ae, scaled = trained_ae
+        normal = make_autoencoder_windows(scaled[250:350], tiny_ae_config.sequence_length)
+        corrupted = normal.copy()
+        corrupted[:, 6, 0] += 3.0  # large spike in scaled space
+        assert ae.window_errors(corrupted).mean() > 2 * ae.window_errors(normal).mean()
+
+    def test_wrong_window_shape_rejected(self, trained_ae):
+        ae, _ = trained_ae
+        with pytest.raises(ValueError, match="per-sample shape"):
+            ae.reconstruct(np.zeros((4, 7, 1)))
+
+
+class TestDetector:
+    def test_validation(self, tiny_ae_config):
+        with pytest.raises(ValueError, match="scoring"):
+            ReconstructionAnomalyDetector(scoring="windowed", config=tiny_ae_config)
+        with pytest.raises(ValueError, match="calibration_split"):
+            ReconstructionAnomalyDetector(calibration_split=1.0, config=tiny_ae_config)
+
+    def test_detect_before_fit_raises(self, tiny_ae_config, sine_series):
+        detector = ReconstructionAnomalyDetector(config=tiny_ae_config, seed=0)
+        with pytest.raises(RuntimeError, match="fitted"):
+            detector.detect(sine_series)
+
+    def test_detects_injected_spikes(self, sine_series, tiny_ae_config):
+        scaled = (sine_series - sine_series.min()) / np.ptp(sine_series)
+        detector = ReconstructionAnomalyDetector(config=tiny_ae_config, seed=0)
+        detector.fit(scaled[:280])
+        corrupted = scaled.copy()
+        corrupted[300:304] += 2.0
+        report = detector.detect(corrupted)
+        assert report.flags[300:304].mean() >= 0.5
+        assert report.threshold > 0
+
+    def test_window_scoring_mode(self, sine_series, tiny_ae_config):
+        scaled = (sine_series - sine_series.min()) / np.ptp(sine_series)
+        detector = ReconstructionAnomalyDetector(
+            scoring="window", config=tiny_ae_config, seed=0
+        )
+        detector.fit(scaled[:280])
+        scores = detector.score(scaled)
+        assert np.isnan(scores[: tiny_ae_config.sequence_length - 1]).all()
+        assert np.isfinite(scores[tiny_ae_config.sequence_length - 1 :]).all()
+
+
+class TestEVChargingAnomalyFilter:
+    def test_fit_filter_round_trip(self, sine_series, tiny_ae_config):
+        anomaly_filter = EVChargingAnomalyFilter(
+            sequence_length=tiny_ae_config.sequence_length,
+            config=tiny_ae_config,
+            seed=0,
+        )
+        attacked = sine_series.copy()
+        attacked[320:326] *= 2.5
+        outcome = anomaly_filter.fit_filter(sine_series[:280], attacked)
+        # The repaired spike region must be far closer to the original.
+        assert (
+            np.abs(outcome.filtered[320:326] - sine_series[320:326]).mean()
+            < 0.5 * np.abs(attacked[320:326] - sine_series[320:326]).mean()
+        )
+
+    def test_filter_with_explicit_flags_skips_detection(self, sine_series, tiny_ae_config):
+        anomaly_filter = EVChargingAnomalyFilter(
+            sequence_length=tiny_ae_config.sequence_length,
+            config=tiny_ae_config,
+            seed=0,
+        )
+        flags = np.zeros(len(sine_series), dtype=bool)
+        flags[100:103] = True
+        outcome = anomaly_filter.filter_anomalies(sine_series, flags=flags)
+        assert outcome.flags[100:103].all()
+        assert np.isnan(outcome.threshold)
+
+    def test_gap_merging_applied(self, sine_series, tiny_ae_config):
+        anomaly_filter = EVChargingAnomalyFilter(
+            sequence_length=tiny_ae_config.sequence_length,
+            config=tiny_ae_config,
+            max_gap=2,
+            seed=0,
+        )
+        flags = np.zeros(len(sine_series), dtype=bool)
+        flags[50] = flags[53] = True  # gap of 2 in between
+        outcome = anomaly_filter.filter_anomalies(sine_series, flags=flags)
+        assert outcome.flags[50:54].all()
+        assert outcome.raw_flags.sum() == 2
+        assert outcome.n_flagged == 4
+
+    def test_detect_before_fit_raises(self, sine_series, tiny_ae_config):
+        anomaly_filter = EVChargingAnomalyFilter(
+            sequence_length=tiny_ae_config.sequence_length,
+            config=tiny_ae_config,
+            seed=0,
+        )
+        with pytest.raises(RuntimeError, match="fitted"):
+            anomaly_filter.detect(sine_series)
+
+    def test_sequence_length_mismatch_rejected(self, tiny_ae_config):
+        with pytest.raises(ValueError, match="sequence_length"):
+            EVChargingAnomalyFilter(sequence_length=48, config=tiny_ae_config)
+
+    def test_negative_max_gap_rejected(self):
+        with pytest.raises(ValueError, match="max_gap"):
+            EVChargingAnomalyFilter(max_gap=-1)

@@ -1,0 +1,92 @@
+"""Tests for statistical anomaly-detection baselines."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.baselines import (
+    IQRDetector,
+    RollingMADDetector,
+    ZScoreDetector,
+    get,
+)
+
+
+@pytest.fixture
+def spiked(sine_series):
+    attacked = sine_series.copy()
+    attacked[100:104] = attacked[100:104] * 3.0
+    labels = np.zeros(len(attacked), dtype=bool)
+    labels[100:104] = True
+    return attacked, labels
+
+
+class TestZScore:
+    def test_flags_big_spikes(self, sine_series, spiked):
+        attacked, labels = spiked
+        detector = ZScoreDetector(k=3.0).fit(sine_series)
+        flags = detector.detect(attacked)
+        assert flags[labels].mean() > 0.5
+        assert flags[~labels].mean() < 0.05
+
+    def test_constant_series_safe(self):
+        detector = ZScoreDetector().fit(np.full(50, 5.0))
+        assert not detector.detect(np.full(10, 5.0)).any()
+
+    def test_unfitted_raises(self, sine_series):
+        with pytest.raises(RuntimeError, match="fitted"):
+            ZScoreDetector().detect(sine_series)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k"):
+            ZScoreDetector(k=0.0)
+
+
+class TestIQR:
+    def test_flags_big_spikes(self, sine_series, spiked):
+        attacked, labels = spiked
+        detector = IQRDetector(k=2.5).fit(sine_series)
+        flags = detector.detect(attacked)
+        assert flags[labels].mean() > 0.5
+
+    def test_flags_low_outliers_too(self, sine_series):
+        detector = IQRDetector(k=1.5).fit(sine_series)
+        attacked = sine_series.copy()
+        attacked[50] = -100.0
+        assert detector.detect(attacked)[50]
+
+    def test_unfitted_raises(self, sine_series):
+        with pytest.raises(RuntimeError, match="fitted"):
+            IQRDetector().detect(sine_series)
+
+
+class TestRollingMAD:
+    def test_flags_spikes_with_adaptive_band(self, sine_series, spiked):
+        attacked, labels = spiked
+        detector = RollingMADDetector(window=25, k=5.0).fit(sine_series)
+        flags = detector.detect(attacked)
+        assert flags[labels].mean() > 0.5
+        assert flags[~labels].mean() < 0.05
+
+    def test_adapts_to_daily_level(self, sine_series):
+        # Amplitude of the daily cycle itself must NOT be flagged, even
+        # though a global z-score on the residual-free band might.
+        detector = RollingMADDetector(window=25, k=5.0).fit(sine_series)
+        assert detector.detect(sine_series).mean() < 0.02
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            RollingMADDetector(window=24)
+
+    def test_output_length_matches(self, sine_series):
+        detector = RollingMADDetector().fit(sine_series)
+        assert len(detector.detect(sine_series)) == len(sine_series)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["zscore", "iqr", "rolling_mad"])
+    def test_get_by_name(self, name):
+        assert get(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown baseline detector"):
+            get("isolation_forest")

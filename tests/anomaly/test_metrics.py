@@ -1,0 +1,128 @@
+"""Tests for detection metrics (Table II quantities)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomaly.metrics import (
+    ConfusionCounts,
+    aggregate_detection_metrics,
+    confusion_counts,
+    detection_metrics,
+)
+
+
+def arrays_pair(labels, predictions):
+    return np.array(labels, dtype=bool), np.array(predictions, dtype=bool)
+
+
+class TestConfusionCounts:
+    def test_basic_counts(self):
+        labels, predictions = arrays_pair([1, 1, 0, 0], [1, 0, 1, 0])
+        counts = confusion_counts(labels, predictions)
+        assert counts.true_positives == 1
+        assert counts.false_negatives == 1
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 1
+        assert counts.total == 4
+
+    def test_addition(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        total = a + b
+        assert total.true_positives == 11
+        assert total.total == 110
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            confusion_counts(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestDetectionMetrics:
+    def test_perfect_detection(self):
+        labels, predictions = arrays_pair([1, 0, 1, 0], [1, 0, 1, 0])
+        metrics = detection_metrics(labels, predictions)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.false_positive_rate == 0.0
+        assert metrics.accuracy == 1.0
+        assert metrics.events_detected_ratio == 1.0
+
+    def test_all_false_predictions(self):
+        labels, predictions = arrays_pair([1, 1, 0, 0], [0, 0, 0, 0])
+        metrics = detection_metrics(labels, predictions)
+        assert metrics.recall == 0.0
+        assert metrics.precision == 0.0  # anomalies existed, none found
+        assert metrics.f1 == 0.0
+
+    def test_no_anomalies_no_flags_is_perfect(self):
+        labels, predictions = arrays_pair([0, 0, 0], [0, 0, 0])
+        metrics = detection_metrics(labels, predictions)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_known_values(self):
+        # 10 points: 4 anomalous, flag 3 of them + 1 false positive.
+        labels = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0], dtype=bool)
+        predictions = np.array([1, 1, 1, 0, 1, 0, 0, 0, 0, 0], dtype=bool)
+        metrics = detection_metrics(labels, predictions)
+        assert metrics.precision == pytest.approx(3 / 4)
+        assert metrics.recall == pytest.approx(3 / 4)
+        assert metrics.false_positive_rate == pytest.approx(1 / 6)
+
+    def test_event_ratio_counts_bursts(self):
+        # Two bursts; only the first is (partially) detected.
+        labels = np.array([1, 1, 0, 0, 1, 1], dtype=bool)
+        predictions = np.array([0, 1, 0, 0, 0, 0], dtype=bool)
+        metrics = detection_metrics(labels, predictions)
+        assert metrics.events_detected_ratio == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.25)
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_metric_bounds(self, pairs):
+        labels = np.array([p[0] for p in pairs], dtype=bool)
+        predictions = np.array([p[1] for p in pairs], dtype=bool)
+        metrics = detection_metrics(labels, predictions)
+        for value in metrics.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_predicting_truth_is_perfect(self, bits):
+        labels = np.array(bits, dtype=bool)
+        metrics = detection_metrics(labels, labels.copy())
+        assert metrics.f1 == 1.0
+        assert metrics.accuracy == 1.0
+
+
+class TestAggregation:
+    def test_pools_counts_micro(self):
+        per_client = {
+            "a": arrays_pair([1, 0], [1, 0]),
+            "b": arrays_pair([1, 0], [0, 1]),
+        }
+        overall = aggregate_detection_metrics(per_client)
+        assert overall.counts.true_positives == 1
+        assert overall.counts.false_positives == 1
+        assert overall.precision == pytest.approx(0.5)
+
+    def test_event_ratio_pooled(self):
+        per_client = {
+            "a": arrays_pair([1, 1, 0], [1, 0, 0]),  # 1 event, detected
+            "b": arrays_pair([0, 1, 1], [0, 0, 0]),  # 1 event, missed
+        }
+        overall = aggregate_detection_metrics(per_client)
+        assert overall.events_detected_ratio == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate_detection_metrics({})
+
+    def test_single_client_matches_direct(self):
+        labels, predictions = arrays_pair([1, 0, 1, 1, 0], [1, 1, 0, 1, 0])
+        direct = detection_metrics(labels, predictions)
+        pooled = aggregate_detection_metrics({"only": (labels, predictions)})
+        assert direct.as_dict() == pooled.as_dict()

@@ -1,0 +1,216 @@
+"""Tests for gap merging and imputation (the paper's mitigation stage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomaly.mitigation import (
+    LinearInterpolationImputer,
+    MovingAverageImputer,
+    SeasonalImputer,
+    SplineImputer,
+    find_segments,
+    get,
+    merge_small_gaps,
+)
+
+
+def mask_of(n, *true_indices):
+    mask = np.zeros(n, dtype=bool)
+    for index in true_indices:
+        mask[index] = True
+    return mask
+
+
+class TestMergeSmallGaps:
+    def test_merges_gap_of_one(self):
+        mask = mask_of(7, 1, 3)  # gap of one normal point at index 2
+        merged = merge_small_gaps(mask, max_gap=2)
+        np.testing.assert_array_equal(merged, mask_of(7, 1, 2, 3))
+
+    def test_merges_gap_of_two(self):
+        mask = mask_of(8, 1, 4)
+        merged = merge_small_gaps(mask, max_gap=2)
+        np.testing.assert_array_equal(merged, mask_of(8, 1, 2, 3, 4))
+
+    def test_leaves_gap_of_three(self):
+        mask = mask_of(9, 1, 5)
+        merged = merge_small_gaps(mask, max_gap=2)
+        np.testing.assert_array_equal(merged, mask)
+
+    def test_max_gap_zero_is_identity(self):
+        mask = mask_of(5, 1, 3)
+        np.testing.assert_array_equal(merge_small_gaps(mask, 0), mask)
+
+    def test_does_not_extend_boundaries(self):
+        # Gaps at the series edges are not "between" segments.
+        mask = mask_of(5, 2)
+        merged = merge_small_gaps(mask, max_gap=2)
+        np.testing.assert_array_equal(merged, mask)
+
+    def test_input_not_mutated(self):
+        mask = mask_of(7, 1, 3)
+        merge_small_gaps(mask, 2)
+        np.testing.assert_array_equal(mask, mask_of(7, 1, 3))
+
+    def test_negative_max_gap(self):
+        with pytest.raises(ValueError, match="max_gap"):
+            merge_small_gaps(np.zeros(3, dtype=bool), -1)
+
+    @given(st.lists(st.booleans(), min_size=0, max_size=50), st.integers(0, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_merging_is_monotone(self, bits, max_gap):
+        mask = np.array(bits, dtype=bool)
+        merged = merge_small_gaps(mask, max_gap)
+        # Never unflags; flag count monotone in max_gap.
+        assert np.all(merged[mask])
+        assert merged.sum() >= mask.sum()
+        more = merge_small_gaps(mask, max_gap + 1)
+        assert more.sum() >= merged.sum()
+
+
+class TestFindSegments:
+    def test_empty(self):
+        assert find_segments(np.zeros(5, dtype=bool)) == []
+        assert find_segments(np.array([], dtype=bool)) == []
+
+    def test_single_run(self):
+        assert find_segments(mask_of(6, 2, 3, 4)) == [(2, 5)]
+
+    def test_multiple_runs_and_edges(self):
+        mask = np.array([True, True, False, True, False, True])
+        assert find_segments(mask) == [(0, 2), (3, 4), (5, 6)]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_segments_partition_true_points(self, bits):
+        mask = np.array(bits, dtype=bool)
+        segments = find_segments(mask)
+        covered = np.zeros(len(mask), dtype=bool)
+        for start, end in segments:
+            assert end > start
+            assert mask[start:end].all()
+            covered[start:end] = True
+        np.testing.assert_array_equal(covered, mask)
+
+
+class TestLinearInterpolation:
+    def test_bridges_interior_run(self):
+        series = np.array([0.0, 10.0, 99.0, 99.0, 40.0, 50.0])
+        mask = mask_of(6, 2, 3)
+        repaired = LinearInterpolationImputer().impute(series, mask)
+        np.testing.assert_allclose(repaired[2:4], [20.0, 30.0])
+        np.testing.assert_array_equal(repaired[[0, 1, 4, 5]], series[[0, 1, 4, 5]])
+
+    def test_leading_run_filled_with_right_anchor(self):
+        series = np.array([99.0, 99.0, 5.0, 6.0])
+        repaired = LinearInterpolationImputer().impute(series, mask_of(4, 0, 1))
+        np.testing.assert_allclose(repaired[:2], 5.0)
+
+    def test_trailing_run_filled_with_left_anchor(self):
+        series = np.array([1.0, 2.0, 99.0, 99.0])
+        repaired = LinearInterpolationImputer().impute(series, mask_of(4, 2, 3))
+        np.testing.assert_allclose(repaired[2:], 2.0)
+
+    def test_all_anomalous_raises(self):
+        with pytest.raises(ValueError, match="every point"):
+            LinearInterpolationImputer().impute(np.ones(4), np.ones(4, dtype=bool))
+
+    def test_empty_mask_returns_copy(self):
+        series = np.arange(5.0)
+        repaired = LinearInterpolationImputer().impute(series, np.zeros(5, dtype=bool))
+        np.testing.assert_array_equal(repaired, series)
+        repaired[0] = 99.0
+        assert series[0] == 0.0
+
+    def test_mask_shape_validation(self):
+        with pytest.raises(ValueError, match="mask shape"):
+            LinearInterpolationImputer().impute(np.ones(4), np.ones(3, dtype=bool))
+
+    @given(
+        st.integers(6, 40),
+        st.integers(1, 4),
+        st.floats(-100, 100, allow_nan=False),
+        st.floats(-100, 100, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interior_repair_bounded_by_anchors(self, n, run_length, low, high):
+        rng = np.random.default_rng(0)
+        series = rng.uniform(min(low, high), max(low, high) + 1e-6, size=n)
+        start = 2
+        end = min(start + run_length, n - 2)
+        mask = np.zeros(n, dtype=bool)
+        mask[start:end] = True
+        repaired = LinearInterpolationImputer().impute(series, mask)
+        left, right = series[start - 1], series[end]
+        lo, hi = min(left, right), max(left, right)
+        assert np.all(repaired[start:end] >= lo - 1e-9)
+        assert np.all(repaired[start:end] <= hi + 1e-9)
+
+
+class TestSeasonalImputer:
+    def test_uses_same_hour_neighbours(self):
+        series = np.tile(np.arange(24.0), 4)  # perfect daily period
+        mask = mask_of(96, 30)
+        repaired = SeasonalImputer(period=24).impute(series, mask)
+        assert repaired[30] == pytest.approx(series[6])  # 30 % 24 == 6
+
+    def test_perfect_on_periodic_series(self):
+        series = np.tile(np.sin(np.arange(24.0)), 5)
+        mask = np.zeros(120, dtype=bool)
+        mask[50:55] = True
+        repaired = SeasonalImputer(period=24).impute(series, mask)
+        np.testing.assert_allclose(repaired, series, atol=1e-9)
+
+    def test_falls_back_when_neighbours_masked(self):
+        series = np.arange(72.0)
+        mask = np.zeros(72, dtype=bool)
+        mask[10] = mask[34] = mask[58] = True  # same hour all three days
+        repaired = SeasonalImputer(period=24, max_periods=1).impute(series, mask)
+        assert np.all(np.isfinite(repaired))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            SeasonalImputer(period=0)
+
+
+class TestSplineImputer:
+    def test_recovers_smooth_curve(self):
+        x = np.linspace(0, 4, 60)
+        series = x**2
+        mask = np.zeros(60, dtype=bool)
+        mask[25:30] = True
+        repaired = SplineImputer().impute(series, mask)
+        np.testing.assert_allclose(repaired[25:30], series[25:30], atol=0.05)
+
+    def test_fallback_with_few_anchors(self):
+        series = np.array([1.0, 99.0, 99.0, 4.0])
+        repaired = SplineImputer(n_anchors=2).impute(series, mask_of(4, 1, 2))
+        np.testing.assert_allclose(repaired, [1.0, 2.0, 3.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_anchors"):
+            SplineImputer(n_anchors=1)
+
+
+class TestMovingAverageImputer:
+    def test_uses_trailing_history(self):
+        series = np.array([10.0, 10.0, 10.0, 99.0, 99.0, 10.0])
+        repaired = MovingAverageImputer(window=3).impute(series, mask_of(6, 3, 4))
+        np.testing.assert_allclose(repaired[3:5], 10.0)
+
+    def test_leading_run_falls_back(self):
+        series = np.array([99.0, 99.0, 5.0, 5.0])
+        repaired = MovingAverageImputer().impute(series, mask_of(4, 0, 1))
+        np.testing.assert_allclose(repaired[:2], 5.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["linear", "seasonal", "spline", "moving_average"])
+    def test_get_by_name(self, name):
+        assert get(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown imputer"):
+            get("gan")

@@ -1,0 +1,117 @@
+"""Tests for threshold rules (98th percentile, MSD, MAD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.anomaly.thresholds import (
+    MADThreshold,
+    MeanStdThreshold,
+    PercentileThreshold,
+    get,
+)
+
+scores_strategy = arrays(
+    np.float64,
+    st.integers(10, 200),
+    elements=st.floats(0.0, 1e4, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestPercentile:
+    def test_flags_about_q_percent_of_training(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(10_000)
+        rule = PercentileThreshold(98.0).fit(scores)
+        assert rule.flag(scores).mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_paper_default_is_98(self):
+        assert PercentileThreshold().q == 98.0
+
+    def test_invalid_q(self):
+        for bad in (0.0, 100.0, -5.0):
+            with pytest.raises(ValueError, match="q"):
+                PercentileThreshold(bad)
+
+    def test_unfitted_flag_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            PercentileThreshold().flag(np.ones(3))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError, match="zero scores"):
+            PercentileThreshold().fit(np.array([]))
+
+    def test_nan_scores_never_flagged(self):
+        rule = PercentileThreshold(50.0).fit(np.arange(100.0))
+        flags = rule.flag(np.array([np.nan, 99.0, 0.0]))
+        np.testing.assert_array_equal(flags, [False, True, False])
+
+    @given(scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_within_score_range(self, scores):
+        rule = PercentileThreshold(98.0).fit(scores)
+        assert scores.min() <= rule.threshold_ <= scores.max()
+
+
+class TestMeanStd:
+    def test_gaussian_flag_rate(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(10.0, 2.0, size=100_000)
+        rule = MeanStdThreshold(k=3.0).fit(scores)
+        flagged = rule.flag(scores).mean()
+        assert flagged == pytest.approx(0.00135, abs=0.001)
+
+    def test_k_shifts_threshold(self):
+        scores = np.random.default_rng(2).normal(size=1000)
+        loose = MeanStdThreshold(k=1.0).fit(scores).threshold_
+        strict = MeanStdThreshold(k=4.0).fit(scores).threshold_
+        assert strict > loose
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k"):
+            MeanStdThreshold(k=0.0)
+
+
+class TestMAD:
+    def test_robust_to_outliers(self):
+        scores = np.concatenate([np.ones(99), [1e6]])
+        mad_threshold = MADThreshold(k=3.5).fit(scores).threshold_
+        msd_threshold = MeanStdThreshold(k=3.0).fit(scores).threshold_
+        # MAD ignores the single outlier; MSD is dragged far up.
+        assert mad_threshold < 2.0
+        assert msd_threshold > 1000.0
+
+    def test_constant_scores(self):
+        rule = MADThreshold().fit(np.full(50, 3.0))
+        assert rule.threshold_ == pytest.approx(3.0)
+        assert not rule.flag(np.full(5, 3.0)).any()
+
+    @given(scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_at_least_median(self, scores):
+        rule = MADThreshold().fit(scores)
+        assert rule.threshold_ >= np.median(scores) - 1e-12
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("percentile", PercentileThreshold),
+        ("msd", MeanStdThreshold),
+        ("mad", MADThreshold),
+    ])
+    def test_get_by_name(self, name, cls):
+        assert isinstance(get(name), cls)
+
+    def test_passthrough(self):
+        rule = PercentileThreshold(95.0)
+        assert get(rule) is rule
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown threshold"):
+            get("otsu")
+
+    def test_repr_shows_threshold_after_fit(self):
+        rule = PercentileThreshold(98.0).fit(np.arange(100.0))
+        assert "threshold=" in repr(rule)

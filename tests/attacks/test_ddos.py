@@ -1,0 +1,129 @@
+"""Tests for DDoS volume-spike injection."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.attacks.ddos import DDoSConfig, DDoSVolumeAttack
+
+
+@pytest.fixture
+def series():
+    t = np.arange(800)
+    return 30.0 + 8.0 * np.sin(2 * np.pi * t / 24.0)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        DDoSConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"attack_fraction": 1.5}, r"\[0, 1\]"),
+            ({"burst_hours_min": 0}, "burst_hours_min"),
+            ({"burst_hours_min": 5, "burst_hours_max": 3}, "burst_hours_max"),
+            ({"coupling": 0.0}, "coupling"),
+            ({"coupling_sigma": -1.0}, "coupling_sigma"),
+        ],
+    )
+    def test_invalid_configs(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            DDoSConfig(**kwargs)
+
+
+class TestSchedule:
+    def test_reaches_target_fraction(self):
+        attack = DDoSVolumeAttack(DDoSConfig(attack_fraction=0.1))
+        labels = attack.schedule(2000, seed=1)
+        assert labels.mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_bursts_within_duration_bounds(self):
+        config = DDoSConfig(attack_fraction=0.1, burst_hours_min=2, burst_hours_max=6)
+        labels = DDoSVolumeAttack(config).schedule(3000, seed=2)
+        padded = np.concatenate([[False], labels, [False]])
+        starts = np.flatnonzero(~padded[:-1] & padded[1:])
+        ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+        durations = ends - starts
+        # Truncation at the series end may shorten the last burst.
+        assert durations.max() <= 6
+        assert np.sort(durations)[1:].min() >= 2 or durations.min() >= 1
+
+    def test_bursts_separated_by_clean_hours(self):
+        labels = DDoSVolumeAttack(DDoSConfig(attack_fraction=0.2)).schedule(1000, seed=3)
+        padded = np.concatenate([[False], labels, [False]])
+        starts = np.flatnonzero(~padded[:-1] & padded[1:])
+        ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+        for end, next_start in zip(ends[:-1], starts[1:]):
+            assert next_start - end >= 1
+
+    def test_deterministic(self):
+        attack = DDoSVolumeAttack()
+        np.testing.assert_array_equal(
+            attack.schedule(500, seed=7), attack.schedule(500, seed=7)
+        )
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError, match="length"):
+            DDoSVolumeAttack().schedule(0)
+
+
+class TestInjection:
+    def test_result_consistency(self, series):
+        result = DDoSVolumeAttack().inject(series, seed=1)
+        assert isinstance(result, AttackResult)
+        assert len(result.attacked) == len(series)
+        assert result.n_anomalous == result.labels.sum()
+
+    def test_original_untouched(self, series):
+        before = series.copy()
+        DDoSVolumeAttack().inject(series, seed=1)
+        np.testing.assert_array_equal(series, before)
+
+    def test_only_labelled_points_modified(self, series):
+        result = DDoSVolumeAttack().inject(series, seed=2)
+        np.testing.assert_array_equal(
+            result.attacked[~result.labels], series[~result.labels]
+        )
+        assert not np.allclose(
+            result.attacked[result.labels], series[result.labels]
+        )
+
+    def test_spikes_increase_volume(self, series):
+        result = DDoSVolumeAttack().inject(series, seed=3)
+        attacked_points = result.attacked[result.labels]
+        original_points = result.original[result.labels]
+        # Multiplier = 1 + c * (I - 1) with I ~ 10.6 > 1: strictly up.
+        assert np.all(attacked_points >= original_points)
+        assert attacked_points.mean() > 1.1 * original_points.mean()
+
+    def test_coupling_scales_spike_size(self, series):
+        weak = DDoSVolumeAttack(DDoSConfig(coupling=0.02, coupling_sigma=0.0))
+        strong = DDoSVolumeAttack(DDoSConfig(coupling=0.5, coupling_sigma=0.0))
+        weak_result = weak.inject(series, seed=4)
+        strong_result = strong.inject(series, seed=4)
+        weak_lift = (weak_result.attacked - series)[weak_result.labels].mean()
+        strong_lift = (strong_result.attacked - series)[strong_result.labels].mean()
+        assert strong_lift > 5 * weak_lift
+
+    def test_burst_coupling_heterogeneity(self, series):
+        # With sigma > 0 different bursts get different multipliers.
+        result = DDoSVolumeAttack(DDoSConfig(coupling_sigma=1.0)).inject(series, seed=5)
+        ratios = result.attacked[result.labels] / series[result.labels]
+        assert ratios.std() > 0.1
+
+    def test_metadata_populated(self, series):
+        result = DDoSVolumeAttack().inject(series, seed=6)
+        assert result.metadata["attack"] == "ddos"
+        assert result.metadata["n_bursts"] > 0
+        assert result.metadata["mean_multiplier"] > 1.0
+
+    def test_deterministic_under_seed(self, series):
+        a = DDoSVolumeAttack().inject(series, seed=8)
+        b = DDoSVolumeAttack().inject(series, seed=8)
+        np.testing.assert_array_equal(a.attacked, b.attacked)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_contamination_property(self, series):
+        result = DDoSVolumeAttack(DDoSConfig(attack_fraction=0.08)).inject(series, seed=9)
+        assert result.contamination == pytest.approx(0.08, abs=0.03)

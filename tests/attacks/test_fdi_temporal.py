@@ -1,0 +1,119 @@
+"""Tests for FDI and temporal-disruption attack extensions."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fdi import BiasInjection, FDIConfig, RampInjection
+from repro.attacks.temporal import SegmentShuffle, TemporalConfig, TimeShift
+
+
+@pytest.fixture
+def series():
+    t = np.arange(1200)
+    rng = np.random.default_rng(4)
+    return 30.0 + 8.0 * np.sin(2 * np.pi * t / 24.0) + rng.normal(0, 1, t.size)
+
+
+class TestFDIConfig:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError, match="window_hours_min"):
+            FDIConfig(window_hours_min=1)
+        with pytest.raises(ValueError, match="window_hours_max"):
+            FDIConfig(window_hours_min=24, window_hours_max=12)
+
+
+class TestBiasInjection:
+    def test_bias_is_constant_within_window(self, series):
+        result = BiasInjection(FDIConfig(attack_fraction=0.1), bias_scale=0.5).inject(
+            series, seed=1
+        )
+        delta = result.attacked - series
+        # Non-zero deltas exist and per-window deltas are constant.
+        assert result.labels.any()
+        segments = np.flatnonzero(np.diff(result.labels.astype(int)) == 1)
+        for start in segments[:3]:
+            window = delta[start + 1 : start + 5]
+            if len(window) >= 2 and result.labels[start + 1 : start + 5].all():
+                np.testing.assert_allclose(window, window[0], atol=1e-9)
+
+    def test_stealthier_than_spikes(self, series):
+        # Bias magnitude is bounded by scale * IQR — no huge outliers.
+        result = BiasInjection(bias_scale=0.3).inject(series, seed=2)
+        iqr = np.subtract(*np.percentile(series, [75, 25]))
+        assert np.abs(result.attacked - series).max() <= 0.3 * iqr + 1e-9
+
+    def test_never_negative(self, series):
+        result = BiasInjection(bias_scale=5.0).inject(series, seed=3)
+        assert np.all(result.attacked >= 0.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="bias_scale"):
+            BiasInjection(bias_scale=0.0)
+
+
+class TestRampInjection:
+    def test_ramp_grows_then_plateaus(self, series):
+        result = RampInjection(FDIConfig(attack_fraction=0.08), ramp_scale=1.0).inject(
+            series, seed=4
+        )
+        assert result.labels.any()
+        delta = np.abs(result.attacked - series)
+        padded = np.concatenate([[False], result.labels, [False]])
+        starts = np.flatnonzero(~padded[:-1] & padded[1:])
+        ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+        start, end = starts[0], ends[0]
+        if end - start >= 8:
+            first_half = delta[start : start + (end - start) // 2]
+            assert first_half[0] < first_half[-1]  # growing
+
+    def test_labels_match_modifications(self, series):
+        result = RampInjection().inject(series, seed=5)
+        unmodified = np.isclose(result.attacked, series)
+        # Some labelled point must be modified; unlabelled must be intact.
+        assert np.all(unmodified[~result.labels])
+
+
+class TestSegmentShuffle:
+    def test_preserves_values_within_blocks(self, series):
+        result = SegmentShuffle(TemporalConfig(attack_fraction=0.1)).inject(series, seed=6)
+        assert result.labels.any()
+        # Shuffling permutes values: sorted contents of each block match.
+        padded = np.concatenate([[False], result.labels, [False]])
+        starts = np.flatnonzero(~padded[:-1] & padded[1:])
+        ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+        for start, end in zip(starts, ends):
+            np.testing.assert_allclose(
+                np.sort(result.attacked[start:end]), np.sort(series[start:end])
+            )
+
+    def test_amplitude_statistics_unchanged(self, series):
+        result = SegmentShuffle().inject(series, seed=7)
+        assert result.attacked.mean() == pytest.approx(series.mean(), rel=1e-9)
+
+    def test_unlabelled_points_intact(self, series):
+        result = SegmentShuffle().inject(series, seed=8)
+        np.testing.assert_array_equal(
+            result.attacked[~result.labels], series[~result.labels]
+        )
+
+
+class TestTimeShift:
+    def test_blocks_are_rolled(self, series):
+        attack = TimeShift(TemporalConfig(attack_fraction=0.1), shift_hours=6)
+        result = attack.inject(series, seed=9)
+        assert result.labels.any()
+        padded = np.concatenate([[False], result.labels, [False]])
+        starts = np.flatnonzero(~padded[:-1] & padded[1:])
+        ends = np.flatnonzero(padded[:-1] & ~padded[1:])
+        start, end = starts[0], ends[0]
+        np.testing.assert_allclose(
+            result.attacked[start:end], np.roll(series[start:end], 6)
+        )
+
+    def test_zero_shift_rejected(self):
+        with pytest.raises(ValueError, match="shift_hours"):
+            TimeShift(shift_hours=0)
+
+    def test_block_hours_validation(self):
+        with pytest.raises(ValueError, match="block_hours"):
+            TemporalConfig(block_hours=1)

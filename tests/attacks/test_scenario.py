@@ -1,0 +1,106 @@
+"""Tests for attack scenarios and composition."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult, merge_results
+from repro.attacks.ddos import DDoSConfig, DDoSVolumeAttack
+from repro.attacks.fdi import BiasInjection
+from repro.attacks.scenario import AttackScenario, ScenarioSuite
+
+
+class TestAttackResult:
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            AttackResult(np.zeros(3), np.zeros(4), np.zeros(4, dtype=bool))
+
+    def test_contamination_empty(self):
+        result = AttackResult(np.zeros(0), np.zeros(0), np.zeros(0, dtype=bool))
+        assert result.contamination == 0.0
+
+
+class TestMergeResults:
+    def test_labels_or_ed(self):
+        original = np.arange(10.0)
+        first = AttackResult(
+            original, original + 1, np.array([True] * 5 + [False] * 5)
+        )
+        second = AttackResult(
+            first.attacked, first.attacked + 1, np.array([False] * 5 + [True] * 5)
+        )
+        merged = merge_results(first, second)
+        assert merged.labels.all()
+        np.testing.assert_array_equal(merged.original, original)
+        np.testing.assert_array_equal(merged.attacked, original + 2)
+
+    def test_rejects_non_chained_results(self):
+        original = np.arange(5.0)
+        first = AttackResult(original, original + 1, np.zeros(5, dtype=bool))
+        stray = AttackResult(original, original + 2, np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError, match="injected into"):
+            merge_results(first, stray)
+
+
+class TestAttackScenario:
+    def test_requires_attacks(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AttackScenario([])
+
+    def test_single_attack_series(self, sine_series):
+        scenario = AttackScenario([DDoSVolumeAttack()], name="s")
+        result = scenario.apply_to_series(sine_series, seed=1)
+        assert result.labels.any()
+
+    def test_composed_attacks_or_labels(self, sine_series):
+        scenario = AttackScenario(
+            [DDoSVolumeAttack(DDoSConfig(attack_fraction=0.05)), BiasInjection()],
+            name="multi",
+        )
+        result = scenario.apply_to_series(sine_series, seed=2)
+        single = AttackScenario(
+            [DDoSVolumeAttack(DDoSConfig(attack_fraction=0.05))], name="multi"
+        ).apply_to_series(sine_series, seed=2)
+        assert result.labels.sum() >= single.labels.sum()
+
+    def test_apply_to_clients_independent_schedules(self, tiny_clients):
+        scenario = AttackScenario([DDoSVolumeAttack()], name="s")
+        outcomes = scenario.apply(tiny_clients, seed=3)
+        assert set(outcomes) == {c.name for c in tiny_clients}
+        labels = [outcomes[c.name].labels for c in tiny_clients]
+        assert not np.array_equal(labels[0], labels[1])
+
+    def test_apply_deterministic(self, tiny_clients):
+        scenario = AttackScenario([DDoSVolumeAttack()], name="s")
+        a = scenario.apply(tiny_clients, seed=4)
+        b = scenario.apply(tiny_clients, seed=4)
+        for client in tiny_clients:
+            np.testing.assert_array_equal(
+                a[client.name].client.series, b[client.name].client.series
+            )
+
+    def test_attacked_client_preserves_identity(self, tiny_clients):
+        scenario = AttackScenario([DDoSVolumeAttack()], name="s")
+        outcomes = scenario.apply(tiny_clients, seed=5)
+        for client in tiny_clients:
+            attacked = outcomes[client.name].client
+            assert attacked.name == client.name
+            assert attacked.zone_id == client.zone_id
+
+
+class TestScenarioSuite:
+    def test_register_and_get(self):
+        suite = ScenarioSuite()
+        scenario = AttackScenario([DDoSVolumeAttack()], name="ddos-only")
+        suite.register(scenario)
+        assert suite.get("ddos-only") is scenario
+
+    def test_duplicate_rejected(self):
+        suite = ScenarioSuite()
+        scenario = AttackScenario([DDoSVolumeAttack()], name="x")
+        suite.register(scenario)
+        with pytest.raises(ValueError, match="already registered"):
+            suite.register(scenario)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            ScenarioSuite().get("nope")

@@ -1,0 +1,86 @@
+"""Tests for the packet-rate traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.traffic import (
+    ATTACK_PACKET_RATE,
+    INTENSITY_MULTIPLIER,
+    NORMAL_PACKET_RATE,
+    PacketTrafficModel,
+    TrafficModelConfig,
+)
+
+
+class TestDocumentedParameters:
+    def test_paper_rates(self):
+        assert NORMAL_PACKET_RATE == 33_000
+        assert ATTACK_PACKET_RATE == 350_500
+
+    def test_intensity_multiplier_is_10_6(self):
+        assert INTENSITY_MULTIPLIER == pytest.approx(10.62, abs=0.01)
+
+    def test_config_defaults_match(self):
+        config = TrafficModelConfig()
+        assert config.intensity_multiplier == pytest.approx(INTENSITY_MULTIPLIER)
+        assert config.slot_ms == 100.0
+        assert config.slots_per_second == 10.0
+
+
+class TestConfigValidation:
+    def test_attack_must_exceed_normal(self):
+        with pytest.raises(ValueError, match="exceed"):
+            TrafficModelConfig(normal_rate=100.0, attack_rate=50.0)
+
+    def test_positive_rates(self):
+        with pytest.raises(ValueError, match="positive"):
+            TrafficModelConfig(normal_rate=0.0)
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ValueError, match="jitter"):
+            TrafficModelConfig(rate_jitter=1.0)
+
+
+class TestSampling:
+    def test_slot_counts_scale_with_regime(self):
+        model = PacketTrafficModel()
+        normal = model.sample_slot_counts(2000, under_attack=False, seed=1)
+        attack = model.sample_slot_counts(2000, under_attack=True, seed=1)
+        ratio = attack.mean() / normal.mean()
+        assert ratio == pytest.approx(INTENSITY_MULTIPLIER, rel=0.05)
+
+    def test_slot_counts_non_negative_integers(self):
+        counts = PacketTrafficModel().sample_slot_counts(100, False, seed=2)
+        assert np.all(counts >= 0)
+        np.testing.assert_array_equal(counts, np.round(counts))
+
+    def test_observed_multiplier_close_to_documented(self):
+        model = PacketTrafficModel()
+        assert model.observed_multiplier(seed=3) == pytest.approx(
+            INTENSITY_MULTIPLIER, rel=0.02
+        )
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            PacketTrafficModel().sample_slot_counts(0, False)
+
+
+class TestHourlyIntensity:
+    def test_centred_on_documented_multiplier(self):
+        intensity = PacketTrafficModel().hourly_intensity(500, seed=4)
+        assert intensity.mean() == pytest.approx(INTENSITY_MULTIPLIER, rel=0.02)
+
+    def test_fluctuates_but_not_wildly(self):
+        intensity = PacketTrafficModel().hourly_intensity(500, seed=5)
+        assert intensity.std() > 0.0
+        assert intensity.std() < 1.0
+
+    def test_deterministic_under_seed(self):
+        model = PacketTrafficModel()
+        np.testing.assert_array_equal(
+            model.hourly_intensity(10, seed=6), model.hourly_intensity(10, seed=6)
+        )
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError, match="n_hours"):
+            PacketTrafficModel().hourly_intensity(0)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately *tiny* — networks of a handful of units,
+series of a few hundred points — so the full suite runs in minutes while
+still exercising every code path the paper-scale runs use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig
+from repro.data.datasets import ClientDataset, build_paper_clients
+from repro.data.shenzhen import generate_paper_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sine_series() -> np.ndarray:
+    """A learnable 1-D series: daily sine plus mild noise, length 400."""
+    t = np.arange(400)
+    base = 30.0 + 8.0 * np.sin(2 * np.pi * t / 24.0)
+    noise = np.random.default_rng(7).normal(0.0, 0.5, size=t.size)
+    return base + noise
+
+
+@pytest.fixture
+def tiny_clients() -> list[ClientDataset]:
+    """Three paper-zone clients at 400 timestamps (fast to process)."""
+    dataset = generate_paper_dataset(seed=21, n_timestamps=400)
+    return build_paper_clients(dataset)
+
+
+@pytest.fixture
+def tiny_ae_config() -> AutoencoderConfig:
+    """A small autoencoder that trains in a couple of seconds."""
+    return AutoencoderConfig(
+        sequence_length=12,
+        encoder_units=(8, 4),
+        decoder_units=(4, 8),
+        dropout=0.1,
+        epochs=3,
+        patience=2,
+        batch_size=32,
+    )
+
+
+@pytest.fixture
+def supervised_toy(rng) -> tuple[np.ndarray, np.ndarray]:
+    """Tiny supervised tensors: 48 windows of (6, 1) with scalar targets."""
+    x = rng.normal(size=(48, 6, 1))
+    y = rng.normal(size=(48, 1))
+    return x, y

@@ -1,0 +1,81 @@
+"""Tests for client dataset containers and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ClientDataset, build_paper_clients
+from repro.data.shenzhen import generate_paper_dataset
+
+
+@pytest.fixture
+def client(sine_series):
+    return ClientDataset("Client 1", "102", sine_series)
+
+
+class TestClientDataset:
+    def test_length(self, client):
+        assert len(client) == 400
+
+    def test_with_series_copies_identity(self, client):
+        other = client.with_series(client.series * 2)
+        assert other.name == client.name
+        assert other.zone_id == client.zone_id
+        assert other.series.mean() == pytest.approx(2 * client.series.mean())
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ClientDataset("c", "z", np.zeros((3, 3)))
+
+
+class TestPrepare:
+    def test_shapes(self, client):
+        prepared = client.prepare(sequence_length=24, train_fraction=0.8)
+        assert prepared.x_train.shape == (320 - 24, 24, 1)
+        assert prepared.y_train.shape == (320 - 24, 1)
+        # Test windows are seeded with the training tail: one prediction
+        # per test point.
+        assert prepared.x_test.shape == (80, 24, 1)
+        assert prepared.y_test.shape == (80, 1)
+
+    def test_scaling_fitted_on_train_only(self, client):
+        prepared = client.prepare(24, 0.8)
+        # Train targets are within [0, 1]; test targets may exceed if the
+        # test segment exceeds the training range.
+        assert prepared.y_train.min() >= 0.0
+        assert prepared.y_train.max() <= 1.0
+
+    def test_test_targets_kwh_match_raw_series(self, client):
+        prepared = client.prepare(24, 0.8)
+        np.testing.assert_allclose(
+            prepared.test_targets_kwh, client.series[320:], atol=1e-9
+        )
+
+    def test_inverse_predictions_round_trip(self, client):
+        prepared = client.prepare(24, 0.8)
+        kwh = prepared.inverse_predictions(prepared.y_test)
+        np.testing.assert_allclose(kwh, prepared.test_targets_kwh, atol=1e-9)
+
+    def test_counts(self, client):
+        prepared = client.prepare(24, 0.8)
+        assert prepared.n_train == len(prepared.x_train)
+        assert prepared.n_test == 80
+
+    def test_windows_scaled_consistently_with_targets(self, client):
+        prepared = client.prepare(12, 0.8)
+        # The target of window i equals the first input value of window
+        # i+12 (both in scaled space, same scaler).
+        x, y = prepared.x_train, prepared.y_train
+        np.testing.assert_allclose(y[0, 0], x[12, 0, 0], atol=1e-12)
+
+
+class TestBuildPaperClients:
+    def test_names_and_zones(self):
+        dataset = generate_paper_dataset(seed=1, n_timestamps=200)
+        clients = build_paper_clients(dataset)
+        assert [c.name for c in clients] == ["Client 1", "Client 2", "Client 3"]
+        assert [c.zone_id for c in clients] == ["102", "105", "108"]
+
+    def test_accepts_raw_arrays(self):
+        clients = build_paper_clients({"z1": np.arange(10.0), "z2": np.ones(10)})
+        assert clients[0].name == "Client 1"
+        np.testing.assert_array_equal(clients[1].series, np.ones(10))

@@ -1,0 +1,104 @@
+"""Tests for demand profile components."""
+
+import numpy as np
+import pytest
+
+from repro.data import profiles
+
+
+class TestDailyProfile:
+    def test_peaks_at_configured_hours(self):
+        hours = np.arange(24)
+        profile = profiles.daily_profile(hours, morning_peak=10.0, evening_peak=5.0,
+                                         morning_hour=8.0, evening_hour=19.0)
+        assert np.argmax(profile) == 8
+
+    def test_wraps_around_midnight(self):
+        hours = np.arange(24)
+        profile = profiles.daily_profile(hours, morning_peak=0.0, evening_peak=10.0,
+                                         evening_hour=23.5, width=1.0)
+        # Hour 0 is only 0.5 h from the 23.5 peak; hour 12 is far.
+        assert profile[0] > profile[12]
+
+    def test_periodic_across_days(self):
+        hours = np.arange(72)
+        profile = profiles.daily_profile(hours, 3.0, 4.0)
+        np.testing.assert_allclose(profile[:24], profile[24:48])
+
+    def test_amplitude_scales(self):
+        hours = np.arange(24)
+        small = profiles.daily_profile(hours, 1.0, 1.0)
+        large = profiles.daily_profile(hours, 10.0, 10.0)
+        np.testing.assert_allclose(large, 10.0 * small)
+
+
+class TestWeeklyModulation:
+    def test_weekdays_unscaled(self):
+        hours = np.arange(24 * 5)  # Mon..Fri under Monday-start epoch
+        np.testing.assert_array_equal(
+            profiles.weekly_modulation(hours, 0.5), np.ones(len(hours))
+        )
+
+    def test_weekend_scaled(self):
+        weekend_hours = np.arange(24 * 5, 24 * 7)
+        np.testing.assert_array_equal(
+            profiles.weekly_modulation(weekend_hours, 0.5), np.full(48, 0.5)
+        )
+
+
+class TestSeasonalTrend:
+    def test_starts_at_zero_ends_at_amplitude(self):
+        hours = np.arange(1000)
+        trend = profiles.seasonal_trend(hours, 1000, amplitude=4.0)
+        assert trend[0] == pytest.approx(0.0)
+        assert trend[-1] == pytest.approx(4.0, rel=1e-4)
+
+    def test_monotonic_rise(self):
+        trend = profiles.seasonal_trend(np.arange(500), 500, amplitude=2.0)
+        assert np.all(np.diff(trend) >= 0)
+
+
+class TestAR1Noise:
+    def test_marginal_std_matches_sigma(self):
+        rng = np.random.default_rng(0)
+        noise = profiles.ar1_noise(50_000, sigma=2.0, phi=0.7, rng=rng)
+        assert noise.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_autocorrelation_increases_with_phi(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        low = profiles.ar1_noise(20_000, 1.0, 0.1, rng_a)
+        high = profiles.ar1_noise(20_000, 1.0, 0.9, rng_b)
+
+        def lag1(x):
+            return np.corrcoef(x[:-1], x[1:])[0, 1]
+
+        assert lag1(high) > lag1(low) + 0.3
+
+    def test_invalid_phi(self):
+        with pytest.raises(ValueError, match="phi"):
+            profiles.ar1_noise(10, 1.0, 1.0, np.random.default_rng(0))
+
+
+class TestNaturalSpikes:
+    def test_zero_rate_means_no_spikes(self):
+        spikes = profiles.natural_spikes(1000, 0.0, 5.0, 3, np.random.default_rng(0))
+        np.testing.assert_array_equal(spikes, 0.0)
+
+    def test_spikes_are_non_negative(self):
+        spikes = profiles.natural_spikes(5000, 1.0, 5.0, 3, np.random.default_rng(1))
+        assert np.all(spikes >= 0.0)
+
+    def test_rate_controls_spike_mass(self):
+        sparse = profiles.natural_spikes(20_000, 0.05, 5.0, 3, np.random.default_rng(2))
+        dense = profiles.natural_spikes(20_000, 1.0, 5.0, 3, np.random.default_rng(2))
+        assert dense.sum() > 5 * sparse.sum()
+
+    def test_spike_decays_over_duration(self):
+        rng = np.random.default_rng(5)
+        spikes = profiles.natural_spikes(500, 0.3, 10.0, 4, rng)
+        onsets = np.flatnonzero((spikes > 0) & (np.roll(spikes, 1) == 0))
+        # For isolated spikes the onset value dominates its tail.
+        for onset in onsets[:5]:
+            if onset + 3 < len(spikes) and spikes[onset + 3] > 0:
+                assert spikes[onset] >= spikes[onset + 3]

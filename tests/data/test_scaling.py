@@ -1,0 +1,121 @@
+"""Tests for MinMaxScaler / StandardScaler (incl. hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.scaling import MinMaxScaler, StandardScaler
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=60),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestMinMaxBasics:
+    def test_transforms_to_unit_range(self):
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_custom_feature_range(self):
+        scaler = MinMaxScaler(feature_range=(-1.0, 1.0))
+        out = scaler.fit_transform(np.array([0.0, 5.0, 10.0]))
+        np.testing.assert_allclose(out, [-1.0, 0.0, 1.0])
+
+    def test_2d_scales_per_column(self):
+        scaler = MinMaxScaler()
+        data = np.array([[0.0, 100.0], [10.0, 200.0]])
+        out = scaler.fit_transform(data)
+        np.testing.assert_allclose(out, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_1d_shape_preserved(self):
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(np.arange(5.0))
+        assert out.shape == (5,)
+
+    def test_transform_out_of_range_extrapolates(self):
+        scaler = MinMaxScaler().fit(np.array([0.0, 10.0]))
+        assert scaler.transform(np.array([20.0]))[0] == pytest.approx(2.0)
+        assert scaler.transform(np.array([-10.0]))[0] == pytest.approx(-1.0)
+
+    def test_constant_column_maps_to_lower_bound(self):
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(np.array([5.0, 5.0, 5.0]))
+        np.testing.assert_allclose(out, 0.0)
+        back = scaler.inverse_transform(out)
+        np.testing.assert_allclose(back, 5.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            MinMaxScaler().transform(np.zeros(3))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            MinMaxScaler().fit(np.array([]))
+
+    def test_nan_fit_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            MinMaxScaler().fit(np.array([1.0, np.nan]))
+
+    def test_invalid_feature_range(self):
+        with pytest.raises(ValueError, match="increasing"):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            MinMaxScaler().fit(np.zeros((2, 2, 2)))
+
+
+class TestMinMaxProperties:
+    @given(finite_series)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_identity(self, series):
+        scaler = MinMaxScaler()
+        restored = scaler.inverse_transform(scaler.fit_transform(series))
+        scale = max(1.0, np.abs(series).max())
+        np.testing.assert_allclose(restored, series, atol=1e-9 * scale)
+
+    @given(finite_series)
+    @settings(max_examples=60, deadline=None)
+    def test_fit_data_lands_in_feature_range(self, series):
+        out = MinMaxScaler().fit_transform(series)
+        assert out.min() >= -1e-12
+        assert out.max() <= 1.0 + 1e-12
+
+    @given(finite_series, st.floats(0.1, 100.0), st.floats(-50.0, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_affine_equivariance(self, series, scale, shift):
+        # MinMax scaling is invariant to affine transforms of the input.
+        a = MinMaxScaler().fit_transform(series)
+        b = MinMaxScaler().fit_transform(series * scale + shift)
+        span = np.ptp(series)
+        if span > 1e-6 * max(1.0, np.abs(series).max()):
+            np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=500)
+        out = StandardScaler().fit_transform(data)
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_round_trip(self):
+        data = np.array([1.0, 2.0, 3.0, 10.0])
+        scaler = StandardScaler()
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.fit_transform(data)), data
+        )
+
+    def test_constant_column_safe(self):
+        out = StandardScaler().fit_transform(np.array([3.0, 3.0]))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().transform(np.zeros(2))

@@ -1,0 +1,122 @@
+"""Tests for the synthetic Shenzhen dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.shenzhen import (
+    PAPER_ZONE_CONFIGS,
+    PAPER_ZONES,
+    STUDY_TIMESTAMPS,
+    ChargingSeries,
+    ZoneConfig,
+    generate_paper_dataset,
+    generate_zone_series,
+)
+
+
+class TestZoneConfig:
+    def test_paper_zones_present(self):
+        assert set(PAPER_ZONES) == {"102", "105", "108"}
+        assert set(PAPER_ZONE_CONFIGS) >= set(PAPER_ZONES)
+
+    def test_zone_108_is_spikiest(self):
+        spike_energy = {
+            z: PAPER_ZONE_CONFIGS[z].spike_rate_per_day * PAPER_ZONE_CONFIGS[z].spike_scale
+            for z in PAPER_ZONES
+        }
+        assert spike_energy["108"] == max(spike_energy.values())
+
+    def test_invalid_base_demand(self):
+        with pytest.raises(ValueError, match="base_demand"):
+            ZoneConfig(zone_id="x", base_demand=-1.0, morning_peak=1.0, evening_peak=1.0)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError, match="noise_sigma"):
+            ZoneConfig(zone_id="x", base_demand=1.0, morning_peak=1.0,
+                       evening_peak=1.0, noise_sigma=-0.1)
+
+
+class TestGeneration:
+    def test_study_length_default(self):
+        series = generate_zone_series(PAPER_ZONE_CONFIGS["102"], seed=0)
+        assert len(series) == STUDY_TIMESTAMPS == 4344
+
+    def test_non_negative_volumes(self):
+        for zone in PAPER_ZONES:
+            series = generate_zone_series(PAPER_ZONE_CONFIGS[zone], 1000, seed=1)
+            assert np.all(series.volume_kwh >= 0.0)
+
+    def test_deterministic_under_seed(self):
+        a = generate_zone_series(PAPER_ZONE_CONFIGS["105"], 500, seed=9)
+        b = generate_zone_series(PAPER_ZONE_CONFIGS["105"], 500, seed=9)
+        np.testing.assert_array_equal(a.volume_kwh, b.volume_kwh)
+
+    def test_seed_changes_noise(self):
+        a = generate_zone_series(PAPER_ZONE_CONFIGS["105"], 500, seed=1)
+        b = generate_zone_series(PAPER_ZONE_CONFIGS["105"], 500, seed=2)
+        assert not np.array_equal(a.volume_kwh, b.volume_kwh)
+
+    def test_daily_pattern_present(self):
+        # Mean demand at the evening peak hour must exceed the 3 am mean.
+        config = PAPER_ZONE_CONFIGS["102"]
+        series = generate_zone_series(config, 2400, seed=3)
+        hours = series.hours % 24
+        peak_mean = series.volume_kwh[hours == round(config.evening_hour)].mean()
+        trough_mean = series.volume_kwh[hours == 3].mean()
+        assert peak_mean > trough_mean + 5.0
+
+    def test_weekend_modulation_direction(self):
+        # Zone 102 is quieter on weekends; zone 105 busier.
+        for zone, comparator in (("102", np.less), ("105", np.greater)):
+            config = PAPER_ZONE_CONFIGS[zone]
+            series = generate_zone_series(config, 4000, seed=4)
+            day = (series.hours // 24) % 7
+            weekend = series.volume_kwh[day >= 5].mean()
+            weekday = series.volume_kwh[day < 5].mean()
+            assert comparator(weekend, weekday)
+
+    def test_zone_levels_are_heterogeneous(self):
+        dataset = generate_paper_dataset(seed=5, n_timestamps=2000)
+        means = {z: dataset[z].volume_kwh.mean() for z in PAPER_ZONES}
+        assert means["105"] > means["102"]
+        assert means["105"] > means["108"]
+
+    def test_invalid_timestamps(self):
+        with pytest.raises(ValueError, match="n_timestamps"):
+            generate_zone_series(PAPER_ZONE_CONFIGS["102"], 0)
+
+
+class TestPaperDataset:
+    def test_contains_all_zones(self):
+        dataset = generate_paper_dataset(seed=0, n_timestamps=200)
+        assert list(dataset) == list(PAPER_ZONES)
+
+    def test_zones_mutually_independent(self):
+        dataset = generate_paper_dataset(seed=0, n_timestamps=500)
+        a = dataset["102"].volume_kwh
+        b = dataset["105"].volume_kwh
+        assert not np.array_equal(a, b)
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(ValueError, match="unknown zone"):
+            generate_paper_dataset(zones=("999",))
+
+    def test_whole_dataset_deterministic(self):
+        a = generate_paper_dataset(seed=77, n_timestamps=300)
+        b = generate_paper_dataset(seed=77, n_timestamps=300)
+        for zone in PAPER_ZONES:
+            np.testing.assert_array_equal(a[zone].volume_kwh, b[zone].volume_kwh)
+
+
+class TestChargingSeries:
+    def test_default_hours(self):
+        series = ChargingSeries("x", np.arange(5.0))
+        np.testing.assert_array_equal(series.hours, np.arange(5))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            ChargingSeries("x", np.arange(5.0), hours=np.arange(4))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ChargingSeries("x", np.zeros((2, 2)))

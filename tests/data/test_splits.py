@@ -1,0 +1,62 @@
+"""Tests for temporal train/test splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import split_boundary, split_mask, temporal_split
+
+
+class TestTemporalSplit:
+    def test_80_20_proportions(self):
+        train, test = temporal_split(np.arange(100.0), 0.8)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_contiguous_and_ordered(self):
+        series = np.arange(10.0)
+        train, test = temporal_split(series, 0.7)
+        np.testing.assert_array_equal(np.concatenate([train, test]), series)
+
+    def test_copies_are_independent(self):
+        series = np.arange(10.0)
+        train, test = temporal_split(series, 0.5)
+        train[0] = 99.0
+        test[0] = 99.0
+        assert series[0] == 0.0 and series[5] == 5.0
+
+    @pytest.mark.parametrize("bad", [0.0, 0.001])
+    def test_empty_train_rejected(self, bad):
+        with pytest.raises(ValueError, match="empty split"):
+            temporal_split(np.arange(10.0), bad)
+
+    def test_empty_test_rejected(self):
+        with pytest.raises(ValueError, match="empty split"):
+            temporal_split(np.arange(10.0), 1.0)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            temporal_split(np.array([1.0]), 0.8)
+
+    @given(st.integers(2, 500), st.floats(0.1, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_lengths_always_partition(self, n, fraction):
+        series = np.arange(float(n))
+        try:
+            train, test = temporal_split(series, fraction)
+        except ValueError:
+            return  # degenerate split rejected, fine
+        assert len(train) + len(test) == n
+        assert len(train) >= 1 and len(test) >= 1
+
+
+class TestHelpers:
+    def test_boundary_matches_split(self):
+        n, fraction = 103, 0.8
+        train, _ = temporal_split(np.arange(float(n)), fraction)
+        assert split_boundary(n, fraction) == len(train)
+
+    def test_mask_prefix_true(self):
+        mask = split_mask(10, 0.6)
+        np.testing.assert_array_equal(mask, [True] * 6 + [False] * 4)

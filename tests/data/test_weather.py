@@ -1,0 +1,49 @@
+"""Tests for the synthetic weather covariates."""
+
+import numpy as np
+import pytest
+
+from repro.data.weather import WeatherSeries, generate_weather
+
+
+class TestGenerateWeather:
+    def test_length_and_fields(self):
+        weather = generate_weather(500, seed=0)
+        assert len(weather) == 500
+        assert weather.temperature_c.shape == (500,)
+        assert weather.humidity_pct.shape == (500,)
+
+    def test_humidity_bounds(self):
+        weather = generate_weather(5000, seed=1)
+        assert weather.humidity_pct.min() >= 30.0
+        assert weather.humidity_pct.max() <= 100.0
+
+    def test_cooling_seasonal_trend(self):
+        # Sep -> Feb: the final weeks are cooler than the first weeks.
+        weather = generate_weather(4344, seed=2)
+        start = weather.temperature_c[:300].mean()
+        end = weather.temperature_c[-300:].mean()
+        assert end < start - 3.0
+
+    def test_deterministic_under_seed(self):
+        a = generate_weather(100, seed=3)
+        b = generate_weather(100, seed=3)
+        np.testing.assert_array_equal(a.temperature_c, b.temperature_c)
+
+    def test_as_features_shape(self):
+        weather = generate_weather(50, seed=0)
+        assert weather.as_features().shape == (50, 2)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError, match="n_timestamps"):
+            generate_weather(0)
+
+
+class TestWeatherSeries:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            WeatherSeries(np.zeros(3), np.zeros(4))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            WeatherSeries(np.zeros((2, 2)), np.zeros((2, 2)))

@@ -1,0 +1,129 @@
+"""Tests for window construction and per-point error folding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.windowing import (
+    errors_per_point,
+    make_autoencoder_windows,
+    make_supervised,
+    sliding_windows,
+)
+
+
+class TestSlidingWindows:
+    def test_count_and_content(self):
+        series = np.arange(10.0)
+        windows = sliding_windows(series, 4)
+        assert windows.shape == (7, 4)
+        np.testing.assert_array_equal(windows[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(windows[-1], [6, 7, 8, 9])
+
+    def test_returns_copy_not_view(self):
+        series = np.arange(6.0)
+        windows = sliding_windows(series, 3)
+        windows[0, 0] = 99.0
+        assert series[0] == 0.0
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError, match="too short"):
+            sliding_windows(np.arange(3.0), 4)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError, match="sequence_length"):
+            sliding_windows(np.arange(5.0), 0)
+
+
+class TestMakeSupervised:
+    def test_shapes(self):
+        x, y = make_supervised(np.arange(30.0), 24)
+        assert x.shape == (6, 24, 1)
+        assert y.shape == (6, 1)
+
+    def test_target_alignment(self):
+        series = np.arange(10.0)
+        x, y = make_supervised(series, 3)
+        # y[i] is the value right after window i.
+        np.testing.assert_array_equal(x[0, :, 0], [0, 1, 2])
+        assert y[0, 0] == 3.0
+        np.testing.assert_array_equal(x[-1, :, 0], [6, 7, 8])
+        assert y[-1, 0] == 9.0
+
+    def test_needs_one_extra_point(self):
+        with pytest.raises(ValueError, match="too short"):
+            make_supervised(np.arange(24.0), 24)
+
+    @given(st.integers(2, 10), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_count_property(self, seq_len, extra):
+        n = seq_len + 1 + extra
+        x, y = make_supervised(np.arange(float(n)), seq_len)
+        assert len(x) == len(y) == n - seq_len
+
+
+class TestAutoencoderWindows:
+    def test_shape(self):
+        windows = make_autoencoder_windows(np.arange(30.0), 24)
+        assert windows.shape == (7, 24, 1)
+
+    def test_stride(self):
+        windows = make_autoencoder_windows(np.arange(30.0), 10, stride=5)
+        assert windows.shape == (5, 10, 1)
+        np.testing.assert_array_equal(windows[1, :, 0], np.arange(5.0, 15.0))
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            make_autoencoder_windows(np.arange(30.0), 10, stride=0)
+
+
+class TestErrorsPerPoint:
+    def test_single_window_identity(self):
+        errors = np.array([[1.0, 2.0, 3.0]])
+        out = errors_per_point(errors, 3, 3)
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_mean_reduction_averages_overlaps(self):
+        # Two windows over 4 points, L=3: point 1 covered by both.
+        errors = np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]])
+        out = errors_per_point(errors, 4, 3, reduction="mean")
+        np.testing.assert_array_equal(out, [1.0, 2.0, 2.0, 3.0])
+
+    def test_min_reduction_takes_best_window(self):
+        errors = np.array([[5.0, 5.0, 5.0], [0.5, 0.5, 0.5]])
+        out = errors_per_point(errors, 4, 3, reduction="min")
+        np.testing.assert_array_equal(out, [5.0, 0.5, 0.5, 0.5])
+
+    def test_median_reduction(self):
+        errors = np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0], [9.0, 9.0, 9.0]])
+        out = errors_per_point(errors, 5, 3, reduction="median")
+        assert out[2] == 2.0  # covered by all three windows
+
+    def test_uncovered_points_nan_with_stride(self):
+        errors = np.array([[1.0, 1.0], [2.0, 2.0]])
+        out = errors_per_point(errors, 7, 2, stride=3)
+        assert np.isnan(out[2])
+        assert not np.isnan(out[0])
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError, match="window_errors"):
+            errors_per_point(np.zeros((2, 3)), 10, 4)
+
+    def test_window_past_end_rejected(self):
+        with pytest.raises(ValueError, match="past the series end"):
+            errors_per_point(np.zeros((5, 3)), 4, 3)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError, match="reduction"):
+            errors_per_point(np.zeros((1, 2)), 2, 2, reduction="max")
+
+    @given(st.integers(3, 8), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_errors_fold_to_constant(self, seq_len, extra):
+        n_windows = 1 + extra
+        series_length = n_windows + seq_len - 1
+        errors = np.full((n_windows, seq_len), 2.5)
+        for reduction in ("mean", "median", "min"):
+            out = errors_per_point(errors, series_length, seq_len, reduction=reduction)
+            np.testing.assert_allclose(out, 2.5)

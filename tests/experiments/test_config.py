@@ -1,0 +1,89 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import PROFILE_ENV_VAR, ExperimentConfig
+
+
+class TestPaperDefaults:
+    def test_paper_hyperparameters(self):
+        config = ExperimentConfig.paper()
+        assert config.n_timestamps == 4344
+        assert config.zones == ("102", "105", "108")
+        assert config.sequence_length == 24
+        assert config.lstm_units == 50
+        assert config.dense_units == 10
+        assert config.learning_rate == 0.001
+        assert config.epochs_per_round == 10
+        assert config.federated_rounds == 5
+        assert config.batch_size == 32
+        assert config.ae_encoder_units == (50, 25)
+        assert config.ae_decoder_units == (25, 50)
+        assert config.ae_dropout == 0.2
+        assert config.ae_patience == 10
+        assert config.train_fraction == 0.8
+
+    def test_centralized_epoch_budget_matches(self):
+        config = ExperimentConfig.paper()
+        assert config.centralized_epochs == 50
+
+    def test_autoencoder_config_wiring(self):
+        ae = ExperimentConfig.paper().autoencoder_config()
+        assert ae.sequence_length == 24
+        assert ae.encoder_units == (50, 25)
+        assert ae.dropout == 0.2
+
+    def test_attack_wiring(self):
+        attack = ExperimentConfig.paper().attack()
+        assert attack.config.attack_fraction == ExperimentConfig.paper().attack_fraction
+
+
+class TestProfiles:
+    def test_fast_is_smaller(self):
+        paper = ExperimentConfig.paper()
+        fast = ExperimentConfig.fast()
+        assert fast.n_timestamps < paper.n_timestamps
+        assert fast.lstm_units < paper.lstm_units
+        assert fast.centralized_epochs < paper.centralized_epochs
+
+    def test_fast_preserves_protocol(self):
+        fast = ExperimentConfig.fast()
+        assert fast.sequence_length == 24
+        assert fast.train_fraction == 0.8
+        assert fast.threshold_rule == "percentile"
+        assert fast.imputer == "linear"
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "fast")
+        assert ExperimentConfig.from_env() == ExperimentConfig.fast()
+        monkeypatch.setenv(PROFILE_ENV_VAR, "paper")
+        assert ExperimentConfig.from_env() == ExperimentConfig.paper()
+        monkeypatch.delenv(PROFILE_ENV_VAR)
+        assert ExperimentConfig.from_env() == ExperimentConfig.paper()
+
+    def test_from_env_invalid(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "huge")
+        with pytest.raises(ValueError, match="REPRO_PROFILE"):
+            ExperimentConfig.from_env()
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        config = ExperimentConfig.paper().with_overrides(seed=7, lstm_units=16)
+        assert config.seed == 7
+        assert config.lstm_units == 16
+        assert config.n_timestamps == 4344
+
+    def test_hashable_for_memoisation(self):
+        a = ExperimentConfig.fast(seed=1)
+        b = ExperimentConfig.fast(seed=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ExperimentConfig.fast(seed=2)
+
+    def test_pipeline_wires_filter_settings(self):
+        config = ExperimentConfig.fast().with_overrides(imputer="seasonal", max_gap=3)
+        pipeline = config.pipeline()
+        made = pipeline._make_filter(seed=0)
+        assert made.imputer.name == "seasonal"
+        assert made.max_gap == 3

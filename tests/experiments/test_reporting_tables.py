@@ -1,0 +1,104 @@
+"""Tests for report rendering and the table/figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import render_bars, render_comparison, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.5000" in text and "22.2500" in text
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["k", "v"], [["x", 1.0], ["yyyy", 10.0]])
+        data_lines = text.splitlines()[2:]
+        # Right-aligned numbers end at the same column.
+        ends = [line.rindex("0") for line in data_lines]
+        assert len(set(ends)) == 1
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderBars:
+    def test_bar_lengths_proportional(self):
+        text = render_bars({"small": 1.0, "big": 4.0}, width=40)
+        lines = text.splitlines()
+        small_hashes = lines[0].count("#")
+        big_hashes = lines[1].count("#")
+        assert big_hashes == 40
+        assert small_hashes == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            render_bars({})
+
+    def test_title_included(self):
+        assert render_bars({"x": 1.0}, title="T").startswith("T")
+
+
+class TestRenderComparison:
+    def test_deviation_computed(self):
+        text = render_comparison([("metric", 10.0, 12.0)])
+        assert "+20.0%" in text
+
+    def test_zero_paper_value_handled(self):
+        text = render_comparison([("metric", 0.0, 1.0)])
+        assert "n/a" in text
+
+
+class TestPaperReferenceConstants:
+    def test_table1_values(self):
+        from repro.experiments.table1 import PAPER_TABLE1
+
+        assert PAPER_TABLE1[("Clean Data", "Federated")][2] == 0.9075
+        assert PAPER_TABLE1[("Filtered Data", "Centralized")][2] == 0.7536
+        assert len(PAPER_TABLE1) == 4
+
+    def test_table2_values(self):
+        from repro.experiments.table2 import PAPER_TABLE2
+
+        assert PAPER_TABLE2["Client 3"] == (0.859, 0.354, 0.501)
+        # zone 108 must have the lowest reported recall
+        recalls = {k: v[1] for k, v in PAPER_TABLE2.items()}
+        assert min(recalls, key=recalls.get) == "Client 3"
+
+    def test_table3_values(self):
+        from repro.experiments.table3 import PAPER_TABLE3
+
+        for client in ("Client 1", "Client 2", "Client 3"):
+            federated = PAPER_TABLE3[(client, "Federated")][2]
+            centralized = PAPER_TABLE3[(client, "Centralized")][2]
+            assert federated > centralized  # the paper's core claim
+
+    def test_fig_values_match_tables(self):
+        from repro.experiments.fig2 import PAPER_FIG2
+        from repro.experiments.fig3 import PAPER_FIG3
+        from repro.experiments.table1 import PAPER_TABLE1
+        from repro.experiments.table3 import PAPER_TABLE3
+
+        assert PAPER_FIG2["Clean"][0] == PAPER_TABLE1[("Clean Data", "Federated")][1]
+        assert PAPER_FIG3["Client 2"][0] == PAPER_TABLE3[("Client 2", "Federated")][2]
+
+    def test_headline_values(self):
+        from repro.experiments.runner import PAPER_HEADLINES
+
+        assert PAPER_HEADLINES["r2_improvement_pct"] == 15.2
+        assert PAPER_HEADLINES["attack_recovery_pct"] == 47.9
+        assert PAPER_HEADLINES["overall_precision"] == 0.913
+        assert PAPER_HEADLINES["overall_fpr_pct"] == 1.21
+        assert PAPER_HEADLINES["time_reduction_pct"] == 18.1

@@ -1,0 +1,25 @@
+"""Tests for the CLI runner (argument handling; execution is covered by
+the slow integration suite)."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCLI:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--profile" in out
+        assert "--seed" in out
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--profile", "gigantic"])
+        assert excinfo.value.code == 2
+
+    def test_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            main(["--frobnicate"])

@@ -1,0 +1,159 @@
+"""Tests for differential privacy and secure-aggregation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.federated.aggregation import FedAvg
+from repro.federated.privacy import (
+    GaussianMechanism,
+    PrivateFedAvg,
+    SecureAggregationSimulator,
+    UpdateClipper,
+    gaussian_sigma,
+)
+
+
+def update_of(value, shapes=((3, 2), (4,))):
+    return [np.full(shape, float(value)) for shape in shapes]
+
+
+class TestGaussianSigma:
+    def test_scales_inversely_with_epsilon(self):
+        assert gaussian_sigma(0.5, 1e-5) > gaussian_sigma(1.0, 1e-5)
+
+    def test_scales_with_sensitivity(self):
+        assert gaussian_sigma(1.0, 1e-5, 2.0) == pytest.approx(
+            2.0 * gaussian_sigma(1.0, 1e-5, 1.0)
+        )
+
+    def test_classical_value(self):
+        # sigma = sqrt(2 ln(1.25/1e-5)) ≈ 4.84 for eps=1, delta=1e-5.
+        assert gaussian_sigma(1.0, 1e-5) == pytest.approx(4.84, abs=0.01)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"epsilon": 0.0, "delta": 1e-5},
+        {"epsilon": 1.0, "delta": 0.0},
+        {"epsilon": 1.0, "delta": 1.0},
+        {"epsilon": 1.0, "delta": 1e-5, "sensitivity": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            gaussian_sigma(**kwargs)
+
+
+class TestUpdateClipper:
+    def test_small_update_untouched(self):
+        clipper = UpdateClipper(clip_norm=100.0)
+        update = update_of(1.0)
+        clipped = clipper.clip(update)
+        for a, b in zip(clipped, update):
+            np.testing.assert_array_equal(a, b)
+
+    def test_large_update_scaled_to_ball(self):
+        clipper = UpdateClipper(clip_norm=1.0)
+        clipped = clipper.clip(update_of(10.0))
+        assert clipper.norm(clipped) == pytest.approx(1.0)
+
+    def test_clip_returns_copies(self):
+        clipper = UpdateClipper(clip_norm=100.0)
+        update = update_of(1.0)
+        clipped = clipper.clip(update)
+        clipped[0][...] = 99.0
+        assert update[0][0, 0] == 1.0
+
+    def test_zero_update_safe(self):
+        clipper = UpdateClipper(clip_norm=1.0)
+        clipped = clipper.clip(update_of(0.0))
+        assert clipper.norm(clipped) == 0.0
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError, match="clip_norm"):
+            UpdateClipper(0.0)
+
+
+class TestGaussianMechanism:
+    def test_zero_sigma_identity(self):
+        mechanism = GaussianMechanism(0.0, seed=0)
+        update = update_of(2.0)
+        noised = mechanism.add_noise(update)
+        for a, b in zip(noised, update):
+            np.testing.assert_array_equal(a, b)
+
+    def test_noise_magnitude(self):
+        mechanism = GaussianMechanism(0.5, seed=1)
+        update = [np.zeros(100_000)]
+        noised = mechanism.add_noise(update)
+        assert noised[0].std() == pytest.approx(0.5, rel=0.05)
+
+    def test_deterministic_under_seed(self):
+        a = GaussianMechanism(1.0, seed=3).add_noise(update_of(0.0))
+        b = GaussianMechanism(1.0, seed=3).add_noise(update_of(0.0))
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_for_budget(self):
+        mechanism = GaussianMechanism.for_budget(1.0, 1e-5, sensitivity=2.0)
+        assert mechanism.sigma == pytest.approx(gaussian_sigma(1.0, 1e-5, 2.0))
+
+
+class TestPrivateFedAvg:
+    def test_without_noise_equals_clipped_mean(self):
+        aggregator = PrivateFedAvg(clip_norm=1e9, noise_multiplier=0.0, seed=0)
+        plain = FedAvg(weighted=False).aggregate([update_of(1.0), update_of(3.0)])
+        private = aggregator.aggregate([update_of(1.0), update_of(3.0)])
+        for a, b in zip(private, plain):
+            np.testing.assert_allclose(a, b)
+
+    def test_clipping_neutralises_poisoned_update(self):
+        aggregator = PrivateFedAvg(clip_norm=1.0, noise_multiplier=0.0, seed=0)
+        reference = update_of(0.0)
+        aggregator.set_reference(reference)
+        honest = update_of(0.01)
+        poisoned = update_of(1e6)
+        aggregated = aggregator.aggregate([honest, honest, poisoned])
+        # Every delta is clipped to norm 1; the poisoned client cannot
+        # push the aggregate beyond clip_norm / n.
+        total_norm = float(np.sqrt(sum(np.sum(t * t) for t in aggregated)))
+        assert total_norm < 1.0
+
+    def test_noise_applied(self):
+        no_noise = PrivateFedAvg(clip_norm=1.0, noise_multiplier=0.0, seed=5)
+        with_noise = PrivateFedAvg(clip_norm=1.0, noise_multiplier=1.0, seed=5)
+        clients = [update_of(0.5), update_of(0.6)]
+        quiet = no_noise.aggregate(clients)
+        loud = with_noise.aggregate(clients)
+        assert any(not np.allclose(a, b) for a, b in zip(quiet, loud))
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError, match="noise_multiplier"):
+            PrivateFedAvg(noise_multiplier=-0.1)
+
+
+class TestSecureAggregation:
+    def test_masks_cancel_in_sum(self):
+        simulator = SecureAggregationSimulator(n_clients=3, seed=7)
+        updates = [update_of(1.0), update_of(2.0), update_of(4.0)]
+        masked = [simulator.mask(i, u) for i, u in enumerate(updates)]
+        aggregated = simulator.aggregate_masked(masked)
+        np.testing.assert_allclose(aggregated[0], 7.0, atol=1e-9)
+        np.testing.assert_allclose(aggregated[1], 7.0, atol=1e-9)
+
+    def test_individual_uploads_are_obfuscated(self):
+        simulator = SecureAggregationSimulator(n_clients=2, mask_scale=100.0, seed=8)
+        update = update_of(1.0)
+        masked = simulator.mask(0, update)
+        # The masked upload must be far from the plaintext.
+        assert np.abs(masked[0] - update[0]).mean() > 10.0
+
+    def test_wrong_update_count_rejected(self):
+        simulator = SecureAggregationSimulator(n_clients=3, seed=9)
+        with pytest.raises(ValueError, match="masked updates"):
+            simulator.aggregate_masked([update_of(1.0)])
+
+    def test_client_index_validated(self):
+        simulator = SecureAggregationSimulator(n_clients=2, seed=10)
+        with pytest.raises(ValueError, match="out of range"):
+            simulator.mask(5, update_of(1.0))
+
+    def test_needs_two_clients(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            SecureAggregationSimulator(n_clients=1)

@@ -1,0 +1,119 @@
+"""Tests for classical forecasting baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data.windowing import make_supervised
+from repro.forecasting.baselines import (
+    AutoregressiveForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    get,
+)
+from repro.forecasting.evaluation import r2_score
+
+
+@pytest.fixture
+def daily_supervised(sine_series):
+    return make_supervised(sine_series, 24)
+
+
+class TestPersistence:
+    def test_predicts_last_value(self):
+        x = np.arange(12.0).reshape(1, 12, 1)
+        prediction = PersistenceForecaster().predict(x)
+        assert prediction[0, 0] == 11.0
+
+    def test_reasonable_on_smooth_series(self, daily_supervised):
+        x, y = daily_supervised
+        predictions = PersistenceForecaster().predict(x)
+        assert r2_score(y, predictions) > 0.3
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            PersistenceForecaster().predict(np.zeros((4, 12)))
+
+
+class TestSeasonalNaive:
+    def test_predicts_one_period_back(self):
+        x = np.arange(24.0).reshape(1, 24, 1)
+        # Target index is 24; donor = 24 - 24 = 0.
+        prediction = SeasonalNaiveForecaster(period=24).predict(x)
+        assert prediction[0, 0] == 0.0
+
+    def test_perfect_on_exactly_periodic_series(self):
+        series = np.tile(np.sin(2 * np.pi * np.arange(24) / 24.0), 6)
+        x, y = make_supervised(series, 24)
+        predictions = SeasonalNaiveForecaster(period=24).predict(x)
+        np.testing.assert_allclose(predictions, y, atol=1e-12)
+
+    def test_short_window_falls_back_to_persistence(self):
+        x = np.arange(12.0).reshape(1, 12, 1)
+        prediction = SeasonalNaiveForecaster(period=24).predict(x)
+        assert prediction[0, 0] == 11.0
+
+    def test_beats_persistence_on_daily_pattern(self, daily_supervised):
+        x, y = daily_supervised
+        seasonal = r2_score(y, SeasonalNaiveForecaster(24).predict(x))
+        persistence = r2_score(y, PersistenceForecaster().predict(x))
+        assert seasonal > persistence
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError, match="period"):
+            SeasonalNaiveForecaster(period=0)
+
+
+class TestAutoregressive:
+    def test_recovers_ar_coefficients(self):
+        # y_t = 0.6 y_{t-1} + 0.3 y_{t-2} + eps: the fitted weights on
+        # the last two lags must recover the generating coefficients.
+        rng = np.random.default_rng(0)
+        series = np.zeros(3000)
+        series[:2] = rng.normal(size=2)
+        for t in range(2, 3000):
+            series[t] = 0.6 * series[t - 1] + 0.3 * series[t - 2]
+            series[t] += 0.05 * rng.normal()
+        x, y = make_supervised(series, 8)
+        model = AutoregressiveForecaster(ridge=1e-8).fit(x, y)
+        weights = model.coefficients_.ravel()
+        assert weights[-2] == pytest.approx(0.6, abs=0.08)  # lag-1 coefficient
+        assert weights[-3] == pytest.approx(0.3, abs=0.08)  # lag-2 coefficient
+
+    def test_noiseless_sine_fit_is_exact(self):
+        # A sine obeys the exact recurrence y_t = 2cos(w) y_{t-1} - y_{t-2},
+        # so a linear AR model must predict it essentially perfectly.
+        series = np.sin(2 * np.pi * np.arange(300) / 24.0)
+        x, y = make_supervised(series, 6)
+        model = AutoregressiveForecaster(ridge=1e-10).fit(x[:200], y[:200])
+        assert r2_score(y[200:], model.predict(x[200:])) > 0.999
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            AutoregressiveForecaster().predict(np.zeros((2, 4, 1)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            AutoregressiveForecaster().fit(np.zeros((3, 4, 1)), np.zeros((2, 1)))
+
+    def test_zero_windows_rejected(self):
+        with pytest.raises(ValueError, match="zero windows"):
+            AutoregressiveForecaster().fit(np.zeros((0, 4, 1)), np.zeros((0, 1)))
+
+    def test_competitive_on_daily_series(self, daily_supervised):
+        x, y = daily_supervised
+        model = AutoregressiveForecaster().fit(x[:300], y[:300])
+        assert r2_score(y[300:], model.predict(x[300:])) > 0.6
+
+    def test_invalid_ridge(self):
+        with pytest.raises(ValueError, match="ridge"):
+            AutoregressiveForecaster(ridge=-1.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["persistence", "seasonal_naive", "autoregressive"])
+    def test_get_by_name(self, name):
+        assert get(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            get("prophet")

@@ -1,0 +1,96 @@
+"""Tests for regression metrics (MAE/RMSE/R²)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.forecasting.evaluation import evaluate_regression, mae, r2_score, rmse
+
+pair_strategy = st.integers(2, 80).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=st.floats(-1e4, 1e4, allow_nan=False)),
+        arrays(np.float64, n, elements=st.floats(-1e4, 1e4, allow_nan=False)),
+    )
+)
+
+
+class TestKnownValues:
+    def test_mae(self):
+        assert mae([0.0, 0.0], [3.0, -1.0]) == pytest.approx(2.0)
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 1.0, -2.0])) < 0.0
+
+    def test_r2_constant_truth_conventions(self):
+        constant = np.full(4, 5.0)
+        assert r2_score(constant, constant) == 1.0
+        assert r2_score(constant, constant + 1.0) == 0.0
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            rmse(np.zeros(0), np.zeros(0))
+
+    def test_accepts_column_vectors(self):
+        # (n, 1) predictions against (n,) targets must flatten cleanly.
+        assert mae(np.zeros(3), np.zeros((3, 1))) == 0.0
+
+
+class TestProperties:
+    @given(pair_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_rmse_at_least_mae(self, pair):
+        y_true, y_pred = pair
+        assert rmse(y_true, y_pred) >= mae(y_true, y_pred) - 1e-9
+
+    @given(pair_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_metrics_nonnegative_and_r2_at_most_one(self, pair):
+        y_true, y_pred = pair
+        assert mae(y_true, y_pred) >= 0.0
+        assert rmse(y_true, y_pred) >= 0.0
+        assert r2_score(y_true, y_pred) <= 1.0 + 1e-12
+
+    @given(pair_strategy, st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance_of_errors(self, pair, shift):
+        y_true, y_pred = pair
+        assert mae(y_true + shift, y_pred + shift) == pytest.approx(
+            mae(y_true, y_pred), rel=1e-9, abs=1e-9
+        )
+
+
+class TestEvaluateRegression:
+    def test_bundle_matches_individual(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.normal(size=30)
+        y_pred = y_true + rng.normal(0, 0.1, size=30)
+        metrics = evaluate_regression(y_true, y_pred)
+        assert metrics.mae == pytest.approx(mae(y_true, y_pred))
+        assert metrics.rmse == pytest.approx(rmse(y_true, y_pred))
+        assert metrics.r2 == pytest.approx(r2_score(y_true, y_pred))
+        assert metrics.n_samples == 30
+
+    def test_str_and_dict(self):
+        metrics = evaluate_regression(np.arange(5.0), np.arange(5.0))
+        assert "R2=1.0000" in str(metrics)
+        assert set(metrics.as_dict()) == {"mae", "rmse", "r2"}

@@ -1,0 +1,161 @@
+"""Tests for the forecaster architecture and both training pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ClientDataset
+from repro.forecasting.centralized import CentralizedForecaster
+from repro.forecasting.federated import FederatedForecaster
+from repro.forecasting.models import build_forecaster, forecaster_builder
+
+
+def tiny_builder():
+    return forecaster_builder(lstm_units=6, dense_units=4)
+
+
+@pytest.fixture
+def prepared_clients(tiny_clients):
+    return {c.name: c.prepare(sequence_length=12, train_fraction=0.8) for c in tiny_clients}
+
+
+@pytest.fixture
+def clients_by_name(tiny_clients):
+    return {c.name: c for c in tiny_clients}
+
+
+class TestModels:
+    def test_paper_architecture(self):
+        model = build_forecaster()
+        names = [type(layer).__name__ for layer in model.layers]
+        assert names == ["LSTM", "Dense", "Dense"]
+        assert model.layers[0].units == 50
+        assert model.layers[1].units == 10
+        assert model.layers[1].activation.name == "relu"
+        assert model.layers[2].units == 1
+        assert model.optimizer.learning_rate == 0.001
+
+    def test_builder_yields_fresh_models(self):
+        build = tiny_builder()
+        assert build() is not build()
+
+    def test_output_shape(self):
+        model = build_forecaster(lstm_units=5, dense_units=3)
+        out = model.predict(np.zeros((2, 24, 1)))
+        assert out.shape == (2, 1)
+
+
+class TestFederatedForecaster:
+    def test_train_evaluate_structure(self, prepared_clients):
+        forecaster = FederatedForecaster(
+            rounds=1, epochs_per_round=1, builder=tiny_builder(), seed=0
+        )
+        result = forecaster.train_evaluate(prepared_clients)
+        assert set(result.forecasts) == set(prepared_clients)
+        for name, data in prepared_clients.items():
+            forecast = result.forecasts[name]
+            assert forecast.predictions_kwh.shape == (data.n_test,)
+            assert forecast.metrics.n_samples == data.n_test
+        assert result.parallel_seconds > 0
+
+    def test_invalid_evaluate_with(self):
+        with pytest.raises(ValueError, match="evaluate_with"):
+            FederatedForecaster(evaluate_with="both")
+
+    def test_global_vs_local_evaluation_differ(self, prepared_clients):
+        local = FederatedForecaster(
+            rounds=1, epochs_per_round=1, builder=tiny_builder(),
+            evaluate_with="local", seed=0,
+        ).train_evaluate(prepared_clients)
+        global_ = FederatedForecaster(
+            rounds=1, epochs_per_round=1, builder=tiny_builder(),
+            evaluate_with="global", seed=0,
+        ).train_evaluate(prepared_clients)
+        name = "Client 1"
+        assert not np.array_equal(
+            local.forecasts[name].predictions_kwh,
+            global_.forecasts[name].predictions_kwh,
+        )
+
+    def test_target_override(self, prepared_clients):
+        forecaster = FederatedForecaster(
+            rounds=1, epochs_per_round=1, builder=tiny_builder(), seed=0
+        )
+        overrides = {
+            name: np.zeros(data.n_test) for name, data in prepared_clients.items()
+        }
+        result = forecaster.train_evaluate(prepared_clients, targets_kwh=overrides)
+        np.testing.assert_array_equal(
+            result.forecasts["Client 1"].targets_kwh, 0.0
+        )
+
+    def test_target_override_length_validated(self, prepared_clients):
+        forecaster = FederatedForecaster(
+            rounds=1, epochs_per_round=1, builder=tiny_builder(), seed=0
+        )
+        overrides = {name: np.zeros(3) for name in prepared_clients}
+        with pytest.raises(ValueError, match="length"):
+            forecaster.train_evaluate(prepared_clients, targets_kwh=overrides)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FederatedForecaster(builder=tiny_builder()).train_evaluate({})
+
+    def test_learns_sine_next_step(self, sine_series):
+        client = ClientDataset("Client 1", "z", sine_series)
+        prepared = {"Client 1": client.prepare(12, 0.8)}
+        forecaster = FederatedForecaster(
+            rounds=3,
+            epochs_per_round=10,
+            builder=forecaster_builder(lstm_units=10, dense_units=6),
+            seed=0,
+        )
+        result = forecaster.train_evaluate(prepared)
+        assert result.metrics_of("Client 1").r2 > 0.6
+
+
+class TestCentralizedForecaster:
+    def test_global_scaling_run(self, clients_by_name):
+        forecaster = CentralizedForecaster(
+            epochs=2, sequence_length=12, scaling="global",
+            builder=tiny_builder(), seed=0,
+        )
+        result = forecaster.train_evaluate(clients_by_name)
+        assert set(result.forecasts) == set(clients_by_name)
+        assert result.train_seconds > 0
+        assert result.final_loss >= 0
+
+    def test_per_client_scaling_run(self, clients_by_name):
+        forecaster = CentralizedForecaster(
+            epochs=1, sequence_length=12, scaling="per_client",
+            builder=tiny_builder(), seed=0,
+        )
+        result = forecaster.train_evaluate(clients_by_name)
+        assert set(result.forecasts) == set(clients_by_name)
+
+    def test_prepared_path(self, prepared_clients):
+        forecaster = CentralizedForecaster(epochs=1, builder=tiny_builder(), seed=0)
+        result = forecaster.train_evaluate_prepared(prepared_clients)
+        assert set(result.forecasts) == set(prepared_clients)
+
+    def test_invalid_scaling(self):
+        with pytest.raises(ValueError, match="scaling"):
+            CentralizedForecaster(scaling="none")
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError, match="epochs"):
+            CentralizedForecaster(epochs=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CentralizedForecaster(builder=tiny_builder()).train_evaluate({})
+
+    def test_targets_in_original_units(self, clients_by_name):
+        forecaster = CentralizedForecaster(
+            epochs=1, sequence_length=12, builder=tiny_builder(), seed=0
+        )
+        result = forecaster.train_evaluate(clients_by_name)
+        client = clients_by_name["Client 1"]
+        test_segment = client.series[int(len(client) * 0.8):]
+        np.testing.assert_allclose(
+            result.forecasts["Client 1"].targets_kwh, test_segment, atol=1e-9
+        )

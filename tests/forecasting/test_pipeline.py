@@ -1,0 +1,88 @@
+"""Tests for the scenario pipeline (clean/attacked/filtered stages)."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig
+from repro.anomaly.filter import EVChargingAnomalyFilter
+from repro.attacks.ddos import DDoSConfig, DDoSVolumeAttack
+from repro.forecasting.pipeline import VARIANTS, ScenarioPipeline
+
+
+@pytest.fixture
+def stage(tiny_clients, tiny_ae_config):
+    def filter_factory(seed):
+        return EVChargingAnomalyFilter(
+            sequence_length=tiny_ae_config.sequence_length,
+            config=tiny_ae_config,
+            seed=seed,
+        )
+
+    pipeline = ScenarioPipeline(
+        attack=DDoSVolumeAttack(DDoSConfig(attack_fraction=0.08)),
+        sequence_length=tiny_ae_config.sequence_length,
+        filter_factory=filter_factory,
+        seed=3,
+    )
+    return pipeline.run_data_stage(tiny_clients)
+
+
+class TestDataStage:
+    def test_all_variants_present(self, stage, tiny_clients):
+        names = {c.name for c in tiny_clients}
+        for variant in VARIANTS:
+            assert set(stage.variant(variant)) == names
+
+    def test_unknown_variant_rejected(self, stage):
+        with pytest.raises(ValueError, match="variant"):
+            stage.variant("poisoned")
+
+    def test_attacked_differs_from_clean(self, stage):
+        for name in stage.labels:
+            clean = stage.clean[name].series
+            attacked = stage.attacked[name].series
+            labels = stage.labels[name]
+            assert labels.any()
+            assert not np.array_equal(clean, attacked)
+            np.testing.assert_array_equal(clean[~labels], attacked[~labels])
+
+    def test_filtered_closer_to_clean_than_attacked(self, stage):
+        for name in stage.labels:
+            clean = stage.clean[name].series
+            attacked = stage.attacked[name].series
+            filtered = stage.filtered[name].series
+            labels = stage.labels[name]
+            attacked_error = np.abs(attacked[labels] - clean[labels]).mean()
+            filtered_error = np.abs(filtered[labels] - clean[labels]).mean()
+            assert filtered_error < attacked_error
+
+    def test_prepared_cached(self, stage):
+        assert stage.prepared("clean") is stage.prepared("clean")
+
+    def test_prepared_shapes_consistent_across_variants(self, stage):
+        shapes = {
+            variant: stage.prepared(variant)["Client 1"].x_test.shape
+            for variant in VARIANTS
+        }
+        assert len(set(shapes.values())) == 1
+
+    def test_detection_metrics_available(self, stage):
+        for name in stage.labels:
+            metrics = stage.detection_metrics_of(name)
+            assert 0.0 <= metrics.precision <= 1.0
+            assert 0.0 <= metrics.recall <= 1.0
+        overall = stage.overall_detection_metrics()
+        assert 0.0 <= overall.false_positive_rate <= 1.0
+
+    def test_clean_targets_match_clean_series(self, stage):
+        targets = stage.clean_test_targets_kwh()
+        for name, data in stage.prepared("clean").items():
+            np.testing.assert_allclose(targets[name], data.test_targets_kwh)
+
+    def test_default_filter_factory(self, tiny_clients):
+        # Without an explicit factory, the pipeline builds paper-default
+        # filters; use a tiny sequence length to keep this affordable.
+        pipeline = ScenarioPipeline(sequence_length=12, seed=1)
+        made = pipeline._make_filter(seed=0)
+        assert isinstance(made, EVChargingAnomalyFilter)
+        assert made.sequence_length == 12

@@ -1,0 +1,98 @@
+"""Tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import activations
+
+
+def numeric_derivative(fn, x, eps=1e-6):
+    return (fn(x + eps) - fn(x - eps)) / (2 * eps)
+
+
+@pytest.fixture
+def x():
+    return np.linspace(-4.0, 4.0, 41)
+
+
+ALL = ["linear", "relu", "leaky_relu", "sigmoid", "tanh", "softplus"]
+
+
+class TestForward:
+    def test_sigmoid_range_and_midpoint(self, x):
+        y = activations.Sigmoid().forward(x)
+        assert np.all((y > 0) & (y < 1))
+        assert activations.Sigmoid().forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_extreme_values_stable(self):
+        y = activations.Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(y))
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_relu_clips_negatives(self, x):
+        y = activations.ReLU().forward(x)
+        assert np.all(y >= 0)
+        np.testing.assert_array_equal(y[x > 0], x[x > 0])
+
+    def test_tanh_is_odd(self, x):
+        act = activations.Tanh()
+        np.testing.assert_allclose(act.forward(-x), -act.forward(x))
+
+    def test_softplus_positive_and_above_relu(self, x):
+        y = activations.Softplus().forward(x)
+        assert np.all(y > 0)
+        assert np.all(y >= np.maximum(x, 0.0) - 1e-12)
+
+    def test_softplus_stable_for_large_inputs(self):
+        y = activations.Softplus().forward(np.array([700.0, -700.0]))
+        assert np.all(np.isfinite(y))
+
+    def test_linear_identity(self, x):
+        np.testing.assert_array_equal(activations.Linear().forward(x), x)
+
+    def test_leaky_relu_negative_slope(self):
+        act = activations.LeakyReLU(alpha=0.1)
+        np.testing.assert_allclose(act.forward(np.array([-2.0])), [-0.2])
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("name", ["linear", "sigmoid", "tanh", "softplus"])
+    def test_matches_numeric(self, name, x):
+        act = activations.get(name)
+        y = act.forward(x)
+        analytic = act.derivative(x, y)
+        numeric = numeric_derivative(act.forward, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    @pytest.mark.parametrize("name", ["relu", "leaky_relu"])
+    def test_piecewise_matches_numeric_away_from_kink(self, name):
+        act = activations.get(name)
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        y = act.forward(x)
+        np.testing.assert_allclose(
+            act.derivative(x, y), numeric_derivative(act.forward, x), atol=1e-6
+        )
+
+    def test_backward_chains_gradient(self, x):
+        act = activations.Tanh()
+        y = act.forward(x)
+        grad = np.full_like(x, 2.0)
+        np.testing.assert_allclose(act.backward(grad, x, y), 2.0 * (1 - y * y))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL)
+    def test_get_by_name(self, name):
+        assert isinstance(activations.get(name), activations.Activation)
+
+    def test_none_is_linear(self):
+        assert isinstance(activations.get(None), activations.Linear)
+
+    def test_instance_passthrough(self):
+        act = activations.ReLU()
+        assert activations.get(act) is act
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            activations.get("swishh")

@@ -1,0 +1,133 @@
+"""Tests for training callbacks (EarlyStopping is the paper-critical one)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    EarlyStopping,
+    History,
+    Sequential,
+    TerminateOnNaN,
+)
+
+
+def compiled_model(lr=0.01):
+    model = Sequential([Dense(4, activation="tanh"), Dense(1)])
+    model.compile(Adam(lr), "mse")
+    return model
+
+
+class TestHistory:
+    def test_records_all_epochs(self):
+        rng = np.random.default_rng(0)
+        model = compiled_model()
+        history = model.fit(rng.normal(size=(16, 2)), rng.normal(size=(16, 1)), epochs=4, seed=0)
+        assert len(history.history["loss"]) == 4
+        assert history.epochs_run == 4
+
+    def test_manual_logging(self):
+        history = History()
+        history.on_epoch_end(0, {"loss": 1.0})
+        history.on_epoch_end(1, {"loss": 0.5, "val_loss": 0.7})
+        assert history.history["loss"] == [1.0, 0.5]
+        assert history.history["val_loss"] == [0.7]
+
+
+class TestEarlyStopping:
+    def _drive(self, stopper, losses):
+        """Feed a loss sequence through the callback with a dummy model."""
+
+        class DummyModel:
+            def __init__(self):
+                self.stop_training = False
+                self._weights = [np.array([0.0])]
+
+            def get_weights(self):
+                return [w.copy() for w in self._weights]
+
+            def set_weights(self, weights):
+                self._weights = [w.copy() for w in weights]
+
+        model = DummyModel()
+        stopper.model = model
+        stopper.on_train_begin({})
+        for epoch, loss in enumerate(losses):
+            model._weights = [np.array([float(epoch)])]
+            stopper.on_epoch_end(epoch, {"loss": loss})
+            if model.stop_training:
+                break
+        stopper.on_train_end({})
+        return model, epoch
+
+    def test_stops_after_patience_exceeded(self):
+        stopper = EarlyStopping(monitor="loss", patience=2, restore_best_weights=False)
+        _, stopped_at = self._drive(stopper, [1.0, 0.5, 0.6, 0.7, 0.8, 0.9])
+        assert stopped_at == 4  # best at epoch 1; waits 2; stops on 3rd bad
+        assert stopper.stopped_epoch == 4
+
+    def test_does_not_stop_while_improving(self):
+        stopper = EarlyStopping(monitor="loss", patience=1)
+        _, last = self._drive(stopper, [1.0, 0.9, 0.8, 0.7])
+        assert last == 3
+        assert stopper.stopped_epoch is None
+
+    def test_restores_best_weights(self):
+        stopper = EarlyStopping(monitor="loss", patience=1, restore_best_weights=True)
+        model, _ = self._drive(stopper, [1.0, 0.2, 0.9, 0.95])
+        # Best epoch was 1; weights tagged with epoch number.
+        assert model._weights[0][0] == 1.0
+
+    def test_min_delta_counts_small_gains_as_no_improvement(self):
+        stopper = EarlyStopping(monitor="loss", patience=1, min_delta=0.1,
+                                restore_best_weights=False)
+        _, stopped_at = self._drive(stopper, [1.0, 0.99, 0.98, 0.97])
+        assert stopped_at == 2
+
+    def test_nan_loss_never_improves(self):
+        stopper = EarlyStopping(monitor="loss", patience=1, restore_best_weights=False)
+        _, stopped_at = self._drive(stopper, [1.0, float("nan"), float("nan")])
+        assert stopped_at == 2
+
+    def test_missing_monitor_key_raises(self):
+        stopper = EarlyStopping(monitor="val_loss")
+        stopper.model = object()
+        with pytest.raises(KeyError, match="val_loss"):
+            stopper.on_epoch_end(0, {"loss": 1.0})
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError, match="patience"):
+            EarlyStopping(patience=-1)
+
+    def test_integration_with_fit(self):
+        # Training noise-fitting stalls quickly; early stopping must cut
+        # the epoch count below the requested maximum.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(32, 2))
+        y = rng.normal(size=(32, 1))
+        model = compiled_model(lr=0.05)
+        history = model.fit(
+            x, y, epochs=200, batch_size=8,
+            callbacks=[EarlyStopping(monitor="loss", patience=3)], seed=3,
+        )
+        assert history.epochs_run < 200
+
+
+class TestTerminateOnNaN:
+    def test_flags_nan(self):
+        callback = TerminateOnNaN()
+
+        class DummyModel:
+            stop_training = False
+
+        callback.model = DummyModel()
+        callback.on_epoch_end(0, {"loss": float("nan")})
+        assert callback.terminated
+        assert callback.model.stop_training
+
+    def test_ignores_finite(self):
+        callback = TerminateOnNaN()
+        callback.model = type("M", (), {"stop_training": False})()
+        callback.on_epoch_end(0, {"loss": 1.0})
+        assert not callback.terminated

@@ -1,0 +1,137 @@
+"""Numerical gradient verification of every layer's backward pass.
+
+These are the substrate's load-bearing tests: if BPTT is wrong, every
+experiment in the reproduction is wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Dense,
+    Huber,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    RepeatVector,
+    Sequential,
+    TimeDistributed,
+)
+from repro.nn.gradcheck import check_input_gradients, check_model_gradients
+
+TOLERANCE = 5e-4
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def build(layers, input_shape, seed=1):
+    model = Sequential(layers)
+    model.build(input_shape, seed=seed)
+    return model
+
+
+class TestDenseGradients:
+    def test_linear_stack(self, rng):
+        model = build([Dense(4), Dense(2)], (3,))
+        x = rng.normal(size=(5, 3))
+        y = rng.normal(size=(5, 2))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_relu_dense(self, rng):
+        model = build([Dense(6, activation="relu"), Dense(1)], (4,))
+        x = rng.normal(size=(8, 4)) + 0.1  # keep away from relu kink
+        y = rng.normal(size=(8, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_tanh_sigmoid_chain(self, rng):
+        model = build(
+            [Dense(5, activation="tanh"), Dense(3, activation="sigmoid"), Dense(1)], (2,)
+        )
+        x = rng.normal(size=(6, 2))
+        y = rng.normal(size=(6, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_input_gradient(self, rng):
+        model = build([Dense(4, activation="tanh"), Dense(2)], (3,))
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 2))
+        assert check_input_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+
+class TestLSTMGradients:
+    def test_lstm_final_state(self, rng):
+        model = build([LSTM(5), Dense(1)], (7, 2))
+        x = rng.normal(size=(4, 7, 2))
+        y = rng.normal(size=(4, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_lstm_return_sequences(self, rng):
+        model = build([LSTM(4, return_sequences=True), TimeDistributed(Dense(1))], (6, 1))
+        x = rng.normal(size=(3, 6, 1))
+        y = rng.normal(size=(3, 6, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_stacked_lstm(self, rng):
+        model = build([LSTM(4, return_sequences=True), LSTM(3), Dense(1)], (5, 2))
+        x = rng.normal(size=(3, 5, 2))
+        y = rng.normal(size=(3, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_lstm_input_gradient(self, rng):
+        model = build([LSTM(4), Dense(1)], (6, 2))
+        x = rng.normal(size=(3, 6, 2))
+        y = rng.normal(size=(3, 1))
+        assert check_input_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+    def test_paper_forecaster_architecture(self, rng):
+        # LSTM(50)->Dense(10,relu)->Dense(1) scaled down for speed.
+        model = build([LSTM(10), Dense(5, activation="relu"), Dense(1)], (12, 1))
+        x = rng.normal(size=(4, 12, 1))
+        y = rng.normal(size=(4, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+
+class TestAutoencoderGradients:
+    def test_paper_autoencoder_architecture(self, rng):
+        # Encoder 50->25 / decoder 25->50 scaled down; full layout.
+        model = build(
+            [
+                LSTM(6, return_sequences=True),
+                LSTM(3),
+                RepeatVector(5),
+                LSTM(3, return_sequences=True),
+                LSTM(6, return_sequences=True),
+                TimeDistributed(Dense(2)),
+            ],
+            (5, 2),
+        )
+        x = rng.normal(size=(3, 5, 2))
+        assert (
+            check_model_gradients(
+                model, x, x, MeanSquaredError(), max_entries_per_variable=8
+            )
+            < 1e-3
+        )
+
+    def test_repeat_vector_path(self, rng):
+        model = build([LSTM(3), RepeatVector(4), TimeDistributed(Dense(1))], (4, 1))
+        x = rng.normal(size=(2, 4, 1))
+        y = rng.normal(size=(2, 4, 1))
+        assert check_model_gradients(model, x, y, MeanSquaredError()) < TOLERANCE
+
+
+class TestOtherLosses:
+    def test_huber_gradients(self, rng):
+        model = build([LSTM(4), Dense(1)], (5, 1))
+        x = rng.normal(size=(4, 5, 1))
+        y = rng.normal(size=(4, 1)) * 3
+        assert check_model_gradients(model, x, y, Huber(0.5)) < TOLERANCE
+
+    def test_mae_gradients_away_from_kink(self, rng):
+        model = build([Dense(3, activation="tanh"), Dense(1)], (2,))
+        x = rng.normal(size=(4, 2))
+        y = rng.normal(size=(4, 1)) + 10.0  # predictions far from targets
+        assert check_model_gradients(model, x, y, MeanAbsoluteError()) < TOLERANCE

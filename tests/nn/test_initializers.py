@@ -1,0 +1,87 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBasicInitializers:
+    def test_zeros(self, rng):
+        out = initializers.zeros((3, 4), rng)
+        assert out.shape == (3, 4)
+        assert np.all(out == 0.0)
+
+    def test_ones(self, rng):
+        assert np.all(initializers.ones((5,), rng) == 1.0)
+
+    def test_constant_factory(self, rng):
+        init = initializers.constant(2.5)
+        assert np.all(init((2, 2), rng) == 2.5)
+
+    def test_random_uniform_range(self, rng):
+        out = initializers.random_uniform((1000,), rng)
+        assert out.min() >= -0.05 and out.max() <= 0.05
+
+
+class TestGlorot:
+    def test_uniform_bounds(self, rng):
+        fan_in, fan_out = 30, 50
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        out = initializers.glorot_uniform((fan_in, fan_out), rng)
+        assert np.all(np.abs(out) <= limit)
+
+    def test_normal_stddev_approx(self, rng):
+        fan_in, fan_out = 200, 200
+        out = initializers.glorot_normal((fan_in, fan_out), rng)
+        expected = np.sqrt(2.0 / (fan_in + fan_out))
+        assert out.std() == pytest.approx(expected, rel=0.1)
+
+    def test_he_uniform_bounds(self, rng):
+        out = initializers.he_uniform((64, 16), rng)
+        assert np.all(np.abs(out) <= np.sqrt(6.0 / 64))
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self, rng):
+        q = initializers.orthogonal((16, 16), rng)
+        np.testing.assert_allclose(q @ q.T, np.eye(16), atol=1e-10)
+
+    def test_tall_has_orthonormal_columns(self, rng):
+        q = initializers.orthogonal((20, 8), rng)
+        np.testing.assert_allclose(q.T @ q, np.eye(8), atol=1e-10)
+
+    def test_wide_has_orthonormal_rows(self, rng):
+        q = initializers.orthogonal((8, 20), rng)
+        np.testing.assert_allclose(q @ q.T, np.eye(8), atol=1e-10)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            initializers.orthogonal((4,), rng)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        ["zeros", "ones", "glorot_uniform", "glorot_normal", "he_uniform",
+         "he_normal", "orthogonal", "random_uniform", "random_normal"],
+    )
+    def test_get_by_name(self, name):
+        assert callable(initializers.get(name))
+
+    def test_get_passthrough(self):
+        assert initializers.get(initializers.zeros) is initializers.zeros
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            initializers.get("nope")
+
+    def test_determinism_under_seed(self):
+        a = initializers.glorot_uniform((5, 5), np.random.default_rng(3))
+        b = initializers.glorot_uniform((5, 5), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,105 @@
+"""Tests for loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import losses
+
+
+@pytest.fixture
+def pair():
+    rng = np.random.default_rng(1)
+    return rng.normal(size=(8, 3)), rng.normal(size=(8, 3))
+
+
+def numeric_gradient(loss, y_true, y_pred, eps=1e-6):
+    grad = np.zeros_like(y_pred)
+    flat = y_pred.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = loss(y_true, y_pred)
+        flat[i] = orig - eps
+        down = loss(y_true, y_pred)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestMSE:
+    def test_zero_at_equality(self, pair):
+        y, _ = pair
+        assert losses.MeanSquaredError()(y, y) == 0.0
+
+    def test_known_value(self):
+        loss = losses.MeanSquaredError()
+        assert loss(np.array([0.0, 0.0]), np.array([1.0, 3.0])) == pytest.approx(5.0)
+
+    def test_gradient_matches_numeric(self, pair):
+        y_true, y_pred = pair
+        loss = losses.MeanSquaredError()
+        np.testing.assert_allclose(
+            loss.gradient(y_true, y_pred), numeric_gradient(loss, y_true, y_pred), atol=1e-6
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            losses.MeanSquaredError()(np.zeros(3), np.zeros(4))
+
+
+class TestMAE:
+    def test_known_value(self):
+        loss = losses.MeanAbsoluteError()
+        assert loss(np.array([0.0, 0.0]), np.array([1.0, -3.0])) == pytest.approx(2.0)
+
+    def test_gradient_matches_numeric_away_from_zero(self):
+        rng = np.random.default_rng(2)
+        y_true = rng.normal(size=(10,))
+        y_pred = y_true + np.where(rng.random(10) > 0.5, 1.0, -1.0)
+        loss = losses.MeanAbsoluteError()
+        np.testing.assert_allclose(
+            loss.gradient(y_true, y_pred), numeric_gradient(loss, y_true, y_pred), atol=1e-6
+        )
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        loss = losses.Huber(delta=1.0)
+        y_true = np.array([0.0])
+        y_pred = np.array([0.5])
+        assert loss(y_true, y_pred) == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        loss = losses.Huber(delta=1.0)
+        assert loss(np.array([0.0]), np.array([3.0])) == pytest.approx(2.5)
+
+    def test_gradient_matches_numeric(self, pair):
+        y_true, y_pred = pair
+        loss = losses.Huber(delta=0.7)
+        np.testing.assert_allclose(
+            loss.gradient(y_true, y_pred), numeric_gradient(loss, y_true, y_pred), atol=1e-6
+        )
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError, match="delta"):
+            losses.Huber(delta=0.0)
+
+    def test_below_mse_for_outliers(self):
+        y_true = np.zeros(4)
+        y_pred = np.array([0.1, 0.2, 0.1, 10.0])
+        assert losses.Huber(1.0)(y_true, y_pred) < losses.MeanSquaredError()(y_true, y_pred)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["mse", "mae", "huber", "mean_squared_error"])
+    def test_get_by_name(self, name):
+        assert isinstance(losses.get(name), losses.Loss)
+
+    def test_passthrough(self):
+        loss = losses.Huber(2.0)
+        assert losses.get(loss) is loss
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            losses.get("crossentropy")

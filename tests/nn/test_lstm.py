@@ -1,0 +1,137 @@
+"""Tests for the LSTM layer (shapes, semantics, gate behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import LSTM
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestShapes:
+    def test_final_state_output(self, rng):
+        layer = LSTM(8)
+        layer.build((10, 2), rng)
+        out = layer.forward(rng.normal(size=(4, 10, 2)))
+        assert out.shape == (4, 8)
+
+    def test_sequence_output(self, rng):
+        layer = LSTM(8, return_sequences=True)
+        layer.build((10, 2), rng)
+        out = layer.forward(rng.normal(size=(4, 10, 2)))
+        assert out.shape == (4, 10, 8)
+
+    def test_compute_output_shape(self):
+        assert LSTM(5).compute_output_shape((7, 2)) == (5,)
+        assert LSTM(5, return_sequences=True).compute_output_shape((7, 2)) == (7, 5)
+
+    def test_rejects_2d_input(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 1), rng)
+        with pytest.raises(ValueError, match="batch, timesteps, features"):
+            layer.forward(np.zeros((5, 1)))
+
+    def test_rejects_bad_build_shape(self, rng):
+        with pytest.raises(ValueError, match="timesteps, features"):
+            LSTM(4).build((5,), rng)
+
+    def test_param_count(self, rng):
+        layer = LSTM(50)
+        layer.build((24, 1), rng)
+        # kernel (1, 200) + recurrent (50, 200) + bias (200)
+        assert layer.count_params() == 1 * 200 + 50 * 200 + 200
+
+
+class TestSemantics:
+    def test_final_state_equals_last_sequence_step(self, rng):
+        x = rng.normal(size=(3, 6, 2))
+        layer_seq = LSTM(5, return_sequences=True)
+        layer_seq.build((6, 2), np.random.default_rng(7))
+        layer_last = LSTM(5)
+        layer_last.build((6, 2), np.random.default_rng(7))
+        np.testing.assert_allclose(
+            layer_seq.forward(x)[:, -1, :], layer_last.forward(x)
+        )
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        layer = LSTM(4, unit_forget_bias=True)
+        layer.build((3, 1), rng)
+        bias = layer.variables[2].value
+        np.testing.assert_array_equal(bias[4:8], 1.0)
+        np.testing.assert_array_equal(bias[:4], 0.0)
+        np.testing.assert_array_equal(bias[8:], 0.0)
+
+    def test_no_forget_bias_option(self, rng):
+        layer = LSTM(4, unit_forget_bias=False)
+        layer.build((3, 1), rng)
+        np.testing.assert_array_equal(layer.variables[2].value, 0.0)
+
+    def test_outputs_bounded_by_tanh(self, rng):
+        layer = LSTM(6, return_sequences=True)
+        layer.build((20, 1), rng)
+        out = layer.forward(rng.normal(size=(2, 20, 1)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_deterministic_forward(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 1), rng)
+        x = rng.normal(size=(2, 5, 1))
+        np.testing.assert_array_equal(layer.forward(x), layer.forward(x))
+
+    def test_zero_input_nonzero_output_from_bias(self, rng):
+        # With the forget bias at 1 and zero input, the cell still
+        # evolves deterministically; output must be finite and small.
+        layer = LSTM(4)
+        layer.build((8, 1), rng)
+        out = layer.forward(np.zeros((1, 8, 1)))
+        assert np.all(np.isfinite(out))
+
+    def test_sensitivity_to_early_timesteps(self, rng):
+        # Long-memory check: changing the first timestep must change the
+        # final state (the LSTM's raison d'être in the paper).
+        layer = LSTM(8)
+        layer.build((24, 1), rng)
+        x = rng.normal(size=(1, 24, 1))
+        base = layer.forward(x)
+        x2 = x.copy()
+        x2[0, 0, 0] += 5.0
+        assert not np.allclose(base, layer.forward(x2))
+
+
+class TestBackwardValidation:
+    def test_backward_before_forward(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 1), rng)
+        with pytest.raises(RuntimeError, match="before forward"):
+            layer.backward(np.zeros((2, 4)))
+
+    def test_gradient_shape_mismatch(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 1), rng)
+        layer.forward(np.zeros((2, 5, 1)))
+        with pytest.raises(ValueError, match="gradient shape"):
+            layer.backward(np.zeros((2, 5)))
+
+    def test_input_gradient_shape(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 2), rng)
+        layer.forward(rng.normal(size=(3, 5, 2)))
+        grad_in = layer.backward(np.ones((3, 4)))
+        assert grad_in.shape == (3, 5, 2)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError, match="units"):
+            LSTM(0)
+
+
+class TestConfig:
+    def test_get_config_round_trip_fields(self):
+        layer = LSTM(7, return_sequences=True, unit_forget_bias=False)
+        config = layer.get_config()
+        rebuilt = LSTM(**{k: v for k, v in config.items() if k != "name"})
+        assert rebuilt.units == 7
+        assert rebuilt.return_sequences is True
+        assert rebuilt.unit_forget_bias is False

@@ -1,0 +1,196 @@
+"""Tests for the Sequential model: build/fit/predict/evaluate/weights."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Adam,
+    Dense,
+    Dropout,
+    LambdaCallback,
+    Sequential,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def small_model():
+    model = Sequential([Dense(8, activation="tanh"), Dense(1)])
+    model.compile(optimizer=Adam(0.01), loss="mse")
+    return model
+
+
+class TestConstruction:
+    def test_add_after_build_raises(self, rng):
+        model = Sequential([Dense(2)])
+        model.build((3,))
+        with pytest.raises(RuntimeError, match="after the model is built"):
+            model.add(Dense(1))
+
+    def test_add_non_layer_raises(self):
+        with pytest.raises(TypeError, match="expected a Layer"):
+            Sequential([Dense(2)]).add("not a layer")
+
+    def test_build_empty_model_raises(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            Sequential([]).build((3,))
+
+    def test_double_build_raises(self):
+        model = Sequential([Dense(2)])
+        model.build((3,))
+        with pytest.raises(RuntimeError, match="already built"):
+            model.build((3,))
+
+    def test_output_shape_chains_layers(self):
+        model = Sequential([LSTM(6), Dense(4), Dense(1)])
+        model.build((10, 2))
+        assert model.output_shape == (1,)
+        assert model.input_shape == (10, 2)
+
+    def test_count_params(self):
+        model = Sequential([Dense(4), Dense(1)])
+        model.build((3,))
+        assert model.count_params() == (3 * 4 + 4) + (4 * 1 + 1)
+
+    def test_summary_mentions_layers(self):
+        model = Sequential([Dense(4, name="hidden"), Dense(1, name="out")])
+        model.build((3,))
+        text = model.summary()
+        assert "hidden" in text and "out" in text and "Total params" in text
+
+
+class TestTraining:
+    def test_fit_reduces_loss_on_learnable_data(self, rng):
+        x = rng.normal(size=(128, 4))
+        y = (x.sum(axis=1, keepdims=True)) * 0.5
+        model = small_model()
+        history = model.fit(x, y, epochs=20, batch_size=16, seed=1)
+        assert history.history["loss"][-1] < history.history["loss"][0] * 0.5
+
+    def test_fit_without_compile_raises(self, rng):
+        model = Sequential([Dense(1)])
+        with pytest.raises(RuntimeError, match="compiled"):
+            model.fit(rng.normal(size=(4, 2)), rng.normal(size=(4, 1)))
+
+    def test_fit_validates_lengths(self, rng):
+        model = small_model()
+        with pytest.raises(ValueError, match="sample count"):
+            model.fit(rng.normal(size=(4, 2)), rng.normal(size=(5, 1)))
+
+    def test_fit_empty_dataset_raises(self):
+        model = small_model()
+        with pytest.raises(ValueError, match="empty"):
+            model.fit(np.zeros((0, 2)), np.zeros((0, 1)))
+
+    @pytest.mark.parametrize("field,value", [("epochs", 0), ("batch_size", 0)])
+    def test_fit_invalid_params(self, rng, field, value):
+        model = small_model()
+        kwargs = {"epochs": 1, "batch_size": 32, field: value}
+        with pytest.raises(ValueError, match=field):
+            model.fit(rng.normal(size=(4, 2)), rng.normal(size=(4, 1)), **kwargs)
+
+    def test_fit_deterministic_under_seed(self, rng):
+        x = rng.normal(size=(64, 3))
+        y = rng.normal(size=(64, 1))
+        results = []
+        for _ in range(2):
+            model = Sequential([Dense(4, activation="tanh"), Dense(1)])
+            model.compile(Adam(0.01), "mse")
+            model.build((3,), seed=9)
+            model.fit(x, y, epochs=3, batch_size=16, seed=17)
+            results.append(model.predict(x))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_validation_data_logged(self, rng):
+        x = rng.normal(size=(32, 2))
+        y = rng.normal(size=(32, 1))
+        model = small_model()
+        history = model.fit(x, y, epochs=2, validation_data=(x, y), seed=0)
+        assert "val_loss" in history.history
+        assert len(history.history["val_loss"]) == 2
+
+    def test_shuffle_false_is_deterministic_order(self, rng):
+        x = rng.normal(size=(32, 2))
+        y = rng.normal(size=(32, 1))
+        model = small_model()
+        history = model.fit(x, y, epochs=1, shuffle=False, seed=None)
+        assert len(history.history["loss"]) == 1
+
+    def test_repeated_fit_continues_training(self, rng):
+        # Federated clients call fit() once per round; history must span.
+        x = rng.normal(size=(32, 2))
+        y = 0.3 * x.sum(axis=1, keepdims=True)
+        model = small_model()
+        model.fit(x, y, epochs=2, seed=1)
+        history = model.fit(x, y, epochs=2, seed=2)
+        assert len(history.history["loss"]) == 2
+
+    def test_lambda_callback_invoked(self, rng):
+        calls = []
+        model = small_model()
+        model.fit(
+            rng.normal(size=(16, 2)),
+            rng.normal(size=(16, 1)),
+            epochs=3,
+            callbacks=[LambdaCallback(on_epoch_end=lambda e, logs: calls.append(e))],
+            seed=0,
+        )
+        assert calls == [0, 1, 2]
+
+
+class TestPredictEvaluate:
+    def test_predict_batches_consistent(self, rng):
+        model = small_model()
+        x = rng.normal(size=(50, 2))
+        model.forward(x[:1])  # lazy build
+        np.testing.assert_allclose(
+            model.predict(x, batch_size=7), model.predict(x, batch_size=50)
+        )
+
+    def test_predict_empty_raises(self):
+        model = small_model()
+        with pytest.raises(ValueError, match="empty"):
+            model.predict(np.zeros((0, 2)))
+
+    def test_evaluate_returns_scalar_loss(self, rng):
+        model = small_model()
+        x = rng.normal(size=(8, 2))
+        y = rng.normal(size=(8, 1))
+        loss = model.evaluate(x, y)
+        assert isinstance(loss, float) and loss >= 0
+
+    def test_dropout_inactive_in_predict(self, rng):
+        model = Sequential([Dense(16), Dropout(0.5), Dense(1)])
+        model.compile("adam", "mse")
+        x = rng.normal(size=(4, 3))
+        model.forward(x)
+        np.testing.assert_array_equal(model.predict(x), model.predict(x))
+
+
+class TestWeights:
+    def test_get_set_round_trip(self, rng):
+        model = small_model()
+        x = rng.normal(size=(4, 2))
+        model.forward(x)
+        weights = model.get_weights()
+        before = model.predict(x)
+        model.fit(x, rng.normal(size=(4, 1)), epochs=2, seed=0)
+        model.set_weights(weights)
+        np.testing.assert_allclose(model.predict(x), before)
+
+    def test_get_weights_returns_copies(self, rng):
+        model = small_model()
+        model.forward(rng.normal(size=(2, 2)))
+        weights = model.get_weights()
+        weights[0][...] = 999.0
+        assert not np.any(model.get_weights()[0] == 999.0)
+
+    def test_set_weights_wrong_count(self, rng):
+        model = small_model()
+        model.forward(rng.normal(size=(2, 2)))
+        with pytest.raises(ValueError, match="weight arrays"):
+            model.set_weights(model.get_weights()[:-1])

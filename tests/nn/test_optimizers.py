@@ -1,0 +1,166 @@
+"""Tests for optimizers: update rules, slot state, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.base import Variable
+from repro.nn.optimizers import SGD, Adagrad, Adam, RMSProp, get
+
+
+def make_variable(value):
+    return Variable("w", np.asarray(value, dtype=np.float64))
+
+
+def quadratic_step(optimizer, variable, target=0.0):
+    """One optimizer step on f(w) = 0.5 (w - target)^2."""
+    variable.grad[...] = variable.value - target
+    optimizer.step([variable])
+
+
+class TestSGD:
+    def test_plain_update_rule(self):
+        var = make_variable([1.0])
+        var.grad[...] = [0.5]
+        SGD(learning_rate=0.1).step([var])
+        np.testing.assert_allclose(var.value, [0.95])
+
+    def test_momentum_accumulates(self):
+        var = make_variable([1.0])
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        var.grad[...] = [1.0]
+        opt.step([var])
+        first_delta = 1.0 - var.value[0]
+        var.grad[...] = [1.0]
+        opt.step([var])
+        second_delta = (1.0 - first_delta) - var.value[0]
+        assert second_delta > first_delta  # momentum builds up
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError, match="nesterov"):
+            SGD(momentum=0.0, nesterov=True)
+
+    def test_converges_on_quadratic(self):
+        var = make_variable([10.0])
+        opt = SGD(learning_rate=0.5)
+        for _ in range(50):
+            quadratic_step(opt, var)
+        assert abs(var.value[0]) < 1e-6
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1])
+    def test_invalid_learning_rate(self, bad):
+        with pytest.raises(ValueError, match="learning_rate"):
+            SGD(learning_rate=bad)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            SGD(momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction, the first Adam step is ~lr regardless of
+        # gradient magnitude.
+        var = make_variable([1.0])
+        var.grad[...] = [1e-3]
+        Adam(learning_rate=0.1).step([var])
+        assert 1.0 - var.value[0] == pytest.approx(0.1, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        var = make_variable([5.0])
+        opt = Adam(learning_rate=0.3)
+        for _ in range(300):
+            quadratic_step(opt, var)
+        assert abs(var.value[0]) < 1e-3
+
+    def test_slot_state_keyed_by_identity(self):
+        var_a = make_variable([1.0])
+        var_b = make_variable([1.0])
+        opt = Adam()
+        var_a.grad[...] = [1.0]
+        var_b.grad[...] = [1.0]
+        opt.step([var_a, var_b])
+        assert len(opt._slots) == 2
+
+    def test_state_survives_weight_assignment(self):
+        var = make_variable([1.0])
+        opt = Adam(learning_rate=0.1)
+        var.grad[...] = [1.0]
+        opt.step([var])
+        slots_before = set(opt._slots)
+        var.assign(np.array([2.0]))  # in-place: same identity
+        var.grad[...] = [1.0]
+        opt.step([var])
+        assert set(opt._slots) == slots_before
+
+    def test_reset_clears_state(self):
+        var = make_variable([1.0])
+        opt = Adam()
+        var.grad[...] = [1.0]
+        opt.step([var])
+        opt.reset()
+        assert opt.iterations == 0
+        assert not opt._slots
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError, match="beta"):
+            Adam(beta_1=1.0)
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        var = make_variable([5.0])
+        opt = RMSProp(learning_rate=0.1)
+        for _ in range(600):
+            quadratic_step(opt, var)
+        assert abs(var.value[0]) < 0.1
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            RMSProp(rho=1.0)
+
+
+class TestAdagrad:
+    def test_step_sizes_shrink(self):
+        var = make_variable([10.0])
+        opt = Adagrad(learning_rate=1.0)
+        deltas = []
+        for _ in range(3):
+            before = var.value[0]
+            var.grad[...] = [1.0]
+            opt.step([var])
+            deltas.append(before - var.value[0])
+        assert deltas[0] > deltas[1] > deltas[2]
+
+
+class TestClipnorm:
+    def test_clips_large_gradients(self):
+        var = make_variable(np.ones(4) * 0.0)
+        var.grad[...] = np.ones(4) * 100.0
+        opt = SGD(learning_rate=1.0, clipnorm=1.0)
+        opt.step([var])
+        # Post-clip gradient norm is 1 → update norm is lr * 1.
+        assert np.linalg.norm(var.value) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients_alone(self):
+        var = make_variable([0.0])
+        var.grad[...] = [0.5]
+        SGD(learning_rate=1.0, clipnorm=10.0).step([var])
+        np.testing.assert_allclose(var.value, [-0.5])
+
+    def test_invalid_clipnorm(self):
+        with pytest.raises(ValueError, match="clipnorm"):
+            SGD(clipnorm=0.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sgd", "adam", "rmsprop", "adagrad"])
+    def test_get_by_name(self, name):
+        assert get(name).learning_rate > 0
+
+    def test_passthrough(self):
+        opt = Adam(0.5)
+        assert get(opt) is opt
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            get("lion")

@@ -1,0 +1,96 @@
+"""Hypothesis property tests over the NN substrate.
+
+Shape algebra, determinism and training invariants that must hold for
+*any* architecture configuration, not just the paper's."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import LSTM, Adam, Dense, RepeatVector, Sequential, TimeDistributed
+
+
+class TestShapeAlgebra:
+    @given(
+        units=st.integers(1, 12),
+        timesteps=st.integers(2, 10),
+        features=st.integers(1, 4),
+        batch=st.integers(1, 6),
+        return_sequences=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lstm_output_shape_matches_declaration(
+        self, units, timesteps, features, batch, return_sequences
+    ):
+        layer = LSTM(units, return_sequences=return_sequences)
+        layer.build((timesteps, features), np.random.default_rng(0))
+        out = layer.forward(np.zeros((batch, timesteps, features)))
+        expected = (batch,) + layer.compute_output_shape((timesteps, features))
+        assert out.shape == expected
+
+    @given(
+        units=st.integers(1, 16),
+        in_features=st.integers(1, 8),
+        batch=st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dense_shape_and_param_count(self, units, in_features, batch):
+        layer = Dense(units)
+        layer.build((in_features,), np.random.default_rng(1))
+        out = layer.forward(np.zeros((batch, in_features)))
+        assert out.shape == (batch, units)
+        assert layer.count_params() == in_features * units + units
+
+    @given(n=st.integers(1, 10), features=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_repeat_then_timedistributed_round_trip_shape(self, n, features):
+        model = Sequential([RepeatVector(n), TimeDistributed(Dense(features))])
+        model.build((features,), seed=2)
+        out = model.forward(np.zeros((3, features)))
+        assert out.shape == (3, n, features)
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_build_is_pure_function_of_seed(self, seed):
+        def weights_with(seed_value):
+            model = Sequential([LSTM(4), Dense(1)])
+            model.build((5, 1), seed=seed_value)
+            return model.get_weights()
+
+        for a, b in zip(weights_with(seed), weights_with(seed)):
+            np.testing.assert_array_equal(a, b)
+
+    @given(scale=st.floats(0.1, 10.0))
+    @settings(max_examples=10, deadline=None)
+    def test_forward_is_deterministic(self, scale):
+        model = Sequential([LSTM(3), Dense(1)])
+        model.build((4, 1), seed=3)
+        x = scale * np.ones((2, 4, 1))
+        np.testing.assert_array_equal(
+            model.forward(x, training=False), model.forward(x, training=False)
+        )
+
+
+class TestTrainingInvariants:
+    @given(batch_size=st.sampled_from([1, 4, 16, 64]))
+    @settings(max_examples=6, deadline=None)
+    def test_any_batch_size_trains_without_error(self, batch_size):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20, 5, 1))
+        y = rng.normal(size=(20, 1))
+        model = Sequential([LSTM(3), Dense(1)])
+        model.compile(Adam(0.01), "mse")
+        history = model.fit(x, y, epochs=1, batch_size=batch_size, seed=5)
+        assert np.isfinite(history.history["loss"][0])
+
+    def test_single_sample_batch_gradient_finite(self):
+        rng = np.random.default_rng(6)
+        model = Sequential([LSTM(3), Dense(1)])
+        model.compile(Adam(0.01), "mse")
+        loss = model.train_on_batch(rng.normal(size=(1, 5, 1)), rng.normal(size=(1, 1)))
+        assert np.isfinite(loss)
+        for variable in model.trainable_variables:
+            assert np.all(np.isfinite(variable.value))

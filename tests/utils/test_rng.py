@@ -1,0 +1,72 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn, spawn_many
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawn:
+    def test_same_seed_same_key_reproduces(self):
+        a = spawn(7, "attacks").random(5)
+        b = spawn(7, "attacks").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_independent(self):
+        a = spawn(7, "attacks").random(100)
+        b = spawn(7, "filter").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn(1, "x").random(10)
+        b = spawn(2, "x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_from_generator_advances_parent(self):
+        parent = np.random.default_rng(0)
+        spawn(parent, "a")
+        state_after_one = parent.bit_generator.state["state"]["state"]
+        spawn(parent, "a")
+        assert parent.bit_generator.state["state"]["state"] != state_after_one
+
+    def test_spawn_many_covers_all_keys(self):
+        gens = spawn_many(3, ["a", "b", "c"])
+        assert set(gens) == {"a", "b", "c"}
+        values = {key: gen.random() for key, gen in gens.items()}
+        assert len(set(values.values())) == 3
+
+
+class TestKeyStability:
+    def test_key_entropy_stable_across_calls(self):
+        # The spawned stream must be a pure function of (seed, key):
+        # regression guard against salted hash() sneaking back in.
+        value = spawn(99, "stable-key").integers(0, 2**31)
+        assert value == spawn(99, "stable-key").integers(0, 2**31)
+
+    def test_unicode_keys_accepted(self):
+        gen = spawn(1, "zone-108/针对")
+        assert isinstance(gen, np.random.Generator)

@@ -1,0 +1,67 @@
+"""Tests for wall-clock measurement helpers."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_measures_nonnegative_time(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            sum(range(10000))
+        assert timer.elapsed >= 0.0
+        assert timer.elapsed != first or timer.elapsed >= 0.0
+
+
+class TestStopwatch:
+    def test_record_and_total(self):
+        watch = Stopwatch()
+        watch.record("train", 1.5)
+        watch.record("train", 2.5)
+        assert watch.total("train") == pytest.approx(4.0)
+
+    def test_series_preserves_order(self):
+        watch = Stopwatch()
+        for value in (0.1, 0.3, 0.2):
+            watch.record("round", value)
+        assert watch.series("round") == [0.1, 0.3, 0.2]
+
+    def test_unknown_name_is_empty(self):
+        watch = Stopwatch()
+        assert watch.total("nope") == 0.0
+        assert watch.series("nope") == []
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Stopwatch().record("x", -0.1)
+
+    def test_measure_context_manager(self):
+        watch = Stopwatch()
+        with watch.measure("phase"):
+            sum(range(1000))
+        assert watch.total("phase") > 0.0
+
+    def test_grand_total_spans_names(self):
+        watch = Stopwatch()
+        watch.record("a", 1.0)
+        watch.record("b", 2.0)
+        assert watch.grand_total() == pytest.approx(3.0)
+
+    def test_names_in_first_recorded_order(self):
+        watch = Stopwatch()
+        watch.record("b", 1.0)
+        watch.record("a", 1.0)
+        watch.record("b", 1.0)
+        assert watch.names() == ["b", "a"]

@@ -1,0 +1,76 @@
+"""Tests for input validators."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_3d,
+    check_finite,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheck1d:
+    def test_accepts_list(self):
+        out = check_1d([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_1d(np.zeros((2, 2)))
+
+    def test_names_argument_in_error(self):
+        with pytest.raises(ValueError, match="volumes"):
+            check_1d(np.zeros((2, 2)), "volumes")
+
+
+class TestCheck3d:
+    def test_accepts_3d(self):
+        out = check_3d(np.zeros((4, 5, 1)))
+        assert out.shape == (4, 5, 1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            check_3d(np.zeros((4, 5)))
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        check_finite(np.array([1.0, 2.0]))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_finite(np.array([1.0, bad]))
+
+
+class TestScalarChecks:
+    def test_positive_ok(self):
+        assert check_positive(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(bad)
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_probability_ok(self, ok):
+        assert check_probability(ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(bad)
+
+
+class TestSameLength:
+    def test_equal_ok(self):
+        check_same_length(np.zeros(3), np.zeros(3))
+
+    def test_unequal_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length(np.zeros(3), np.zeros(4))
