@@ -1,0 +1,138 @@
+"""Streaming-engine throughput: micro-batched fleet inference vs naive loop.
+
+The whole point of :mod:`repro.stream` is that one tick of fleet
+inference is ONE autoencoder forward pass over ``(n_stations, L, 1)``,
+not ``n_stations`` forward passes over ``(1, L, 1)``.  This bench
+replays the same simulated fleet both ways and reports
+station-readings/second; the micro-batched path must be >= 10x the
+naive per-station loop at 1,000+ stations (it is typically far more).
+
+Run:  PYTHONPATH=src python benchmarks/bench_streaming.py
+      PYTHONPATH=src python benchmarks/bench_streaming.py --smoke   # CI-sized
+
+Unlike the table/figure benches this is a standalone script (no
+pytest-benchmark) so CI can smoke it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
+from repro.stream.detector import StreamingDetector
+from repro.stream.engine import synthesize_fleet
+from repro.stream.scaler import StreamingMinMaxScaler
+
+
+def run_micro_batched(
+    autoencoder: LSTMAutoencoder,
+    fleet: np.ndarray,
+    warmup_ticks: int,
+    scored_ticks: int,
+) -> float:
+    """Elapsed seconds for ``scored_ticks`` fleet-wide detector ticks."""
+    n_stations = fleet.shape[0]
+    scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
+    detector = StreamingDetector(autoencoder, n_stations, scaler=scaler, threshold=1.0)
+    for tick in range(warmup_ticks):
+        detector.process_tick(fleet[:, tick])
+    start = time.perf_counter()
+    for tick in range(warmup_ticks, warmup_ticks + scored_ticks):
+        detector.process_tick(fleet[:, tick])
+    return time.perf_counter() - start
+
+
+def run_naive_loop(
+    autoencoder: LSTMAutoencoder,
+    fleet: np.ndarray,
+    warmup_ticks: int,
+    scored_ticks: int,
+) -> float:
+    """Elapsed seconds scoring each station with its own forward pass."""
+    n_stations = fleet.shape[0]
+    detectors = [
+        StreamingDetector(
+            autoencoder,
+            1,
+            scaler=StreamingMinMaxScaler.from_bounds(
+                fleet[j : j + 1].min(axis=1), fleet[j : j + 1].max(axis=1)
+            ),
+            threshold=1.0,
+        )
+        for j in range(n_stations)
+    ]
+    for tick in range(warmup_ticks):
+        for j, detector in enumerate(detectors):
+            detector.process_tick(fleet[j : j + 1, tick])
+    start = time.perf_counter()
+    for tick in range(warmup_ticks, warmup_ticks + scored_ticks):
+        for j, detector in enumerate(detectors):
+            detector.process_tick(fleet[j : j + 1, tick])
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stations", type=int, default=1000)
+    parser.add_argument("--ticks", type=int, default=20, help="scored ticks (batched path)")
+    parser.add_argument("--naive-ticks", type=int, default=3, help="scored ticks (naive path)")
+    parser.add_argument("--seq-len", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this speedup (default: 10 at >=1000 stations, 3 below)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: 128 stations, fewer ticks",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.stations = min(args.stations, 128)
+        args.ticks = min(args.ticks, 6)
+        args.naive_ticks = min(args.naive_ticks, 2)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 10.0 if args.stations >= 1000 else 3.0
+
+    config = AutoencoderConfig(
+        sequence_length=args.seq_len, encoder_units=(8, 4), decoder_units=(4, 8)
+    )
+    autoencoder = LSTMAutoencoder(config, seed=args.seed)
+    warmup = args.seq_len - 1
+    n_ticks = warmup + max(args.ticks, args.naive_ticks)
+    print(f"synthesizing fleet: {args.stations} stations x {n_ticks} ticks ...")
+    fleet = synthesize_fleet(args.stations, n_ticks, seed=args.seed)
+
+    batched_elapsed = run_micro_batched(autoencoder, fleet, warmup, args.ticks)
+    batched_rate = args.stations * args.ticks / batched_elapsed
+    print(
+        f"micro-batched: {args.ticks} ticks in {batched_elapsed:.3f}s "
+        f"-> {batched_rate:,.0f} readings/s "
+        f"({1e3 * batched_elapsed / args.ticks:.2f} ms/tick for the whole fleet)"
+    )
+
+    naive_elapsed = run_naive_loop(autoencoder, fleet, warmup, args.naive_ticks)
+    naive_rate = args.stations * args.naive_ticks / naive_elapsed
+    print(
+        f"naive loop:    {args.naive_ticks} ticks in {naive_elapsed:.3f}s "
+        f"-> {naive_rate:,.0f} readings/s"
+    )
+
+    speedup = batched_rate / naive_rate
+    print(f"speedup: {speedup:.1f}x (required: >= {min_speedup:.0f}x)")
+    if speedup < min_speedup:
+        raise SystemExit(
+            f"FAIL: micro-batched speedup {speedup:.1f}x < {min_speedup:.0f}x"
+        )
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Online streaming detection & mitigation over an attacked fleet.
+
+The batch pipeline (see ``examples/quickstart.py``) detects anomalies by
+re-scoring the full series offline.  This example runs the same
+defence *online*: one trained LSTM autoencoder serves every station,
+each tick scores the whole fleet in a single micro-batched forward
+pass, and flagged readings are repaired causally (from the past only —
+a live stream has no future anchor to interpolate against).
+
+Pipeline:
+ 1. generate the paper's three zones, scaled out to a 30-station fleet;
+ 2. train ONE autoencoder on pooled normal (scaled) windows;
+ 3. calibrate a per-station 98th-percentile threshold;
+ 4. inject independently-scheduled DDoS volume spikes into every station;
+ 5. replay the attacked fleet tick-by-tick and report throughput,
+    per-tick latency, and the paper's detection metrics.
+
+Run:  PYTHONPATH=src python examples/streaming_detection.py
+Takes about a minute (reduced-scale model).
+"""
+
+import numpy as np
+
+from repro.anomaly import AutoencoderConfig, LSTMAutoencoder, aggregate_detection_metrics
+from repro.attacks import AttackScenario, DDoSVolumeAttack
+from repro.data import make_autoencoder_windows
+from repro.stream import (
+    StreamingDetector,
+    StreamingMinMaxScaler,
+    StreamReplayEngine,
+    synthesize_fleet,
+)
+
+SEED = 7
+SEQUENCE_LENGTH = 24
+N_STATIONS = 30
+N_TICKS = 600
+
+# 1. Fleet: the paper's zone profiles tiled out to N_STATIONS stations.
+fleet = synthesize_fleet(N_STATIONS, N_TICKS, seed=SEED)
+print(f"fleet: {N_STATIONS} stations x {N_TICKS} hourly ticks")
+
+# Normal history (first 80%) calibrates everything; the rest is streamed.
+boundary = int(N_TICKS * 0.8)
+normal_history = fleet[:, :boundary]
+
+# 2. One shared autoencoder on pooled scaled normal windows: per-station
+#    MinMax scaling puts every station on [0, 1], so a single model
+#    serves the whole fleet (this is what makes micro-batching possible).
+scaler = StreamingMinMaxScaler.from_bounds(
+    normal_history.min(axis=1), normal_history.max(axis=1)
+)
+scaled_history = scaler.transform_fleet(normal_history)
+windows = np.concatenate(
+    [
+        make_autoencoder_windows(scaled_history[j], SEQUENCE_LENGTH, stride=4)
+        for j in range(N_STATIONS)
+    ]
+)
+config = AutoencoderConfig(
+    sequence_length=SEQUENCE_LENGTH,
+    encoder_units=(32, 16),
+    decoder_units=(16, 32),
+    epochs=10,
+    patience=3,
+)
+autoencoder = LSTMAutoencoder(config, seed=SEED)
+print(f"training shared autoencoder on {len(windows)} pooled normal windows ...")
+autoencoder.fit(windows)
+
+# 3. Per-station 98th-percentile thresholds from each station's own
+#    normal-history scores (the paper's rule, one boundary per client).
+detector = StreamingDetector(autoencoder, N_STATIONS, scaler=scaler)
+thresholds = detector.calibrate(normal_history)
+print(
+    f"calibrated per-station thresholds: "
+    f"min {thresholds.min():.5f}, median {np.median(thresholds):.5f}, "
+    f"max {thresholds.max():.5f}"
+)
+
+# 4. Attack the streamed segment: independent DDoS schedules per station.
+scenario = AttackScenario([DDoSVolumeAttack()], name="streaming-demo")
+attacked = fleet.copy()
+labels = np.zeros(fleet.shape, dtype=bool)
+for j in range(N_STATIONS):
+    result = scenario.apply_to_series(fleet[j, boundary:], seed=SEED * 1000 + j)
+    attacked[j, boundary:] = result.attacked
+    labels[j, boundary:] = result.labels
+print(
+    f"injected attacks: {int(labels.sum())} anomalous readings "
+    f"({100 * labels[:, boundary:].mean():.1f}% of the streamed segment)"
+)
+
+# 5. Replay the attacked fleet through detection + causal mitigation.
+#    (The detector streams the full timeline; flags before the boundary
+#    are false positives by construction since no attack runs there.)
+engine = StreamReplayEngine(detector, mitigator="seasonal_hold")
+report = engine.run(attacked, labels)
+print()
+print(report.summary())
+
+# Metrics restricted to the attacked (streamed) segment — the full-run
+# numbers above also count the clean calibration region, where every
+# flag is a false positive by construction.
+segment = aggregate_detection_metrics(
+    {
+        f"station-{j}": (labels[j, boundary:], report.flags[j, boundary:])
+        for j in range(N_STATIONS)
+    }
+)
+print(
+    f"streamed-segment detection: precision {segment.precision:.3f}, "
+    f"recall {segment.recall:.3f}, f1 {segment.f1:.3f}, "
+    f"fpr {100 * segment.false_positive_rate:.2f}%"
+)
+
+# How much damage did mitigation undo on attacked readings?
+attacked_error = np.abs(attacked[labels] - fleet[labels]).mean()
+mitigated_error = np.abs(report.mitigated[labels] - fleet[labels]).mean()
+print(
+    f"mean abs error on attacked readings: {attacked_error:.2f} kWh raw "
+    f"-> {mitigated_error:.2f} kWh after causal repair"
+)

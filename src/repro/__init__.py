@@ -22,15 +22,40 @@ system and every substrate it depends on:
   forecaster in federated and centralized pipelines.
 - :mod:`repro.experiments` — regenerates every table and figure of the
   paper's evaluation (Tables I–III, Figs. 2–3, headline metrics).
+- :mod:`repro.stream` — the online serving path: per-station ring
+  buffers, incremental MinMax scaling, P² streaming percentiles, a
+  micro-batched :class:`~repro.stream.detector.StreamingDetector`
+  (one LSTM forward per tick for the whole fleet), causal mitigation,
+  and a replay engine with throughput/latency/detection reporting.
 
 Quickstart::
 
     from repro.experiments import ExperimentConfig, get_or_run, full_report
     result = get_or_run(ExperimentConfig.fast())
     print(full_report(result))
+
+Streaming quickstart (online detection across a fleet)::
+
+    from repro.stream import StreamingDetector, StreamReplayEngine, attack_fleet
+
+    detector = StreamingDetector(trained_autoencoder, n_stations, scaler=scaler)
+    detector.calibrate(normal_history)              # per-station 98th pct
+    engine = StreamReplayEngine(detector, mitigator="hold_last_good")
+    attacked, labels, names = attack_fleet(clients, scenario, seed=7)
+    print(engine.run(attacked, labels, names).summary())
 """
 
-from repro import anomaly, attacks, data, experiments, federated, forecasting, nn, utils
+from repro import (
+    anomaly,
+    attacks,
+    data,
+    experiments,
+    federated,
+    forecasting,
+    nn,
+    stream,
+    utils,
+)
 
 __version__ = "1.0.0"
 
@@ -42,6 +67,7 @@ __all__ = [
     "federated",
     "forecasting",
     "nn",
+    "stream",
     "utils",
     "__version__",
 ]

@@ -3,11 +3,14 @@
 The paper uses ``SEQUENCE_LENGTH = 24`` (one day of hourly history) both
 for the forecaster (windows → next value) and the autoencoder (windows →
 themselves).  :func:`errors_per_point` folds per-window reconstruction
-errors back to per-timestep scores by averaging the overlapping windows
-covering each point — the detector needs point-level decisions.
+errors back to per-timestep scores by reducing over the overlapping
+windows covering each point (``"min"`` by default; ``"median"`` and
+``"mean"`` are available) — the detector needs point-level decisions.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -72,8 +75,8 @@ def errors_per_point(
     reconstruction of *every* window containing it, which under
     ``"mean"`` smears high scores onto up to ``sequence_length - 1``
     normal neighbours (false positives around each burst).  ``"median"``
-    (default) requires a majority of covering windows to agree, and
-    ``"min"`` flags a point only when no covering window can explain it —
+    requires a majority of covering windows to agree, and ``"min"``
+    (default) flags a point only when no covering window can explain it —
     the sharpest localisation and the most robust to smearing.
     """
     window_errors = np.asarray(window_errors, dtype=np.float64)
@@ -84,20 +87,34 @@ def errors_per_point(
         )
     if reduction not in ("mean", "median", "min"):
         raise ValueError(f"reduction must be mean/median/min, got {reduction!r}")
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
     n_windows = window_errors.shape[0]
     if n_windows and (n_windows - 1) * stride + sequence_length > series_length:
         raise ValueError(
             "window extends past the series end; check series_length/stride"
         )
-    buckets: list[list[float]] = [[] for _ in range(series_length)]
-    for window_index in range(n_windows):
-        start = window_index * stride
-        for offset in range(sequence_length):
-            buckets[start + offset].append(window_errors[window_index, offset])
-    reducer = {"mean": np.mean, "median": np.median, "min": np.min}[reduction]
-    return np.array(
-        [reducer(bucket) if bucket else np.nan for bucket in buckets], dtype=np.float64
+    if n_windows == 0:
+        return np.full(series_length, np.nan)
+    # Scatter every (window, offset) contribution into a dense
+    # (series_length, max_coverage) table, one column per covering
+    # window, then reduce along the coverage axis.  The slot of entry
+    # (w, o) at point p = w*stride + o is w's rank among the windows
+    # covering p, i.e. w - min{w' : w'*stride + sequence_length > p}.
+    offsets = np.arange(sequence_length)
+    positions = (np.arange(n_windows)[:, None] * stride + offsets[None, :]).ravel()
+    window_of = np.repeat(np.arange(n_windows), sequence_length)
+    first_covering = np.maximum(
+        -((-(positions - sequence_length + 1)) // stride), 0
     )
+    slots = window_of - first_covering
+    dense = np.full((series_length, int(slots.max()) + 1), np.nan)
+    dense[positions, slots] = window_errors.ravel()
+    reducer = {"mean": np.nanmean, "median": np.nanmedian, "min": np.nanmin}[reduction]
+    with warnings.catch_warnings():
+        # Uncovered points (all-NaN rows) reduce to NaN by design.
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        return reducer(dense, axis=1)
 
 
 def _check_length(series: np.ndarray, sequence_length: int, extra: int = 0) -> None:

@@ -1,0 +1,37 @@
+"""Shared per-tick input validation for the streaming state banks.
+
+Every streaming component (:class:`~repro.stream.buffers.RingBufferBank`,
+:class:`~repro.stream.scaler.StreamingMinMaxScaler`,
+:class:`~repro.stream.quantile.P2QuantileBank`) accepts one reading per
+addressed station per tick; this helper normalises and validates that
+``(values, stations)`` pair in one place.  Duplicate station indices are
+rejected outright — numpy fancy-index assignment would silently keep
+only the last reading per slot, and a dropped reading must be an error,
+not a quiet data loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_tick(
+    values: np.ndarray, stations: np.ndarray | None, n_stations: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate one tick of per-station values; returns float/index arrays."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {values.shape}")
+    if stations is None:
+        if len(values) != n_stations:
+            raise ValueError(f"expected {n_stations} values, got {len(values)}")
+        return values, np.arange(n_stations)
+    stations = np.asarray(stations, dtype=np.int64)
+    if stations.ndim != 1 or len(stations) != len(values):
+        raise ValueError("stations must be 1-D and match values in length")
+    if len(np.unique(stations)) != len(stations):
+        raise ValueError(
+            "stations must not contain duplicate indices; fancy-index "
+            "updates would silently drop all but one reading per station"
+        )
+    return values, stations

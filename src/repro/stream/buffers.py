@@ -1,0 +1,111 @@
+"""Fixed-size per-station history buffers for online inference.
+
+The batch pipeline re-windows the full series on every call; the
+streaming engine instead keeps, for every station, exactly the last
+``length`` readings — the autoencoder's context window — in a single
+``(n_stations, 2·length)`` array.  Each push writes a value twice
+(at the ring position and mirrored ``length`` columns later), so the
+most-recent window of *any* station is always one contiguous slice of
+the doubled row.  Per tick this is O(n_stations) writes and zero
+reallocation: bounded state, no matter how long the stream runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stream._ticks import check_tick
+
+
+class RingBufferBank:
+    """Ring buffers for a fleet of stations, vectorized as one array.
+
+    Parameters
+    ----------
+    n_stations:
+        Number of independent series tracked.
+    length:
+        Window length kept per station (the detector's
+        ``sequence_length``).
+
+    Stations may tick independently: :meth:`push` accepts an optional
+    index array, and :attr:`ready` reports which stations have
+    accumulated a full window yet.
+    """
+
+    def __init__(self, n_stations: int, length: int) -> None:
+        if n_stations < 1:
+            raise ValueError(f"n_stations must be >= 1, got {n_stations}")
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        self.n_stations = int(n_stations)
+        self.length = int(length)
+        # Doubled storage: value at ring slot i is mirrored at i + length,
+        # making every wrap-around window a contiguous slice.
+        self._data = np.zeros((self.n_stations, 2 * self.length))
+        self._write = np.zeros(self.n_stations, dtype=np.int64)
+        self.counts = np.zeros(self.n_stations, dtype=np.int64)
+
+    @property
+    def ready(self) -> np.ndarray:
+        """Boolean mask of stations holding a full window."""
+        return self.counts >= self.length
+
+    def push(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
+        """Append one reading per station (all stations, or ``stations``).
+
+        ``values`` must be 1-D with one entry per addressed station, in
+        the same order as ``stations`` (or station order when omitted).
+        """
+        values, stations = check_tick(values, stations, self.n_stations)
+        write = self._write[stations]
+        self._data[stations, write] = values
+        self._data[stations, write + self.length] = values
+        self._write[stations] = (write + 1) % self.length
+        self.counts[stations] += 1
+
+    def windows(self, stations: np.ndarray | None = None) -> np.ndarray:
+        """Last ``length`` readings per station, oldest first, ``(k, L)``.
+
+        Every addressed station must be :attr:`ready`.
+        """
+        if stations is None:
+            stations = np.arange(self.n_stations)
+        else:
+            stations = np.asarray(stations, dtype=np.int64)
+        if not np.all(self.counts[stations] >= self.length):
+            raise ValueError("windows() requires a full buffer for every station")
+        # After a push at slot w the write pointer is w+1, so the window
+        # oldest→newest occupies doubled columns [write, write + length).
+        columns = self._write[stations, None] + np.arange(self.length)[None, :]
+        return self._data[stations[:, None], columns]
+
+    def amend_last(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
+        """Overwrite the most recent reading per addressed station.
+
+        Used for closed-loop mitigation: replacing a flagged reading
+        with its repaired value stops one corrupted tick from polluting
+        the next ``length`` windows.  Stations must have pushed at least
+        once.
+        """
+        values, stations = check_tick(values, stations, self.n_stations)
+        if not np.all(self.counts[stations] >= 1):
+            raise ValueError("amend_last() requires at least one prior push")
+        newest = (self._write[stations] - 1) % self.length
+        self._data[stations, newest] = values
+        self._data[stations, newest + self.length] = values
+
+    def last(self, stations: np.ndarray | None = None) -> np.ndarray:
+        """Most recent reading per addressed station (0.0 before any push)."""
+        if stations is None:
+            stations = np.arange(self.n_stations)
+        else:
+            stations = np.asarray(stations, dtype=np.int64)
+        newest = (self._write[stations] - 1) % self.length
+        return self._data[stations, newest]
+
+    def __repr__(self) -> str:
+        return (
+            f"RingBufferBank(n_stations={self.n_stations}, length={self.length}, "
+            f"ready={int(self.ready.sum())})"
+        )

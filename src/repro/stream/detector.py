@@ -1,0 +1,230 @@
+"""Online anomaly detection with micro-batched autoencoder inference.
+
+:class:`StreamingDetector` is the streaming counterpart of
+:class:`~repro.anomaly.detector.ReconstructionAnomalyDetector` in its
+``"window"`` scoring mode: at every tick the newest reading completes a
+``sequence_length`` window per station, the *whole fleet's* windows go
+through the trained :class:`~repro.anomaly.autoencoder.LSTMAutoencoder`
+in ONE forward pass (micro-batching — the difference between thousands
+of tiny LSTM invocations and one wide matmul chain per tick), and each
+station's window MSE is compared against its threshold.
+
+Replaying a series tick-by-tick reproduces the batch detector's
+window-mode flags exactly: same windows, same forward pass, same
+threshold (see ``tests/stream/test_stream_parity.py``).
+
+Thresholds come in two flavours:
+
+* **fixed** — per-station (or global) values calibrated offline, e.g.
+  the paper's 98th-percentile rule via :meth:`calibrate`;
+* **adaptive** — per-station streaming percentiles maintained by the P²
+  sketch (:class:`~repro.stream.quantile.P2QuantileBank`), updated only
+  with scores that were *not* flagged, so an ongoing attack cannot
+  stretch its own detection boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anomaly.autoencoder import LSTMAutoencoder
+from repro.data.windowing import sliding_windows
+from repro.stream.buffers import RingBufferBank
+from repro.stream.quantile import P2QuantileBank
+from repro.stream.scaler import StreamingMinMaxScaler
+
+
+@dataclass
+class TickResult:
+    """Outcome of one engine tick across the fleet.
+
+    ``scores``/``flags`` cover the full fleet; stations that were not
+    scored this tick (no reading, or buffer still warming up) carry NaN
+    scores and False flags.  ``scored`` marks which stations produced a
+    decision.
+    """
+
+    tick: int
+    scored: np.ndarray
+    scores: np.ndarray
+    flags: np.ndarray
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.flags.sum())
+
+
+class StreamingDetector:
+    """Fleet-wide online detector with O(sequence_length) state/station.
+
+    Parameters
+    ----------
+    autoencoder:
+        A *trained* :class:`~repro.anomaly.autoencoder.LSTMAutoencoder`
+        (train offline on normal data, exactly as the batch pipeline
+        does — streaming applies to inference, not training).
+    n_stations:
+        Fleet size.
+    scaler:
+        Optional :class:`~repro.stream.scaler.StreamingMinMaxScaler`
+        applied to raw readings before buffering.  Omit when the stream
+        is already in scaled space.
+    threshold:
+        Scalar or ``(n_stations,)`` array of fixed decision boundaries,
+        or the string ``"p2"`` for adaptive per-station streaming
+        percentiles.  Fixed thresholds can also be installed later via
+        :meth:`calibrate`.
+    percentile:
+        Percentile for adaptive mode and :meth:`calibrate` (paper: 98).
+    min_calibration_scores:
+        Adaptive mode only: per-station number of scores observed before
+        flags may fire (an uncalibrated sketch is noise, not a boundary).
+    """
+
+    def __init__(
+        self,
+        autoencoder: LSTMAutoencoder,
+        n_stations: int,
+        scaler: StreamingMinMaxScaler | None = None,
+        threshold: float | np.ndarray | str | None = None,
+        percentile: float = 98.0,
+        min_calibration_scores: int = 50,
+    ) -> None:
+        if n_stations < 1:
+            raise ValueError(f"n_stations must be >= 1, got {n_stations}")
+        if not 0.0 < percentile < 100.0:
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        if min_calibration_scores < 5:
+            raise ValueError(
+                f"min_calibration_scores must be >= 5, got {min_calibration_scores}"
+            )
+        if scaler is not None and scaler.n_stations != n_stations:
+            raise ValueError(
+                f"scaler tracks {scaler.n_stations} stations, detector {n_stations}"
+            )
+        self.autoencoder = autoencoder
+        self.n_stations = int(n_stations)
+        self.scaler = scaler
+        self.percentile = float(percentile)
+        self.min_calibration_scores = int(min_calibration_scores)
+        self.buffers = RingBufferBank(n_stations, self.sequence_length)
+        self.tick = 0
+
+        self.adaptive: P2QuantileBank | None = None
+        self._thresholds = np.full(self.n_stations, np.nan)
+        if isinstance(threshold, str):
+            if threshold != "p2":
+                raise ValueError(f"threshold string must be 'p2', got {threshold!r}")
+            self.adaptive = P2QuantileBank(self.n_stations, self.percentile)
+        elif threshold is not None:
+            self._thresholds[:] = np.asarray(threshold, dtype=np.float64)
+
+    @property
+    def sequence_length(self) -> int:
+        return self.autoencoder.config.sequence_length
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        """Current per-station decision boundaries (NaN = cannot flag)."""
+        if self.adaptive is not None:
+            calibrated = self.adaptive.counts >= self.min_calibration_scores
+            return np.where(calibrated, self.adaptive.estimate, np.nan)
+        return self._thresholds
+
+    def calibrate(self, normal_fleet: np.ndarray, scale: bool = True) -> np.ndarray:
+        """Fit fixed per-station thresholds from normal history.
+
+        ``normal_fleet`` is ``(n_stations, T)`` of known-normal raw
+        readings (scaled internally when the detector owns a scaler and
+        ``scale`` is true).  Every station's history is window-scored in
+        one batched pass and its threshold set to the configured
+        percentile of its own scores — the streaming equivalent of the
+        paper's per-client 98th-percentile rule.  Returns the thresholds.
+        """
+        fleet = np.asarray(normal_fleet, dtype=np.float64)
+        if fleet.ndim != 2 or fleet.shape[0] != self.n_stations:
+            raise ValueError(
+                f"normal_fleet must be ({self.n_stations}, T), got {fleet.shape}"
+            )
+        if fleet.shape[1] <= self.sequence_length:
+            raise ValueError("normal_fleet is shorter than one window")
+        if self.scaler is not None and scale:
+            fleet = self.scaler.transform_fleet(fleet)
+        n_windows = fleet.shape[1] - self.sequence_length + 1
+        windows = np.concatenate(
+            [sliding_windows(fleet[j], self.sequence_length) for j in range(self.n_stations)]
+        )
+        errors = self.autoencoder.window_errors(windows[:, :, None])
+        per_station = errors.reshape(self.n_stations, n_windows)
+        self._thresholds = np.percentile(per_station, self.percentile, axis=1)
+        self.adaptive = None
+        return self._thresholds
+
+    def process_tick(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> TickResult:
+        """Ingest one reading per station and emit fleet-wide decisions.
+
+        ``values`` holds raw readings for every station (or for the
+        subset named by ``stations`` — only those are buffered and
+        scored, which is the micro-batching entry point for fleets whose
+        stations report on heterogeneous schedules).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if stations is None:
+            station_index = np.arange(self.n_stations)
+        else:
+            station_index = np.asarray(stations, dtype=np.int64)
+        if self.scaler is not None:
+            self.scaler.partial_fit(values, stations)
+            scaled = self.scaler.transform(values, stations)
+        else:
+            scaled = values
+        self.buffers.push(scaled, stations)
+
+        scores = np.full(self.n_stations, np.nan)
+        flags = np.zeros(self.n_stations, dtype=bool)
+        due = station_index[self.buffers.ready[station_index]]
+        if due.size:
+            windows = self.buffers.windows(due)
+            # The micro-batch: one forward pass for every due station.
+            scores[due] = self.autoencoder.window_errors(windows[:, :, None])
+            thresholds = self.thresholds[due]
+            with np.errstate(invalid="ignore"):
+                flags[due] = scores[due] > np.nan_to_num(thresholds, nan=np.inf)
+            if self.adaptive is not None:
+                # Guarded adaptation: flagged scores never move the boundary.
+                clean = due[~flags[due]]
+                if clean.size:
+                    self.adaptive.update(scores[clean], clean)
+        scored = np.zeros(self.n_stations, dtype=bool)
+        scored[due] = True
+        result = TickResult(tick=self.tick, scored=scored, scores=scores, flags=flags)
+        self.tick += 1
+        return result
+
+    def amend_last(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> None:
+        """Replace the newest buffered reading with a repaired value.
+
+        Closed-loop operation: after mitigation, writing the repaired
+        value back into the window buffer stops a single attacked tick
+        from corrupting the next ``sequence_length`` windows (which is
+        what smears window-mode flags onto normal neighbours).  Note
+        that a closed loop intentionally diverges from the open-loop
+        batch detector, which always scores the raw series.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self.scaler is not None:
+            values = self.scaler.transform(values, stations)
+        self.buffers.amend_last(values, stations)
+
+    def __repr__(self) -> str:
+        mode = "adaptive-p2" if self.adaptive is not None else "fixed"
+        return (
+            f"StreamingDetector(n_stations={self.n_stations}, "
+            f"L={self.sequence_length}, threshold={mode}, tick={self.tick})"
+        )

@@ -1,0 +1,168 @@
+"""Causal (online) mitigation policies.
+
+The batch pipeline repairs a flagged point by interpolating between the
+normal values on *both* sides (:mod:`repro.anomaly.mitigation`).  A live
+stream has no right-hand anchor — the repair must be causal, built only
+from the past.  Each policy keeps O(1)–O(period) state per station,
+fully vectorized across the fleet, and emits a mitigated value for every
+station every tick: flagged readings are replaced, clean readings pass
+through (and refresh the policy's notion of "last known good").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stream.buffers import RingBufferBank
+
+
+class StreamingMitigator:
+    """Base policy: per-tick ``mitigate(values, flags) -> repaired``."""
+
+    name = "streaming-mitigator"
+
+    def __init__(self, n_stations: int) -> None:
+        if n_stations < 1:
+            raise ValueError(f"n_stations must be >= 1, got {n_stations}")
+        self.n_stations = int(n_stations)
+
+    def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Return repaired readings for one tick; never mutates input."""
+        raise NotImplementedError
+
+    def _check(self, values: np.ndarray, flags: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=np.float64)
+        flags = np.asarray(flags, dtype=bool)
+        if values.shape != (self.n_stations,) or flags.shape != (self.n_stations,):
+            raise ValueError(
+                f"values/flags must both be ({self.n_stations},), "
+                f"got {values.shape}/{flags.shape}"
+            )
+        return values, flags
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_stations={self.n_stations})"
+
+
+class HoldLastGoodMitigator(StreamingMitigator):
+    """Replace a flagged reading with the station's last clean value.
+
+    The streaming analogue of the paper's "bridge the anomalous run from
+    its boundaries" with only the left boundary available.  Flags before
+    any clean observation pass the raw value through (there is nothing
+    to hold yet).
+    """
+
+    name = "hold_last_good"
+
+    def __init__(self, n_stations: int) -> None:
+        super().__init__(n_stations)
+        self.last_good = np.full(self.n_stations, np.nan)
+
+    def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        values, flags = self._check(values, flags)
+        have_anchor = np.isfinite(self.last_good)
+        repaired = np.where(flags & have_anchor, self.last_good, values)
+        clean = ~flags
+        self.last_good[clean] = values[clean]
+        return repaired
+
+
+class CausalLinearMitigator(StreamingMitigator):
+    """Extrapolate a flagged run from the slope of the last two clean values.
+
+    Keeps the repaired series moving with the local trend instead of
+    flat-lining through long bursts.  ``max_slope_ticks`` caps how far
+    the extrapolation runs before degrading to hold-last-good (an
+    unbounded linear guess diverges on multi-hour attacks), and repairs
+    are floored at zero — charging volume cannot be negative.
+    """
+
+    name = "causal_linear"
+
+    def __init__(self, n_stations: int, max_slope_ticks: int = 6) -> None:
+        super().__init__(n_stations)
+        if max_slope_ticks < 1:
+            raise ValueError(f"max_slope_ticks must be >= 1, got {max_slope_ticks}")
+        self.max_slope_ticks = int(max_slope_ticks)
+        self.last_good = np.full(self.n_stations, np.nan)
+        self.prev_good = np.full(self.n_stations, np.nan)
+        self._run_length = np.zeros(self.n_stations, dtype=np.int64)
+
+    def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        values, flags = self._check(values, flags)
+        self._run_length = np.where(flags, self._run_length + 1, 0)
+        slope = np.where(
+            np.isfinite(self.prev_good), self.last_good - self.prev_good, 0.0
+        )
+        steps = np.minimum(self._run_length, self.max_slope_ticks)
+        extrapolated = self.last_good + slope * steps
+        have_anchor = np.isfinite(self.last_good)
+        repaired = np.where(
+            flags & have_anchor, np.maximum(extrapolated, 0.0), values
+        )
+        clean = ~flags
+        self.prev_good[clean] = self.last_good[clean]
+        self.last_good[clean] = values[clean]
+        return repaired
+
+
+class SeasonalHoldMitigator(StreamingMitigator):
+    """Replace a flagged reading with the repaired value one period ago.
+
+    Charging demand is strongly daily-periodic; the value from the same
+    hour yesterday is a far better stand-in than the last clean value
+    when a burst spans several hours.  Falls back to hold-last-good
+    until a full period of history exists.
+    """
+
+    name = "seasonal_hold"
+
+    def __init__(self, n_stations: int, period: int = 24) -> None:
+        super().__init__(n_stations)
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = int(period)
+        self._history = RingBufferBank(n_stations, period)
+        self._fallback = HoldLastGoodMitigator(n_stations)
+
+    def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        values, flags = self._check(values, flags)
+        held = self._fallback.mitigate(values, flags)
+        seasonal_ready = self._history.counts >= self.period
+        if seasonal_ready.any():
+            ready_idx = np.flatnonzero(seasonal_ready)
+            windows = self._history.windows(ready_idx)
+            season = np.full(self.n_stations, np.nan)
+            season[ready_idx] = windows[:, 0]  # oldest = one period ago
+            use_season = flags & seasonal_ready & np.isfinite(season)
+            repaired = np.where(use_season, season, held)
+        else:
+            repaired = held
+        self._history.push(repaired)
+        return repaired
+
+
+_REGISTRY: dict[str, type[StreamingMitigator]] = {
+    "hold_last_good": HoldLastGoodMitigator,
+    "causal_linear": CausalLinearMitigator,
+    "seasonal_hold": SeasonalHoldMitigator,
+}
+
+
+def get(name_or_mitigator: str | StreamingMitigator, n_stations: int) -> StreamingMitigator:
+    """Resolve a streaming mitigation policy by name."""
+    if isinstance(name_or_mitigator, StreamingMitigator):
+        if name_or_mitigator.n_stations != n_stations:
+            raise ValueError(
+                f"mitigator tracks {name_or_mitigator.n_stations} stations, "
+                f"expected {n_stations}"
+            )
+        return name_or_mitigator
+    try:
+        return _REGISTRY[name_or_mitigator](n_stations)
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown streaming mitigator {name_or_mitigator!r}; known: {known}"
+        ) from None

@@ -1,0 +1,222 @@
+"""Streaming percentile estimation (P² algorithm), fleet-vectorized.
+
+The paper's threshold is the 98th percentile of training-set
+reconstruction errors — a batch quantity.  Online, the engine cannot
+store every score; the P² algorithm (Jain & Chlamtac, 1985) maintains a
+five-marker piecewise-parabolic sketch of the score distribution and
+updates it in O(1) per observation, giving a running percentile
+estimate with bounded memory.
+
+:class:`P2QuantileBank` runs one estimator *per station* with all five
+markers stored as ``(n_stations, 5)`` arrays, so a whole fleet updates
+in a handful of vectorized operations per tick.
+:class:`StreamingPercentileThreshold` adapts the scalar estimator to the
+batch :class:`~repro.anomaly.thresholds.ThresholdRule` interface so it
+can drop into any code path that accepts the paper's
+:class:`~repro.anomaly.thresholds.PercentileThreshold`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomaly.thresholds import ThresholdRule
+from repro.stream._ticks import check_tick
+
+_N_MARKERS = 5
+
+
+class P2QuantileBank:
+    """Per-station running q-quantile estimates via the P² algorithm.
+
+    Parameters
+    ----------
+    n_stations:
+        Fleet size.
+    q:
+        Percentile in (0, 100), e.g. the paper's 98.0.
+
+    Estimates are NaN until a station has observed five values (the P²
+    initialisation set); afterwards :attr:`estimate` tracks the running
+    percentile with O(5) state per station.
+    """
+
+    def __init__(self, n_stations: int, q: float = 98.0) -> None:
+        if n_stations < 1:
+            raise ValueError(f"n_stations must be >= 1, got {n_stations}")
+        if not 0.0 < q < 100.0:
+            raise ValueError(f"q must be in (0, 100), got {q}")
+        self.n_stations = int(n_stations)
+        self.q = float(q)
+        p = self.q / 100.0
+        self._dn = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
+        self._heights = np.zeros((self.n_stations, _N_MARKERS))
+        self._positions = np.tile(
+            np.arange(1.0, _N_MARKERS + 1.0), (self.n_stations, 1)
+        )
+        # Canonical desired starting positions: 1, 1+2p, 1+4p, 3+2p, 5.
+        self._desired = np.tile(
+            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
+            (self.n_stations, 1),
+        )
+        self._warmup = np.zeros((self.n_stations, _N_MARKERS))
+        self.counts = np.zeros(self.n_stations, dtype=np.int64)
+
+    @property
+    def ready(self) -> np.ndarray:
+        """Stations with at least five observations (estimate defined)."""
+        return self.counts >= _N_MARKERS
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Running percentile per station; NaN before five observations."""
+        return np.where(self.ready, self._heights[:, 2], np.nan)
+
+    def update(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
+        """Feed one observation per addressed station."""
+        values, stations = check_tick(values, stations, self.n_stations)
+        counts = self.counts[stations]
+        warm = counts < _N_MARKERS
+        if warm.any():
+            rows = stations[warm]
+            self._warmup[rows, counts[warm]] = values[warm]
+            filled = counts[warm] + 1 == _N_MARKERS
+            if filled.any():
+                init_rows = rows[filled]
+                self._heights[init_rows] = np.sort(self._warmup[init_rows], axis=1)
+        if (~warm).any():
+            self._step(stations[~warm], values[~warm])
+        self.counts[stations] += 1
+
+    # ------------------------------------------------------------------
+    # one vectorized P² update for stations past initialisation
+    # ------------------------------------------------------------------
+    def _step(self, rows: np.ndarray, x: np.ndarray) -> None:
+        heights = self._heights[rows]
+        positions = self._positions[rows]
+
+        below = x < heights[:, 0]
+        above = x >= heights[:, 4]
+        heights[below, 0] = x[below]
+        heights[above, 4] = x[above]
+        # Cell index k in 0..3: x falls in [q_k, q_{k+1}).
+        k = np.clip((x[:, None] >= heights[:, :4]).sum(axis=1) - 1, 0, 3)
+        k[below] = 0
+        k[above] = 3
+
+        positions += np.arange(_N_MARKERS)[None, :] > k[:, None]
+        desired = self._desired[rows] + self._dn[None, :]
+        self._desired[rows] = desired
+
+        for i in (1, 2, 3):
+            d = desired[:, i] - positions[:, i]
+            gap_right = positions[:, i + 1] - positions[:, i]
+            gap_left = positions[:, i - 1] - positions[:, i]
+            move = ((d >= 1.0) & (gap_right > 1.0)) | ((d <= -1.0) & (gap_left < -1.0))
+            sign = np.where(d >= 0.0, 1.0, -1.0)
+
+            # Piecewise-parabolic candidate height.
+            np_prev, np_here, np_next = positions[:, i - 1], positions[:, i], positions[:, i + 1]
+            q_prev, q_here, q_next = heights[:, i - 1], heights[:, i], heights[:, i + 1]
+            outer = np.where(np_next - np_prev == 0.0, 1.0, np_next - np_prev)
+            right_den = np.where(np_next - np_here == 0.0, 1.0, np_next - np_here)
+            left_den = np.where(np_here - np_prev == 0.0, 1.0, np_here - np_prev)
+            parabolic = q_here + (sign / outer) * (
+                (np_here - np_prev + sign) * (q_next - q_here) / right_den
+                + (np_next - np_here - sign) * (q_here - q_prev) / left_den
+            )
+            parabolic_ok = (q_prev < parabolic) & (parabolic < q_next)
+
+            # Linear fallback toward the neighbour in the move direction.
+            neighbour = i + sign.astype(np.int64)
+            all_rows = np.arange(len(rows))
+            q_nb = heights[all_rows, neighbour]
+            n_nb = positions[all_rows, neighbour]
+            lin_den = np.where(n_nb - np_here == 0.0, 1.0, n_nb - np_here)
+            linear = q_here + sign * (q_nb - q_here) / lin_den
+
+            heights[:, i] = np.where(
+                move, np.where(parabolic_ok, parabolic, linear), q_here
+            )
+            positions[:, i] = np.where(move, np_here + sign, np_here)
+
+        self._heights[rows] = heights
+        self._positions[rows] = positions
+
+    def __repr__(self) -> str:
+        return (
+            f"P2QuantileBank(n_stations={self.n_stations}, q={self.q}, "
+            f"ready={int(self.ready.sum())})"
+        )
+
+
+class P2QuantileEstimator:
+    """Scalar convenience wrapper: one P² estimator for one stream."""
+
+    def __init__(self, q: float = 98.0) -> None:
+        self._bank = P2QuantileBank(1, q)
+
+    @property
+    def q(self) -> float:
+        return self._bank.q
+
+    @property
+    def count(self) -> int:
+        return int(self._bank.counts[0])
+
+    @property
+    def estimate(self) -> float:
+        """Running percentile (NaN before five observations)."""
+        return float(self._bank.estimate[0])
+
+    def update(self, value: float) -> "P2QuantileEstimator":
+        self._bank.update(np.array([float(value)]))
+        return self
+
+    def update_many(self, values: np.ndarray) -> "P2QuantileEstimator":
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.update(float(value))
+        return self
+
+    def __repr__(self) -> str:
+        return f"P2QuantileEstimator(q={self.q}, count={self.count})"
+
+
+class StreamingPercentileThreshold(ThresholdRule):
+    """Drop-in percentile rule backed by the O(1)-memory P² sketch.
+
+    Behaves like :class:`~repro.anomaly.thresholds.PercentileThreshold`
+    under the batch interface (``fit`` streams the training scores
+    through the estimator), and additionally supports :meth:`observe`
+    for continued online calibration after deployment.
+    """
+
+    def __init__(self, q: float = 98.0) -> None:
+        super().__init__()
+        if not 0.0 < q < 100.0:
+            raise ValueError(f"q must be in (0, 100), got {q}")
+        self.q = float(q)
+        self.estimator = P2QuantileEstimator(q)
+
+    def _compute(self, scores: np.ndarray) -> float:
+        self.estimator = P2QuantileEstimator(self.q)
+        self.estimator.update_many(scores)
+        estimate = self.estimator.estimate
+        if not np.isfinite(estimate):
+            # Fewer than five scores: the sketch is still warming up.
+            # Fall back to the exact percentile so short calibration
+            # sets behave like PercentileThreshold instead of silently
+            # never flagging.
+            return float(np.percentile(scores, self.q))
+        return estimate
+
+    def observe(self, score: float) -> float:
+        """Fold one new score into the running threshold and return it."""
+        self.estimator.update(score)
+        estimate = self.estimator.estimate
+        if np.isfinite(estimate):
+            self.threshold_ = float(estimate)
+        return float(estimate)
+
+    def _params(self) -> str:
+        return f"q={self.q}"

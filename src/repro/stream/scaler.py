@@ -1,0 +1,161 @@
+"""Incremental per-station MinMax scaling for streaming ingestion.
+
+The batch pipeline fits one :class:`~repro.data.scaling.MinMaxScaler`
+per client on that client's training segment.  Online, the fleet scaler
+keeps the same per-station ``data_min_``/``data_max_`` state as a pair
+of ``(n_stations,)`` vectors, updates them in O(n_stations) per tick
+(:meth:`partial_fit`), and applies the identical transform — constant
+stations map to the lower bound, exactly as the batch scaler does, so
+scaled values round-trip bit-for-bit with the offline preprocessing.
+
+Deployments typically :meth:`partial_fit` during a warmup window and
+then :meth:`freeze` the bounds: adapting min/max *during* an attack
+would let a volume spike stretch the scale and hide itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.scaling import MinMaxScaler
+from repro.stream._ticks import check_tick
+
+
+class StreamingMinMaxScaler:
+    """Per-station running min/max scaler over a fleet of series.
+
+    Parameters
+    ----------
+    n_stations:
+        Fleet size; all state vectors have this length.
+    feature_range:
+        Target range, default [0, 1] (the paper's normalisation).
+    """
+
+    def __init__(
+        self, n_stations: int, feature_range: tuple[float, float] = (0.0, 1.0)
+    ) -> None:
+        if n_stations < 1:
+            raise ValueError(f"n_stations must be >= 1, got {n_stations}")
+        low, high = feature_range
+        if not high > low:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.n_stations = int(n_stations)
+        self.feature_range = (float(low), float(high))
+        self.data_min_ = np.full(self.n_stations, np.inf)
+        self.data_max_ = np.full(self.n_stations, -np.inf)
+        self.frozen = False
+
+    @classmethod
+    def from_bounds(
+        cls,
+        data_min: np.ndarray,
+        data_max: np.ndarray,
+        feature_range: tuple[float, float] = (0.0, 1.0),
+        frozen: bool = True,
+    ) -> "StreamingMinMaxScaler":
+        """Build from per-station bounds (e.g. batch-calibrated ones).
+
+        ``data_min``/``data_max`` may come straight from one
+        :class:`~repro.data.scaling.MinMaxScaler` per station fitted on
+        training data — the streaming transform then matches the batch
+        transform exactly.
+        """
+        data_min = np.asarray(data_min, dtype=np.float64).ravel()
+        data_max = np.asarray(data_max, dtype=np.float64).ravel()
+        if data_min.shape != data_max.shape:
+            raise ValueError("data_min and data_max must have the same shape")
+        scaler = cls(len(data_min), feature_range)
+        scaler.data_min_ = data_min.copy()
+        scaler.data_max_ = data_max.copy()
+        scaler.frozen = bool(frozen)
+        return scaler
+
+    @classmethod
+    def from_batch_scalers(
+        cls, scalers: list[MinMaxScaler], feature_range: tuple[float, float] = (0.0, 1.0)
+    ) -> "StreamingMinMaxScaler":
+        """Adopt the bounds of per-client fitted batch scalers, frozen."""
+        mins = np.array([float(np.asarray(s.data_min_).ravel()[0]) for s in scalers])
+        maxs = np.array([float(np.asarray(s.data_max_).ravel()[0]) for s in scalers])
+        return cls.from_bounds(mins, maxs, feature_range)
+
+    @property
+    def fitted(self) -> np.ndarray:
+        """Boolean mask of stations that have observed at least one value."""
+        return np.isfinite(self.data_min_)
+
+    def freeze(self) -> "StreamingMinMaxScaler":
+        """Stop adapting bounds (call after the warmup window)."""
+        self.frozen = True
+        return self
+
+    def partial_fit(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> "StreamingMinMaxScaler":
+        """Widen per-station bounds with one tick of readings."""
+        if self.frozen:
+            return self
+        values, stations = self._check(values, stations)
+        np.minimum.at(self.data_min_, stations, values)
+        np.maximum.at(self.data_max_, stations, values)
+        return self
+
+    def transform(self, values: np.ndarray, stations: np.ndarray | None = None) -> np.ndarray:
+        """Scale one tick of readings into the feature range."""
+        values, stations = self._check(values, stations)
+        data_min = self.data_min_[stations]
+        span = self.data_max_[stations] - data_min
+        if not np.all(np.isfinite(span)):
+            raise RuntimeError(
+                "transform before any observation for some stations; "
+                "partial_fit first (or build via from_bounds)"
+            )
+        safe_span = np.where(span == 0.0, 1.0, span)
+        low, high = self.feature_range
+        scaled = (values - data_min) / safe_span * (high - low) + low
+        return np.where(span == 0.0, low, scaled)
+
+    def inverse_transform(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Map scaled readings back to original units."""
+        values, stations = self._check(values, stations)
+        data_min = self.data_min_[stations]
+        span = self.data_max_[stations] - data_min
+        low, high = self.feature_range
+        return (values - low) / (high - low) * span + data_min
+
+    def transform_fleet(self, fleet: np.ndarray) -> np.ndarray:
+        """Scale a whole ``(n_stations, T)`` history in one broadcast.
+
+        Batch counterpart of :meth:`transform` for calibration-time work
+        (per-timestep Python loops over a long history are pure
+        overhead).
+        """
+        fleet = np.asarray(fleet, dtype=np.float64)
+        if fleet.ndim != 2 or fleet.shape[0] != self.n_stations:
+            raise ValueError(
+                f"fleet must be ({self.n_stations}, T), got {fleet.shape}"
+            )
+        span = self.data_max_ - self.data_min_
+        if not np.all(np.isfinite(span)):
+            raise RuntimeError(
+                "transform before any observation for some stations; "
+                "partial_fit first (or build via from_bounds)"
+            )
+        safe_span = np.where(span == 0.0, 1.0, span)
+        low, high = self.feature_range
+        scaled = (fleet - self.data_min_[:, None]) / safe_span[:, None] * (high - low) + low
+        return np.where(span[:, None] == 0.0, low, scaled)
+
+    def _check(
+        self, values: np.ndarray, stations: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return check_tick(values, stations, self.n_stations)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingMinMaxScaler(n_stations={self.n_stations}, "
+            f"frozen={self.frozen}, fitted={int(self.fitted.sum())})"
+        )

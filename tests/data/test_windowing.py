@@ -127,3 +127,48 @@ class TestErrorsPerPoint:
         for reduction in ("mean", "median", "min"):
             out = errors_per_point(errors, series_length, seq_len, reduction=reduction)
             np.testing.assert_allclose(out, 2.5)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            errors_per_point(np.zeros((1, 2)), 2, 2, stride=0)
+
+    @staticmethod
+    def _naive_errors_per_point(window_errors, series_length, sequence_length, stride, reduction):
+        """Reference bucket-loop implementation the vectorized fold replaced."""
+        buckets = [[] for _ in range(series_length)]
+        for window_index in range(window_errors.shape[0]):
+            start = window_index * stride
+            for offset in range(sequence_length):
+                buckets[start + offset].append(window_errors[window_index, offset])
+        reducer = {"mean": np.mean, "median": np.median, "min": np.min}[reduction]
+        return np.array(
+            [reducer(b) if b else np.nan for b in buckets], dtype=np.float64
+        )
+
+    @given(
+        st.integers(2, 12),
+        st.integers(1, 9),
+        st.integers(1, 15),
+        st.integers(0, 6),
+        st.sampled_from(["mean", "median", "min"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_bucket_fold(self, seq_len, stride, n_windows, extra, reduction):
+        """Strided-reduction fold is identical to the bucket loop, stride > 1 included."""
+        series_length = (n_windows - 1) * stride + seq_len + extra
+        errors = np.random.default_rng(seq_len * 1000 + stride).random((n_windows, seq_len))
+        out = errors_per_point(errors, series_length, seq_len, stride=stride, reduction=reduction)
+        expected = self._naive_errors_per_point(errors, series_length, seq_len, stride, reduction)
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(expected))
+        covered = ~np.isnan(expected)
+        if reduction == "mean":
+            np.testing.assert_allclose(out[covered], expected[covered], rtol=1e-13)
+        else:
+            np.testing.assert_array_equal(out[covered], expected[covered])
+
+    def test_stride_greater_than_one_exact(self):
+        """Pinned stride=3 case: overlaps, interior gaps, and a covered tail."""
+        errors = np.array([[1.0, 4.0, 2.0, 8.0], [3.0, 6.0, 5.0, 7.0]])
+        out = errors_per_point(errors, 7, 4, stride=3, reduction="min")
+        expected = self._naive_errors_per_point(errors, 7, 4, 3, "min")
+        np.testing.assert_array_equal(out, expected)

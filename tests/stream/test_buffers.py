@@ -1,0 +1,95 @@
+"""Tests for the fleet ring-buffer bank."""
+
+import numpy as np
+import pytest
+
+from repro.stream.buffers import RingBufferBank
+
+
+class TestRingBufferBank:
+    def test_not_ready_until_full(self):
+        bank = RingBufferBank(2, 4)
+        for _ in range(3):
+            bank.push(np.zeros(2))
+        assert not bank.ready.any()
+        bank.push(np.zeros(2))
+        assert bank.ready.all()
+
+    def test_window_content_and_order(self):
+        bank = RingBufferBank(1, 3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            bank.push(np.array([value]))
+        np.testing.assert_array_equal(bank.windows(), [[3.0, 4.0, 5.0]])
+
+    def test_windows_match_trailing_series_after_wraparound(self):
+        length, n_pushes = 5, 23
+        series = np.random.default_rng(0).random(n_pushes)
+        bank = RingBufferBank(1, length)
+        for value in series:
+            bank.push(np.array([value]))
+        np.testing.assert_array_equal(bank.windows()[0], series[-length:])
+
+    def test_vectorized_push_matches_per_station(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((3, 10))
+        fleet = RingBufferBank(3, 4)
+        singles = [RingBufferBank(1, 4) for _ in range(3)]
+        for t in range(10):
+            fleet.push(data[:, t])
+            for j, single in enumerate(singles):
+                single.push(data[j : j + 1, t])
+        for j, single in enumerate(singles):
+            np.testing.assert_array_equal(
+                fleet.windows(np.array([j]))[0], single.windows()[0]
+            )
+
+    def test_partial_station_push(self):
+        bank = RingBufferBank(3, 2)
+        bank.push(np.array([1.0, 2.0]), stations=np.array([0, 2]))
+        bank.push(np.array([3.0, 4.0]), stations=np.array([0, 2]))
+        np.testing.assert_array_equal(bank.ready, [True, False, True])
+        np.testing.assert_array_equal(
+            bank.windows(np.array([0, 2])), [[1.0, 3.0], [2.0, 4.0]]
+        )
+
+    def test_last(self):
+        bank = RingBufferBank(2, 3)
+        bank.push(np.array([1.0, 10.0]))
+        bank.push(np.array([2.0, 20.0]))
+        np.testing.assert_array_equal(bank.last(), [2.0, 20.0])
+
+    def test_amend_last_rewrites_newest_value(self):
+        bank = RingBufferBank(1, 3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            bank.push(np.array([value]))
+        bank.amend_last(np.array([99.0]))
+        np.testing.assert_array_equal(bank.windows(), [[2.0, 3.0, 99.0]])
+        assert bank.last()[0] == 99.0
+        # The next push continues the ring correctly after the amend.
+        bank.push(np.array([5.0]))
+        np.testing.assert_array_equal(bank.windows(), [[3.0, 99.0, 5.0]])
+
+    def test_amend_last_before_any_push_raises(self):
+        bank = RingBufferBank(1, 3)
+        with pytest.raises(ValueError, match="prior push"):
+            bank.amend_last(np.array([1.0]))
+
+    def test_windows_on_unready_station_raises(self):
+        bank = RingBufferBank(1, 3)
+        bank.push(np.array([1.0]))
+        with pytest.raises(ValueError, match="full buffer"):
+            bank.windows()
+
+    def test_shape_validation(self):
+        bank = RingBufferBank(2, 3)
+        with pytest.raises(ValueError, match="expected 2 values"):
+            bank.push(np.zeros(3))
+        with pytest.raises(ValueError, match="n_stations"):
+            RingBufferBank(0, 3)
+        with pytest.raises(ValueError, match="length"):
+            RingBufferBank(2, 0)
+
+    def test_duplicate_station_indices_rejected(self):
+        bank = RingBufferBank(3, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            bank.push(np.array([1.0, 2.0]), stations=np.array([1, 1]))

@@ -1,0 +1,139 @@
+"""Tests for the stream replay engine and its scenario adapters."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
+from repro.attacks import AttackScenario, DDoSVolumeAttack
+from repro.stream.detector import StreamingDetector
+from repro.stream.engine import (
+    StreamReplayEngine,
+    attack_fleet,
+    synthesize_fleet,
+)
+from repro.stream.mitigation import HoldLastGoodMitigator
+from repro.stream.scaler import StreamingMinMaxScaler
+
+
+@pytest.fixture(scope="module")
+def small_autoencoder():
+    config = AutoencoderConfig(
+        sequence_length=8, encoder_units=(6, 3), decoder_units=(3, 6), dropout=0.0
+    )
+    return LSTMAutoencoder(config, seed=11)
+
+
+def _make_detector(autoencoder, fleet):
+    scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
+    detector = StreamingDetector(autoencoder, fleet.shape[0], scaler=scaler)
+    detector.calibrate(fleet)
+    return detector
+
+
+class TestStreamReplayEngine:
+    def test_report_shapes_and_throughput(self, small_autoencoder):
+        fleet = synthesize_fleet(3, 60, seed=4)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        report = engine.run(fleet)
+        assert report.flags.shape == fleet.shape
+        assert report.scores.shape == fleet.shape
+        assert report.mitigated.shape == fleet.shape
+        assert report.latencies.shape == (60,)
+        assert report.ticks_per_second > 0
+        assert report.readings_per_second == pytest.approx(
+            3 * report.ticks_per_second
+        )
+        assert report.metrics is None
+        assert "throughput" in report.summary()
+
+    def test_mitigation_replaces_flagged_values_only(self, small_autoencoder):
+        fleet = synthesize_fleet(2, 80, seed=9)
+        detector = _make_detector(small_autoencoder, fleet)
+        engine = StreamReplayEngine(detector, mitigator="hold_last_good")
+        report = engine.run(fleet)
+        untouched = ~report.flags
+        np.testing.assert_array_equal(report.mitigated[untouched], fleet[untouched])
+
+    def test_metrics_computed_with_labels(self, small_autoencoder, tiny_clients):
+        scenario = AttackScenario([DDoSVolumeAttack()], name="engine-test")
+        attacked, labels, names = attack_fleet(tiny_clients, scenario, seed=5)
+        normal = np.stack([client.series for client in tiny_clients])
+        detector = _make_detector(small_autoencoder, normal)
+        report = StreamReplayEngine(detector, HoldLastGoodMitigator(len(names))).run(
+            attacked, labels, names
+        )
+        assert report.metrics is not None
+        assert 0.0 <= report.metrics.precision <= 1.0
+        assert 0.0 <= report.metrics.false_positive_rate <= 1.0
+        assert "detection:" in report.summary()
+
+    def test_feedback_stops_flag_smearing_after_a_spike(self, small_autoencoder):
+        """Closed loop repairs the buffer, so one spike flags one tick."""
+        length = small_autoencoder.config.sequence_length
+        baseline = float(
+            small_autoencoder.window_errors(np.full((1, length, 1), 0.5))[0]
+        )
+        n_ticks = 4 * length
+        fleet = np.full((1, n_ticks), 0.5)
+        fleet[0, 2 * length] = 50.0  # one huge spike mid-stream
+
+        def run(feedback):
+            detector = StreamingDetector(
+                small_autoencoder, 1, threshold=baseline * 1.5
+            )
+            engine = StreamReplayEngine(
+                detector, mitigator="hold_last_good", feedback=feedback
+            )
+            return engine.run(fleet)
+
+        closed = run(True)
+        opened = run(False)
+        assert closed.flags.sum() == 1
+        assert closed.flags[0, 2 * length]
+        assert opened.flags.sum() >= closed.flags.sum()
+        # Either way the spike itself is repaired back to the held value.
+        assert closed.mitigated[0, 2 * length] == 0.5
+
+    def test_shape_validation(self, small_autoencoder):
+        fleet = synthesize_fleet(2, 40, seed=1)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        with pytest.raises(ValueError, match="fleet must be"):
+            engine.run(fleet[:1])
+        with pytest.raises(ValueError, match="labels shape"):
+            engine.run(fleet, labels=np.zeros((2, 39), dtype=bool))
+        with pytest.raises(ValueError, match="station_names"):
+            engine.run(fleet, labels=np.zeros_like(fleet, dtype=bool), station_names=["x"])
+
+
+class TestFleetAdapters:
+    def test_attack_fleet_matches_scenario_apply(self, tiny_clients):
+        scenario = AttackScenario([DDoSVolumeAttack()], name="adapter-test")
+        attacked, labels, names = attack_fleet(tiny_clients, scenario, seed=3)
+        outcomes = scenario.apply(tiny_clients, seed=3)
+        assert names == [client.name for client in tiny_clients]
+        for j, client in enumerate(tiny_clients):
+            np.testing.assert_array_equal(
+                attacked[j], outcomes[client.name].client.series
+            )
+            np.testing.assert_array_equal(labels[j], outcomes[client.name].labels)
+
+    def test_attack_fleet_rejects_mismatched_lengths(self, tiny_clients):
+        clients = list(tiny_clients)
+        clients[0] = clients[0].with_series(clients[0].series[:-5])
+        with pytest.raises(ValueError, match="share one series length"):
+            attack_fleet(clients, AttackScenario([DDoSVolumeAttack()]), seed=0)
+
+    def test_synthesize_fleet_shape_and_determinism(self):
+        fleet_a = synthesize_fleet(5, 48, seed=13)
+        fleet_b = synthesize_fleet(5, 48, seed=13)
+        assert fleet_a.shape == (5, 48)
+        np.testing.assert_array_equal(fleet_a, fleet_b)
+        assert (fleet_a >= 0).all()
+        # Stations get independent noise: rows differ even within one zone.
+        assert not np.array_equal(fleet_a[0], fleet_a[3])
+
+    def test_synthesize_fleet_validation(self):
+        with pytest.raises(ValueError, match="n_stations"):
+            synthesize_fleet(0, 10)
+        with pytest.raises(ValueError, match="n_ticks"):
+            synthesize_fleet(2, 0)

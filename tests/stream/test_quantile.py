@@ -1,0 +1,99 @@
+"""Tests for the P² streaming percentile sketch."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.thresholds import ThresholdRule
+from repro.stream.quantile import (
+    P2QuantileBank,
+    P2QuantileEstimator,
+    StreamingPercentileThreshold,
+)
+
+
+class TestP2QuantileEstimator:
+    def test_nan_before_five_observations(self):
+        estimator = P2QuantileEstimator(90.0)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            estimator.update(value)
+            assert np.isnan(estimator.estimate)
+        estimator.update(5.0)
+        assert np.isfinite(estimator.estimate)
+
+    @pytest.mark.parametrize("q", [50.0, 90.0, 98.0])
+    def test_tracks_true_percentile_within_tolerance(self, q):
+        rng = np.random.default_rng(int(q))
+        data = rng.normal(10.0, 3.0, size=8000)
+        estimator = P2QuantileEstimator(q).update_many(data)
+        true = np.percentile(data, q)
+        assert abs(estimator.estimate - true) / abs(true) < 0.02
+
+    def test_heavy_tailed_distribution(self):
+        data = np.random.default_rng(5).gamma(2.0, 2.0, size=8000)
+        estimator = P2QuantileEstimator(98.0).update_many(data)
+        true = np.percentile(data, 98.0)
+        assert abs(estimator.estimate - true) / true < 0.1
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError, match="q must be"):
+            P2QuantileBank(1, 0.0)
+        with pytest.raises(ValueError, match="q must be"):
+            P2QuantileBank(1, 100.0)
+
+
+class TestP2QuantileBank:
+    def test_bank_matches_scalar_per_station(self):
+        rng = np.random.default_rng(0)
+        n, ticks = 5, 1500
+        data = rng.gamma(2.0, 2.0, size=(n, ticks))
+        bank = P2QuantileBank(n, 90.0)
+        for t in range(ticks):
+            bank.update(data[:, t])
+        for j in range(n):
+            scalar = P2QuantileEstimator(90.0).update_many(data[j])
+            assert np.isclose(bank.estimate[j], scalar.estimate)
+
+    def test_partial_station_updates(self):
+        bank = P2QuantileBank(3, 75.0)
+        values = np.arange(200.0) % 31
+        for value in values:
+            bank.update(np.array([value]), stations=np.array([2]))
+        assert np.isnan(bank.estimate[0])
+        assert np.isnan(bank.estimate[1])
+        assert abs(bank.estimate[2] - np.percentile(values, 75.0)) < 2.0
+
+    def test_ready_mask(self):
+        bank = P2QuantileBank(2, 50.0)
+        for value in range(5):
+            bank.update(np.array([float(value)]), stations=np.array([0]))
+        np.testing.assert_array_equal(bank.ready, [True, False])
+
+
+class TestStreamingPercentileThreshold:
+    def test_is_a_threshold_rule(self):
+        assert isinstance(StreamingPercentileThreshold(), ThresholdRule)
+
+    def test_fit_approximates_batch_percentile(self):
+        scores = np.random.default_rng(2).normal(1.0, 0.2, size=5000)
+        rule = StreamingPercentileThreshold(98.0).fit(scores)
+        assert abs(rule.threshold_ - np.percentile(scores, 98.0)) < 0.02
+
+    def test_fit_on_fewer_than_five_scores_falls_back_to_exact(self):
+        scores = np.array([0.1, 0.2, 0.3])
+        rule = StreamingPercentileThreshold(50.0).fit(scores)
+        assert rule.threshold_ == pytest.approx(np.percentile(scores, 50.0))
+        np.testing.assert_array_equal(
+            rule.flag(np.array([0.0, 0.5])), [False, True]
+        )
+
+    def test_flag_interface(self):
+        rule = StreamingPercentileThreshold(50.0).fit(np.arange(100.0))
+        flags = rule.flag(np.array([0.0, 99.0, np.nan]))
+        np.testing.assert_array_equal(flags, [False, True, False])
+
+    def test_observe_updates_threshold_online(self):
+        rule = StreamingPercentileThreshold(50.0).fit(np.arange(100.0))
+        before = rule.threshold_
+        for _ in range(500):
+            rule.observe(1000.0)
+        assert rule.threshold_ > before

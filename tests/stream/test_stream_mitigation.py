@@ -1,0 +1,96 @@
+"""Tests for causal streaming mitigation policies."""
+
+import numpy as np
+import pytest
+
+from repro.stream.mitigation import (
+    CausalLinearMitigator,
+    HoldLastGoodMitigator,
+    SeasonalHoldMitigator,
+    get,
+)
+
+
+def _replay(mitigator, values, flags):
+    out = np.empty_like(np.asarray(values, dtype=np.float64))
+    for t, (value, flag) in enumerate(zip(values, flags)):
+        out[t] = mitigator.mitigate(np.array([float(value)]), np.array([flag]))[0]
+    return out
+
+
+class TestHoldLastGood:
+    def test_holds_through_a_burst(self):
+        values = [1.0, 2.0, 50.0, 60.0, 3.0]
+        flags = [False, False, True, True, False]
+        out = _replay(HoldLastGoodMitigator(1), values, flags)
+        np.testing.assert_array_equal(out, [1.0, 2.0, 2.0, 2.0, 3.0])
+
+    def test_flag_before_any_clean_value_passes_through(self):
+        out = _replay(HoldLastGoodMitigator(1), [9.0, 1.0], [True, False])
+        np.testing.assert_array_equal(out, [9.0, 1.0])
+
+    def test_vectorized_across_stations(self):
+        mitigator = HoldLastGoodMitigator(2)
+        mitigator.mitigate(np.array([1.0, 10.0]), np.array([False, False]))
+        out = mitigator.mitigate(np.array([99.0, 11.0]), np.array([True, False]))
+        np.testing.assert_array_equal(out, [1.0, 11.0])
+
+
+class TestCausalLinear:
+    def test_extrapolates_local_trend(self):
+        values = [1.0, 2.0, 50.0, 60.0, 5.0]
+        flags = [False, False, True, True, False]
+        out = _replay(CausalLinearMitigator(1), values, flags)
+        # slope = 2 - 1 = 1: burst repaired as 3, 4.
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_slope_capped_after_max_ticks(self):
+        mitigator = CausalLinearMitigator(1, max_slope_ticks=2)
+        values = [1.0, 2.0] + [99.0] * 5
+        flags = [False, False] + [True] * 5
+        out = _replay(mitigator, values, flags)
+        np.testing.assert_array_equal(out[2:], [3.0, 4.0, 4.0, 4.0, 4.0])
+
+    def test_repairs_floored_at_zero(self):
+        values = [5.0, 1.0, 99.0, 99.0, 99.0]
+        flags = [False, False, True, True, True]
+        out = _replay(CausalLinearMitigator(1), values, flags)
+        assert (out >= 0.0).all()
+
+
+class TestSeasonalHold:
+    def test_uses_value_one_period_ago(self):
+        period = 4
+        mitigator = SeasonalHoldMitigator(1, period=period)
+        season = [10.0, 20.0, 30.0, 40.0]
+        values = season + [99.0, 21.0, 31.0, 41.0]
+        flags = [False] * 4 + [True, False, False, False]
+        out = _replay(mitigator, values, flags)
+        assert out[4] == 10.0  # same slot last period, not last-good 40.0
+        np.testing.assert_array_equal(out[5:], [21.0, 31.0, 41.0])
+
+    def test_falls_back_to_hold_before_full_period(self):
+        mitigator = SeasonalHoldMitigator(1, period=10)
+        out = _replay(mitigator, [7.0, 99.0], [False, True])
+        np.testing.assert_array_equal(out, [7.0, 7.0])
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get("hold_last_good", 3), HoldLastGoodMitigator)
+        assert isinstance(get("causal_linear", 3), CausalLinearMitigator)
+        assert isinstance(get("seasonal_hold", 3), SeasonalHoldMitigator)
+
+    def test_get_passthrough_checks_fleet_size(self):
+        mitigator = HoldLastGoodMitigator(3)
+        assert get(mitigator, 3) is mitigator
+        with pytest.raises(ValueError, match="stations"):
+            get(mitigator, 4)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown streaming mitigator"):
+            get("nope", 1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="values/flags"):
+            HoldLastGoodMitigator(2).mitigate(np.zeros(3), np.zeros(3, dtype=bool))

@@ -1,0 +1,96 @@
+"""Tests for the incremental per-station MinMax scaler."""
+
+import numpy as np
+import pytest
+
+from repro.data.scaling import MinMaxScaler
+from repro.stream.scaler import StreamingMinMaxScaler
+
+
+class TestStreamingMinMaxScaler:
+    def test_matches_batch_scaler_after_full_pass(self):
+        rng = np.random.default_rng(0)
+        fleet = rng.random((4, 50)) * 30 + 5
+        streaming = StreamingMinMaxScaler(4)
+        for t in range(fleet.shape[1]):
+            streaming.partial_fit(fleet[:, t])
+        for j in range(4):
+            batch = MinMaxScaler().fit(fleet[j])
+            np.testing.assert_allclose(
+                streaming.transform(fleet[:, 0])[j],
+                batch.transform(fleet[j, 0:1])[0],
+            )
+
+    def test_from_batch_scalers_exact_interop(self):
+        rng = np.random.default_rng(1)
+        series = [rng.random(40) * scale for scale in (10, 100)]
+        batch_scalers = [MinMaxScaler().fit(s) for s in series]
+        streaming = StreamingMinMaxScaler.from_batch_scalers(batch_scalers)
+        tick = np.array([series[0][7], series[1][7]])
+        expected = np.array(
+            [batch_scalers[j].transform(tick[j : j + 1])[0] for j in range(2)]
+        )
+        np.testing.assert_array_equal(streaming.transform(tick), expected)
+        assert streaming.frozen
+
+    def test_round_trip(self):
+        streaming = StreamingMinMaxScaler.from_bounds([0.0, 10.0], [5.0, 30.0])
+        values = np.array([2.5, 17.0])
+        np.testing.assert_allclose(
+            streaming.inverse_transform(streaming.transform(values)), values
+        )
+
+    def test_constant_station_maps_to_lower_bound(self):
+        streaming = StreamingMinMaxScaler.from_bounds([4.0], [4.0])
+        np.testing.assert_array_equal(streaming.transform(np.array([4.0])), [0.0])
+
+    def test_freeze_stops_adaptation(self):
+        streaming = StreamingMinMaxScaler(1)
+        streaming.partial_fit(np.array([1.0]))
+        streaming.partial_fit(np.array([3.0]))
+        streaming.freeze()
+        streaming.partial_fit(np.array([100.0]))
+        assert streaming.data_max_[0] == 3.0
+
+    def test_transform_before_fit_raises(self):
+        streaming = StreamingMinMaxScaler(2)
+        with pytest.raises(RuntimeError, match="partial_fit"):
+            streaming.transform(np.zeros(2))
+
+    def test_partial_station_updates(self):
+        streaming = StreamingMinMaxScaler(3)
+        streaming.partial_fit(np.array([1.0]), stations=np.array([1]))
+        streaming.partial_fit(np.array([9.0]), stations=np.array([1]))
+        np.testing.assert_array_equal(streaming.fitted, [False, True, False])
+        assert streaming.transform(np.array([5.0]), stations=np.array([1]))[0] == 0.5
+
+    def test_transform_fleet_matches_per_tick_transform(self):
+        rng = np.random.default_rng(3)
+        fleet = rng.random((4, 25)) * 40
+        scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
+        per_tick = np.stack(
+            [scaler.transform(fleet[:, t]) for t in range(fleet.shape[1])], axis=1
+        )
+        np.testing.assert_array_equal(scaler.transform_fleet(fleet), per_tick)
+
+    def test_transform_fleet_constant_station(self):
+        scaler = StreamingMinMaxScaler.from_bounds([5.0, 0.0], [5.0, 10.0])
+        scaled = scaler.transform_fleet(np.array([[5.0, 5.0], [0.0, 10.0]]))
+        np.testing.assert_array_equal(scaled, [[0.0, 0.0], [0.0, 1.0]])
+
+    def test_transform_fleet_shape_validation(self):
+        scaler = StreamingMinMaxScaler.from_bounds([0.0], [1.0])
+        with pytest.raises(ValueError, match="fleet must be"):
+            scaler.transform_fleet(np.zeros((2, 5)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_stations"):
+            StreamingMinMaxScaler(0)
+        with pytest.raises(ValueError, match="feature_range"):
+            StreamingMinMaxScaler(1, feature_range=(1.0, 1.0))
+        with pytest.raises(ValueError, match="expected 2 values"):
+            StreamingMinMaxScaler(2).partial_fit(np.zeros(3))
+        with pytest.raises(ValueError, match="duplicate"):
+            StreamingMinMaxScaler(3).partial_fit(
+                np.array([1.0, 2.0]), stations=np.array([0, 0])
+            )
