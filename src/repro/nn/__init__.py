@@ -8,6 +8,7 @@ Adagrad optimizers, early stopping, and weight serialization.  Gradients
 are validated against finite differences in the test suite.
 """
 
+from repro.nn import policy
 from repro.nn.callbacks import (
     Callback,
     EarlyStopping,
@@ -28,6 +29,7 @@ from repro.nn.layers import (
 from repro.nn.losses import Huber, Loss, MeanAbsoluteError, MeanSquaredError
 from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD, Adagrad, Adam, Optimizer, RMSProp
+from repro.nn.policy import dtype_policy, get_dtype_policy, resolve_dtype, set_dtype_policy
 from repro.nn.serialization import (
     load_model,
     load_weights,
@@ -38,6 +40,11 @@ from repro.nn.serialization import (
 )
 
 __all__ = [
+    "policy",
+    "dtype_policy",
+    "get_dtype_policy",
+    "resolve_dtype",
+    "set_dtype_policy",
     "Callback",
     "EarlyStopping",
     "History",

@@ -114,13 +114,39 @@ class Softplus(Activation):
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid used throughout the LSTM."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid used throughout the LSTM.
+
+    The output dtype matches the input's floating precision (float64 for
+    non-float input, preserving the historical behaviour).
+    """
+    x = np.asarray(x)
+    dtype = x.dtype if x.dtype in (np.float32, np.float64) else np.float64
+    out = np.empty_like(x, dtype=dtype)
     positive = x >= 0
     out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
     exp_x = np.exp(x[~positive])
     out[~positive] = exp_x / (1.0 + exp_x)
     return out
+
+
+def sigmoid_inplace(x: np.ndarray, work: np.ndarray, numerator: np.ndarray,
+                    negative: np.ndarray) -> None:
+    """Overwrite ``x`` with ``sigmoid(x)`` using caller-provided scratch.
+
+    Computes the exact same stabilised expression as :func:`sigmoid` —
+    ``1 / (1 + e^-x)`` for ``x >= 0`` and ``e^x / (1 + e^x)`` otherwise —
+    but with preallocated buffers so the LSTM's fused gate update is
+    allocation-free.  ``work``/``numerator`` must be float buffers of
+    ``x``'s shape and dtype; ``negative`` a bool buffer of the same shape.
+    """
+    np.less(x, 0.0, out=negative)
+    np.abs(x, out=work)
+    np.negative(work, out=work)
+    np.exp(work, out=work)              # e^{-|x|}, in (0, 1]
+    numerator.fill(1.0)
+    np.copyto(numerator, work, where=negative)
+    np.add(work, 1.0, out=x)            # denominator 1 + e^{-|x|}
+    np.divide(numerator, x, out=x)
 
 
 _REGISTRY: dict[str, type[Activation]] = {

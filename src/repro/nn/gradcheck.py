@@ -38,6 +38,11 @@ def check_model_gradients(
     must already be built; dropout must be inactive (we forward with
     ``training=False`` semantics by relying on deterministic layers —
     pass models without Dropout, or rate 0, for exact checks).
+
+    Tight default tolerances assume a float64 model (build under
+    ``policy.dtype_policy("float64")`` or ``Sequential(dtype="float64")``);
+    float32 models need a larger ``epsilon`` and looser tolerance because
+    central differences lose roughly half the mantissa.
     """
     rng = rng or np.random.default_rng(0)
     inputs = np.asarray(inputs, dtype=np.float64)
@@ -60,11 +65,16 @@ def check_model_gradients(
         analytic_flat = analytic[id(variable)].reshape(-1)
         for index in entry_indices:
             original = flat[index]
+            # Perturbations go through a raw view, so caches derived from
+            # the weights (packed LSTM kernels) must be told explicitly.
             flat[index] = original + epsilon
+            variable.touch()
             loss_plus = loss(targets, model.forward(inputs, training=False))
             flat[index] = original - epsilon
+            variable.touch()
             loss_minus = loss(targets, model.forward(inputs, training=False))
             flat[index] = original
+            variable.touch()
             numeric = (loss_plus - loss_minus) / (2.0 * epsilon)
             worst = max(worst, relative_error(analytic_flat[index], numeric))
     return worst

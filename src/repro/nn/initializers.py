@@ -6,7 +6,11 @@ These mirror the Keras defaults used (implicitly) by the paper's models:
 inside the LSTM layer itself).
 
 Every initialiser takes an explicit :class:`numpy.random.Generator` so
-weight initialisation is reproducible under the experiment master seed.
+weight initialisation is reproducible under the experiment master seed,
+and an optional ``dtype`` (default: the active precision policy).  The
+random draws themselves always happen in float64 so the *pattern* of an
+initialisation is identical under every policy; only the final cast
+differs.
 """
 
 from __future__ import annotations
@@ -15,69 +19,95 @@ from collections.abc import Callable
 
 import numpy as np
 
-Initializer = Callable[[tuple[int, ...], np.random.Generator], np.ndarray]
+from repro.nn import policy
+
+Initializer = Callable[..., np.ndarray]
 
 
-def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def _finish(values: np.ndarray, dtype: object | None) -> np.ndarray:
+    return np.asarray(values, dtype=policy.resolve_dtype(dtype))
+
+
+def zeros(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """All-zeros tensor (bias default)."""
     del rng
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=policy.resolve_dtype(dtype))
 
 
-def ones(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def ones(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """All-ones tensor."""
     del rng
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=policy.resolve_dtype(dtype))
 
 
 def constant(value: float) -> Initializer:
     """Initialiser factory producing a constant-filled tensor."""
 
-    def _init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    def _init(
+        shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+    ) -> np.ndarray:
         del rng
-        return np.full(shape, float(value), dtype=np.float64)
+        return np.full(shape, float(value), dtype=policy.resolve_dtype(dtype))
 
     return _init
 
 
-def random_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def random_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """Uniform in [-0.05, 0.05] (Keras ``RandomUniform`` default)."""
-    return rng.uniform(-0.05, 0.05, size=shape)
+    return _finish(rng.uniform(-0.05, 0.05, size=shape), dtype)
 
 
-def random_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def random_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """Normal with stddev 0.05 (Keras ``RandomNormal`` default)."""
-    return rng.normal(0.0, 0.05, size=shape)
+    return _finish(rng.normal(0.0, 0.05, size=shape), dtype)
 
 
-def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """Glorot/Xavier uniform: U(-l, l) with ``l = sqrt(6 / (fan_in + fan_out))``."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return _finish(rng.uniform(-limit, limit, size=shape), dtype)
 
 
-def glorot_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def glorot_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     stddev = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, stddev, size=shape)
+    return _finish(rng.normal(0.0, stddev, size=shape), dtype)
 
 
-def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def he_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """He uniform: U(-l, l) with ``l = sqrt(6 / fan_in)`` (relu-friendly)."""
     fan_in, _ = _fans(shape)
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return _finish(rng.uniform(-limit, limit, size=shape), dtype)
 
 
-def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def he_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """He normal: N(0, 2 / fan_in)."""
     fan_in, _ = _fans(shape)
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return _finish(rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape), dtype)
 
 
-def orthogonal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def orthogonal(
+    shape: tuple[int, ...], rng: np.random.Generator, dtype: object | None = None
+) -> np.ndarray:
     """(Semi-)orthogonal matrix via QR of a Gaussian (recurrent kernels).
 
     For non-square shapes the result has orthonormal rows or columns,
@@ -91,7 +121,9 @@ def orthogonal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     q, r = np.linalg.qr(gaussian)
     # Sign correction makes the distribution uniform over orthogonal matrices.
     q *= np.sign(np.diag(r))
-    return q[:rows, :cols].copy()
+    # Copy before the cast: a matching-dtype view would pin the full
+    # (size, size) QR matrix in memory for the life of the weight.
+    return _finish(q[:rows, :cols].copy(), dtype)
 
 
 _REGISTRY: dict[str, Initializer] = {

@@ -18,7 +18,7 @@ class Activation(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         del training
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = self._cast(inputs)
         outputs = self.activation.forward(inputs)
         self._cache = {"inputs": inputs, "outputs": outputs}
         return outputs
@@ -27,7 +27,7 @@ class Activation(Layer):
         if not self._cache:
             raise RuntimeError("backward called before forward")
         return self.activation.backward(
-            np.asarray(grad, dtype=np.float64),
+            self._cast(grad),
             self._cache["inputs"],
             self._cache["outputs"],
         )

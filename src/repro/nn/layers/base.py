@@ -9,11 +9,16 @@ and hands the variable list to an optimizer.
 Shapes follow the Keras convention: the batch dimension is implicit, so
 ``input_shape`` / ``output_shape`` describe a single sample, e.g.
 ``(timesteps, features)`` for sequence input.
+
+Precision: each variable/layer has a fixed dtype decided at build time
+from the :mod:`repro.nn.policy` (float32 by default, float64 opt-in).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn import policy
 
 
 class Variable:
@@ -23,12 +28,31 @@ class Variable:
     layer: weight loading assigns into ``value`` in place, so optimizer
     slot state (e.g. Adam moments) keyed by variable identity survives
     checkpoint round-trips.
+
+    ``version`` counts value mutations; layers use it to invalidate
+    cached derived tensors (e.g. the LSTM's packed gate kernels).  It is
+    bumped by :meth:`assign` and by optimizer steps.  Code that mutates
+    ``value`` in place through a view (e.g. finite-difference probing)
+    must call :meth:`touch` afterwards.
     """
 
-    def __init__(self, name: str, value: np.ndarray) -> None:
+    def __init__(self, name: str, value: np.ndarray, dtype: object | None = None) -> None:
         self.name = name
-        self.value = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value)
+        if dtype is None:
+            # Preserve an explicit float precision; anything else (ints,
+            # lists, ...) is promoted to the active policy dtype.
+            if value.dtype in policy.ALLOWED_DTYPES:
+                dtype = value.dtype
+            else:
+                dtype = policy.resolve_dtype(None)
+        self.value = np.asarray(value, dtype=policy.resolve_dtype(dtype))
         self.grad = np.zeros_like(self.value)
+        self.version = 0
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.value.dtype
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -41,18 +65,23 @@ class Variable:
     def zero_grad(self) -> None:
         self.grad.fill(0.0)
 
+    def touch(self) -> None:
+        """Mark the value as mutated (invalidates derived caches)."""
+        self.version += 1
+
     def assign(self, value: np.ndarray) -> None:
-        """Overwrite the value in place, preserving identity and shape."""
-        value = np.asarray(value, dtype=np.float64)
+        """Overwrite the value in place, preserving identity, shape, dtype."""
+        value = np.asarray(value)
         if value.shape != self.value.shape:
             raise ValueError(
                 f"cannot assign shape {value.shape} to variable "
                 f"{self.name!r} of shape {self.value.shape}"
             )
         self.value[...] = value
+        self.touch()
 
     def __repr__(self) -> str:
-        return f"Variable({self.name!r}, shape={self.value.shape})"
+        return f"Variable({self.name!r}, shape={self.value.shape}, dtype={self.dtype.name})"
 
 
 class Layer:
@@ -62,6 +91,10 @@ class Layer:
     per-sample input shape and an RNG) → repeated :meth:`forward` /
     :meth:`backward`.  ``forward(..., training=True)`` enables stochastic
     behaviour (dropout); inference passes are deterministic.
+
+    ``dtype`` is resolved at build time: the model threads its own dtype
+    down before building; standalone layers fall back to the global
+    policy.  ``None`` before build means "not yet decided".
     """
 
     def __init__(self, name: str | None = None) -> None:
@@ -69,10 +102,13 @@ class Layer:
         self.built = False
         self._variables: list[Variable] = []
         self.input_shape: tuple[int, ...] | None = None
+        self.dtype: np.dtype | None = None
 
     # -- lifecycle -----------------------------------------------------
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
         """Allocate variables.  Subclasses must call ``super().build``."""
+        if self.dtype is None:
+            self.dtype = policy.resolve_dtype(None)
         self.input_shape = tuple(input_shape)
         self.built = True
 
@@ -88,6 +124,10 @@ class Layer:
         """Backprop: fill variable grads, return gradient w.r.t. inputs."""
         raise NotImplementedError
 
+    def _cast(self, array: np.ndarray) -> np.ndarray:
+        """View ``array`` in this layer's dtype (no copy when it matches)."""
+        return np.asarray(array, dtype=self.dtype)
+
     # -- variables ------------------------------------------------------
     def add_variable(
         self,
@@ -97,7 +137,15 @@ class Layer:
         rng: np.random.Generator,
     ) -> Variable:
         """Create, register and return a trainable variable."""
-        variable = Variable(f"{self.name}/{name}", initializer(shape, rng))
+        if self.dtype is None:
+            self.dtype = policy.resolve_dtype(None)
+        try:
+            value = initializer(shape, rng, dtype=self.dtype)
+        except TypeError:
+            # Custom initializers may predate the dtype parameter; the
+            # Variable constructor casts their output.
+            value = initializer(shape, rng)
+        variable = Variable(f"{self.name}/{name}", value, dtype=self.dtype)
         self._variables.append(variable)
         return variable
 

@@ -68,10 +68,10 @@ class Dense(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         del training
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = self._cast(inputs)
         pre = inputs @ self._kernel.value
         if self.use_bias:
-            pre = pre + self._bias.value
+            pre += self._bias.value
         outputs = self.activation.forward(pre)
         self._cache = {"inputs": inputs, "pre": pre, "outputs": outputs}
         return outputs
@@ -82,7 +82,7 @@ class Dense(Layer):
         inputs = self._cache["inputs"]
         pre = self._cache["pre"]
         outputs = self._cache["outputs"]
-        grad_pre = self.activation.backward(np.asarray(grad, dtype=np.float64), pre, outputs)
+        grad_pre = self.activation.backward(self._cast(grad), pre, outputs)
 
         # Fold any leading (batch, time, ...) dims into one for the matmul.
         flat_in = inputs.reshape(-1, inputs.shape[-1])

@@ -36,20 +36,23 @@ class Dropout(Layer):
         super().build(input_shape, rng)
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = self._cast(inputs)
         if not training or self.rate == 0.0:
             self._mask = None
             return inputs
         if self._rng is None:
             raise RuntimeError("Dropout.forward called before build")
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        # The mask pattern is always drawn in float64 so a given seed
+        # drops the same activations under every dtype policy.
+        mask = (self._rng.random(inputs.shape) < keep) / keep
+        self._mask = np.asarray(mask, dtype=inputs.dtype)
         return inputs * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            return np.asarray(grad, dtype=np.float64)
-        return np.asarray(grad, dtype=np.float64) * self._mask
+            return self._cast(grad)
+        return self._cast(grad) * self._mask
 
     def get_config(self) -> dict:
         config = super().get_config()

@@ -15,6 +15,28 @@ Gate equations (Keras/standard orientation, gate order ``i, f, g, o``)::
 The forward pass caches per-timestep tensors; the backward pass walks the
 sequence in reverse accumulating the recurrent gradients.  Gradients are
 verified against central finite differences in ``tests/nn/test_gradcheck.py``.
+
+Fused compute engine
+--------------------
+The public weight layout stays Keras-compatible (columns ordered
+``i, f, g, o``), but internally the kernels are *packed* into the gate
+order ``i, f, o, g`` so the three sigmoid gates form one contiguous
+block: each timestep applies a single fused in-place sigmoid over
+``z[:, :3U]`` and one in-place tanh over ``z[:, 3U:]`` instead of four
+sliced activation calls.  All per-timestep tensors (gate pre-activations,
+cell states, hidden states, matmul outputs) live in per-layer workspaces
+keyed by ``(batch, timesteps)`` and are reused across calls — the hot
+loops in both ``forward`` and the BPTT backward allocate nothing.
+
+The packed kernels and their transposes are cached and refreshed only
+when a weight's :attr:`~repro.nn.layers.base.Variable.version` changes
+(weight assignment and optimizer steps bump it; in-place mutation through
+a raw view must call ``Variable.touch()``).
+
+Workspaces are time-major (``(T, B, ...)``) so every per-timestep slice
+is contiguous.  Because workspaces are reused, a layer instance must not
+be driven from multiple threads concurrently (models are cheap — use one
+per thread, as the federated runtime does).
 """
 
 from __future__ import annotations
@@ -22,8 +44,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.activations import sigmoid
+from repro.nn.activations import sigmoid_inplace
 from repro.nn.layers.base import Layer
+
+#: Workspaces retained per layer; least-recently-used shapes are evicted
+#: beyond this, so transient batch sizes (streaming warmup, ragged station
+#: schedules) cannot push out the hot steady-state shape.
+_MAX_WORKSPACES = 16
 
 
 class LSTM(Layer):
@@ -62,10 +89,14 @@ class LSTM(Layer):
         self.unit_forget_bias = bool(unit_forget_bias)
         self.kernel_initializer = kernel_initializer
         self.recurrent_initializer = recurrent_initializer
-        self._kernel = None  # (features, 4 * units)
+        self._kernel = None  # (features, 4 * units), gate order (i, f, g, o)
         self._recurrent = None  # (units, 4 * units)
         self._bias = None  # (4 * units,)
         self._cache: dict[str, object] = {}
+        self._workspaces: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+        self._packed: dict[str, np.ndarray] = {}
+        self._packed_versions: tuple[int, int, int] | None = None
+        self._perm: np.ndarray | None = None
 
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 2:
@@ -89,7 +120,31 @@ class LSTM(Layer):
         if self.unit_forget_bias:
             # Gate order is (i, f, g, o): slots [units:2*units] are the forget gate.
             self._bias.value[self.units : 2 * self.units] = 1.0
+            self._bias.touch()
         super().build(input_shape, rng)
+
+        units = self.units
+        dtype = self.dtype
+        # Packed layout (i, f, o, g): sigmoid gates first, tanh gate last.
+        self._perm = np.concatenate(
+            [
+                np.arange(0, 2 * units),              # i, f
+                np.arange(3 * units, 4 * units),      # o
+                np.arange(2 * units, 3 * units),      # g
+            ]
+        )
+        self._packed = {
+            "kernel": np.empty((features, 4 * units), dtype=dtype),
+            "recurrent": np.empty((units, 4 * units), dtype=dtype),
+            "bias": np.empty((4 * units,), dtype=dtype),
+            "kernel_t": np.empty((4 * units, features), dtype=dtype),
+            "recurrent_t": np.empty((4 * units, units), dtype=dtype),
+        }
+        self._packed_versions = None
+        # Parameter-gradient staging buffers (packed layout, bulk matmuls).
+        self._pg_kernel = np.empty((4 * units, features), dtype=dtype)
+        self._pg_recurrent = np.empty((4 * units, units), dtype=dtype)
+        self._pg_bias = np.empty((4 * units,), dtype=dtype)
 
     def compute_output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         timesteps = input_shape[0]
@@ -97,114 +152,228 @@ class LSTM(Layer):
             return (timesteps, self.units)
         return (self.units,)
 
+    # -- workspace / packed-kernel management ---------------------------
+    def _refresh_packed(self) -> dict[str, np.ndarray]:
+        versions = (self._kernel.version, self._recurrent.version, self._bias.version)
+        if versions != self._packed_versions:
+            packed = self._packed
+            np.take(self._kernel.value, self._perm, axis=1, out=packed["kernel"])
+            np.take(self._recurrent.value, self._perm, axis=1, out=packed["recurrent"])
+            np.take(self._bias.value, self._perm, axis=0, out=packed["bias"])
+            packed["kernel_t"][...] = packed["kernel"].T
+            packed["recurrent_t"][...] = packed["recurrent"].T
+            self._packed_versions = versions
+        return self._packed
+
+    def _workspace(self, batch: int, timesteps: int) -> dict[str, np.ndarray]:
+        key = (batch, timesteps)
+        ws = self._workspaces.pop(key, None)
+        if ws is not None:
+            self._workspaces[key] = ws  # re-insert: dict order is LRU order
+        else:
+            units = self.units
+            features = int(self.input_shape[-1])
+            dtype = self.dtype
+            b_u = (batch, units)
+            ws = {
+                # Time-major sequence tensors (contiguous per-step slices).
+                "x_tm": np.empty((timesteps, batch, features), dtype=dtype),
+                "z": np.empty((timesteps, batch, 4 * units), dtype=dtype),
+                "hs": np.empty((timesteps, batch, units), dtype=dtype),
+                "cs": np.empty((timesteps, batch, units), dtype=dtype),
+                "tanh_cs": np.empty((timesteps, batch, units), dtype=dtype),
+                "dz": np.empty((timesteps, batch, 4 * units), dtype=dtype),
+                "gi_tm": np.empty((timesteps, batch, features), dtype=dtype),
+                # Per-step scratch.
+                "state0": np.zeros(b_u, dtype=dtype),  # h_{-1} = c_{-1} = 0
+                "hz": np.empty((batch, 4 * units), dtype=dtype),
+                "tmp_u": np.empty(b_u, dtype=dtype),
+                "dh": np.empty(b_u, dtype=dtype),
+                "dh_next": np.empty(b_u, dtype=dtype),
+                "dc": np.empty(b_u, dtype=dtype),
+                "dc_next": np.empty(b_u, dtype=dtype),
+                "do": np.empty(b_u, dtype=dtype),
+                # Fused-sigmoid scratch over the (i, f, o) block.
+                "sig_work": np.empty((batch, 3 * units), dtype=dtype),
+                "sig_num": np.empty((batch, 3 * units), dtype=dtype),
+                "sig_neg": np.empty((batch, 3 * units), dtype=bool),
+            }
+            if len(self._workspaces) >= _MAX_WORKSPACES:
+                self._workspaces.pop(next(iter(self._workspaces)))
+            self._workspaces[key] = ws
+        return ws
+
+    # -- computation ----------------------------------------------------
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         del training
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = self._cast(inputs)
         if inputs.ndim != 3:
             raise ValueError(
                 f"LSTM expects (batch, timesteps, features) input, got {inputs.shape}"
             )
-        batch, timesteps, _ = inputs.shape
+        batch, timesteps, features = inputs.shape
         units = self.units
+        packed = self._refresh_packed()
+        ws = self._workspace(batch, timesteps)
 
-        # Input contribution for every timestep in one matmul.
-        z_input = inputs @ self._kernel.value + self._bias.value  # (B, T, 4U)
+        # Input contribution for every timestep in one matmul, computed in
+        # the time-major workspace so each per-step slice is contiguous.
+        x_tm = ws["x_tm"]
+        x_tm[...] = inputs.transpose(1, 0, 2)
+        z = ws["z"]
+        np.matmul(
+            x_tm.reshape(timesteps * batch, features),
+            packed["kernel"],
+            out=z.reshape(timesteps * batch, 4 * units),
+        )
+        z += packed["bias"]
 
-        h = np.zeros((batch, units))
-        c = np.zeros((batch, units))
-        hs = np.empty((batch, timesteps, units))
-        cs = np.empty((batch, timesteps, units))
-        gates = np.empty((batch, timesteps, 4 * units))
-        tanh_cs = np.empty((batch, timesteps, units))
+        hs, cs, tanh_cs = ws["hs"], ws["cs"], ws["tanh_cs"]
+        hz, tmp_u = ws["hz"], ws["tmp_u"]
+        sig_work, sig_num, sig_neg = ws["sig_work"], ws["sig_num"], ws["sig_neg"]
+        recurrent = packed["recurrent"]
+        h = ws["state0"]  # never written: stays all-zero for reuse
+        c = ws["state0"]
 
         for t in range(timesteps):
-            z = z_input[:, t, :] + h @ self._recurrent.value
-            i = sigmoid(z[:, :units])
-            f = sigmoid(z[:, units : 2 * units])
-            g = np.tanh(z[:, 2 * units : 3 * units])
-            o = sigmoid(z[:, 3 * units :])
-            c = f * c + i * g
-            tanh_c = np.tanh(c)
-            h = o * tanh_c
+            z_t = z[t]
+            np.matmul(h, recurrent, out=hz)
+            z_t += hz
+            # One fused sigmoid over the contiguous (i, f, o) block, one
+            # tanh over g — z_t now holds the activated gates.
+            sigmoid_inplace(z_t[:, : 3 * units], sig_work, sig_num, sig_neg)
+            g = z_t[:, 3 * units :]
+            np.tanh(g, out=g)
 
-            gates[:, t, :units] = i
-            gates[:, t, units : 2 * units] = f
-            gates[:, t, 2 * units : 3 * units] = g
-            gates[:, t, 3 * units :] = o
-            cs[:, t, :] = c
-            hs[:, t, :] = h
-            tanh_cs[:, t, :] = tanh_c
+            i = z_t[:, :units]
+            f = z_t[:, units : 2 * units]
+            o = z_t[:, 2 * units : 3 * units]
+            c_t = cs[t]
+            np.multiply(f, c, out=c_t)
+            np.multiply(i, g, out=tmp_u)
+            c_t += tmp_u
+            np.tanh(c_t, out=tanh_cs[t])
+            np.multiply(o, tanh_cs[t], out=hs[t])
+            h = hs[t]
+            c = c_t
 
-        self._cache = {"inputs": inputs, "hs": hs, "cs": cs, "gates": gates, "tanh_cs": tanh_cs}
+        self._cache = {"inputs": inputs, "ws": ws, "shape": (batch, timesteps, features)}
+        # Fresh output array: callers may hold results across calls while
+        # the workspaces are recycled.
         if self.return_sequences:
-            return hs
-        return hs[:, -1, :]
+            out = np.empty((batch, timesteps, units), dtype=self.dtype)
+            out[...] = hs.transpose(1, 0, 2)
+            return out
+        return hs[timesteps - 1].copy()
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if not self._cache:
             raise RuntimeError("backward called before forward")
         inputs: np.ndarray = self._cache["inputs"]  # type: ignore[assignment]
-        hs: np.ndarray = self._cache["hs"]  # type: ignore[assignment]
-        cs: np.ndarray = self._cache["cs"]  # type: ignore[assignment]
-        gates: np.ndarray = self._cache["gates"]  # type: ignore[assignment]
-        tanh_cs: np.ndarray = self._cache["tanh_cs"]  # type: ignore[assignment]
-        batch, timesteps, _ = inputs.shape
+        ws: dict[str, np.ndarray] = self._cache["ws"]  # type: ignore[assignment]
+        batch, timesteps, features = self._cache["shape"]  # type: ignore[misc]
         units = self.units
+        packed = self._refresh_packed()
 
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = self._cast(grad)
         if self.return_sequences:
-            if grad.shape != hs.shape:
-                raise ValueError(f"gradient shape {grad.shape} != output shape {hs.shape}")
-            grad_hs = grad
+            expected = (batch, timesteps, units)
+            if grad.shape != expected:
+                raise ValueError(f"gradient shape {grad.shape} != output shape {expected}")
+            grad_tm = grad.transpose(1, 0, 2)  # view, read-only use
         else:
             expected = (batch, units)
             if grad.shape != expected:
                 raise ValueError(f"gradient shape {grad.shape} != output shape {expected}")
-            grad_hs = np.zeros_like(hs)
-            grad_hs[:, -1, :] = grad
+            grad_tm = None
 
-        grad_inputs = np.empty_like(inputs)
-        grad_z_all = np.empty((batch, timesteps, 4 * units))
-        dh_next = np.zeros((batch, units))
-        dc_next = np.zeros((batch, units))
-        recurrent_t = self._recurrent.value.T
+        z, hs, cs, tanh_cs = ws["z"], ws["hs"], ws["cs"], ws["tanh_cs"]
+        dz_all, gi_tm = ws["dz"], ws["gi_tm"]
+        dh, dh_next = ws["dh"], ws["dh_next"]
+        dc, dc_next = ws["dc"], ws["dc_next"]
+        do = ws["do"]
+        tmp = ws["tmp_u"]
+        zeros_state = ws["state0"]
+        kernel_t = packed["kernel_t"]
+        recurrent_t = packed["recurrent_t"]
+        dh_next.fill(0.0)
+        dc_next.fill(0.0)
 
         for t in range(timesteps - 1, -1, -1):
-            i = gates[:, t, :units]
-            f = gates[:, t, units : 2 * units]
-            g = gates[:, t, 2 * units : 3 * units]
-            o = gates[:, t, 3 * units :]
-            tanh_c = tanh_cs[:, t, :]
-            c_prev = cs[:, t - 1, :] if t > 0 else np.zeros((batch, units))
+            z_t = z[t]
+            i = z_t[:, :units]
+            f = z_t[:, units : 2 * units]
+            o = z_t[:, 2 * units : 3 * units]
+            g = z_t[:, 3 * units :]
+            tanh_c = tanh_cs[t]
+            c_prev = cs[t - 1] if t > 0 else zeros_state
 
-            dh = grad_hs[:, t, :] + dh_next
-            do = dh * tanh_c
-            dc = dh * o * (1.0 - tanh_c * tanh_c) + dc_next
-            di = dc * g
-            dg = dc * i
-            df = dc * c_prev
-            dc_next = dc * f
+            if grad_tm is not None:
+                np.add(grad_tm[t], dh_next, out=dh)
+            elif t == timesteps - 1:
+                np.add(grad, dh_next, out=dh)
+            else:
+                dh[...] = dh_next
 
-            dz = np.empty((batch, 4 * units))
-            dz[:, :units] = di * i * (1.0 - i)
-            dz[:, units : 2 * units] = df * f * (1.0 - f)
-            dz[:, 2 * units : 3 * units] = dg * (1.0 - g * g)
-            dz[:, 3 * units :] = do * o * (1.0 - o)
+            # do = dh * tanh_c
+            np.multiply(dh, tanh_c, out=do)
+            # dc = dh * o * (1 - tanh_c^2) + dc_next
+            np.multiply(tanh_c, tanh_c, out=dc)
+            np.subtract(1.0, dc, out=dc)
+            dc *= o
+            dc *= dh
+            dc += dc_next
 
-            grad_z_all[:, t, :] = dz
-            dh_next = dz @ recurrent_t
-            grad_inputs[:, t, :] = dz @ self._kernel.value.T
+            dz_t = dz_all[t]
+            dz_i = dz_t[:, :units]
+            dz_f = dz_t[:, units : 2 * units]
+            dz_o = dz_t[:, 2 * units : 3 * units]
+            dz_g = dz_t[:, 3 * units :]
+            # dz_i = (dc * g) * i * (1 - i)
+            np.multiply(dc, g, out=tmp)
+            np.subtract(1.0, i, out=dz_i)
+            dz_i *= i
+            dz_i *= tmp
+            # dz_f = (dc * c_prev) * f * (1 - f)
+            np.multiply(dc, c_prev, out=tmp)
+            np.subtract(1.0, f, out=dz_f)
+            dz_f *= f
+            dz_f *= tmp
+            # dz_o = do * o * (1 - o)
+            np.subtract(1.0, o, out=dz_o)
+            dz_o *= o
+            dz_o *= do
+            # dz_g = (dc * i) * (1 - g^2)
+            np.multiply(g, g, out=dz_g)
+            np.subtract(1.0, dz_g, out=dz_g)
+            dz_g *= i
+            dz_g *= dc
+            # dc_next = dc * f (before dc is reused next iteration)
+            np.multiply(dc, f, out=dc_next)
 
-        # Parameter gradients in bulk matmuls over the flattened time axis.
-        flat_inputs = inputs.reshape(batch * timesteps, -1)
-        flat_dz = grad_z_all.reshape(batch * timesteps, 4 * units)
-        self._kernel.grad += flat_inputs.T @ flat_dz
-        self._bias.grad += flat_dz.sum(axis=0)
+            np.matmul(dz_t, recurrent_t, out=dh_next)
+            np.matmul(dz_t, kernel_t, out=gi_tm[t])
+
+        # Parameter gradients in bulk matmuls over the flattened time axis,
+        # staged in packed gate order then scattered to the public layout.
+        perm = self._perm
+        flat_dz = dz_all.reshape(timesteps * batch, 4 * units)
+        np.matmul(flat_dz.T, ws["x_tm"].reshape(timesteps * batch, features),
+                  out=self._pg_kernel)
+        self._kernel.grad[:, perm] += self._pg_kernel.T
+        np.sum(flat_dz, axis=0, out=self._pg_bias)
+        self._bias.grad[perm] += self._pg_bias
         # Recurrent gradient pairs h_{t-1} with dz_t; h_{-1} is zero.
         if timesteps > 1:
-            h_prev = hs[:, :-1, :].reshape(batch * (timesteps - 1), units)
-            dz_next = grad_z_all[:, 1:, :].reshape(batch * (timesteps - 1), 4 * units)
-            self._recurrent.grad += h_prev.T @ dz_next
+            np.matmul(
+                dz_all[1:].reshape((timesteps - 1) * batch, 4 * units).T,
+                hs[:-1].reshape((timesteps - 1) * batch, units),
+                out=self._pg_recurrent,
+            )
+            self._recurrent.grad[:, perm] += self._pg_recurrent.T
+
+        grad_inputs = np.empty_like(inputs)
+        grad_inputs[...] = gi_tm.transpose(1, 0, 2)
         return grad_inputs
 
     def get_config(self) -> dict:

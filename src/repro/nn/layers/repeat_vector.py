@@ -29,14 +29,14 @@ class RepeatVector(Layer):
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         del training
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = self._cast(inputs)
         if inputs.ndim != 2:
             raise ValueError(f"RepeatVector expects (batch, features) input, got {inputs.shape}")
         return np.repeat(inputs[:, None, :], self.n, axis=1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         # Forward broadcast means the backward pass sums over the repeats.
-        return np.asarray(grad, dtype=np.float64).sum(axis=1)
+        return self._cast(grad).sum(axis=1)
 
     def get_config(self) -> dict:
         config = super().get_config()

@@ -27,6 +27,8 @@ class TimeDistributed(Layer):
                 f"TimeDistributed expects (timesteps, features) input, got {input_shape}"
             )
         self._timesteps = int(input_shape[0])
+        if self.inner.dtype is None:
+            self.inner.dtype = self.dtype
         self.inner.build((input_shape[1],), rng)
         # Adopt the inner layer's variables so the optimizer sees them.
         self._variables = list(self.inner.variables)
@@ -37,7 +39,7 @@ class TimeDistributed(Layer):
         return (input_shape[0],) + tuple(inner_shape)
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = self._cast(inputs)
         if inputs.ndim != 3:
             raise ValueError(
                 f"TimeDistributed expects (batch, timesteps, features), got {inputs.shape}"
@@ -48,7 +50,7 @@ class TimeDistributed(Layer):
         return outputs.reshape(batch, timesteps, -1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = self._cast(grad)
         batch, timesteps, features = grad.shape
         folded = grad.reshape(batch * timesteps, features)
         grad_inputs = self.inner.backward(folded)

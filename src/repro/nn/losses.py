@@ -4,6 +4,10 @@ The paper trains both the forecaster and the autoencoder with mean
 squared error; MAE and Huber are provided for the robustness ablations.
 Losses reduce with a *mean over every element* (Keras convention), and
 ``gradient`` returns dL/dy_pred with the same shape as the prediction.
+
+Precision: losses compute in the prediction's dtype (so a float32 model
+backpropagates float32 gradients with no up/down casts in the hot path),
+but scalar reductions always accumulate in float64 for stable reporting.
 """
 
 from __future__ import annotations
@@ -24,8 +28,10 @@ class Loss:
 
     @staticmethod
     def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        y_true = np.asarray(y_true, dtype=np.float64)
-        y_pred = np.asarray(y_pred, dtype=np.float64)
+        y_pred = np.asarray(y_pred)
+        if y_pred.dtype not in (np.float32, np.float64):
+            y_pred = np.asarray(y_pred, dtype=np.float64)
+        y_true = np.asarray(y_true, dtype=y_pred.dtype)
         if y_true.shape != y_pred.shape:
             raise ValueError(
                 f"y_true shape {y_true.shape} != y_pred shape {y_pred.shape}"
@@ -44,7 +50,7 @@ class MeanSquaredError(Loss):
     def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
         y_true, y_pred = self._validate(y_true, y_pred)
         diff = y_pred - y_true
-        return float(np.mean(diff * diff))
+        return float(np.mean(diff * diff, dtype=np.float64))
 
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         y_true, y_pred = self._validate(y_true, y_pred)
@@ -58,7 +64,7 @@ class MeanAbsoluteError(Loss):
 
     def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
         y_true, y_pred = self._validate(y_true, y_pred)
-        return float(np.mean(np.abs(y_pred - y_true)))
+        return float(np.mean(np.abs(y_pred - y_true), dtype=np.float64))
 
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         y_true, y_pred = self._validate(y_true, y_pred)
@@ -81,7 +87,7 @@ class Huber(Loss):
         abs_diff = np.abs(diff)
         quadratic = 0.5 * diff * diff
         linear = self.delta * (abs_diff - 0.5 * self.delta)
-        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear)))
+        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear), dtype=np.float64))
 
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         y_true, y_pred = self._validate(y_true, y_pred)

@@ -14,6 +14,14 @@ API intentionally mirrors the Keras subset the paper uses::
 All stochasticity (weight init, batch shuffling, dropout) derives from
 the seed given to :meth:`Sequential.build` / :meth:`Sequential.fit`, so
 federated experiments are bit-reproducible.
+
+Precision & allocation discipline: the model's compute dtype is fixed at
+build time (``dtype=`` argument, else the global policy — float32 by
+default).  ``fit`` casts the dataset once up front, gathers shuffled
+mini-batches into reusable batch buffers with ``np.take(..., out=...)``,
+and ``predict`` writes each forward chunk straight into one preallocated
+output array — the steady-state training loop performs no per-batch
+dataset copies or per-chunk concatenations.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import numpy as np
 
 from repro.nn import losses as losses_module
 from repro.nn import optimizers as optimizers_module
+from repro.nn import policy
 from repro.nn.callbacks import Callback, History
 from repro.nn.layers.base import Layer, Variable
 from repro.utils.rng import SeedLike, as_generator
@@ -30,7 +39,12 @@ from repro.utils.rng import SeedLike, as_generator
 class Sequential:
     """A linear stack of layers trained with mini-batch gradient descent."""
 
-    def __init__(self, layers: list[Layer] | None = None, name: str = "sequential") -> None:
+    def __init__(
+        self,
+        layers: list[Layer] | None = None,
+        name: str = "sequential",
+        dtype: object | None = None,
+    ) -> None:
         self.name = name
         self.layers: list[Layer] = []
         self.built = False
@@ -38,6 +52,8 @@ class Sequential:
         self.optimizer = None
         self.loss = None
         self._input_shape: tuple[int, ...] | None = None
+        self._dtype_request = dtype
+        self._dtype: np.dtype | None = None
         for layer in layers or []:
             self.add(layer)
 
@@ -59,8 +75,11 @@ class Sequential:
         if not self.layers:
             raise RuntimeError("cannot build an empty model")
         rng = as_generator(seed)
+        self._dtype = policy.resolve_dtype(self._dtype_request)
         shape = tuple(int(dim) for dim in input_shape)
         for layer in self.layers:
+            if layer.dtype is None:
+                layer.dtype = self._dtype
             layer.build(shape, rng)
             shape = tuple(layer.compute_output_shape(shape))
         self._input_shape = tuple(int(dim) for dim in input_shape)
@@ -76,6 +95,11 @@ class Sequential:
         return self._input_shape
 
     @property
+    def dtype(self) -> np.dtype | None:
+        """Compute dtype (``None`` until the model is built)."""
+        return self._dtype
+
+    @property
     def output_shape(self) -> tuple[int, ...]:
         if not self.built:
             raise RuntimeError("model must be built to know its output shape")
@@ -87,12 +111,16 @@ class Sequential:
     # ------------------------------------------------------------------
     # computation
     # ------------------------------------------------------------------
+    def _cast(self, array: np.ndarray) -> np.ndarray:
+        """View ``array`` in the model dtype (no copy when it matches)."""
+        return np.asarray(array, dtype=self._dtype)
+
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         """Run a full forward pass (builds lazily from the batch shape)."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs)
         if not self.built:
             self.build(inputs.shape[1:])
-        outputs = inputs
+        outputs = self._cast(inputs)
         for layer in self.layers:
             outputs = layer.forward(outputs, training=training)
         return outputs
@@ -104,22 +132,36 @@ class Sequential:
         return grad
 
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference in batches; deterministic (dropout disabled)."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        """Inference in batches; deterministic (dropout disabled).
+
+        Casting happens once inside the chunked forward passes (layers
+        cast only when the dtype actually differs), and every chunk is
+        written straight into one preallocated output array.
+        """
+        inputs = np.asarray(inputs)
         if len(inputs) == 0:
             raise ValueError("predict called with an empty batch")
-        chunks = [
-            self.forward(inputs[start : start + batch_size], training=False)
-            for start in range(0, len(inputs), batch_size)
-        ]
-        return np.concatenate(chunks, axis=0)
+        n_samples = len(inputs)
+        first = self.forward(inputs[:batch_size], training=False)
+        if len(first) == n_samples:
+            # A pass-through final layer can hand the caller's own array
+            # back; predict must never alias its input.
+            if np.may_share_memory(first, inputs):
+                return first.copy()
+            return first
+        outputs = np.empty((n_samples,) + first.shape[1:], dtype=first.dtype)
+        outputs[: len(first)] = first
+        for start in range(batch_size, n_samples, batch_size):
+            chunk = self.forward(inputs[start : start + batch_size], training=False)
+            outputs[start : start + len(chunk)] = chunk
+        return outputs
 
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray, batch_size: int = 256) -> float:
         """Mean loss over a dataset (no gradient updates)."""
         if self.loss is None:
             raise RuntimeError("model must be compiled before evaluate()")
         predictions = self.predict(inputs, batch_size=batch_size)
-        return float(self.loss(np.asarray(targets, dtype=np.float64), predictions))
+        return float(self.loss(targets, predictions))
 
     # ------------------------------------------------------------------
     # training
@@ -144,8 +186,8 @@ class Sequential:
         """
         if self.optimizer is None or self.loss is None:
             raise RuntimeError("model must be compiled before fit()")
-        inputs = np.asarray(inputs, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
         if len(inputs) != len(targets):
             raise ValueError(
                 f"inputs and targets disagree on sample count: "
@@ -161,6 +203,9 @@ class Sequential:
         rng = as_generator(seed)
         if not self.built:
             self.build(inputs.shape[1:], seed=rng)
+        # Cast the dataset once; per-batch gathers below stay in-dtype.
+        inputs = self._cast(inputs)
+        targets = self._cast(targets)
 
         history = History()
         all_callbacks: list[Callback] = [history] + list(callbacks or [])
@@ -172,17 +217,30 @@ class Sequential:
             callback.on_train_begin({})
 
         sample_count = len(inputs)
+        effective_batch = min(batch_size, sample_count)
+        if shuffle:
+            # Reusable mini-batch gather buffers (np.take writes into a
+            # leading slice for the final partial batch).
+            x_buffer = np.empty((effective_batch,) + inputs.shape[1:], dtype=self._dtype)
+            y_buffer = np.empty((effective_batch,) + targets.shape[1:], dtype=self._dtype)
         for epoch in range(epochs):
             for callback in all_callbacks:
                 callback.on_epoch_begin(epoch, {})
-            order = rng.permutation(sample_count) if shuffle else np.arange(sample_count)
             epoch_loss = 0.0
+            if shuffle:
+                order = rng.permutation(sample_count)
             for start in range(0, sample_count, batch_size):
-                batch_idx = order[start : start + batch_size]
-                x_batch = inputs[batch_idx]
-                y_batch = targets[batch_idx]
-                batch_loss = self.train_on_batch(x_batch, y_batch)
-                epoch_loss += batch_loss * len(batch_idx)
+                stop = min(start + batch_size, sample_count)
+                length = stop - start
+                if shuffle:
+                    batch_idx = order[start:stop]
+                    x_batch = np.take(inputs, batch_idx, axis=0, out=x_buffer[:length])
+                    y_batch = np.take(targets, batch_idx, axis=0, out=y_buffer[:length])
+                else:
+                    x_batch = inputs[start:stop]
+                    y_batch = targets[start:stop]
+                batch_loss = self._train_step(x_batch, y_batch)
+                epoch_loss += batch_loss * length
             logs = {"loss": epoch_loss / sample_count}
             if validation_data is not None:
                 logs["val_loss"] = self.evaluate(*validation_data)
@@ -202,6 +260,12 @@ class Sequential:
         """One forward/backward/update step; returns the batch loss."""
         if self.optimizer is None or self.loss is None:
             raise RuntimeError("model must be compiled before training")
+        if not self.built:
+            self.build(np.asarray(inputs).shape[1:])
+        return self._train_step(self._cast(inputs), self._cast(targets))
+
+    def _train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Forward/backward/update on already-cast arrays."""
         predictions = self.forward(inputs, training=True)
         loss_value = self.loss(targets, predictions)
         self.zero_grads()

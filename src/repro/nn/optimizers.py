@@ -4,13 +4,23 @@ The paper trains with Adam at learning rate 0.001 (its
 ``LEARNING_RATE = 0.001`` hyperparameter); SGD/RMSProp/Adagrad are
 provided for substrate completeness and ablations.
 
-Optimizers hold per-variable slot state keyed by variable identity
-(:class:`~repro.nn.layers.base.Variable` objects are identity-stable
-across weight loads), and expose a single :meth:`Optimizer.step` that
-applies one update from the gradients currently stored on the variables.
+Optimizers hold per-variable slot state keyed by the
+:class:`~repro.nn.layers.base.Variable` object itself in a
+``WeakKeyDictionary`` — identity-stable across weight loads (loading
+assigns in place), yet garbage-collected with the variable, so a new
+variable that happens to reuse a dead variable's ``id()`` can never
+inherit stale moments.  Slot arrays (and the update scratch buffer)
+match each variable's dtype, and every update runs through ``out=``
+ufuncs: a training step allocates no per-step arrays.
+
+:meth:`Optimizer.step` applies one update from the gradients currently
+stored on the variables and bumps each variable's ``version`` so layers
+can invalidate caches derived from the weights.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
@@ -28,7 +38,9 @@ class Optimizer:
         self.learning_rate = float(learning_rate)
         self.clipnorm = clipnorm
         self.iterations = 0
-        self._slots: dict[int, dict[str, np.ndarray]] = {}
+        self._slots: weakref.WeakKeyDictionary[Variable, dict[str, np.ndarray]] = (
+            weakref.WeakKeyDictionary()
+        )
 
     def step(self, variables: list[Variable]) -> None:
         """Apply one update from each variable's current ``grad``."""
@@ -36,14 +48,25 @@ class Optimizer:
         if self.clipnorm is not None:
             self._clip_global_norm(variables)
         for variable in variables:
-            slots = self._slots.setdefault(id(variable), {})
+            slots = self._slots.get(variable)
+            if slots is None:
+                slots = self._slots[variable] = {}
             self._update_one(variable, slots)
+            variable.touch()
 
     def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
         raise NotImplementedError
 
+    @staticmethod
+    def _scratch(variable: Variable, slots: dict[str, np.ndarray]) -> np.ndarray:
+        """Reusable update buffer matching the variable's shape/dtype."""
+        scratch = slots.get("scratch")
+        if scratch is None:
+            scratch = slots["scratch"] = np.empty_like(variable.value)
+        return scratch
+
     def _clip_global_norm(self, variables: list[Variable]) -> None:
-        total = float(sum(np.sum(v.grad * v.grad) for v in variables))
+        total = float(sum(np.sum(v.grad * v.grad, dtype=np.float64) for v in variables))
         norm = np.sqrt(total)
         if norm > self.clipnorm:
             scale = self.clipnorm / (norm + 1e-12)
@@ -82,13 +105,21 @@ class SGD(Optimizer):
 
     def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
         if self.momentum == 0.0:
-            variable.value -= self.learning_rate * variable.grad
+            scratch = self._scratch(variable, slots)
+            np.multiply(variable.grad, self.learning_rate, out=scratch)
+            variable.value -= scratch
             return
-        velocity = slots.setdefault("velocity", np.zeros_like(variable.value))
+        velocity = slots.get("velocity")
+        if velocity is None:
+            velocity = slots["velocity"] = np.zeros_like(variable.value)
+        scratch = self._scratch(variable, slots)
         velocity *= self.momentum
-        velocity -= self.learning_rate * variable.grad
+        np.multiply(variable.grad, self.learning_rate, out=scratch)
+        velocity -= scratch
         if self.nesterov:
-            variable.value += self.momentum * velocity - self.learning_rate * variable.grad
+            variable.value -= scratch  # -lr * grad
+            np.multiply(velocity, self.momentum, out=scratch)
+            variable.value += scratch
         else:
             variable.value += velocity
 
@@ -112,17 +143,32 @@ class Adam(Optimizer):
         self.epsilon = float(epsilon)
 
     def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
-        m = slots.setdefault("m", np.zeros_like(variable.value))
-        v = slots.setdefault("v", np.zeros_like(variable.value))
+        m = slots.get("m")
+        if m is None:
+            m = slots["m"] = np.zeros_like(variable.value)
+            slots["v"] = np.zeros_like(variable.value)
+            slots["update"] = np.empty_like(variable.value)
+        v = slots["v"]
+        update = slots["update"]
+        scratch = self._scratch(variable, slots)
         grad = variable.grad
+
         m *= self.beta_1
-        m += (1.0 - self.beta_1) * grad
+        np.multiply(grad, 1.0 - self.beta_1, out=scratch)
+        m += scratch
         v *= self.beta_2
-        v += (1.0 - self.beta_2) * grad * grad
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1.0 - self.beta_2
+        v += scratch
+
         t = self.iterations
-        m_hat = m / (1.0 - self.beta_1**t)
-        v_hat = v / (1.0 - self.beta_2**t)
-        variable.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        # update = lr * m_hat / (sqrt(v_hat) + eps), all in place.
+        np.multiply(v, 1.0 / (1.0 - self.beta_2**t), out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += self.epsilon
+        np.multiply(m, self.learning_rate / (1.0 - self.beta_1**t), out=update)
+        update /= scratch
+        variable.value -= update
 
 
 class RMSProp(Optimizer):
@@ -142,10 +188,19 @@ class RMSProp(Optimizer):
         self.epsilon = float(epsilon)
 
     def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
-        accum = slots.setdefault("accum", np.zeros_like(variable.value))
+        accum = slots.get("accum")
+        if accum is None:
+            accum = slots["accum"] = np.zeros_like(variable.value)
+        scratch = self._scratch(variable, slots)
         accum *= self.rho
-        accum += (1.0 - self.rho) * variable.grad * variable.grad
-        variable.value -= self.learning_rate * variable.grad / (np.sqrt(accum) + self.epsilon)
+        np.multiply(variable.grad, variable.grad, out=scratch)
+        scratch *= 1.0 - self.rho
+        accum += scratch
+        np.sqrt(accum, out=scratch)
+        scratch += self.epsilon
+        np.divide(variable.grad, scratch, out=scratch)
+        scratch *= self.learning_rate
+        variable.value -= scratch
 
 
 class Adagrad(Optimizer):
@@ -161,9 +216,17 @@ class Adagrad(Optimizer):
         self.epsilon = float(epsilon)
 
     def _update_one(self, variable: Variable, slots: dict[str, np.ndarray]) -> None:
-        accum = slots.setdefault("accum", np.zeros_like(variable.value))
-        accum += variable.grad * variable.grad
-        variable.value -= self.learning_rate * variable.grad / (np.sqrt(accum) + self.epsilon)
+        accum = slots.get("accum")
+        if accum is None:
+            accum = slots["accum"] = np.zeros_like(variable.value)
+        scratch = self._scratch(variable, slots)
+        np.multiply(variable.grad, variable.grad, out=scratch)
+        accum += scratch
+        np.sqrt(accum, out=scratch)
+        scratch += self.epsilon
+        np.divide(variable.grad, scratch, out=scratch)
+        scratch *= self.learning_rate
+        variable.value -= scratch
 
 
 _REGISTRY: dict[str, type[Optimizer]] = {

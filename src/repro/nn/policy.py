@@ -1,0 +1,75 @@
+"""Global and per-model floating-point precision policy.
+
+The substrate computes in ``float32`` by default: every workload in the
+reproduction (forecaster training, autoencoder scoring, streaming ticks)
+is BLAS-bound, and single precision roughly halves memory traffic while
+doubling SIMD width.  ``float64`` remains available — and is required —
+for finite-difference gradient checking and any parity test whose
+tolerances are tighter than single precision can express.
+
+Usage::
+
+    from repro.nn import policy
+
+    policy.set_dtype_policy("float64")          # process-wide opt-in
+    with policy.dtype_policy("float64"):        # scoped opt-in
+        model.build(...)
+    model = Sequential(layers, dtype="float64") # per-model override
+
+The policy is read when a model/layer is *built*; already-built models
+keep the dtype they were built with.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+#: Precisions the substrate supports.  Half precision is excluded: numpy
+#: ufuncs upcast float16 internally, which is slower than float32.
+ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Default compute precision (see module docstring).
+DEFAULT_DTYPE = np.dtype(np.float32)
+
+_current_dtype: np.dtype = DEFAULT_DTYPE
+
+
+def _validate(dtype: object) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in ALLOWED_DTYPES:
+        allowed = ", ".join(d.name for d in ALLOWED_DTYPES)
+        raise ValueError(f"unsupported dtype policy {resolved.name!r}; allowed: {allowed}")
+    return resolved
+
+
+def set_dtype_policy(dtype: object) -> None:
+    """Set the process-wide compute dtype (``'float32'`` or ``'float64'``)."""
+    global _current_dtype
+    _current_dtype = _validate(dtype)
+
+
+def get_dtype_policy() -> np.dtype:
+    """The current process-wide compute dtype."""
+    return _current_dtype
+
+
+def resolve_dtype(dtype: object | None = None) -> np.dtype:
+    """Resolve an explicit dtype request, falling back to the policy."""
+    if dtype is None:
+        return _current_dtype
+    return _validate(dtype)
+
+
+@contextmanager
+def dtype_policy(dtype: object) -> Iterator[np.dtype]:
+    """Temporarily switch the process-wide dtype policy."""
+    global _current_dtype
+    previous = _current_dtype
+    _current_dtype = _validate(dtype)
+    try:
+        yield _current_dtype
+    finally:
+        _current_dtype = previous

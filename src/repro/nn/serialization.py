@@ -38,6 +38,7 @@ def model_to_config(model: Sequential) -> dict:
     return {
         "name": model.name,
         "input_shape": list(model.input_shape) if model.input_shape else None,
+        "dtype": model.dtype.name if model.dtype is not None else None,
         "layers": [
             {"class": type(layer).__name__, "config": layer.get_config()}
             for layer in model.layers
@@ -46,9 +47,14 @@ def model_to_config(model: Sequential) -> dict:
 
 
 def model_from_config(config: dict) -> Sequential:
-    """Rebuild an (unbuilt, uncompiled) model from :func:`model_to_config`."""
+    """Rebuild an (unbuilt, uncompiled) model from :func:`model_to_config`.
+
+    A model checkpointed under one dtype policy reloads with the same
+    compute dtype regardless of the active policy (older configs without
+    a ``dtype`` entry fall back to the policy).
+    """
     layers = [_layer_from_entry(entry) for entry in config["layers"]]
-    model = Sequential(layers, name=config.get("name", "sequential"))
+    model = Sequential(layers, name=config.get("name", "sequential"), dtype=config.get("dtype"))
     input_shape = config.get("input_shape")
     if input_shape:
         model.build(tuple(input_shape), seed=0)

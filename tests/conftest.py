@@ -13,6 +13,15 @@ import pytest
 from repro.anomaly.autoencoder import AutoencoderConfig
 from repro.data.datasets import ClientDataset, build_paper_clients
 from repro.data.shenzhen import generate_paper_dataset
+from repro.nn import policy
+
+
+@pytest.fixture(autouse=True)
+def _restore_dtype_policy():
+    """Insulate tests from each other's global dtype-policy changes."""
+    previous = policy.get_dtype_policy()
+    yield
+    policy.set_dtype_policy(previous)
 
 
 @pytest.fixture

@@ -28,7 +28,9 @@ def rng():
 
 
 def build(layers, input_shape, seed=1):
-    model = Sequential(layers)
+    # Finite differences need full double precision: a float32 forward
+    # cannot resolve the 1e-6 central-difference perturbations.
+    model = Sequential(layers, dtype="float64")
     model.build(input_shape, seed=seed)
     return model
 

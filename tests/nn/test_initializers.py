@@ -49,16 +49,26 @@ class TestGlorot:
 
 class TestOrthogonal:
     def test_square_is_orthogonal(self, rng):
-        q = initializers.orthogonal((16, 16), rng)
+        # Orthogonality to 1e-10 is a float64 statement; the float32 cast
+        # of the same pattern is checked separately below.
+        q = initializers.orthogonal((16, 16), rng, dtype=np.float64)
         np.testing.assert_allclose(q @ q.T, np.eye(16), atol=1e-10)
 
     def test_tall_has_orthonormal_columns(self, rng):
-        q = initializers.orthogonal((20, 8), rng)
+        q = initializers.orthogonal((20, 8), rng, dtype=np.float64)
         np.testing.assert_allclose(q.T @ q, np.eye(8), atol=1e-10)
 
     def test_wide_has_orthonormal_rows(self, rng):
-        q = initializers.orthogonal((8, 20), rng)
+        q = initializers.orthogonal((8, 20), rng, dtype=np.float64)
         np.testing.assert_allclose(q @ q.T, np.eye(8), atol=1e-10)
+
+    def test_dtype_policy_controls_output_and_preserves_pattern(self, rng):
+        q32 = initializers.orthogonal((12, 12), np.random.default_rng(5), dtype=np.float32)
+        q64 = initializers.orthogonal((12, 12), np.random.default_rng(5), dtype=np.float64)
+        assert q32.dtype == np.float32
+        assert q64.dtype == np.float64
+        # Same draws under both precisions: q32 is exactly the cast of q64.
+        np.testing.assert_array_equal(q32, q64.astype(np.float32))
 
     def test_rejects_non_2d(self, rng):
         with pytest.raises(ValueError, match="2-D"):

@@ -101,7 +101,7 @@ class TestDropout:
     def test_identity_at_inference(self, rng):
         layer = Dropout(0.5)
         layer.build((4,), rng)
-        x = rng.normal(size=(8, 4))
+        x = rng.normal(size=(8, 4)).astype(layer.dtype)
         np.testing.assert_array_equal(layer.forward(x, training=False), x)
 
     def test_drops_and_scales_in_training(self, rng):
@@ -117,7 +117,7 @@ class TestDropout:
     def test_rate_zero_is_identity_in_training(self, rng):
         layer = Dropout(0.0)
         layer.build((4,), rng)
-        x = rng.normal(size=(3, 4))
+        x = rng.normal(size=(3, 4)).astype(layer.dtype)
         np.testing.assert_array_equal(layer.forward(x, training=True), x)
 
     def test_backward_applies_same_mask(self, rng):

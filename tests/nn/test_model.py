@@ -147,8 +147,13 @@ class TestPredictEvaluate:
         model = small_model()
         x = rng.normal(size=(50, 2))
         model.forward(x[:1])  # lazy build
+        # Chunked vs whole-batch BLAS calls round differently; tolerance
+        # sized for the float32 default policy.
         np.testing.assert_allclose(
-            model.predict(x, batch_size=7), model.predict(x, batch_size=50)
+            model.predict(x, batch_size=7),
+            model.predict(x, batch_size=50),
+            rtol=1e-5,
+            atol=1e-6,
         )
 
     def test_predict_empty_raises(self):

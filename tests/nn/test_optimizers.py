@@ -1,5 +1,7 @@
 """Tests for optimizers: update rules, slot state, convergence."""
 
+import gc
+
 import numpy as np
 import pytest
 
@@ -91,6 +93,34 @@ class TestAdam:
         var.grad[...] = [1.0]
         opt.step([var])
         assert set(opt._slots) == slots_before
+
+    def test_dead_variable_slots_are_garbage_collected(self):
+        # Regression: id()-keyed slots let a new variable allocated at a
+        # recycled address inherit a dead variable's Adam moments.  Weak
+        # identity keying frees the state with the variable.
+        opt = Adam(learning_rate=0.1)
+        var = make_variable([1.0])
+        var.grad[...] = [1.0]
+        opt.step([var])
+        assert len(opt._slots) == 1
+        del var
+        gc.collect()
+        assert len(opt._slots) == 0
+        # A fresh variable (possibly at the same id) starts from zeroed
+        # moments rather than inheriting the dead variable's state.
+        fresh = make_variable([1.0])
+        fresh.grad[...] = [1e-3]
+        opt.step([fresh])
+        slots = opt._slots[fresh]
+        np.testing.assert_allclose(slots["m"], (1.0 - opt.beta_1) * 1e-3)
+        np.testing.assert_allclose(slots["v"], (1.0 - opt.beta_2) * 1e-6)
+
+    def test_step_bumps_variable_version(self):
+        var = make_variable([1.0])
+        var.grad[...] = [1.0]
+        before = var.version
+        Adam().step([var])
+        assert var.version == before + 1
 
     def test_reset_clears_state(self):
         var = make_variable([1.0])

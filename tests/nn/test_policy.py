@@ -1,0 +1,137 @@
+"""Dtype policy: global default, scoped overrides, per-model dtype."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Adam,
+    Dense,
+    Dropout,
+    Sequential,
+    model_from_config,
+    model_to_config,
+    policy,
+)
+from repro.nn.layers.base import Variable
+
+
+class TestPolicyApi:
+    def test_default_is_float32(self):
+        assert policy.DEFAULT_DTYPE == np.float32
+        assert policy.get_dtype_policy() == np.float32
+
+    def test_set_and_restore(self):
+        policy.set_dtype_policy("float64")
+        assert policy.get_dtype_policy() == np.float64
+        policy.set_dtype_policy(np.float32)
+        assert policy.get_dtype_policy() == np.float32
+
+    def test_context_manager_restores_on_exit(self):
+        before = policy.get_dtype_policy()
+        with policy.dtype_policy("float64") as active:
+            assert active == np.float64
+            assert policy.get_dtype_policy() == np.float64
+        assert policy.get_dtype_policy() == before
+
+    def test_context_manager_restores_on_error(self):
+        before = policy.get_dtype_policy()
+        with pytest.raises(RuntimeError):
+            with policy.dtype_policy("float64"):
+                raise RuntimeError("boom")
+        assert policy.get_dtype_policy() == before
+
+    def test_resolve_explicit_beats_policy(self):
+        with policy.dtype_policy("float64"):
+            assert policy.resolve_dtype("float32") == np.float32
+            assert policy.resolve_dtype(None) == np.float64
+
+    @pytest.mark.parametrize("bad", ["float16", "int32", "complex128"])
+    def test_rejects_unsupported_dtypes(self, bad):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            policy.set_dtype_policy(bad)
+
+
+class TestVariableDtype:
+    def test_variable_follows_policy_for_non_float_input(self):
+        assert Variable("w", [1, 2, 3]).dtype == np.float32
+        with policy.dtype_policy("float64"):
+            assert Variable("w", [1, 2, 3]).dtype == np.float64
+
+    def test_variable_preserves_explicit_float_precision(self):
+        value = np.zeros(3, dtype=np.float64)
+        assert Variable("w", value).dtype == np.float64
+        assert Variable("w", value, dtype="float32").dtype == np.float32
+
+    def test_assign_preserves_dtype_and_bumps_version(self):
+        variable = Variable("w", np.zeros(3, dtype=np.float32))
+        before = variable.version
+        variable.assign(np.ones(3, dtype=np.float64))
+        assert variable.dtype == np.float32
+        assert variable.version == before + 1
+        np.testing.assert_array_equal(variable.value, 1.0)
+
+
+class TestModelDtype:
+    def _model(self, dtype=None):
+        model = Sequential([LSTM(4), Dense(2), Dropout(0.1)], dtype=dtype)
+        model.build((5, 1), seed=0)
+        return model
+
+    def test_model_variables_follow_policy(self):
+        model = self._model()
+        assert model.dtype == np.float32
+        assert all(v.dtype == np.float32 for v in model.trainable_variables)
+        with policy.dtype_policy("float64"):
+            model64 = self._model()
+        assert model64.dtype == np.float64
+        assert all(v.dtype == np.float64 for v in model64.trainable_variables)
+
+    def test_per_model_dtype_overrides_policy(self):
+        model = self._model(dtype="float64")
+        assert model.dtype == np.float64
+        assert all(v.dtype == np.float64 for v in model.trainable_variables)
+
+    def test_forward_and_predict_emit_model_dtype(self):
+        model = self._model(dtype="float64")
+        x = np.random.default_rng(0).normal(size=(6, 5, 1)).astype(np.float32)
+        assert model.forward(x).dtype == np.float64
+        assert model.predict(x, batch_size=4).dtype == np.float64
+
+    def test_optimizer_slots_match_variable_dtype(self):
+        model = self._model()
+        model.compile(Adam(0.01), "mse")
+        rng = np.random.default_rng(1)
+        model.train_on_batch(rng.normal(size=(4, 5, 1)), rng.normal(size=(4, 2)))
+        for variable in model.trainable_variables:
+            slots = model.optimizer._slots[variable]
+            assert slots["m"].dtype == np.float32
+            assert slots["v"].dtype == np.float32
+
+    def test_loss_gradient_matches_prediction_dtype(self):
+        model = self._model()
+        model.compile("adam", "mse")
+        rng = np.random.default_rng(2)
+        predictions = model.forward(rng.normal(size=(4, 5, 1)))
+        grad = model.loss.gradient(rng.normal(size=(4, 2)), predictions)
+        assert grad.dtype == np.float32
+
+
+class TestSerializationDtype:
+    def test_config_round_trip_preserves_dtype(self, tmp_path):
+        with policy.dtype_policy("float64"):
+            model = Sequential([LSTM(3), Dense(1)])
+            model.build((4, 1), seed=7)
+        config = model_to_config(model)
+        assert config["dtype"] == "float64"
+        # Rebuild under the (float32) default policy: dtype must stick.
+        rebuilt = model_from_config(config)
+        assert rebuilt.dtype == np.float64
+        assert all(v.dtype == np.float64 for v in rebuilt.trainable_variables)
+
+    def test_legacy_config_without_dtype_uses_policy(self):
+        model = Sequential([Dense(2)])
+        model.build((3,), seed=0)
+        config = model_to_config(model)
+        del config["dtype"]
+        assert model_from_config(config).dtype == np.float32

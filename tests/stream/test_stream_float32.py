@@ -1,0 +1,70 @@
+"""Streaming-vs-batch parity re-run under the float32 engine policy.
+
+The PR-1 parity suite trains its detector under the ambient policy; this
+module pins the policy to float32 explicitly (detector *and* replay) and
+asserts the decision-for-decision contract still holds: both paths share
+one model, so reduced precision must cancel out of the comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig
+from repro.anomaly.detector import ReconstructionAnomalyDetector
+from repro.data.scaling import MinMaxScaler
+from repro.nn import policy
+from repro.stream.detector import StreamingDetector
+
+
+@pytest.fixture(scope="module")
+def float32_batch_detector():
+    """A window-mode batch detector trained under an explicit float32 policy."""
+    config = AutoencoderConfig(
+        sequence_length=12,
+        encoder_units=(8, 4),
+        decoder_units=(4, 8),
+        dropout=0.1,
+        epochs=3,
+        patience=2,
+        batch_size=32,
+    )
+    t = np.arange(400)
+    series = (
+        30.0
+        + 8.0 * np.sin(2 * np.pi * t / 24.0)
+        + np.random.default_rng(7).normal(0.0, 0.5, t.size)
+    )
+    scaled = MinMaxScaler().fit_transform(series)
+    with policy.dtype_policy("float32"):
+        detector = ReconstructionAnomalyDetector(scoring="window", config=config, seed=3)
+        detector.fit(scaled)
+    return detector, scaled
+
+
+class TestFloat32StreamingParity:
+    def test_model_is_float32(self, float32_batch_detector):
+        detector, _ = float32_batch_detector
+        assert detector.autoencoder.model.dtype == np.float32
+
+    def test_flags_and_scores_match_batch_window_mode(self, float32_batch_detector):
+        batch, scaled = float32_batch_detector
+        with policy.dtype_policy("float32"):
+            streaming = StreamingDetector(
+                batch.autoencoder,
+                n_stations=1,
+                threshold=np.array([batch.threshold_rule.threshold_]),
+            )
+            flags = np.zeros(len(scaled), dtype=bool)
+            scores = np.full(len(scaled), np.nan)
+            for t, value in enumerate(scaled):
+                result = streaming.process_tick(np.array([value]))
+                flags[t] = result.flags[0]
+                scores[t] = result.scores[0]
+            report = batch.detect(scaled)
+        assert report.n_flagged > 0, "test series should trip the threshold somewhere"
+        np.testing.assert_array_equal(flags, report.flags)
+        finite = np.isfinite(report.scores)
+        np.testing.assert_array_equal(np.isfinite(scores), finite)
+        # Both paths run the same float32 model on the same windows, so
+        # the scores match to well below single-precision noise.
+        np.testing.assert_allclose(scores[finite], report.scores[finite], rtol=1e-6)
