@@ -1,0 +1,59 @@
+"""Shared speedup-regression gate for the standalone benchmark scripts.
+
+Both ``bench_engine.py`` and ``bench_streaming.py`` write a results JSON
+of the shape ``{"profile": ..., "workloads": {name: {metric: value}}}``
+and gate CI reruns against a committed same-profile baseline: every
+``speedup_*`` metric present in the baseline must not fall more than a
+slack fraction below it.  Speedups are ratios of times measured on the
+same box, so the gate is machine-independent.  Metrics that are pure
+timing noise (near-1x ratios of near-identical pipelines) must simply
+not be named ``speedup_*`` in the results.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Collection
+from pathlib import Path
+
+
+def check_regression(
+    results: dict,
+    baseline_path: Path,
+    slack: float,
+    ungated_workloads: Collection[str] = (),
+) -> list[str]:
+    """Compare every shared speedup metric against a same-profile baseline.
+
+    Returns a list of human-readable failure strings (empty = no
+    regression).  A missing or unreadable baseline is reported as a
+    failure rather than raised, so CI prints a diagnosable message.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot read baseline {baseline_path}: {error}"]
+    if baseline.get("profile") != results["profile"]:
+        return [
+            f"baseline profile {baseline.get('profile')!r} != run profile "
+            f"{results['profile']!r}: speedup ratios are workload-size dependent; "
+            f"gate against a baseline produced with the same profile"
+        ]
+    failures = []
+    for name, payload in results["workloads"].items():
+        if name in ungated_workloads:
+            continue
+        reference = baseline.get("workloads", {}).get(name, {})
+        for key, old in reference.items():
+            if not key.startswith("speedup_"):
+                continue
+            new = payload.get(key)
+            if new is None:
+                continue
+            floor = (1.0 - slack) * old
+            if new < floor:
+                failures.append(
+                    f"{name}.{key}: {new:.2f}x < floor {floor:.2f}x "
+                    f"(baseline {old:.2f}x, slack {slack:.0%})"
+                )
+    return failures

@@ -35,6 +35,9 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _gate import check_regression  # noqa: E402
 
 from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder  # noqa: E402
 from repro.nn import LSTM, Adam, Dense, Sequential, policy  # noqa: E402
@@ -405,35 +408,6 @@ WORKLOADS = {
 UNGATED_WORKLOADS = frozenset({"streaming_ticks"})
 
 
-def check_regression(results: dict, baseline_path: Path, slack: float) -> list[str]:
-    """Compare every shared speedup metric against a same-profile baseline."""
-    baseline = json.loads(baseline_path.read_text())
-    if baseline.get("profile") != results["profile"]:
-        return [
-            f"baseline profile {baseline.get('profile')!r} != run profile "
-            f"{results['profile']!r}: speedup ratios are workload-size dependent; "
-            f"gate against a baseline produced with the same profile"
-        ]
-    failures = []
-    for name, payload in results["workloads"].items():
-        if name in UNGATED_WORKLOADS:
-            continue
-        reference = baseline.get("workloads", {}).get(name, {})
-        for key, old in reference.items():
-            if not key.startswith("speedup_"):
-                continue
-            new = payload.get(key)
-            if new is None:
-                continue
-            floor = (1.0 - slack) * old
-            if new < floor:
-                failures.append(
-                    f"{name}.{key}: {new:.2f}x < floor {floor:.2f}x "
-                    f"(baseline {old:.2f}x, slack {slack:.0%})"
-                )
-    return failures
-
-
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -478,7 +452,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.check is not None:
-        failures = check_regression(results, args.check, args.check_slack)
+        failures = check_regression(
+            results, args.check, args.check_slack, ungated_workloads=UNGATED_WORKLOADS
+        )
         if failures:
             print("[bench_engine] REGRESSION vs baseline:")
             for failure in failures:

@@ -1,11 +1,31 @@
-"""Streaming-engine throughput: micro-batched fleet inference vs naive loop.
+"""Streaming-engine throughput: micro-batching across stations AND time.
 
-The whole point of :mod:`repro.stream` is that one tick of fleet
-inference is ONE autoencoder forward pass over ``(n_stations, L, 1)``,
-not ``n_stations`` forward passes over ``(1, L, 1)``.  This bench
-replays the same simulated fleet both ways and reports
-station-readings/second; the micro-batched path must be >= 10x the
-naive per-station loop at 1,000+ stations (it is typically far more).
+Two profiles, one JSON:
+
+* ``station_batching`` — one tick of fleet inference is ONE autoencoder
+  pass over ``(n_stations, L, 1)``, not ``n_stations`` passes over
+  ``(1, L, 1)``.  The micro-batched path must stay >= 10x the naive
+  per-station loop at 1,000+ stations (it is typically far more).
+* ``block`` — block-mode ingestion (PR 3) batches the *time* axis too:
+  ``StreamingDetector.process_block`` scores all ``B x n_stations``
+  windows of a ``B``-tick block in one inference pass.  Measured against
+  two per-tick references on the same fleet: the **frozen pre-block
+  pipeline** (triple per-tick validation with the old ``np.unique``
+  duplicate check, chunked ``predict(batch_size=256)`` — a faithful copy
+  of the PR-1/PR-2 path, like ``bench_engine``'s frozen seed engine; its
+  slowness is the point) and the **current** ``process_tick`` loop.
+  The block profile uses a compact fleet-scale autoencoder (L=12,
+  units (4, 2)): block mode exists to amortise per-tick pipeline
+  overhead, which only shows once the per-window forward cost stops
+  drowning it — with PR 2's fused engine the pipeline is forward-bound,
+  so the measured block-vs-reference speedup (~2x at 1000 stations) is
+  the honest ceiling, not the ISSUE's aspirational 5x (see ROADMAP).
+
+Results are written as JSON (``--output``) and ``--check BASELINE.json``
+exits non-zero when any ``speedup_*`` metric regresses more than
+``--check-slack`` (default 30%) below the committed same-profile
+baseline — machine-independent because speedups are ratios of times
+measured on the same box.
 
 Run:  PYTHONPATH=src python benchmarks/bench_streaming.py
       PYTHONPATH=src python benchmarks/bench_streaming.py --smoke   # CI-sized
@@ -17,11 +37,18 @@ pytest-benchmark) so CI can smoke it directly.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _gate import check_regression  # noqa: E402
+
 from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
+from repro.stream.buffers import RingBufferBank
 from repro.stream.detector import StreamingDetector
 from repro.stream.engine import synthesize_fleet
 from repro.stream.scaler import StreamingMinMaxScaler
@@ -74,65 +101,217 @@ def run_naive_loop(
     return time.perf_counter() - start
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--stations", type=int, default=1000)
-    parser.add_argument("--ticks", type=int, default=20, help="scored ticks (batched path)")
-    parser.add_argument("--naive-ticks", type=int, default=3, help="scored ticks (naive path)")
-    parser.add_argument("--seq-len", type=int, default=24)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=None,
-        help="fail below this speedup (default: 10 at >=1000 stations, 3 below)",
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI-sized run: 128 stations, fewer ticks",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        args.stations = min(args.stations, 128)
-        args.ticks = min(args.ticks, 6)
-        args.naive_ticks = min(args.naive_ticks, 2)
-    min_speedup = args.min_speedup
-    if min_speedup is None:
-        min_speedup = 10.0 if args.stations >= 1000 else 3.0
+# ---------------------------------------------------------------------------
+# Frozen pre-block per-tick pipeline — the "old" side of the block
+# speedup.  A faithful copy of the PR-1 tick path: every bank call
+# re-validates its inputs (three validations per tick, with the
+# O(k log k) ``np.unique`` duplicate check this PR replaced), and
+# scoring goes through the cache-pressure-chunked ``predict``.  Do not
+# "optimise" it; its slowness is the point.
+# ---------------------------------------------------------------------------
 
+
+def run_reference_per_tick(
+    autoencoder: LSTMAutoencoder,
+    fleet: np.ndarray,
+    warmup_ticks: int,
+    scored_ticks: int,
+) -> float:
+    n_stations = fleet.shape[0]
+    length = autoencoder.config.sequence_length
+    scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
+    buffers = RingBufferBank(n_stations, length)
+    stations = np.arange(n_stations)
+
+    def validate(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if len(np.unique(stations)) != len(stations):
+            raise ValueError("duplicate stations")
+        return values
+
+    def tick(values: np.ndarray) -> np.ndarray | None:
+        validate(values)
+        scaler.partial_fit_checked(values, stations)
+        validate(values)
+        scaled = scaler.transform_checked(values, stations)
+        validate(scaled)
+        buffers.push_checked(scaled, stations)
+        if not buffers.ready.all():
+            return None
+        windows = buffers.windows()[:, :, None]
+        reconstructed = autoencoder.model.predict(windows, batch_size=256)
+        errors = np.mean((windows - reconstructed) ** 2, axis=(1, 2))
+        return errors > 1.0
+
+    for t in range(warmup_ticks):
+        tick(fleet[:, t])
+    start = time.perf_counter()
+    for t in range(warmup_ticks, warmup_ticks + scored_ticks):
+        tick(fleet[:, t])
+    return time.perf_counter() - start
+
+
+def run_block(
+    autoencoder: LSTMAutoencoder,
+    fleet: np.ndarray,
+    warmup_ticks: int,
+    scored_ticks: int,
+    block_size: int,
+) -> float:
+    """Elapsed seconds for ``scored_ticks`` ticks ingested block-wise."""
+    n_stations = fleet.shape[0]
+    scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
+    detector = StreamingDetector(autoencoder, n_stations, scaler=scaler, threshold=1.0)
+    if warmup_ticks:
+        detector.process_block(fleet[:, :warmup_ticks])
+    start = time.perf_counter()
+    for first in range(warmup_ticks, warmup_ticks + scored_ticks, block_size):
+        detector.process_block(fleet[:, first : first + block_size])
+    return time.perf_counter() - start
+
+
+def station_batching_profile(args: argparse.Namespace) -> dict:
     config = AutoencoderConfig(
         sequence_length=args.seq_len, encoder_units=(8, 4), decoder_units=(4, 8)
     )
     autoencoder = LSTMAutoencoder(config, seed=args.seed)
     warmup = args.seq_len - 1
     n_ticks = warmup + max(args.ticks, args.naive_ticks)
-    print(f"synthesizing fleet: {args.stations} stations x {n_ticks} ticks ...")
     fleet = synthesize_fleet(args.stations, n_ticks, seed=args.seed)
 
     batched_elapsed = run_micro_batched(autoencoder, fleet, warmup, args.ticks)
     batched_rate = args.stations * args.ticks / batched_elapsed
-    print(
-        f"micro-batched: {args.ticks} ticks in {batched_elapsed:.3f}s "
-        f"-> {batched_rate:,.0f} readings/s "
-        f"({1e3 * batched_elapsed / args.ticks:.2f} ms/tick for the whole fleet)"
-    )
-
     naive_elapsed = run_naive_loop(autoencoder, fleet, warmup, args.naive_ticks)
     naive_rate = args.stations * args.naive_ticks / naive_elapsed
+    return {
+        "stations": args.stations,
+        "sequence_length": args.seq_len,
+        "micro_batched_readings_per_second": batched_rate,
+        "naive_readings_per_second": naive_rate,
+        "speedup_micro_batched_vs_naive": batched_rate / naive_rate,
+    }
+
+
+def block_profile(args: argparse.Namespace) -> dict:
+    # Compact fleet-scale per-station model: small enough that per-tick
+    # pipeline overhead is visible next to the forward pass.
+    config = AutoencoderConfig(
+        sequence_length=12, encoder_units=(4, 2), decoder_units=(2, 4)
+    )
+    autoencoder = LSTMAutoencoder(config, seed=args.seed)
+    warmup = config.sequence_length - 1
+    ticks = args.block_ticks
+    fleet = synthesize_fleet(args.stations, warmup + ticks, seed=args.seed)
+
+    reference = run_reference_per_tick(autoencoder, fleet, warmup, ticks)
+    per_tick = run_micro_batched(autoencoder, fleet, warmup, ticks)
+    block = run_block(autoencoder, fleet, warmup, ticks, args.block_size)
+    return {
+        "stations": args.stations,
+        "sequence_length": config.sequence_length,
+        "block_size": args.block_size,
+        "reference_ticks_per_second": ticks / reference,
+        "per_tick_ticks_per_second": ticks / per_tick,
+        "block_ticks_per_second": ticks / block,
+        "speedup_block_vs_reference_tick": reference / block,
+        "speedup_block_vs_per_tick": per_tick / block,
+        # Informational only (no "speedup_" prefix, so never gated): at
+        # smoke scale (128 stations, no predict chunking to remove) the
+        # two per-tick pipelines are nearly identical and this ratio is
+        # ~1x timing noise; it only measures real removed overhead at
+        # full scale (~1.6x at 1000 stations), where CI does not run.
+        "ratio_per_tick_vs_reference": reference / per_tick,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--stations", type=int, default=1000)
+    parser.add_argument("--ticks", type=int, default=20, help="scored ticks (batched path)")
+    parser.add_argument("--naive-ticks", type=int, default=3, help="scored ticks (naive path)")
+    parser.add_argument("--block-ticks", type=int, default=64, help="scored ticks (block profile)")
+    parser.add_argument("--block-size", type=int, default=32)
+    parser.add_argument("--seq-len", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this micro-batch speedup (default: 10 at >=1000 stations, 3 below)",
+    )
+    parser.add_argument("--output", type=Path, default=Path("BENCH_streaming.json"))
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to gate speedups against")
+    parser.add_argument("--check-slack", type=float, default=0.30,
+                        help="allowed fractional regression vs baseline")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: 128 stations, fewer ticks",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.stations = min(args.stations, 128)
+        args.ticks = min(args.ticks, 6)
+        args.naive_ticks = min(args.naive_ticks, 2)
+        args.block_ticks = min(args.block_ticks, 33)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 10.0 if args.stations >= 1000 else 3.0
+
+    results = {
+        "benchmark": "bench_streaming",
+        "profile": "smoke" if args.smoke else "full",
+        "numpy": np.__version__,
+        "unix_time": time.time(),
+        "workloads": {},
+    }
+
+    print(f"[bench_streaming] station_batching: {args.stations} stations ...", flush=True)
+    station = station_batching_profile(args)
+    results["workloads"]["station_batching"] = station
     print(
-        f"naive loop:    {args.naive_ticks} ticks in {naive_elapsed:.3f}s "
-        f"-> {naive_rate:,.0f} readings/s"
+        f"micro-batched: {station['micro_batched_readings_per_second']:,.0f} readings/s | "
+        f"naive loop: {station['naive_readings_per_second']:,.0f} readings/s | "
+        f"speedup {station['speedup_micro_batched_vs_naive']:.1f}x "
+        f"(required: >= {min_speedup:.0f}x)"
     )
 
-    speedup = batched_rate / naive_rate
-    print(f"speedup: {speedup:.1f}x (required: >= {min_speedup:.0f}x)")
-    if speedup < min_speedup:
-        raise SystemExit(
-            f"FAIL: micro-batched speedup {speedup:.1f}x < {min_speedup:.0f}x"
+    print(f"[bench_streaming] block: {args.stations} stations, B={args.block_size} ...", flush=True)
+    block = block_profile(args)
+    results["workloads"]["block"] = block
+    print(
+        f"pre-block reference: {block['reference_ticks_per_second']:,.1f} ticks/s | "
+        f"per-tick: {block['per_tick_ticks_per_second']:,.1f} ticks/s | "
+        f"block(B={args.block_size}): {block['block_ticks_per_second']:,.1f} ticks/s"
+    )
+    print(
+        f"block vs pre-block reference: {block['speedup_block_vs_reference_tick']:.2f}x | "
+        f"block vs per-tick: {block['speedup_block_vs_per_tick']:.2f}x | "
+        f"per-tick vs reference: {block['ratio_per_tick_vs_reference']:.2f}x"
+    )
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[bench_streaming] wrote {args.output}")
+
+    if station["speedup_micro_batched_vs_naive"] < min_speedup:
+        print(
+            f"[bench_streaming] FAIL: micro-batched speedup "
+            f"{station['speedup_micro_batched_vs_naive']:.1f}x < {min_speedup:.0f}x"
         )
+        return 1
+
+    if args.check is not None:
+        failures = check_regression(results, args.check, args.check_slack)
+        if failures:
+            print("[bench_streaming] REGRESSION vs baseline:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"[bench_streaming] no regression vs {args.check}")
     print("PASS")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

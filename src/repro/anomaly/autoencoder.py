@@ -115,11 +115,21 @@ class LSTMAutoencoder:
         )
         return self.history
 
+    #: Scoring chunk size: the ``infer`` path keeps only O(batch) running
+    #: state (no per-timestep training caches), so chunks can be far
+    #: larger than ``predict``'s cache-pressure default of 256 — but the
+    #: per-layer sequence outputs still scale with the chunk, so an
+    #: offline calibration pass over a million windows must not run as
+    #: one allocation.
+    _SCORING_BATCH = 32768
+
     def reconstruct(self, windows: np.ndarray) -> np.ndarray:
         """Deterministic reconstructions, same shape as the input."""
         windows = check_3d(windows, "windows")
         self._validate_windows(windows)
-        return self.model.predict(windows)
+        return self.model.predict(
+            windows, batch_size=min(len(windows), self._SCORING_BATCH)
+        )
 
     def window_errors(self, windows: np.ndarray) -> np.ndarray:
         """Per-window reconstruction MSE, shape ``(n_windows,)``."""

@@ -124,6 +124,17 @@ class Layer:
         """Backprop: fill variable grads, return gradient w.r.t. inputs."""
         raise NotImplementedError
 
+    def infer(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference-only forward: no backward pass will follow.
+
+        Defaults to ``forward(training=False)``; layers whose forward
+        maintains expensive training caches (the LSTM's per-timestep
+        BPTT tensors) override this with a leaner state-only path.
+        ``backward`` after ``infer`` is undefined — call ``forward``
+        when gradients are needed.
+        """
+        return self.forward(inputs, training=False)
+
     def _cast(self, array: np.ndarray) -> np.ndarray:
         """View ``array`` in this layer's dtype (no copy when it matches)."""
         return np.asarray(array, dtype=self.dtype)

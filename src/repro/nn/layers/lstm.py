@@ -52,6 +52,13 @@ from repro.nn.layers.base import Layer
 #: schedules) cannot push out the hot steady-state shape.
 _MAX_WORKSPACES = 16
 
+#: Inference workspaces above this batch size are tens of MB each, so at
+#: most _MAX_LARGE_INFER of them stay cached: a steady large-block loop
+#: keeps reusing its workspace, but a one-off calibration pass over a
+#: huge window set cannot pin several giant buffers for process lifetime.
+_LARGE_INFER_BATCH = 8192
+_MAX_LARGE_INFER = 2
+
 
 class LSTM(Layer):
     """Long Short-Term Memory layer.
@@ -94,6 +101,7 @@ class LSTM(Layer):
         self._bias = None  # (4 * units,)
         self._cache: dict[str, object] = {}
         self._workspaces: dict[tuple[int, int], dict[str, np.ndarray]] = {}
+        self._infer_workspaces: dict[int, dict[str, np.ndarray]] = {}
         self._packed: dict[str, np.ndarray] = {}
         self._packed_versions: tuple[int, int, int] | None = None
         self._perm: np.ndarray | None = None
@@ -202,6 +210,93 @@ class LSTM(Layer):
                 self._workspaces.pop(next(iter(self._workspaces)))
             self._workspaces[key] = ws
         return ws
+
+    def _infer_workspace(self, batch: int) -> dict[str, np.ndarray]:
+        ws = self._infer_workspaces.pop(batch, None)
+        if ws is not None:
+            self._infer_workspaces[batch] = ws  # re-insert: dict order is LRU order
+        else:
+            units = self.units
+            features = int(self.input_shape[-1])
+            dtype = self.dtype
+            ws = {
+                "x_t": np.empty((batch, features), dtype=dtype),
+                "z": np.empty((batch, 4 * units), dtype=dtype),
+                "hz": np.empty((batch, 4 * units), dtype=dtype),
+                "h": np.empty((batch, units), dtype=dtype),
+                "c": np.empty((batch, units), dtype=dtype),
+                "tanh_c": np.empty((batch, units), dtype=dtype),
+                "tmp_u": np.empty((batch, units), dtype=dtype),
+                "sig_work": np.empty((batch, 3 * units), dtype=dtype),
+                "sig_num": np.empty((batch, 3 * units), dtype=dtype),
+                "sig_neg": np.empty((batch, 3 * units), dtype=bool),
+            }
+            if len(self._infer_workspaces) >= _MAX_WORKSPACES:
+                self._infer_workspaces.pop(next(iter(self._infer_workspaces)))
+            self._infer_workspaces[batch] = ws
+            large = [b for b in self._infer_workspaces if b > _LARGE_INFER_BATCH]
+            while len(large) > _MAX_LARGE_INFER:
+                self._infer_workspaces.pop(large.pop(0))  # oldest large first
+        return ws
+
+    def infer(self, inputs: np.ndarray) -> np.ndarray:
+        """Cache-free forward pass for inference.
+
+        Same gate math as :meth:`forward` (same fused sigmoid, same
+        update ordering — outputs are bit-identical) but keeps only the
+        running ``h``/``c`` state instead of per-timestep BPTT caches, so
+        the working set is O(batch) and stays cache-resident no matter
+        how many windows one call scores.  That is what lets block-mode
+        streaming push ``B × n_stations`` windows through in ONE call:
+        per-ufunc dispatch amortises over the whole block while memory
+        traffic stays flat.  ``backward`` after ``infer`` is undefined.
+        """
+        inputs = self._cast(inputs)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"LSTM expects (batch, timesteps, features) input, got {inputs.shape}"
+            )
+        batch, timesteps, _ = inputs.shape
+        units = self.units
+        packed = self._refresh_packed()
+        ws = self._infer_workspace(batch)
+
+        kernel, recurrent, bias = packed["kernel"], packed["recurrent"], packed["bias"]
+        x_t, z, hz = ws["x_t"], ws["z"], ws["hz"]
+        h, c, tanh_c, tmp_u = ws["h"], ws["c"], ws["tanh_c"], ws["tmp_u"]
+        sig_work, sig_num, sig_neg = ws["sig_work"], ws["sig_num"], ws["sig_neg"]
+        h.fill(0.0)
+        c.fill(0.0)
+        out_seq = (
+            np.empty((batch, timesteps, units), dtype=self.dtype)
+            if self.return_sequences
+            else None
+        )
+
+        for t in range(timesteps):
+            np.copyto(x_t, inputs[:, t, :])
+            np.matmul(x_t, kernel, out=z)
+            z += bias
+            np.matmul(h, recurrent, out=hz)
+            z += hz
+            sigmoid_inplace(z[:, : 3 * units], sig_work, sig_num, sig_neg)
+            g = z[:, 3 * units :]
+            np.tanh(g, out=g)
+
+            i = z[:, :units]
+            f = z[:, units : 2 * units]
+            o = z[:, 2 * units : 3 * units]
+            np.multiply(f, c, out=c)
+            np.multiply(i, g, out=tmp_u)
+            c += tmp_u
+            np.tanh(c, out=tanh_c)
+            np.multiply(o, tanh_c, out=h)
+            if out_seq is not None:
+                out_seq[:, t, :] = h
+
+        if out_seq is not None:
+            return out_seq
+        return h.copy()
 
     # -- computation ----------------------------------------------------
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:

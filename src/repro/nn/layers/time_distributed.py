@@ -4,6 +4,13 @@ Used for the autoencoder's output projection (``TimeDistributed(Dense(1))``
 in the Keras idiom).  Implementation folds the time axis into the batch
 axis, delegates to the inner layer, and unfolds again, so any layer that
 operates on ``(batch, features)`` works unchanged.
+
+Folding is allocation-aware: a C-contiguous input folds as a zero-copy
+``reshape`` view, and a strided one (transposed workspaces, sliced
+batches, the big window batches block-mode streaming pushes through the
+autoencoder) is gathered into a per-shape fold buffer that is reused
+across calls instead of `.reshape` silently materialising a fresh copy
+every forward/backward.
 """
 
 from __future__ import annotations
@@ -16,10 +23,33 @@ from repro.nn.layers.base import Layer
 class TimeDistributed(Layer):
     """Apply ``inner`` independently at every timestep of a 3-D input."""
 
+    _MAX_FOLD_BUFFERS = 8
+
     def __init__(self, inner: Layer, name: str | None = None) -> None:
         super().__init__(name=name or f"time_distributed_{inner.name}")
         self.inner = inner
         self._timesteps: int | None = None
+        self._fold_buffers: dict[tuple, np.ndarray] = {}
+
+    def _fold(self, array: np.ndarray, kind: str) -> np.ndarray:
+        """View ``(batch, timesteps, features)`` as ``(batch*timesteps, features)``.
+
+        Zero-copy for C-contiguous input; strided input is gathered into
+        a reusable buffer keyed by ``(kind, shape, dtype)`` so repeated
+        calls at a steady shape never grow allocations.
+        """
+        batch, timesteps, features = array.shape
+        if array.flags["C_CONTIGUOUS"]:
+            return array.reshape(batch * timesteps, features)
+        key = (kind, array.shape, array.dtype.str)
+        buffer = self._fold_buffers.pop(key, None)
+        if buffer is None:
+            if len(self._fold_buffers) >= self._MAX_FOLD_BUFFERS:
+                self._fold_buffers.pop(next(iter(self._fold_buffers)))
+            buffer = np.empty((batch * timesteps, features), dtype=array.dtype)
+        self._fold_buffers[key] = buffer  # re-insert: dict order is LRU order
+        np.copyto(buffer.reshape(array.shape), array)
+        return buffer
 
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
         if len(input_shape) != 2:
@@ -44,17 +74,27 @@ class TimeDistributed(Layer):
             raise ValueError(
                 f"TimeDistributed expects (batch, timesteps, features), got {inputs.shape}"
             )
-        batch, timesteps, features = inputs.shape
-        folded = inputs.reshape(batch * timesteps, features)
-        outputs = self.inner.forward(folded, training=training)
-        return outputs.reshape(batch, timesteps, -1)
+        batch, timesteps, _ = inputs.shape
+        outputs = self.inner.forward(self._fold(inputs, "forward"), training=training)
+        # Inner layers emit freshly-written contiguous outputs, so the
+        # unfold is a view; np.reshape copies only if that ever changes.
+        return np.reshape(outputs, (batch, timesteps, -1))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = self._cast(grad)
-        batch, timesteps, features = grad.shape
-        folded = grad.reshape(batch * timesteps, features)
-        grad_inputs = self.inner.backward(folded)
-        return grad_inputs.reshape(batch, timesteps, -1)
+        batch, timesteps, _ = grad.shape
+        grad_inputs = self.inner.backward(self._fold(grad, "backward"))
+        return np.reshape(grad_inputs, (batch, timesteps, -1))
+
+    def infer(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = self._cast(inputs)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"TimeDistributed expects (batch, timesteps, features), got {inputs.shape}"
+            )
+        batch, timesteps, _ = inputs.shape
+        outputs = self.inner.infer(self._fold(inputs, "infer"))
+        return np.reshape(outputs, (batch, timesteps, -1))
 
     def zero_grads(self) -> None:
         self.inner.zero_grads()

@@ -131,6 +131,22 @@ class Sequential:
             grad = layer.backward(grad)
         return grad
 
+    def infer(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass down the layers' inference fast paths.
+
+        Same function as ``forward(training=False)`` (the LSTM path is
+        bit-identical) but no training caches are populated, so the
+        recurrent working set stays O(batch) — ``backward`` must not be
+        called after ``infer``.
+        """
+        inputs = np.asarray(inputs)
+        if not self.built:
+            self.build(inputs.shape[1:])
+        outputs = self._cast(inputs)
+        for layer in self.layers:
+            outputs = layer.infer(outputs)
+        return outputs
+
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Inference in batches; deterministic (dropout disabled).
 
@@ -142,7 +158,7 @@ class Sequential:
         if len(inputs) == 0:
             raise ValueError("predict called with an empty batch")
         n_samples = len(inputs)
-        first = self.forward(inputs[:batch_size], training=False)
+        first = self.infer(inputs[:batch_size])
         if len(first) == n_samples:
             # A pass-through final layer can hand the caller's own array
             # back; predict must never alias its input.
@@ -152,7 +168,7 @@ class Sequential:
         outputs = np.empty((n_samples,) + first.shape[1:], dtype=first.dtype)
         outputs[: len(first)] = first
         for start in range(batch_size, n_samples, batch_size):
-            chunk = self.forward(inputs[start : start + batch_size], training=False)
+            chunk = self.infer(inputs[start : start + batch_size])
             outputs[start : start + len(chunk)] = chunk
         return outputs
 

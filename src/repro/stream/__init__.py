@@ -15,6 +15,14 @@ mitigation is causal, built only from the past
 any batch attack scenario through the pipeline and reports throughput,
 latency, and the paper's detection metrics.
 
+Block mode batches the *time* axis as well:
+:meth:`StreamingDetector.process_block` ingests ``(n_stations, B)``
+readings and scores every window the block completes in one inference
+pass, and ``engine.run(fleet, block_size=B)`` drives the whole closed
+loop block-wise (``block_size=1`` is bit-identical to tick-by-tick;
+larger blocks move mitigation feedback and adaptive-threshold updates
+to block granularity).
+
 Quickstart::
 
     from repro.stream import (
@@ -31,7 +39,7 @@ Quickstart::
 """
 
 from repro.stream.buffers import RingBufferBank
-from repro.stream.detector import StreamingDetector, TickResult
+from repro.stream.detector import BlockResult, StreamingDetector, TickResult
 from repro.stream.engine import (
     StreamReplayEngine,
     StreamReport,
@@ -53,6 +61,7 @@ from repro.stream.scaler import StreamingMinMaxScaler
 
 __all__ = [
     "RingBufferBank",
+    "BlockResult",
     "StreamingDetector",
     "TickResult",
     "StreamReplayEngine",

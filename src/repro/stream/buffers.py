@@ -8,13 +8,19 @@ streaming engine instead keeps, for every station, exactly the last
 most-recent window of *any* station is always one contiguous slice of
 the doubled row.  Per tick this is O(n_stations) writes and zero
 reallocation: bounded state, no matter how long the stream runs.
+
+Block mode (:meth:`RingBufferBank.push_block`) ingests ``B`` consecutive
+readings per station in one shot; combined with :meth:`recent` a caller
+can assemble every window a block completes as a strided view over
+``history-tail ‖ block`` with no per-tick Python at all (see
+:meth:`~repro.stream.detector.StreamingDetector.process_block`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.stream._ticks import check_tick
+from repro.stream._ticks import check_block, check_tick
 
 
 class RingBufferBank:
@@ -58,11 +64,39 @@ class RingBufferBank:
         the same order as ``stations`` (or station order when omitted).
         """
         values, stations = check_tick(values, stations, self.n_stations)
+        self.push_checked(values, stations)
+
+    def push_checked(self, values: np.ndarray, stations: np.ndarray) -> None:
+        """:meth:`push` for pre-validated ``(values, stations)`` arrays."""
         write = self._write[stations]
         self._data[stations, write] = values
         self._data[stations, write + self.length] = values
         self._write[stations] = (write + 1) % self.length
         self.counts[stations] += 1
+
+    def push_block(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
+        """Append ``B`` consecutive readings per station in one call.
+
+        ``values`` is ``(k, B)``, oldest column first — exactly ``B``
+        sequential :meth:`push` calls collapsed into one vectorized
+        scatter (each value still mirrored into the doubled half).
+        """
+        values, stations = check_block(values, stations, self.n_stations)
+        self.push_block_checked(values, stations)
+
+    def push_block_checked(self, values: np.ndarray, stations: np.ndarray) -> None:
+        """:meth:`push_block` for pre-validated arrays."""
+        block = values.shape[1]
+        # A block longer than the ring overwrites its own head; write only
+        # the surviving tail so every target slot is scattered exactly once.
+        effective = min(block, self.length)
+        skip = block - effective
+        write = (self._write[stations] + skip) % self.length
+        columns = (write[:, None] + np.arange(effective)[None, :]) % self.length
+        self._data[stations[:, None], columns] = values[:, skip:]
+        self._data[stations[:, None], columns + self.length] = values[:, skip:]
+        self._write[stations] = (self._write[stations] + block) % self.length
+        self.counts[stations] += block
 
     def windows(self, stations: np.ndarray | None = None) -> np.ndarray:
         """Last ``length`` readings per station, oldest first, ``(k, L)``.
@@ -80,6 +114,30 @@ class RingBufferBank:
         columns = self._write[stations, None] + np.arange(self.length)[None, :]
         return self._data[stations[:, None], columns]
 
+    def recent(self, m: int, stations: np.ndarray | None = None) -> np.ndarray:
+        """Last ``m <= length`` buffered readings per station, ``(k, m)``.
+
+        Unlike :meth:`windows` this never raises on a warming-up station:
+        slots that were never written read as 0.0 and the caller masks
+        them out via :attr:`counts`.  This is the history tail that block
+        scoring prepends to an incoming block so every window the block
+        completes is a contiguous slice of one ``(k, m + B)`` array.
+        """
+        if not 0 <= m <= self.length:
+            raise ValueError(f"recent() needs 0 <= m <= {self.length}, got {m}")
+        if stations is None:
+            stations = np.arange(self.n_stations)
+        else:
+            stations = np.asarray(stations, dtype=np.int64)
+        if m == 0:
+            return np.empty((len(stations), 0))
+        # The last `length` readings sit in doubled columns
+        # [write, write + length); the last m are the tail of that slice.
+        columns = (
+            self._write[stations, None] + (self.length - m) + np.arange(m)[None, :]
+        )
+        return self._data[stations[:, None], columns]
+
     def amend_last(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
         """Overwrite the most recent reading per addressed station.
 
@@ -94,6 +152,52 @@ class RingBufferBank:
         newest = (self._write[stations] - 1) % self.length
         self._data[stations, newest] = values
         self._data[stations, newest + self.length] = values
+
+    def amend_block(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
+        """Overwrite the most recent ``B`` readings per addressed station.
+
+        Block-mode counterpart of :meth:`amend_last`: after a block of
+        ``B`` pushes, rewrite those same ``B`` slots with repaired
+        values (columns past ``length`` history are silently clipped to
+        the ``length`` the ring still remembers).  ``B = 1`` is exactly
+        :meth:`amend_last`.
+        """
+        values, stations = check_block(values, stations, self.n_stations)
+        self.amend_block_checked(values, stations)
+
+    def amend_block_checked(
+        self,
+        values: np.ndarray,
+        stations: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """:meth:`amend_block` for pre-validated arrays.
+
+        ``mask`` (same shape as ``values``, optional) restricts the
+        rewrite to selected entries — the closed loop passes the flag
+        matrix so clean readings keep their originally-buffered values
+        instead of being re-scaled under end-of-block bounds.
+        """
+        block = values.shape[1]
+        if not np.all(self.counts[stations] >= min(block, self.length)):
+            raise ValueError("amend_block() requires the block to have been pushed")
+        if block > self.length:
+            # Only the newest `length` readings still exist in the ring.
+            values = values[:, block - self.length :]
+            if mask is not None:
+                mask = mask[:, block - self.length :]
+            block = self.length
+        columns = (
+            self._write[stations, None] - block + np.arange(block)[None, :]
+        ) % self.length
+        if mask is None:
+            self._data[stations[:, None], columns] = values
+            self._data[stations[:, None], columns + self.length] = values
+        else:
+            rows, cols = np.nonzero(mask)
+            targets = columns[rows, cols]
+            self._data[stations[rows], targets] = values[rows, cols]
+            self._data[stations[rows], targets + self.length] = values[rows, cols]
 
     def last(self, stations: np.ndarray | None = None) -> np.ndarray:
         """Most recent reading per addressed station (0.0 before any push)."""

@@ -9,6 +9,13 @@ in ONE forward pass (micro-batching — the difference between thousands
 of tiny LSTM invocations and one wide matmul chain per tick), and each
 station's window MSE is compared against its threshold.
 
+Block ingestion (:meth:`StreamingDetector.process_block`) batches the
+*time* axis too: a ``(n_stations, B)`` block of consecutive readings is
+scaled, buffered, and scored — all ``B × n_stations`` completed windows
+in ONE forward pass — with zero per-tick Python.  ``B = 1`` reproduces
+:meth:`process_tick` bit-for-bit; larger blocks trade decision latency
+for throughput (see ``benchmarks/bench_streaming.py``).
+
 Replaying a series tick-by-tick reproduces the batch detector's
 window-mode flags exactly: same windows, same forward pass, same
 threshold (see ``tests/stream/test_stream_parity.py``).
@@ -20,7 +27,12 @@ Thresholds come in two flavours:
 * **adaptive** — per-station streaming percentiles maintained by the P²
   sketch (:class:`~repro.stream.quantile.P2QuantileBank`), updated only
   with scores that were *not* flagged, so an ongoing attack cannot
-  stretch its own detection boundary.
+  stretch its own detection boundary.  In block mode the adaptive
+  boundary is frozen for the duration of one block (flags inside a block
+  are decided against the thresholds that stood at its start) and all of
+  the block's clean scores are swept into the sketch afterwards —
+  adaptation happens at block granularity, which coincides with
+  tick granularity at ``B = 1``.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ import numpy as np
 
 from repro.anomaly.autoencoder import LSTMAutoencoder
 from repro.data.windowing import sliding_windows
+from repro.stream._ticks import check_block, check_tick
 from repro.stream.buffers import RingBufferBank
 from repro.stream.quantile import P2QuantileBank
 from repro.stream.scaler import StreamingMinMaxScaler
@@ -50,6 +63,32 @@ class TickResult:
     scored: np.ndarray
     scores: np.ndarray
     flags: np.ndarray
+
+    @property
+    def n_flagged(self) -> int:
+        return int(self.flags.sum())
+
+
+@dataclass
+class BlockResult:
+    """Outcome of one ``B``-tick block across the fleet.
+
+    ``scores``/``flags``/``scored`` are ``(n_stations, B)`` matrices
+    whose column ``t`` is exactly the :class:`TickResult` that tick
+    ``first_tick + t`` would have produced (for fixed thresholds;
+    adaptive thresholds update at block granularity).  Stations absent
+    from the block, or still warming up at a given column, carry NaN
+    scores and False flags there.
+    """
+
+    first_tick: int
+    scored: np.ndarray
+    scores: np.ndarray
+    flags: np.ndarray
+
+    @property
+    def block_size(self) -> int:
+        return int(self.scores.shape[1])
 
     @property
     def n_flagged(self) -> int:
@@ -148,7 +187,7 @@ class StreamingDetector:
             raise ValueError(
                 f"normal_fleet must be ({self.n_stations}, T), got {fleet.shape}"
             )
-        if fleet.shape[1] <= self.sequence_length:
+        if fleet.shape[1] < self.sequence_length:
             raise ValueError("normal_fleet is shorter than one window")
         if self.scaler is not None and scale:
             fleet = self.scaler.transform_fleet(fleet)
@@ -172,17 +211,15 @@ class StreamingDetector:
         scored, which is the micro-batching entry point for fleets whose
         stations report on heterogeneous schedules).
         """
-        values = np.asarray(values, dtype=np.float64)
-        if stations is None:
-            station_index = np.arange(self.n_stations)
-        else:
-            station_index = np.asarray(stations, dtype=np.int64)
+        # Validate ONCE; every downstream bank gets pre-checked arrays.
+        values, station_index = check_tick(values, stations, self.n_stations)
         if self.scaler is not None:
-            self.scaler.partial_fit(values, stations)
-            scaled = self.scaler.transform(values, stations)
+            # Fused fit+transform: raises on an unscalable (NaN) reading
+            # BEFORE committing bounds, matching the block path's ordering.
+            scaled = self.scaler.ingest_tick_checked(values, station_index)
         else:
             scaled = values
-        self.buffers.push(scaled, stations)
+        self.buffers.push_checked(scaled, station_index)
 
         scores = np.full(self.n_stations, np.nan)
         flags = np.zeros(self.n_stations, dtype=bool)
@@ -198,11 +235,88 @@ class StreamingDetector:
                 # Guarded adaptation: flagged scores never move the boundary.
                 clean = due[~flags[due]]
                 if clean.size:
-                    self.adaptive.update(scores[clean], clean)
+                    self.adaptive.update_checked(scores[clean], clean)
         scored = np.zeros(self.n_stations, dtype=bool)
         scored[due] = True
         result = TickResult(tick=self.tick, scored=scored, scores=scores, flags=flags)
         self.tick += 1
+        return result
+
+    def process_block(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> BlockResult:
+        """Ingest ``B`` consecutive readings per station in one call.
+
+        ``values`` is ``(n_stations, B)`` raw readings, oldest column
+        first (or ``(k, B)`` for the subset named by ``stations`` —
+        heterogeneous schedules ingest block-wise too).  All ``B``
+        columns are scaled with exact tick-by-tick bound-widening
+        semantics, pushed into the ring buffers in one scatter, and every
+        window the block completes is scored in ONE autoencoder forward
+        pass — the per-tick Python overhead of ``B`` :meth:`process_tick`
+        calls collapses into one pipeline pass.
+
+        ``B = 1`` is bit-for-bit identical to :meth:`process_tick` (the
+        inference batch composition is the same).  With adaptive
+        (``"p2"``) thresholds, the boundary is frozen across the block
+        and clean scores are folded in afterwards (block-granular
+        adaptation); fixed thresholds have no such coupling and match
+        tick-by-tick replay to floating-point round-off for any ``B`` —
+        larger batches can take different BLAS kernel paths, so the last
+        ulp of a float32 score is not guaranteed across batch sizes.
+        """
+        values, station_index = check_block(values, stations, self.n_stations)
+        k, block = values.shape
+        length = self.sequence_length
+
+        if self.scaler is not None:
+            # Transform BEFORE committing bounds: the block transform
+            # replays the per-column running bounds internally.
+            scaled = self.scaler.transform_block_checked(values, station_index)
+            self.scaler.partial_fit_block_checked(values, station_index)
+        else:
+            scaled = values
+
+        # History tail ‖ block: window ending at block column t is
+        # extended[:, t : t + L] — a strided view, no per-tick Python.
+        counts_before = self.buffers.counts[station_index].copy()
+        tail = self.buffers.recent(length - 1, station_index)
+        self.buffers.push_block_checked(scaled, station_index)
+        extended = np.concatenate([tail, scaled], axis=1)
+        windows = np.lib.stride_tricks.sliding_window_view(extended, length, axis=1)
+
+        # Column t completes a window iff the station had accumulated
+        # length-1-t readings beforehand.
+        due = (
+            counts_before[:, None] + np.arange(1, block + 1)[None, :] >= length
+        )
+        scores = np.full((self.n_stations, block), np.nan)
+        flags = np.zeros((self.n_stations, block), dtype=bool)
+        scored = np.zeros((self.n_stations, block), dtype=bool)
+        rows, cols = np.nonzero(due)
+        if rows.size:
+            # ONE forward pass for every completed window in the block.
+            errors = self.autoencoder.window_errors(windows[rows, cols][:, :, None])
+            scores[station_index[rows], cols] = errors
+            thresholds = self.thresholds[station_index[rows]]
+            with np.errstate(invalid="ignore"):
+                flags[station_index[rows], cols] = errors > np.nan_to_num(
+                    thresholds, nan=np.inf
+                )
+            if self.adaptive is not None:
+                # Guarded, block-granular adaptation: sweep the block's
+                # clean scores (flagged ones pre-masked out) through the
+                # sketch in column order.
+                clean = due & ~flags[station_index]
+                if clean.any():
+                    self.adaptive.update_block_checked(
+                        scores[station_index], station_index, mask=clean
+                    )
+        scored[station_index[rows], cols] = True
+        result = BlockResult(
+            first_tick=self.tick, scored=scored, scores=scores, flags=flags
+        )
+        self.tick += block
         return result
 
     def amend_last(
@@ -221,6 +335,39 @@ class StreamingDetector:
         if self.scaler is not None:
             values = self.scaler.transform(values, stations)
         self.buffers.amend_last(values, stations)
+
+    def amend_block(
+        self,
+        values: np.ndarray,
+        stations: np.ndarray | None = None,
+        flags: np.ndarray | None = None,
+    ) -> None:
+        """Replace the newest ``B`` buffered readings with repaired values.
+
+        Block-mode closed loop: repairs are written back at block
+        granularity — the *next* block's windows see the repaired
+        history, while windows inside the amended block were already
+        scored against the raw readings.  ``B = 1`` coincides with
+        :meth:`amend_last`.  Repaired values are re-scaled under the
+        current bounds (never widening them; repairs are not
+        observations).
+
+        ``flags`` (same shape, optional) restricts the rewrite to the
+        flagged entries.  The closed loop must pass it when the scaler is
+        live: clean readings were buffered under mid-block *running*
+        bounds, and rewriting them under end-of-block bounds would
+        silently alter unflagged stations' history.
+        """
+        values, station_index = check_block(values, stations, self.n_stations)
+        if flags is not None:
+            flags = np.asarray(flags, dtype=bool)
+            if flags.shape != values.shape:
+                raise ValueError(
+                    f"flags shape {flags.shape} must match values shape {values.shape}"
+                )
+        if self.scaler is not None:
+            values = self.scaler.transform_block_fixed_checked(values, station_index)
+        self.buffers.amend_block_checked(values, station_index, mask=flags)
 
     def __repr__(self) -> str:
         mode = "adaptive-p2" if self.adaptive is not None else "fixed"

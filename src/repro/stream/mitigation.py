@@ -7,6 +7,13 @@ from the past.  Each policy keeps O(1)–O(period) state per station,
 fully vectorized across the fleet, and emits a mitigated value for every
 station every tick: flagged readings are replaced, clean readings pass
 through (and refresh the policy's notion of "last known good").
+
+Block mode: :meth:`StreamingMitigator.mitigate_block` repairs a
+``(n_stations, B)`` block in one call, vectorized across *time* as well
+— forward-filled anchor indices replace the per-tick Python loop — and
+is exactly equivalent to ``B`` sequential :meth:`mitigate` calls (the
+repair at column ``t`` sees the same last-good/trend/seasonal state a
+tick-by-tick replay would have had).
 """
 
 from __future__ import annotations
@@ -30,6 +37,19 @@ class StreamingMitigator:
         """Return repaired readings for one tick; never mutates input."""
         raise NotImplementedError
 
+    def mitigate_block(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Repair a ``(n_stations, B)`` block; equals ``B`` sequential ticks.
+
+        The base implementation loops over columns so any custom policy
+        works in a block engine unchanged; the built-in policies override
+        it with time-vectorized versions.
+        """
+        values, flags = self._check_block(values, flags)
+        repaired = np.empty_like(values)
+        for t in range(values.shape[1]):
+            repaired[:, t] = self.mitigate(values[:, t], flags[:, t])
+        return repaired
+
     def _check(self, values: np.ndarray, flags: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         values = np.asarray(values, dtype=np.float64)
         flags = np.asarray(flags, dtype=bool)
@@ -40,8 +60,51 @@ class StreamingMitigator:
             )
         return values, flags
 
+    def _check_block(
+        self, values: np.ndarray, flags: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=np.float64)
+        flags = np.asarray(flags, dtype=bool)
+        if (
+            values.ndim != 2
+            or values.shape[0] != self.n_stations
+            or flags.shape != values.shape
+        ):
+            raise ValueError(
+                f"block values/flags must both be ({self.n_stations}, B), "
+                f"got {values.shape}/{flags.shape}"
+            )
+        return values, flags
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n_stations={self.n_stations})"
+
+
+def _anchored(
+    values: np.ndarray,
+    clean: np.ndarray,
+    carry: np.ndarray,
+    carry_clean: bool | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-fill scaffolding shared by the block policies.
+
+    Returns ``(ext_vals, anchor)`` over extended positions ``0..B``
+    where position 0 carries the pre-block state ``carry`` and position
+    ``t + 1`` is block column ``t``.  ``anchor[u]`` is the most recent
+    *state-refreshing* extended index at or before ``u``.  By default
+    the carry anchors only when finite (anchor −1 until something clean
+    appears); ``carry_clean=True`` makes it anchor unconditionally, for
+    policies whose pre-block state always exists (so anchor >= 0).
+    """
+    n, block = values.shape
+    ext_vals = np.empty((n, block + 1))
+    ext_vals[:, 0] = carry
+    ext_vals[:, 1:] = values
+    ext_clean = np.empty((n, block + 1), dtype=bool)
+    ext_clean[:, 0] = np.isfinite(carry) if carry_clean is None else carry_clean
+    ext_clean[:, 1:] = clean
+    index = np.where(ext_clean, np.arange(block + 1)[None, :], -1)
+    return ext_vals, np.maximum.accumulate(index, axis=1)
 
 
 class HoldLastGoodMitigator(StreamingMitigator):
@@ -65,6 +128,21 @@ class HoldLastGoodMitigator(StreamingMitigator):
         repaired = np.where(flags & have_anchor, self.last_good, values)
         clean = ~flags
         self.last_good[clean] = values[clean]
+        return repaired
+
+    def mitigate_block(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        values, flags = self._check_block(values, flags)
+        ext_vals, anchor = _anchored(values, ~flags, self.last_good)
+        # A flagged column u never refreshes state, so anchor[u] is
+        # already "the last clean value strictly before u".  The repair
+        # guard is finiteness of that value — not anchor validity —
+        # because a clean NaN reading refreshes state without becoming
+        # usable as a repair, exactly as the tick path behaves.
+        gathered = np.take_along_axis(ext_vals, np.maximum(anchor, 0), axis=1)
+        repaired = np.where(
+            flags & np.isfinite(gathered[:, 1:]), gathered[:, 1:], values
+        )
+        self.last_good = gathered[:, -1]
         return repaired
 
 
@@ -106,6 +184,39 @@ class CausalLinearMitigator(StreamingMitigator):
         self.last_good[clean] = values[clean]
         return repaired
 
+    def mitigate_block(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        values, flags = self._check_block(values, flags)
+        n, block = values.shape
+        # Extended position 0 is the pre-block state; it always anchors
+        # (carry_clean), so `anchor` is "last state refresh at or before
+        # u" and never -1.
+        ext_vals, anchor = _anchored(values, ~flags, self.last_good, carry_clean=True)
+        positions = np.arange(block + 1)[None, :]
+        # Consecutive-flag run length at u, continuing a carried-in run
+        # when nothing in the block has been clean yet.
+        run = positions - anchor + np.where(anchor == 0, self._run_length[:, None], 0)
+        last_good = np.take_along_axis(ext_vals, anchor, axis=1)
+        # prev_good at u: the clean value preceding anchor[u] (the carry
+        # pair when the anchor is still the pre-block state).
+        prev_anchor = np.take_along_axis(anchor, np.maximum(anchor - 1, 0), axis=1)
+        prev_good = np.where(
+            anchor == 0,
+            self.prev_good[:, None],
+            np.take_along_axis(ext_vals, prev_anchor, axis=1),
+        )
+        slope = np.where(np.isfinite(prev_good), last_good - prev_good, 0.0)
+        steps = np.minimum(run, self.max_slope_ticks)
+        extrapolated = last_good + slope * steps
+        repaired = np.where(
+            flags & np.isfinite(last_good[:, 1:]),
+            np.maximum(extrapolated[:, 1:], 0.0),
+            values,
+        )
+        self._run_length = run[:, -1].copy()
+        self.last_good = last_good[:, -1]
+        self.prev_good = prev_good[:, -1]
+        return repaired
+
 
 class SeasonalHoldMitigator(StreamingMitigator):
     """Replace a flagged reading with the repaired value one period ago.
@@ -128,19 +239,39 @@ class SeasonalHoldMitigator(StreamingMitigator):
 
     def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
         values, flags = self._check(values, flags)
-        held = self._fallback.mitigate(values, flags)
-        seasonal_ready = self._history.counts >= self.period
-        if seasonal_ready.any():
-            ready_idx = np.flatnonzero(seasonal_ready)
-            windows = self._history.windows(ready_idx)
-            season = np.full(self.n_stations, np.nan)
-            season[ready_idx] = windows[:, 0]  # oldest = one period ago
-            use_season = flags & seasonal_ready & np.isfinite(season)
-            repaired = np.where(use_season, season, held)
-        else:
-            repaired = held
+        repaired = self._repair_chunk(values[:, None], flags[:, None])[:, 0]
         self._history.push(repaired)
         return repaired
+
+    def mitigate_block(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Block repair, chunked so in-block seasonality stays exact.
+
+        A block longer than one period would need repaired values from
+        *inside itself* as seasonal sources; processing in chunks of at
+        most ``period`` columns keeps every source in committed history,
+        so the result matches tick-by-tick replay for any ``B``.
+        """
+        values, flags = self._check_block(values, flags)
+        repaired = np.empty_like(values)
+        for start in range(0, values.shape[1], self.period):
+            stop = min(start + self.period, values.shape[1])
+            chunk = self._repair_chunk(values[:, start:stop], flags[:, start:stop])
+            self._history.push_block(chunk)
+            repaired[:, start:stop] = chunk
+        return repaired
+
+    def _repair_chunk(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Repair ``b <= period`` columns against committed history only."""
+        b = values.shape[1]
+        held = self._fallback.mitigate_block(values, flags)
+        # The seasonal source for chunk column t is the repaired value
+        # exactly `period` ticks before it, which (for b <= period) sits
+        # at position t of the history's trailing window — regardless of
+        # how full the ring is, because recent() right-aligns.
+        season = self._history.recent(self.period)[:, :b]
+        ready = self._history.counts[:, None] + np.arange(b)[None, :] >= self.period
+        use_season = flags & ready & np.isfinite(season)
+        return np.where(use_season, season, held)
 
 
 _REGISTRY: dict[str, type[StreamingMitigator]] = {

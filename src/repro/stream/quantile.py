@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.thresholds import ThresholdRule
-from repro.stream._ticks import check_tick
+from repro.stream._ticks import check_block, check_tick
 
 _N_MARKERS = 5
 
@@ -75,6 +75,48 @@ class P2QuantileBank:
     def update(self, values: np.ndarray, stations: np.ndarray | None = None) -> None:
         """Feed one observation per addressed station."""
         values, stations = check_tick(values, stations, self.n_stations)
+        self.update_checked(values, stations)
+
+    def update_block(
+        self,
+        values: np.ndarray,
+        stations: np.ndarray | None = None,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Feed a ``(k, B)`` block of observations, oldest column first.
+
+        The P² recurrence is sequential per station, so the block sweeps
+        its columns in order — but each column is one *vectorized*
+        update across every addressed station, so a block costs O(B)
+        Python iterations for the whole fleet instead of O(B) per
+        station.  ``mask`` (same shape, optional) pre-selects which
+        entries count: the detector passes ``scored & ~flagged`` so
+        flagged scores never move the boundary, exactly as tick-by-tick
+        guarded adaptation does.
+        """
+        values, stations = check_block(values, stations, self.n_stations)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != values.shape:
+                raise ValueError(
+                    f"mask shape {mask.shape} must match values shape {values.shape}"
+                )
+        self.update_block_checked(values, stations, mask)
+
+    def update_block_checked(
+        self, values: np.ndarray, stations: np.ndarray, mask: np.ndarray | None = None
+    ) -> None:
+        """:meth:`update_block` for pre-validated arrays."""
+        for t in range(values.shape[1]):
+            if mask is None:
+                self.update_checked(values[:, t], stations)
+            else:
+                take = mask[:, t]
+                if take.any():
+                    self.update_checked(values[take, t], stations[take])
+
+    def update_checked(self, values: np.ndarray, stations: np.ndarray) -> None:
+        """:meth:`update` for pre-validated arrays."""
         counts = self.counts[stations]
         warm = counts < _N_MARKERS
         if warm.any():
@@ -174,8 +216,16 @@ class P2QuantileEstimator:
         return self
 
     def update_many(self, values: np.ndarray) -> "P2QuantileEstimator":
-        for value in np.asarray(values, dtype=np.float64).ravel():
-            self.update(float(value))
+        """Feed many observations in order via the bank's block path.
+
+        One :meth:`P2QuantileBank.update_block` call replaces the former
+        per-score Python round trip (array wrap + validation + dispatch
+        for every single value); the sketch state it produces is
+        identical because P² is sequential either way.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size:
+            self._bank.update_block(values[None, :])
         return self
 
     def __repr__(self) -> str:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.scaling import MinMaxScaler
-from repro.stream._ticks import check_tick
+from repro.stream._ticks import check_block, check_tick
 
 
 class StreamingMinMaxScaler:
@@ -97,13 +97,71 @@ class StreamingMinMaxScaler:
         if self.frozen:
             return self
         values, stations = self._check(values, stations)
+        return self.partial_fit_checked(values, stations)
+
+    def partial_fit_checked(
+        self, values: np.ndarray, stations: np.ndarray
+    ) -> "StreamingMinMaxScaler":
+        """:meth:`partial_fit` for pre-validated arrays."""
+        if self.frozen:
+            return self
         np.minimum.at(self.data_min_, stations, values)
         np.maximum.at(self.data_max_, stations, values)
         return self
 
+    def partial_fit_block(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> "StreamingMinMaxScaler":
+        """Widen per-station bounds with a ``(k, B)`` block of readings.
+
+        Equivalent to ``B`` sequential :meth:`partial_fit` calls — the
+        final bounds only depend on the block's per-station extrema.
+        """
+        if self.frozen:
+            return self
+        values, stations = check_block(values, stations, self.n_stations)
+        return self.partial_fit_block_checked(values, stations)
+
+    def partial_fit_block_checked(
+        self, values: np.ndarray, stations: np.ndarray
+    ) -> "StreamingMinMaxScaler":
+        """:meth:`partial_fit_block` for pre-validated arrays."""
+        if self.frozen:
+            return self
+        np.minimum.at(self.data_min_, stations, values.min(axis=1))
+        np.maximum.at(self.data_max_, stations, values.max(axis=1))
+        return self
+
+    def ingest_tick_checked(self, values: np.ndarray, stations: np.ndarray) -> np.ndarray:
+        """Fold one pre-validated tick into the bounds and scale it.
+
+        One fused ``partial_fit`` + ``transform`` with the block path's
+        ordering guarantee: an unscalable tick (a NaN reading) raises
+        BEFORE anything is committed, so a bad sensor value never poisons
+        the persistent bounds — bit-identical to the sequential pair for
+        every finite input.
+        """
+        if self.frozen:
+            return self.transform_checked(values, stations)
+        new_min = np.minimum(self.data_min_[stations], values)
+        new_max = np.maximum(self.data_max_[stations], values)
+        span = new_max - new_min
+        if not np.all(np.isfinite(span)):
+            raise RuntimeError(
+                "transform before any observation for some stations; "
+                "partial_fit first (or build via from_bounds)"
+            )
+        self.data_min_[stations] = new_min
+        self.data_max_[stations] = new_max
+        return self._scale(values, new_min, span)
+
     def transform(self, values: np.ndarray, stations: np.ndarray | None = None) -> np.ndarray:
         """Scale one tick of readings into the feature range."""
         values, stations = self._check(values, stations)
+        return self.transform_checked(values, stations)
+
+    def transform_checked(self, values: np.ndarray, stations: np.ndarray) -> np.ndarray:
+        """:meth:`transform` for pre-validated arrays."""
         data_min = self.data_min_[stations]
         span = self.data_max_[stations] - data_min
         if not np.all(np.isfinite(span)):
@@ -111,6 +169,74 @@ class StreamingMinMaxScaler:
                 "transform before any observation for some stations; "
                 "partial_fit first (or build via from_bounds)"
             )
+        return self._scale(values, data_min, span)
+
+    def transform_block(
+        self, values: np.ndarray, stations: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Scale a ``(k, B)`` block exactly as tick-by-tick ingestion would.
+
+        Tick-by-tick, each reading is first folded into the bounds
+        (:meth:`partial_fit`) and then transformed, so a mid-block
+        record-breaking value widens the scale for *itself and every
+        later column but no earlier one*.  This method reproduces that
+        bit-for-bit using per-column running bounds
+        (``cummin``/``cummax`` against the current state) WITHOUT
+        mutating state — call :meth:`partial_fit_block` afterwards to
+        commit the block's extrema.  When the scaler is frozen the
+        bounds are fixed and every column uses them, again matching the
+        tick-by-tick path.
+        """
+        values, stations = check_block(values, stations, self.n_stations)
+        return self.transform_block_checked(values, stations)
+
+    def transform_block_checked(
+        self, values: np.ndarray, stations: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`transform_block` for pre-validated arrays."""
+        if self.frozen:
+            # Fixed bounds: identical to the amend path's transform.
+            return self.transform_block_fixed_checked(values, stations)
+        # Running bounds inclusive of the current column: exactly the
+        # state a sequential partial_fit-then-transform would have seen.
+        run_min = np.minimum(
+            np.minimum.accumulate(values, axis=1), self.data_min_[stations][:, None]
+        )
+        run_max = np.maximum(
+            np.maximum.accumulate(values, axis=1), self.data_max_[stations][:, None]
+        )
+        span = run_max - run_min
+        if not np.all(np.isfinite(span)):
+            # Same failure the tick path raises for (a NaN reading, or
+            # nothing observed and nothing in the block) — without this a
+            # NaN would silently scale to NaN instead of erroring.
+            raise RuntimeError(
+                "transform before any observation for some stations; "
+                "partial_fit first (or build via from_bounds)"
+            )
+        return self._scale(values, run_min, span)
+
+    def transform_block_fixed_checked(
+        self, values: np.ndarray, stations: np.ndarray
+    ) -> np.ndarray:
+        """Block transform under the *current* bounds only (no widening).
+
+        The closed-loop amend path re-scales repaired readings the same
+        way :meth:`transform` would — with whatever bounds stand now —
+        regardless of frozen state; repairs must never stretch the scale.
+        """
+        data_min = self.data_min_[stations][:, None]
+        span = self.data_max_[stations][:, None] - data_min
+        if not np.all(np.isfinite(span)):
+            raise RuntimeError(
+                "transform before any observation for some stations; "
+                "partial_fit first (or build via from_bounds)"
+            )
+        return self._scale(values, data_min, span)
+
+    def _scale(
+        self, values: np.ndarray, data_min: np.ndarray, span: np.ndarray
+    ) -> np.ndarray:
         safe_span = np.where(span == 0.0, 1.0, span)
         low, high = self.feature_range
         scaled = (values - data_min) / safe_span * (high - low) + low

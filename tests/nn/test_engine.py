@@ -134,6 +134,18 @@ class TestAllocationFreeLSTM:
         # worth of slack from the allocator.
         assert current - baseline < 2 * out_bytes
 
+    def test_large_infer_workspaces_are_capped(self):
+        from repro.nn.layers.lstm import _LARGE_INFER_BATCH, _MAX_LARGE_INFER
+
+        layer = LSTM(2)
+        layer.build((4, 1), np.random.default_rng(0))
+        for extra in (1, 2, 3):
+            batch = _LARGE_INFER_BATCH + extra
+            layer.infer(np.zeros((batch, 4, 1), dtype=layer.dtype))
+        large = [b for b in layer._infer_workspaces if b > _LARGE_INFER_BATCH]
+        assert len(large) == _MAX_LARGE_INFER
+        assert _LARGE_INFER_BATCH + 3 in large, "hot (newest) workspace survives"
+
     def test_workspace_count_is_bounded_with_lru_eviction(self):
         from repro.nn.layers.lstm import _MAX_WORKSPACES
 

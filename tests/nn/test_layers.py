@@ -205,6 +205,35 @@ class TestTimeDistributed:
         layer = TimeDistributed(Dense(7))
         assert layer.compute_output_shape((4, 3)) == (4, 7)
 
+    def test_contiguous_fold_is_a_view(self, rng):
+        layer = TimeDistributed(Dense(2))
+        layer.build((5, 3), rng)
+        x = rng.normal(size=(4, 5, 3)).astype(layer.dtype)
+        folded = layer._fold(x, "forward")
+        assert np.shares_memory(folded, x), "contiguous fold must not copy"
+        assert not layer._fold_buffers
+
+    def test_strided_fold_reuses_one_buffer(self, rng):
+        layer = TimeDistributed(Dense(2))
+        layer.build((5, 3), rng)
+        x = rng.normal(size=(5, 4, 3)).astype(layer.dtype).transpose(1, 0, 2)
+        assert not x.flags["C_CONTIGUOUS"]
+        first = layer._fold(x, "forward")
+        second = layer._fold(x, "forward")
+        assert first is second, "steady-shape strided folds must reuse the buffer"
+        np.testing.assert_array_equal(second, x.reshape(20, 3))
+        # The fold is what the forward pass consumes.
+        out = layer.forward(x)
+        assert out.shape == (4, 5, 2)
+
+    def test_strided_forward_matches_contiguous(self, rng):
+        layer = TimeDistributed(Dense(2))
+        layer.build((5, 3), rng)
+        x = rng.normal(size=(4, 5, 3)).astype(layer.dtype)
+        strided = np.ascontiguousarray(x.transpose(1, 0, 2)).transpose(1, 0, 2)
+        assert not strided.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(layer.forward(strided), layer.forward(x))
+
 
 class TestActivationLayer:
     def test_forward_backward(self, rng):

@@ -73,6 +73,29 @@ class TestStreamingBatchParity:
         finite = np.isfinite(report.scores)
         np.testing.assert_allclose(scores[finite], report.scores[finite], rtol=1e-10)
 
+    def test_block_replay_matches_batch_window_mode(self, trained_batch_detector):
+        """Open-loop block ingestion reproduces the batch detector too."""
+        batch, scaled = trained_batch_detector
+        streaming = StreamingDetector(
+            batch.autoencoder,
+            n_stations=1,
+            threshold=np.array([batch.threshold_rule.threshold_]),
+        )
+        flags = np.zeros(len(scaled), dtype=bool)
+        scores = np.full(len(scaled), np.nan)
+        block_size = 37
+        for first in range(0, len(scaled), block_size):
+            chunk = scaled[first : first + block_size]
+            result = streaming.process_block(chunk[None, :])
+            flags[first : first + len(chunk)] = result.flags[0]
+            scores[first : first + len(chunk)] = result.scores[0]
+
+        report = batch.detect(scaled)
+        np.testing.assert_array_equal(flags, report.flags)
+        finite = np.isfinite(report.scores)
+        np.testing.assert_array_equal(np.isfinite(scores), finite)
+        np.testing.assert_allclose(scores[finite], report.scores[finite], rtol=1e-10)
+
     def test_parity_holds_with_streaming_scaler(self, trained_batch_detector, tiny_ae_config):
         """Raw-space replay through a from_bounds scaler matches scaled-space batch."""
         batch, scaled = trained_batch_detector
