@@ -1,6 +1,6 @@
 """Streaming-engine throughput: micro-batching across stations AND time.
 
-Two profiles, one JSON:
+Three profiles, one JSON:
 
 * ``station_batching`` — one tick of fleet inference is ONE autoencoder
   pass over ``(n_stations, L, 1)``, not ``n_stations`` passes over
@@ -20,6 +20,13 @@ Two profiles, one JSON:
   drowning it — with PR 2's fused engine the pipeline is forward-bound,
   so the measured block-vs-reference speedup (~2x at 1000 stations) is
   the honest ceiling, not the ISSUE's aspirational 5x (see ROADMAP).
+* ``ops`` — operational robustness under sensor dropout + station
+  churn: a fleet with ``--dropout-rate`` NaN readings replayed through
+  a ``missing="impute"`` detector with closed-loop mitigation, with a
+  mid-run join+leave of ~1% of the fleet.  Informational (no
+  ``speedup_`` metrics): it proves the dropout/churn path sustains
+  fleet-scale throughput and exercises imputation + elastic resizing
+  end to end.
 
 Results are written as JSON (``--output``) and ``--check BASELINE.json``
 exits non-zero when any ``speedup_*`` metric regresses more than
@@ -50,7 +57,7 @@ from _gate import check_regression  # noqa: E402
 from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
 from repro.stream.buffers import RingBufferBank
 from repro.stream.detector import StreamingDetector
-from repro.stream.engine import synthesize_fleet
+from repro.stream.engine import StreamReplayEngine, synthesize_fleet
 from repro.stream.scaler import StreamingMinMaxScaler
 
 
@@ -224,12 +231,57 @@ def block_profile(args: argparse.Namespace) -> dict:
     }
 
 
+def ops_profile(args: argparse.Namespace) -> dict:
+    """Dropout + churn replay: the operational-robustness workload."""
+    config = AutoencoderConfig(
+        sequence_length=12, encoder_units=(4, 2), decoder_units=(2, 4)
+    )
+    autoencoder = LSTMAutoencoder(config, seed=args.seed)
+    warmup = config.sequence_length - 1
+    n_ticks = warmup + args.ops_ticks
+    fleet = synthesize_fleet(
+        args.stations, n_ticks, seed=args.seed, dropout_rate=args.dropout_rate
+    )
+    scaler = StreamingMinMaxScaler.from_bounds(
+        np.nanmin(fleet, axis=1), np.nanmax(fleet, axis=1)
+    )
+    detector = StreamingDetector(
+        autoencoder, args.stations, scaler=scaler, threshold=1.0, missing="impute"
+    )
+    engine = StreamReplayEngine(detector, mitigator="hold_last_good")
+    churn = max(1, args.stations // 100)
+    half = n_ticks // 2
+
+    start = time.perf_counter()
+    first = engine.run(fleet[:, :half], block_size=args.block_size)
+    # Mid-run churn: ~1% of the fleet joins cold, then leaves again.
+    engine.add_stations(
+        churn, data_min=np.zeros(churn), data_max=np.full(churn, 1000.0)
+    )
+    engine.drop_stations(np.arange(args.stations, args.stations + churn))
+    second = engine.run(fleet[:, half:], block_size=args.block_size)
+    elapsed = time.perf_counter() - start
+
+    return {
+        "stations": args.stations,
+        "dropout_rate": args.dropout_rate,
+        "block_size": args.block_size,
+        "churned_stations": churn,
+        "missing_readings": int(first.missing.sum() + second.missing.sum()),
+        "ops_ticks_per_second": n_ticks / elapsed,
+        "ops_readings_per_second": n_ticks * args.stations / elapsed,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--stations", type=int, default=1000)
     parser.add_argument("--ticks", type=int, default=20, help="scored ticks (batched path)")
     parser.add_argument("--naive-ticks", type=int, default=3, help="scored ticks (naive path)")
     parser.add_argument("--block-ticks", type=int, default=64, help="scored ticks (block profile)")
+    parser.add_argument("--ops-ticks", type=int, default=64, help="scored ticks (ops profile)")
+    parser.add_argument("--dropout-rate", type=float, default=0.05,
+                        help="fraction of NaN readings in the ops profile")
     parser.add_argument("--block-size", type=int, default=32)
     parser.add_argument("--seq-len", type=int, default=24)
     parser.add_argument("--seed", type=int, default=0)
@@ -255,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         args.ticks = min(args.ticks, 6)
         args.naive_ticks = min(args.naive_ticks, 2)
         args.block_ticks = min(args.block_ticks, 33)
+        args.ops_ticks = min(args.ops_ticks, 33)
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 10.0 if args.stations >= 1000 else 3.0
@@ -289,6 +342,19 @@ def main(argv: list[str] | None = None) -> int:
         f"block vs pre-block reference: {block['speedup_block_vs_reference_tick']:.2f}x | "
         f"block vs per-tick: {block['speedup_block_vs_per_tick']:.2f}x | "
         f"per-tick vs reference: {block['ratio_per_tick_vs_reference']:.2f}x"
+    )
+
+    print(
+        f"[bench_streaming] ops: {args.stations} stations, "
+        f"{100 * args.dropout_rate:.0f}% dropout, churn ...", flush=True,
+    )
+    ops = ops_profile(args)
+    results["workloads"]["ops"] = ops
+    print(
+        f"dropout+churn replay: {ops['ops_ticks_per_second']:,.1f} ticks/s "
+        f"({ops['ops_readings_per_second']:,.0f} readings/s) | "
+        f"{ops['missing_readings']} readings imputed | "
+        f"{ops['churned_stations']} stations joined+left mid-run"
     )
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")

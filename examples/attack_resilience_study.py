@@ -6,11 +6,30 @@ figure of the paper with measured values.
 
 Run:  python examples/attack_resilience_study.py [--seed N]
 Takes a few minutes.
+Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 """
 
 import argparse
+import dataclasses
+import os
 
 from repro.experiments import ExperimentConfig, full_report, get_or_run
+
+
+def _smoke_config(seed: int) -> ExperimentConfig:
+    """Seconds-scale shrink of the fast profile for CI smoke runs."""
+    return dataclasses.replace(
+        ExperimentConfig.fast(seed=seed),
+        n_timestamps=500,
+        lstm_units=16,
+        dense_units=4,
+        epochs_per_round=1,
+        federated_rounds=1,
+        ae_encoder_units=(16, 8),
+        ae_decoder_units=(8, 16),
+        ae_epochs=2,
+        ae_patience=2,
+    )
 
 
 def main() -> None:
@@ -23,12 +42,14 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    config = (
-        ExperimentConfig.paper(seed=args.seed)
-        if args.paper_scale
-        else ExperimentConfig.fast(seed=args.seed)
-    )
-    print(f"running {'paper' if args.paper_scale else 'fast'} profile, seed={args.seed}")
+    smoke = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+    if args.paper_scale:
+        config, profile = ExperimentConfig.paper(seed=args.seed), "paper"
+    elif smoke:
+        config, profile = _smoke_config(args.seed), "smoke"
+    else:
+        config, profile = ExperimentConfig.fast(seed=args.seed), "fast"
+    print(f"running {profile} profile, seed={args.seed}")
     result = get_or_run(config)
     print(full_report(result))
 

@@ -8,7 +8,10 @@ volume spikes — and how a seasonal imputer changes repair quality.
 
 Run:  python examples/custom_attack_vectors.py
 Takes a couple of minutes.
+Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 """
+
+import os
 
 import numpy as np
 
@@ -27,14 +30,17 @@ from repro.attacks import (
 )
 from repro.data import build_paper_clients, generate_paper_dataset, temporal_split
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 SEED = 21
+N_TIMESTAMPS = 400 if SMOKE else 1500
+AE_EPOCHS = 2 if SMOKE else 15
 
-client = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=1500))[0]
+client = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=N_TIMESTAMPS))[0]
 train, _ = temporal_split(client.series, 0.8)
 
 ae_config = AutoencoderConfig(
     sequence_length=24, encoder_units=(32, 16), decoder_units=(16, 32),
-    epochs=15, patience=5,
+    epochs=AE_EPOCHS, patience=5,
 )
 spike_detector = EVChargingAnomalyFilter(sequence_length=24, config=ae_config, seed=SEED)
 print("training the paper's spike detector on clean data ...")

@@ -6,7 +6,10 @@ only model weights, the centralized run ships every client's raw series.
 
 Run:  python examples/federated_vs_centralized.py
 Takes a couple of minutes.
+Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 """
+
+import os
 
 import numpy as np
 
@@ -18,21 +21,26 @@ from repro.forecasting import (
     forecaster_builder,
 )
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 SEED = 11
 SEQUENCE_LENGTH = 24
+N_TIMESTAMPS = 400 if SMOKE else 2000
+ROUNDS = 1 if SMOKE else 3
+EPOCHS_PER_ROUND = 1 if SMOKE else 5
+CENTRAL_EPOCHS = 2 if SMOKE else 15
 
-clients = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=2000))
+clients = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=N_TIMESTAMPS))
 prepared = {c.name: c.prepare(SEQUENCE_LENGTH, 0.8) for c in clients}
 builder = forecaster_builder(lstm_units=32, dense_units=8)
 
-print("training federated LSTM (3 rounds x 5 epochs/client) ...")
+print(f"training federated LSTM ({ROUNDS} rounds x {EPOCHS_PER_ROUND} epochs/client) ...")
 federated = FederatedForecaster(
-    rounds=3, epochs_per_round=5, builder=builder, seed=SEED
+    rounds=ROUNDS, epochs_per_round=EPOCHS_PER_ROUND, builder=builder, seed=SEED
 ).train_evaluate(prepared)
 
-print("training centralized LSTM (15 epochs on pooled raw data) ...")
+print(f"training centralized LSTM ({CENTRAL_EPOCHS} epochs on pooled raw data) ...")
 centralized = CentralizedForecaster(
-    epochs=15, sequence_length=SEQUENCE_LENGTH, scaling="global",
+    epochs=CENTRAL_EPOCHS, sequence_length=SEQUENCE_LENGTH, scaling="global",
     builder=builder, seed=SEED,
 ).train_evaluate({c.name: c for c in clients})
 

@@ -6,18 +6,26 @@ trains the federated LSTM on the repaired data.
 
 Run:  python examples/quickstart.py
 Takes a couple of minutes (reduced-scale models).
+Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 """
+
+import os
 
 from repro.anomaly import AutoencoderConfig, EVChargingAnomalyFilter
 from repro.attacks import AttackScenario, DDoSVolumeAttack
 from repro.data import build_paper_clients, generate_paper_dataset, temporal_split
 from repro.forecasting import FederatedForecaster, forecaster_builder
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 SEED = 7
 SEQUENCE_LENGTH = 24
+N_TIMESTAMPS = 400 if SMOKE else 1500
+AE_EPOCHS = 2 if SMOKE else 15
+ROUNDS = 1 if SMOKE else 3
+EPOCHS_PER_ROUND = 1 if SMOKE else 5
 
 # 1. Data: three traffic zones (102/105/108) of hourly charging volume.
-clients = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=1500))
+clients = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=N_TIMESTAMPS))
 print("clients:", ", ".join(f"{c.name} (zone {c.zone_id}, {len(c)} h)" for c in clients))
 
 # 2. Attack: DDoS volume spikes derived from the documented 10.6x
@@ -33,7 +41,7 @@ for client in clients:
 ae_config = AutoencoderConfig(
     sequence_length=SEQUENCE_LENGTH,
     encoder_units=(32, 16), decoder_units=(16, 32),
-    epochs=15, patience=5,
+    epochs=AE_EPOCHS, patience=5,
 )
 filtered_clients = []
 for client in clients:
@@ -50,7 +58,7 @@ for client in clients:
 #    FedAvg weight synchronisation, only parameters ever leave a client.
 prepared = {c.name: c.prepare(SEQUENCE_LENGTH, 0.8) for c in filtered_clients}
 forecaster = FederatedForecaster(
-    rounds=3, epochs_per_round=5,
+    rounds=ROUNDS, epochs_per_round=EPOCHS_PER_ROUND,
     builder=forecaster_builder(lstm_units=32, dense_units=8),
     seed=SEED,
 )

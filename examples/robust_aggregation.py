@@ -13,7 +13,10 @@ clients — with 3 clients and default trim settings nothing gets trimmed
 
 Run:  python examples/robust_aggregation.py
 Takes a couple of minutes.
+Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 """
+
+import os
 
 import numpy as np
 
@@ -22,12 +25,16 @@ from repro.federated import FederatedClient, FederatedServer, TrimmedMean
 from repro.forecasting import forecaster_builder
 from repro.forecasting.evaluation import evaluate_regression
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 SEED = 5
 SEQUENCE_LENGTH = 24
 POISONED = "Client 6"
+N_TIMESTAMPS = 400 if SMOKE else 1600
+ROUNDS = 1 if SMOKE else 3
+EPOCHS = 1 if SMOKE else 3
 
 # Six stations: each zone's series split into two station-level halves.
-zone_clients = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=1600))
+zone_clients = build_paper_clients(generate_paper_dataset(seed=SEED, n_timestamps=N_TIMESTAMPS))
 stations = []
 for client in zone_clients:
     half = len(client.series) // 2
@@ -41,18 +48,18 @@ builder = forecaster_builder(lstm_units=24, dense_units=8)
 
 
 def run_federation(aggregator, poison: bool) -> float:
-    """Train 3 rounds; optionally scale one client's upload by 25x."""
+    """Train a few rounds; optionally scale one client's upload by 25x."""
     clients = [
         FederatedClient(name, builder, data.x_train, data.y_train, seed=i)
         for i, (name, data) in enumerate(prepared.items())
     ]
     server = FederatedServer(builder, (SEQUENCE_LENGTH, 1), aggregator=aggregator, seed=0)
-    for _ in range(3):
+    for _ in range(ROUNDS):
         broadcast = server.global_weights()
         collected, counts = [], []
         for client in clients:
             client.set_weights(broadcast)
-            client.train_round(epochs=3, batch_size=32)
+            client.train_round(epochs=EPOCHS, batch_size=32)
             weights = client.get_weights()
             if poison and client.name == POISONED:
                 weights = [w * 25.0 for w in weights]  # model-poisoning upload

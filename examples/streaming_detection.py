@@ -17,7 +17,11 @@ Pipeline:
 
 Run:  PYTHONPATH=src python examples/streaming_detection.py
 Takes about a minute (reduced-scale model).
+Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 """
+
+import os
+import tempfile
 
 import numpy as np
 
@@ -28,13 +32,18 @@ from repro.stream import (
     StreamingDetector,
     StreamingMinMaxScaler,
     StreamReplayEngine,
+    load_checkpoint,
+    save_checkpoint,
     synthesize_fleet,
 )
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 SEED = 7
 SEQUENCE_LENGTH = 24
-N_STATIONS = 30
-N_TICKS = 600
+N_STATIONS = 6 if SMOKE else 30
+N_TICKS = 240 if SMOKE else 600
+AE_EPOCHS = 2 if SMOKE else 10
+DROPOUT_RATE = 0.03  # fraction of readings lost in transit (NaN)
 
 # 1. Fleet: the paper's zone profiles tiled out to N_STATIONS stations.
 fleet = synthesize_fleet(N_STATIONS, N_TICKS, seed=SEED)
@@ -61,7 +70,7 @@ config = AutoencoderConfig(
     sequence_length=SEQUENCE_LENGTH,
     encoder_units=(32, 16),
     decoder_units=(16, 32),
-    epochs=10,
+    epochs=AE_EPOCHS,
     patience=3,
 )
 autoencoder = LSTMAutoencoder(config, seed=SEED)
@@ -70,7 +79,9 @@ autoencoder.fit(windows)
 
 # 3. Per-station 98th-percentile thresholds from each station's own
 #    normal-history scores (the paper's rule, one boundary per client).
-detector = StreamingDetector(autoencoder, N_STATIONS, scaler=scaler)
+#    missing="impute": dropped (NaN) readings are accepted as missing
+#    data, imputed causally, and excluded from threshold adaptation.
+detector = StreamingDetector(autoencoder, N_STATIONS, scaler=scaler, missing="impute")
 thresholds = detector.calibrate(normal_history)
 print(
     f"calibrated per-station thresholds: "
@@ -78,7 +89,8 @@ print(
     f"max {thresholds.max():.5f}"
 )
 
-# 4. Attack the streamed segment: independent DDoS schedules per station.
+# 4. Attack the streamed segment: independent DDoS schedules per station,
+#    plus sensor dropout — a realistic fleet loses readings in transit.
 scenario = AttackScenario([DDoSVolumeAttack()], name="streaming-demo")
 attacked = fleet.copy()
 labels = np.zeros(fleet.shape, dtype=bool)
@@ -86,9 +98,12 @@ for j in range(N_STATIONS):
     result = scenario.apply_to_series(fleet[j, boundary:], seed=SEED * 1000 + j)
     attacked[j, boundary:] = result.attacked
     labels[j, boundary:] = result.labels
+rng = np.random.default_rng(SEED)
+attacked[:, boundary:][rng.random(attacked[:, boundary:].shape) < DROPOUT_RATE] = np.nan
 print(
     f"injected attacks: {int(labels.sum())} anomalous readings "
-    f"({100 * labels[:, boundary:].mean():.1f}% of the streamed segment)"
+    f"({100 * labels[:, boundary:].mean():.1f}% of the streamed segment), "
+    f"plus {int(np.isnan(attacked).sum())} dropped readings"
 )
 
 # 5. Replay the attacked fleet through detection + causal mitigation.
@@ -114,10 +129,28 @@ print(
     f"fpr {100 * segment.false_positive_rate:.2f}%"
 )
 
-# How much damage did mitigation undo on attacked readings?
-attacked_error = np.abs(attacked[labels] - fleet[labels]).mean()
-mitigated_error = np.abs(report.mitigated[labels] - fleet[labels]).mean()
+# How much damage did mitigation undo on attacked readings?  (Dropped
+# attacked readings are excluded from the raw baseline: NaN has no
+# error to measure, which is the point of imputing them.)
+measurable = labels & ~np.isnan(attacked)
+attacked_error = np.abs(attacked[measurable] - fleet[measurable]).mean()
+mitigated_error = np.abs(report.mitigated[measurable] - fleet[measurable]).mean()
 print(
     f"mean abs error on attacked readings: {attacked_error:.2f} kWh raw "
-    f"-> {mitigated_error:.2f} kWh after causal repair"
+    f"-> {mitigated_error:.2f} kWh after causal repair; "
+    f"{int(report.missing.sum())} missing readings imputed"
 )
+
+# 6. Operations: checkpoint the whole pipeline (detector state, scaler
+#    bounds, mitigator anchors, autoencoder weights) into ONE .npz and
+#    prove bit-exact resume in a "fresh process".
+with tempfile.TemporaryDirectory() as tmp:
+    path = save_checkpoint(os.path.join(tmp, "pipeline"), engine)
+    size_kb = os.path.getsize(path) / 1e3
+    restored = load_checkpoint(path)
+    resumed = restored.engine()
+    assert resumed.detector.tick == detector.tick
+    print(
+        f"\ncheckpointed the full pipeline to one {size_kb:.0f} kB archive "
+        f"and restored it at tick {resumed.detector.tick} — ready to resume"
+    )

@@ -97,6 +97,26 @@ class LSTMAutoencoder:
         self._fit_rng = spawn(rng, "fit")
         self.history: History | None = None
 
+    @classmethod
+    def from_model(
+        cls,
+        config: AutoencoderConfig,
+        model: Sequential,
+        seed: SeedLike = None,
+    ) -> "LSTMAutoencoder":
+        """Wrap an already-built model (e.g. deserialized weights).
+
+        Skips :func:`build_autoencoder`'s weight initialization — a
+        checkpoint restore would immediately discard it.  ``model`` must
+        match ``config``'s sequence length and feature count.
+        """
+        wrapper = cls.__new__(cls)
+        wrapper.config = config
+        wrapper.model = model
+        wrapper._fit_rng = spawn(as_generator(seed), "fit")
+        wrapper.history = None
+        return wrapper
+
     def fit(self, windows: np.ndarray, verbose: bool = False) -> History:
         """Train on normal windows (input == reconstruction target)."""
         windows = check_3d(windows, "windows")

@@ -14,16 +14,18 @@ two wall-clock views:
 The paper's Table I "Time (s)" for the federated rows corresponds to the
 parallel view (stations train simultaneously in the field).
 
-With ``max_workers > 1`` the simulation actually trains clients
-concurrently in a thread pool (BLAS releases the GIL; every client owns
-its model), so ``measured_wall_seconds`` — the real elapsed time per
-round, summed — approaches ``parallel_seconds`` instead of
-``sequential_seconds`` while the aggregated weights stay bit-identical
-to the sequential schedule.
+By default the simulation trains clients concurrently in a thread pool
+sized ``min(participants, cpus)`` per round (BLAS releases the GIL;
+every client owns its model), so ``measured_wall_seconds`` — the real
+elapsed time per round, summed — approaches ``parallel_seconds``
+instead of ``sequential_seconds`` while the aggregated weights stay
+bit-identical to the sequential schedule.  Pass ``max_workers=1`` to
+opt out and train strictly sequentially.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -107,7 +109,9 @@ class FederatedSimulation:
     aggregator: str | Aggregator = "fedavg"
     client_sampler: ClientSampler | None = None
     sync_final: bool = False
-    #: > 1 trains clients concurrently (bit-identical aggregation).
+    #: Concurrent client training (bit-identical aggregation either way).
+    #: ``None`` (default) sizes the pool as ``min(participants, cpus)``
+    #: per round; pass ``1`` to opt out and train strictly sequentially.
     max_workers: int | None = None
     seed: SeedLike = None
     _sampler_rng: np.random.Generator = field(init=False, repr=False, default=None)  # type: ignore[assignment]
@@ -155,7 +159,7 @@ class FederatedSimulation:
                     participants,
                     self.epochs_per_round,
                     self.batch_size,
-                    max_workers=self.max_workers,
+                    max_workers=self.resolve_workers(len(participants)),
                 )
             records.append(
                 RoundRecord(
@@ -184,6 +188,21 @@ class FederatedSimulation:
             communication=server.communication,
             aggregator_name=server.aggregator.name,
         )
+
+    def resolve_workers(self, n_participants: int) -> int:
+        """Thread-pool size for one round.
+
+        Defaults (``max_workers=None``) to one worker per participating
+        client, capped at the machine's CPU count — concurrent rounds
+        are bit-identical to sequential ones (every client owns its
+        model/optimizer/RNG and collection order is fixed by the client
+        list), so there is no correctness reason to leave the default
+        sequential.  ``max_workers=1`` opts back into strictly
+        sequential training.
+        """
+        if self.max_workers is not None:
+            return min(self.max_workers, max(n_participants, 1))
+        return max(min(n_participants, os.cpu_count() or 1), 1)
 
     def _select(self, round_index: int, clients: list[FederatedClient]) -> list[FederatedClient]:
         if self.client_sampler is None:

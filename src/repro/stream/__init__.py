@@ -23,6 +23,14 @@ loop block-wise (``block_size=1`` is bit-identical to tick-by-tick;
 larger blocks move mitigation feedback and adaptive-threshold updates
 to block granularity).
 
+Operations: the pipeline checkpoints to a single ``.npz`` with
+bit-exact resume (:mod:`~repro.stream.checkpoint`), fleets grow and
+shrink at runtime (``add_stations``/``drop_stations`` on the detector,
+engine and every state bank), and NaN readings can be accepted as
+missing data (``StreamingDetector(..., missing="impute")``) — imputed
+causally, excluded from scaler/threshold adaptation, and counted
+per-station in the report.
+
 Quickstart::
 
     from repro.stream import (
@@ -39,6 +47,11 @@ Quickstart::
 """
 
 from repro.stream.buffers import RingBufferBank
+from repro.stream.checkpoint import (
+    StreamCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.stream.detector import BlockResult, StreamingDetector, TickResult
 from repro.stream.engine import (
     StreamReplayEngine,
@@ -61,6 +74,9 @@ from repro.stream.scaler import StreamingMinMaxScaler
 
 __all__ = [
     "RingBufferBank",
+    "StreamCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "BlockResult",
     "StreamingDetector",
     "TickResult",

@@ -49,6 +49,19 @@ def _check_stations(stations: np.ndarray, n_values: int, n_stations: int) -> np.
     return stations
 
 
+def check_drop(stations: np.ndarray, n_stations: int) -> np.ndarray:
+    """Validate a ``drop_stations`` index list (shared by every bank).
+
+    Indices must be valid, duplicate-free, and leave at least one
+    survivor.
+    """
+    stations = np.asarray(stations, dtype=np.int64).ravel()
+    stations = _check_stations(stations, len(stations), n_stations)
+    if len(stations) >= n_stations:
+        raise ValueError("cannot drop every station")
+    return stations
+
+
 def check_tick(
     values: np.ndarray, stations: np.ndarray | None, n_stations: int
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.stream._ticks import check_block, check_tick
+from repro.stream._state import StateDict, check_keys, take
+from repro.stream._ticks import check_block, check_drop, check_tick
 
 
 class RingBufferBank:
@@ -207,6 +208,51 @@ class RingBufferBank:
             stations = np.asarray(stations, dtype=np.int64)
         newest = (self._write[stations] - 1) % self.length
         return self._data[stations, newest]
+
+    # ------------------------------------------------------------------
+    # operations: serialization and elastic fleets
+    # ------------------------------------------------------------------
+    #: state_dict entry names — parents embedding this bank build their
+    #: expected-key sets from this instead of calling state_dict().
+    STATE_KEYS = ("data", "write", "counts")
+
+    def state_dict(self) -> StateDict:
+        """Runtime state as a flat dict of arrays (bit-exact resume)."""
+        return {
+            "data": self._data.copy(),
+            "write": self._write.copy(),
+            "counts": self.counts.copy(),
+        }
+
+    def load_state_dict(self, state: StateDict) -> None:
+        """Restore state captured by :meth:`state_dict` (strictly validated)."""
+        owner = type(self).__name__
+        check_keys(state, set(self.STATE_KEYS), owner)
+        data = take(state, "data", owner, (self.n_stations, 2 * self.length), np.float64)
+        write = take(state, "write", owner, (self.n_stations,), np.int64)
+        counts = take(state, "counts", owner, (self.n_stations,), np.int64)
+        self._data = data
+        self._write = write
+        self.counts = counts
+
+    def add_stations(self, n_new: int) -> None:
+        """Grow the fleet by ``n_new`` empty (warming-up) buffers."""
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        self.n_stations += int(n_new)
+        self._data = np.concatenate(
+            [self._data, np.zeros((n_new, 2 * self.length))]
+        )
+        self._write = np.concatenate([self._write, np.zeros(n_new, dtype=np.int64)])
+        self.counts = np.concatenate([self.counts, np.zeros(n_new, dtype=np.int64)])
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        """Remove stations; survivors keep their buffers, renumbered compactly."""
+        stations = check_drop(stations, self.n_stations)
+        self._data = np.delete(self._data, stations, axis=0)
+        self._write = np.delete(self._write, stations)
+        self.counts = np.delete(self.counts, stations)
+        self.n_stations -= len(stations)
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,14 @@ Thresholds come in two flavours:
   the block's clean scores are swept into the sketch afterwards —
   adaptation happens at block granularity, which coincides with
   tick granularity at ``B = 1``.
+
+Operations: the detector serializes its full pipeline state via
+``state_dict()``/``load_state_dict()`` (bundle with the autoencoder via
+:mod:`repro.stream.checkpoint` for one-file checkpoints with bit-exact
+resume), resizes the fleet at runtime via ``add_stations`` /
+``drop_stations``, and — under ``missing="impute"`` — accepts NaN
+readings as missing data instead of raising (the default
+``missing="raise"`` rejects them with a clear error).
 """
 
 from __future__ import annotations
@@ -43,10 +51,13 @@ import numpy as np
 
 from repro.anomaly.autoencoder import LSTMAutoencoder
 from repro.data.windowing import sliding_windows
-from repro.stream._ticks import check_block, check_tick
+from repro.stream._state import StateDict, check_keys, nest, scalar, take, unnest
+from repro.stream._ticks import check_block, check_drop, check_tick
 from repro.stream.buffers import RingBufferBank
 from repro.stream.quantile import P2QuantileBank
 from repro.stream.scaler import StreamingMinMaxScaler
+
+_MISSING_MODES = ("raise", "impute")
 
 
 @dataclass
@@ -56,13 +67,17 @@ class TickResult:
     ``scores``/``flags`` cover the full fleet; stations that were not
     scored this tick (no reading, or buffer still warming up) carry NaN
     scores and False flags.  ``scored`` marks which stations produced a
-    decision.
+    decision.  ``missing`` marks stations whose reading this tick was a
+    NaN handled under ``missing="impute"`` — they are never flagged
+    (there is no reading to accuse) and their scores come from windows
+    containing the imputed stand-in.
     """
 
     tick: int
     scored: np.ndarray
     scores: np.ndarray
     flags: np.ndarray
+    missing: np.ndarray | None = None
 
     @property
     def n_flagged(self) -> int:
@@ -78,13 +93,15 @@ class BlockResult:
     ``first_tick + t`` would have produced (for fixed thresholds;
     adaptive thresholds update at block granularity).  Stations absent
     from the block, or still warming up at a given column, carry NaN
-    scores and False flags there.
+    scores and False flags there.  ``missing`` marks entries that were
+    NaN readings handled under ``missing="impute"``.
     """
 
     first_tick: int
     scored: np.ndarray
     scores: np.ndarray
     flags: np.ndarray
+    missing: np.ndarray | None = None
 
     @property
     def block_size(self) -> int:
@@ -120,6 +137,16 @@ class StreamingDetector:
     min_calibration_scores:
         Adaptive mode only: per-station number of scores observed before
         flags may fire (an uncalibrated sketch is noise, not a boundary).
+    missing:
+        ``"raise"`` (default) rejects a NaN reading with a clear error;
+        ``"impute"`` treats it as a missing observation — a causal
+        stand-in (the station's last buffered value, or the scale floor
+        for a cold buffer) fills the window so scoring continues, the
+        missing reading never widens scaler bounds or updates adaptive
+        thresholds, the station is not flagged at that tick, and
+        :attr:`missing_counts` tracks per-station totals.  The replay
+        engine additionally repairs missing entries with the mitigation
+        policy (see :class:`~repro.stream.engine.StreamReplayEngine`).
     """
 
     def __init__(
@@ -130,6 +157,7 @@ class StreamingDetector:
         threshold: float | np.ndarray | str | None = None,
         percentile: float = 98.0,
         min_calibration_scores: int = 50,
+        missing: str = "raise",
     ) -> None:
         if n_stations < 1:
             raise ValueError(f"n_stations must be >= 1, got {n_stations}")
@@ -143,11 +171,17 @@ class StreamingDetector:
             raise ValueError(
                 f"scaler tracks {scaler.n_stations} stations, detector {n_stations}"
             )
+        if missing not in _MISSING_MODES:
+            raise ValueError(
+                f"missing must be one of {_MISSING_MODES}, got {missing!r}"
+            )
         self.autoencoder = autoencoder
         self.n_stations = int(n_stations)
         self.scaler = scaler
         self.percentile = float(percentile)
         self.min_calibration_scores = int(min_calibration_scores)
+        self.missing = missing
+        self.missing_counts = np.zeros(self.n_stations, dtype=np.int64)
         self.buffers = RingBufferBank(n_stations, self.sequence_length)
         self.tick = 0
 
@@ -210,11 +244,47 @@ class StreamingDetector:
         subset named by ``stations`` — only those are buffered and
         scored, which is the micro-batching entry point for fleets whose
         stations report on heterogeneous schedules).
+
+        A NaN reading raises under the default ``missing="raise"``; with
+        ``missing="impute"`` it is treated as a missing observation (see
+        the class docstring).
         """
         # Validate ONCE; every downstream bank gets pre-checked arrays.
         values, station_index = check_tick(values, stations, self.n_stations)
-        if self.scaler is not None:
-            # Fused fit+transform: raises on an unscalable (NaN) reading
+        miss = np.isnan(values)
+        missing_full = np.zeros(self.n_stations, dtype=bool)
+        if miss.any():
+            if self.missing == "raise":
+                raise ValueError(
+                    f"{int(miss.sum())} NaN reading(s) at tick {self.tick}; "
+                    "missing readings are rejected by default — construct the "
+                    "detector with missing='impute' to accept them"
+                )
+            missing_full[station_index[miss]] = True
+            self.missing_counts[station_index[miss]] += 1
+            present = ~miss
+            scaled = np.empty_like(values)
+            if self.scaler is not None:
+                if present.any():
+                    # Only real readings fold into the bounds.
+                    scaled[present] = self.scaler.ingest_tick_checked(
+                        values[present], station_index[present]
+                    )
+                floor = self.scaler.feature_range[0]
+            else:
+                scaled[present] = values[present]
+                floor = 0.0
+            # Causal impute in scaled space: the station's last buffered
+            # value (which reflects closed-loop repairs), or the scale
+            # floor for a buffer that has never seen a reading.
+            miss_idx = station_index[miss]
+            scaled[miss] = np.where(
+                self.buffers.counts[miss_idx] >= 1,
+                self.buffers.last(miss_idx),
+                floor,
+            )
+        elif self.scaler is not None:
+            # Fused fit+transform: raises on an unscalable reading
             # BEFORE committing bounds, matching the block path's ordering.
             scaled = self.scaler.ingest_tick_checked(values, station_index)
         else:
@@ -231,14 +301,24 @@ class StreamingDetector:
             thresholds = self.thresholds[due]
             with np.errstate(invalid="ignore"):
                 flags[due] = scores[due] > np.nan_to_num(thresholds, nan=np.inf)
+            # An absent reading is never flagged (the score judged an
+            # imputed stand-in, not a sensor value).
+            flags &= ~missing_full
             if self.adaptive is not None:
-                # Guarded adaptation: flagged scores never move the boundary.
-                clean = due[~flags[due]]
+                # Guarded adaptation: flagged scores never move the
+                # boundary, and neither do windows closed by an impute.
+                clean = due[~flags[due] & ~missing_full[due]]
                 if clean.size:
                     self.adaptive.update_checked(scores[clean], clean)
         scored = np.zeros(self.n_stations, dtype=bool)
         scored[due] = True
-        result = TickResult(tick=self.tick, scored=scored, scores=scores, flags=flags)
+        result = TickResult(
+            tick=self.tick,
+            scored=scored,
+            scores=scores,
+            flags=flags,
+            missing=missing_full,
+        )
         self.tick += 1
         return result
 
@@ -264,18 +344,60 @@ class StreamingDetector:
         tick-by-tick replay to floating-point round-off for any ``B`` —
         larger batches can take different BLAS kernel paths, so the last
         ulp of a float32 score is not guaranteed across batch sizes.
+
+        NaN readings raise under the default ``missing="raise"`` and are
+        treated as missing observations under ``missing="impute"`` (see
+        the class docstring); ``B = 1`` impute semantics coincide with
+        :meth:`process_tick`.
         """
         values, station_index = check_block(values, stations, self.n_stations)
         k, block = values.shape
         length = self.sequence_length
 
+        miss = np.isnan(values)
+        any_missing = bool(miss.any())
+        if any_missing and self.missing == "raise":
+            raise ValueError(
+                f"{int(miss.sum())} NaN reading(s) in block starting at tick "
+                f"{self.tick}; missing readings are rejected by default — "
+                "construct the detector with missing='impute' to accept them"
+            )
+        present = ~miss if any_missing else None
+
         if self.scaler is not None:
             # Transform BEFORE committing bounds: the block transform
-            # replays the per-column running bounds internally.
-            scaled = self.scaler.transform_block_checked(values, station_index)
-            self.scaler.partial_fit_block_checked(values, station_index)
+            # replays the per-column running bounds internally (missing
+            # entries excluded from the bounds and the finiteness check).
+            scaled = self.scaler.transform_block_checked(
+                values, station_index, present
+            )
+            self.scaler.partial_fit_block_checked(values, station_index, present)
+        elif any_missing:
+            scaled = values.copy()
         else:
             scaled = values
+        if any_missing:
+            self.missing_counts[station_index] += miss.sum(axis=1)
+            # Causal impute in scaled space, forward-filled along the
+            # block: each missing entry takes the most recent present
+            # scaled value, carrying in the pre-block buffered value (or
+            # the scale floor for a never-written buffer) — exactly what
+            # B sequential process_tick imputes would have produced.
+            floor = self.scaler.feature_range[0] if self.scaler is not None else 0.0
+            carry = np.where(
+                self.buffers.counts[station_index] >= 1,
+                self.buffers.last(station_index),
+                floor,
+            )
+            ext = np.concatenate([carry[:, None], scaled], axis=1)
+            ext_present = np.concatenate(
+                [np.ones((k, 1), dtype=bool), present], axis=1
+            )
+            anchor = np.maximum.accumulate(
+                np.where(ext_present, np.arange(block + 1)[None, :], 0), axis=1
+            )
+            filled = np.take_along_axis(ext, anchor, axis=1)[:, 1:]
+            scaled = np.where(present, scaled, filled)
 
         # History tail ‖ block: window ending at block column t is
         # extended[:, t : t + L] — a strided view, no per-tick Python.
@@ -293,6 +415,9 @@ class StreamingDetector:
         scores = np.full((self.n_stations, block), np.nan)
         flags = np.zeros((self.n_stations, block), dtype=bool)
         scored = np.zeros((self.n_stations, block), dtype=bool)
+        missing_full = np.zeros((self.n_stations, block), dtype=bool)
+        if any_missing:
+            missing_full[station_index] = miss
         rows, cols = np.nonzero(due)
         if rows.size:
             # ONE forward pass for every completed window in the block.
@@ -303,18 +428,28 @@ class StreamingDetector:
                 flags[station_index[rows], cols] = errors > np.nan_to_num(
                     thresholds, nan=np.inf
                 )
+            if any_missing:
+                # An absent reading is never flagged (the score judged
+                # an imputed stand-in, not a sensor value).
+                flags[station_index] &= present
             if self.adaptive is not None:
                 # Guarded, block-granular adaptation: sweep the block's
-                # clean scores (flagged ones pre-masked out) through the
-                # sketch in column order.
+                # clean scores (flagged and imputed ones pre-masked out)
+                # through the sketch in column order.
                 clean = due & ~flags[station_index]
+                if any_missing:
+                    clean &= present
                 if clean.any():
                     self.adaptive.update_block_checked(
                         scores[station_index], station_index, mask=clean
                     )
         scored[station_index[rows], cols] = True
         result = BlockResult(
-            first_tick=self.tick, scored=scored, scores=scores, flags=flags
+            first_tick=self.tick,
+            scored=scored,
+            scores=scores,
+            flags=flags,
+            missing=missing_full,
         )
         self.tick += block
         return result
@@ -366,8 +501,126 @@ class StreamingDetector:
                     f"flags shape {flags.shape} must match values shape {values.shape}"
                 )
         if self.scaler is not None:
-            values = self.scaler.transform_block_fixed_checked(values, station_index)
+            # `flags` doubles as the present mask: stations with no
+            # rewritten entries need no fitted bounds (the tick path
+            # never addresses them at all).
+            values = self.scaler.transform_block_fixed_checked(
+                values, station_index, present=flags
+            )
         self.buffers.amend_block_checked(values, station_index, mask=flags)
+
+    # ------------------------------------------------------------------
+    # operations: serialization and elastic fleets
+    # ------------------------------------------------------------------
+    def state_dict(self) -> StateDict:
+        """Full pipeline state (buffers, scaler, thresholds, sketch, tick).
+
+        Everything needed for bit-exact resume EXCEPT the autoencoder
+        weights, which serialize via :mod:`repro.nn.serialization` — or
+        use :func:`repro.stream.checkpoint.save_checkpoint` to bundle
+        both into one archive.
+        """
+        state: StateDict = {
+            "tick": scalar(self.tick),
+            "thresholds": self._thresholds.copy(),
+            "missing_counts": self.missing_counts.copy(),
+        }
+        state |= nest("buffers", self.buffers.state_dict())
+        if self.scaler is not None:
+            state |= nest("scaler", self.scaler.state_dict())
+        if self.adaptive is not None:
+            state |= nest("adaptive", self.adaptive.state_dict())
+        return state
+
+    def load_state_dict(self, state: StateDict) -> None:
+        """Restore state captured by :meth:`state_dict` (strictly validated).
+
+        The detector must be constructed with the same structure the
+        state was saved from (fleet size, scaler presence, adaptive
+        mode); mismatches raise instead of half-loading.
+        """
+        owner = type(self).__name__
+        # Expected keys from each component's STATE_KEYS — calling
+        # state_dict() here would deep-copy the whole pipeline just to
+        # enumerate its keys.
+        expected = {"tick", "thresholds", "missing_counts"}
+        expected |= {f"buffers.{key}" for key in self.buffers.STATE_KEYS}
+        if self.scaler is not None:
+            expected |= {f"scaler.{key}" for key in self.scaler.STATE_KEYS}
+        if self.adaptive is not None:
+            expected |= {f"adaptive.{key}" for key in self.adaptive.STATE_KEYS}
+        check_keys(state, expected, owner)
+        tick = int(take(state, "tick", owner, (), np.int64))
+        thresholds = take(state, "thresholds", owner, (self.n_stations,), np.float64)
+        missing_counts = take(
+            state, "missing_counts", owner, (self.n_stations,), np.int64
+        )
+        self.buffers.load_state_dict(unnest(state, "buffers"))
+        if self.scaler is not None:
+            self.scaler.load_state_dict(unnest(state, "scaler"))
+        if self.adaptive is not None:
+            self.adaptive.load_state_dict(unnest(state, "adaptive"))
+        self.tick = tick
+        self._thresholds = thresholds
+        self.missing_counts = missing_counts
+
+    def add_stations(
+        self,
+        n_new: int,
+        thresholds: float | np.ndarray | None = None,
+        data_min: np.ndarray | None = None,
+        data_max: np.ndarray | None = None,
+    ) -> None:
+        """Grow the fleet by ``n_new`` stations joining cold at runtime.
+
+        New stations start with empty buffers (they warm up over the
+        next ``sequence_length`` ticks) and leave every existing
+        station's state untouched.  In fixed-threshold mode pass
+        ``thresholds`` (scalar or ``(n_new,)``) or the newcomers never
+        flag (NaN boundary) until :meth:`calibrate` runs again; in
+        adaptive mode they calibrate themselves from the stream.  When
+        the detector owns a scaler, ``data_min``/``data_max`` seed the
+        newcomers' bounds (required if the scaler is frozen).
+        """
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        if thresholds is not None and self.adaptive is not None:
+            raise ValueError(
+                "adaptive (p2) mode has no fixed thresholds to assign; "
+                "new stations calibrate from the stream"
+            )
+        new_thresholds = np.full(n_new, np.nan)
+        if thresholds is not None:
+            new_thresholds[:] = np.asarray(thresholds, dtype=np.float64)
+        if self.scaler is not None:
+            self.scaler.add_stations(n_new, data_min=data_min, data_max=data_max)
+        elif data_min is not None or data_max is not None:
+            raise ValueError("data_min/data_max require the detector to own a scaler")
+        self.buffers.add_stations(n_new)
+        if self.adaptive is not None:
+            self.adaptive.add_stations(n_new)
+        self._thresholds = np.concatenate([self._thresholds, new_thresholds])
+        self.missing_counts = np.concatenate(
+            [self.missing_counts, np.zeros(n_new, dtype=np.int64)]
+        )
+        self.n_stations += int(n_new)
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        """Remove stations from the fleet at runtime.
+
+        Survivors keep their buffers, bounds, thresholds and sketches
+        bit-for-bit; indices renumber compactly (station ``j`` becomes
+        ``j - (dropped below j)``).
+        """
+        stations = check_drop(stations, self.n_stations)
+        self.buffers.drop_stations(stations)
+        if self.scaler is not None:
+            self.scaler.drop_stations(stations)
+        if self.adaptive is not None:
+            self.adaptive.drop_stations(stations)
+        self._thresholds = np.delete(self._thresholds, stations)
+        self.missing_counts = np.delete(self.missing_counts, stations)
+        self.n_stations -= len(stations)
 
     def __repr__(self) -> str:
         mode = "adaptive-p2" if self.adaptive is not None else "fixed"

@@ -37,9 +37,12 @@ from repro.utils.rng import SeedLike, as_generator, spawn
 class StreamReport:
     """Everything one replay produced.
 
-    ``flags``/``scores``/``mitigated`` are ``(n_stations, n_ticks)``
-    matrices aligned with the input fleet; ``latencies`` holds per-tick
-    wall-clock seconds.  ``metrics`` is present when labels were given.
+    ``flags``/``scores``/``mitigated``/``missing`` are
+    ``(n_stations, n_ticks)`` matrices aligned with the input fleet;
+    ``latencies`` holds per-tick wall-clock seconds.  ``missing`` marks
+    NaN readings accepted under the detector's ``missing="impute"`` mode
+    (all-False otherwise).  ``metrics`` is present when labels were
+    given.
     """
 
     n_stations: int
@@ -49,7 +52,13 @@ class StreamReport:
     flags: np.ndarray = field(repr=False)
     scores: np.ndarray = field(repr=False)
     mitigated: np.ndarray = field(repr=False)
+    missing: np.ndarray = field(repr=False)
     metrics: DetectionMetrics | None = None
+
+    @property
+    def missing_counts(self) -> np.ndarray:
+        """Per-station count of missing (NaN, imputed) readings."""
+        return self.missing.sum(axis=1)
 
     @property
     def ticks_per_second(self) -> float:
@@ -75,6 +84,13 @@ class StreamReport:
             f"p95 {1e3 * self.latency_quantile(95):.3f} ms, "
             f"max {1e3 * float(np.max(self.latencies)):.3f} ms",
         ]
+        total_missing = int(self.missing.sum())
+        if total_missing:
+            affected = int((self.missing_counts > 0).sum())
+            lines.append(
+                f"missing readings: {total_missing} imputed "
+                f"across {affected} stations"
+            )
         if self.metrics is not None:
             m = self.metrics
             lines.append(
@@ -102,10 +118,97 @@ class StreamReplayEngine:
         mitigator)."""
         self.detector = detector
         self.feedback = bool(feedback)
+        # True once every station's fallback is wired (wiring is
+        # monotone, so steady-state per-tick wiring calls are O(1)).
+        self._fallback_wired = False
         if mitigator is None:
             self.mitigator: StreamingMitigator | None = None
+            self._fallback_wired = True
         else:
             self.mitigator = get_mitigator(mitigator, detector.n_stations)
+            if detector.scaler is None:
+                self._fallback_wired = True
+            else:
+                self._wire_fallback()
+
+    def _wire_fallback(self) -> None:
+        """Default the mitigator's no-anchor fallback to scaler minima.
+
+        A station flagged before it has any clean reading (attacked on
+        its first tick) has no anchor to hold; without a fallback the
+        attacked value would flow downstream as "mitigated".  The
+        smallest reading the scaler has ever seen per station is a safe
+        causal stand-in.  Only unset (NaN) fallback entries are filled,
+        so explicit user-provided fallbacks win.
+
+        Runs at engine construction AND at the top of every replay
+        step: a live (initially unfitted) scaler has no bounds at
+        construction, so each station's fallback is installed the step
+        after its bounds first become finite — from readings strictly
+        before the current ones, keeping the wiring causal and
+        bit-reproducible across checkpoint/restore (it depends only on
+        serialized scaler state).
+        """
+        if self._fallback_wired:
+            return
+        unset = ~np.isfinite(self.mitigator.fallback)
+        if not unset.any():
+            self._fallback_wired = True
+            return
+        data_min = self.detector.scaler.data_min_
+        fill = unset & np.isfinite(data_min)
+        if fill.any():
+            fallback = self.mitigator.fallback.copy()
+            fallback[fill] = data_min[fill]
+            self.mitigator.set_fallback(fallback)
+            if bool(np.isfinite(fallback).all()):
+                self._fallback_wired = True
+
+    def _writeback_mask(self, repair: np.ndarray, repaired: np.ndarray) -> np.ndarray:
+        """Which repaired entries may be amended into the window buffer.
+
+        Only finite repairs are written back (a no-anchor, no-fallback
+        station keeps the detector's internal impute in its buffer), and
+        only for stations whose scaler bounds are fitted — amending
+        requires re-scaling, which is undefined until the station has
+        observed a reading (a fallback repair can precede that when its
+        very first reading is missing).
+        """
+        writeback = repair & np.isfinite(repaired)
+        scaler = self.detector.scaler
+        if scaler is not None and not scaler.fitted.all():
+            fitted = scaler.fitted
+            writeback &= fitted if repair.ndim == 1 else fitted[:, None]
+        return writeback
+
+    def add_stations(
+        self,
+        n_new: int,
+        thresholds: float | np.ndarray | None = None,
+        data_min: np.ndarray | None = None,
+        data_max: np.ndarray | None = None,
+    ) -> None:
+        """Grow the fleet mid-operation: detector and mitigator together.
+
+        See :meth:`StreamingDetector.add_stations`; the mitigator (when
+        present) gains matching cold stations and its no-anchor fallback
+        is re-wired from the scaler bounds for the newcomers.
+        """
+        self.detector.add_stations(
+            n_new, thresholds=thresholds, data_min=data_min, data_max=data_max
+        )
+        if self.mitigator is not None:
+            self.mitigator.add_stations(n_new)
+            if self.detector.scaler is not None:
+                # Newcomers join with an unset fallback.
+                self._fallback_wired = False
+                self._wire_fallback()
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        """Remove stations mid-operation: detector and mitigator together."""
+        self.detector.drop_stations(stations)
+        if self.mitigator is not None:
+            self.mitigator.drop_stations(stations)
 
     def run(
         self,
@@ -119,6 +222,13 @@ class StreamReplayEngine:
         ``labels`` — same-shape boolean ground truth — enables detection
         metrics in the report (micro-aggregated across stations, as the
         paper's "overall" numbers are).
+
+        NaN entries in ``fleet`` raise under the detector's default
+        ``missing="raise"``; with ``missing="impute"`` they stream as
+        missing readings — scored against causal imputes, repaired by
+        the mitigation policy (missing entries are treated exactly like
+        flagged ones), and tallied in ``StreamReport.missing``.  Without
+        a mitigator, missing entries stay NaN in ``report.mitigated``.
 
         ``block_size`` feeds ``B`` ticks at a time through
         :meth:`~repro.stream.detector.StreamingDetector.process_block` —
@@ -153,6 +263,7 @@ class StreamReplayEngine:
             raise ValueError("station_names must have one entry per station")
         flags = np.zeros((n_stations, n_ticks), dtype=bool)
         scores = np.full((n_stations, n_ticks), np.nan)
+        missing = np.zeros((n_stations, n_ticks), dtype=bool)
         mitigated = fleet.copy()
         latencies = np.empty(n_ticks)
 
@@ -160,34 +271,55 @@ class StreamReplayEngine:
         if block_size == 1:
             for tick in range(n_ticks):
                 tick_start = time.perf_counter()
+                self._wire_fallback()
                 result = self.detector.process_tick(fleet[:, tick])
                 flags[:, tick] = result.flags
                 scores[:, tick] = result.scores
+                if result.missing is not None:
+                    missing[:, tick] = result.missing
                 if self.mitigator is not None:
+                    # Missing readings are repaired exactly like flagged
+                    # ones: the policy's causal impute replaces the NaN.
+                    repair = flags[:, tick] | missing[:, tick]
                     mitigated[:, tick] = self.mitigator.mitigate(
-                        fleet[:, tick], result.flags
+                        fleet[:, tick], repair
                     )
-                    if self.feedback and result.flags.any():
-                        self.detector.amend_last(mitigated[:, tick])
+                    if self.feedback and repair.any():
+                        writeback = self._writeback_mask(
+                            repair, mitigated[:, tick]
+                        )
+                        if writeback.any():
+                            stations = np.nonzero(writeback)[0]
+                            self.detector.amend_last(
+                                mitigated[stations, tick], stations
+                            )
                 latencies[tick] = time.perf_counter() - tick_start
         else:
             for first in range(0, n_ticks, block_size):
                 block_start = time.perf_counter()
+                self._wire_fallback()
                 sl = slice(first, min(first + block_size, n_ticks))
                 result = self.detector.process_block(fleet[:, sl])
                 flags[:, sl] = result.flags
                 scores[:, sl] = result.scores
+                if result.missing is not None:
+                    missing[:, sl] = result.missing
                 if self.mitigator is not None:
+                    repair = flags[:, sl] | missing[:, sl]
                     mitigated[:, sl] = self.mitigator.mitigate_block(
-                        fleet[:, sl], result.flags
+                        fleet[:, sl], repair
                     )
-                    if self.feedback and result.flags.any():
-                        # Flag-masked: only repaired entries are written
-                        # back, so clean readings keep the running-bounds
-                        # scaling they were buffered with.
-                        self.detector.amend_block(
-                            mitigated[:, sl], flags=result.flags
+                    if self.feedback and repair.any():
+                        # Mask-restricted: only repaired entries are
+                        # written back, so clean readings keep the
+                        # running-bounds scaling they were buffered with.
+                        writeback = self._writeback_mask(
+                            repair, mitigated[:, sl]
                         )
+                        if writeback.any():
+                            self.detector.amend_block(
+                                mitigated[:, sl], flags=writeback
+                            )
                 block_ticks = sl.stop - sl.start
                 latencies[sl] = (time.perf_counter() - block_start) / block_ticks
         elapsed = time.perf_counter() - start
@@ -206,14 +338,27 @@ class StreamReplayEngine:
             flags=flags,
             scores=scores,
             mitigated=mitigated,
+            missing=missing,
             metrics=metrics,
         )
+
+
+def _apply_dropout(
+    fleet: np.ndarray, dropout_rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """NaN out a random ``dropout_rate`` fraction of readings in place."""
+    if not 0.0 <= dropout_rate < 1.0:
+        raise ValueError(f"dropout_rate must be in [0, 1), got {dropout_rate}")
+    if dropout_rate > 0.0:
+        fleet[rng.random(fleet.shape) < dropout_rate] = np.nan
+    return fleet
 
 
 def attack_fleet(
     clients: list[ClientDataset],
     scenario: AttackScenario,
     seed: SeedLike = None,
+    dropout_rate: float = 0.0,
 ) -> tuple[np.ndarray, np.ndarray, list[str]]:
     """Adapt a batch attack scenario into replayable fleet matrices.
 
@@ -221,6 +366,11 @@ def attack_fleet(
     (exactly as the batch experiments do) and stacks the results into
     ``(attacked, labels, station_names)`` ready for
     :meth:`StreamReplayEngine.run`.  All clients must share one length.
+
+    ``dropout_rate`` > 0 additionally NaNs out that fraction of readings
+    uniformly at random (sensor dropout on top of the attack — replay
+    with a ``missing="impute"`` detector); labels are untouched, so a
+    dropped attacked reading still counts as an attack tick.
     """
     if not clients:
         raise ValueError("need at least one client")
@@ -230,6 +380,7 @@ def attack_fleet(
     outcomes = scenario.apply(clients, seed=seed)
     attacked = np.stack([outcomes[c.name].client.series for c in clients])
     labels = np.stack([outcomes[c.name].labels for c in clients])
+    attacked = _apply_dropout(attacked, dropout_rate, spawn(seed, "fleet/dropout"))
     return attacked, labels, [client.name for client in clients]
 
 
@@ -237,12 +388,18 @@ def synthesize_fleet(
     n_stations: int,
     n_ticks: int,
     seed: SeedLike = None,
+    dropout_rate: float = 0.0,
 ) -> np.ndarray:
     """Generate a large synthetic fleet ``(n_stations, n_ticks)``.
 
     Stations cycle through the paper's three zone profiles with
     independent noise streams — structure-preserving fleet scale-out for
     throughput work (the paper itself only has three stations).
+
+    ``dropout_rate`` > 0 NaNs out that fraction of readings uniformly at
+    random (simulated sensor dropout for ``missing="impute"`` replays);
+    the underlying series are identical to a ``dropout_rate=0`` call
+    with the same seed.
     """
     if n_stations < 1:
         raise ValueError(f"n_stations must be >= 1, got {n_stations}")
@@ -257,4 +414,4 @@ def synthesize_fleet(
             config, n_timestamps=n_ticks, seed=spawn(rng, f"station/{j}")
         )
         fleet[j] = series.volume_kwh
-    return fleet
+    return _apply_dropout(fleet, dropout_rate, spawn(rng, "dropout"))

@@ -8,30 +8,65 @@ fully vectorized across the fleet, and emits a mitigated value for every
 station every tick: flagged readings are replaced, clean readings pass
 through (and refresh the policy's notion of "last known good").
 
+When a station is flagged before it has produced *any* clean reading
+(attacked on its very first tick, say) there is no anchor to hold.  The
+per-station :attr:`StreamingMitigator.fallback` value covers that gap:
+when set, a no-anchor repair emits the fallback instead of passing the
+attacked value through raw.  :class:`~repro.stream.engine.StreamReplayEngine`
+wires the fallback to the detector scaler's ``data_min_`` (the smallest
+reading ever observed per station) automatically; stations without a
+fallback keep the historical raw-passthrough behaviour.
+
 Block mode: :meth:`StreamingMitigator.mitigate_block` repairs a
 ``(n_stations, B)`` block in one call, vectorized across *time* as well
 — forward-filled anchor indices replace the per-tick Python loop — and
 is exactly equivalent to ``B`` sequential :meth:`mitigate` calls (the
 repair at column ``t`` sees the same last-good/trend/seasonal state a
 tick-by-tick replay would have had).
+
+Operations: every policy serializes its runtime state via
+``state_dict()`` / ``load_state_dict()`` (see
+:mod:`repro.stream.checkpoint`) and resizes at runtime via
+``add_stations`` / ``drop_stations`` without touching surviving
+stations' state.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.stream._state import StateDict, check_keys, nest, take, unnest
+from repro.stream._ticks import check_drop
 from repro.stream.buffers import RingBufferBank
 
 
 class StreamingMitigator:
-    """Base policy: per-tick ``mitigate(values, flags) -> repaired``."""
+    """Base policy: per-tick ``mitigate(values, flags) -> repaired``.
+
+    ``fallback`` is an optional scalar or ``(n_stations,)`` array used
+    to repair a flagged reading when no clean anchor exists yet; NaN
+    (the default) preserves raw passthrough for that station.
+    """
 
     name = "streaming-mitigator"
 
-    def __init__(self, n_stations: int) -> None:
+    def __init__(
+        self, n_stations: int, fallback: float | np.ndarray | None = None
+    ) -> None:
         if n_stations < 1:
             raise ValueError(f"n_stations must be >= 1, got {n_stations}")
         self.n_stations = int(n_stations)
+        self.fallback = np.full(self.n_stations, np.nan)
+        if fallback is not None:
+            self.set_fallback(fallback)
+
+    def set_fallback(self, values: float | np.ndarray) -> "StreamingMitigator":
+        """Install per-station no-anchor repair values (scalar broadcasts)."""
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.float64), (self.n_stations,)
+        )
+        self.fallback = values.copy()
+        return self
 
     def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
         """Return repaired readings for one tick; never mutates input."""
@@ -49,6 +84,40 @@ class StreamingMitigator:
         for t in range(values.shape[1]):
             repaired[:, t] = self.mitigate(values[:, t], flags[:, t])
         return repaired
+
+    # ------------------------------------------------------------------
+    # operations: serialization and elastic fleets
+    # ------------------------------------------------------------------
+    def get_config(self) -> dict:
+        """Constructor kwargs (beyond fleet size) for checkpoint rebuild."""
+        return {}
+
+    def state_dict(self) -> StateDict:
+        """Runtime state as a flat dict of arrays (see :mod:`._state`)."""
+        return {"fallback": self.fallback.copy()}
+
+    def load_state_dict(self, state: StateDict) -> None:
+        """Restore state captured by :meth:`state_dict` (strictly validated)."""
+        check_keys(state, {"fallback"}, type(self).__name__)
+        self.fallback = take(
+            state, "fallback", type(self).__name__, (self.n_stations,), np.float64
+        )
+
+    def add_stations(self, n_new: int) -> None:
+        """Grow the fleet by ``n_new`` cold stations (no anchor, no fallback)."""
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        self.n_stations += int(n_new)
+        self.fallback = np.concatenate([self.fallback, np.full(n_new, np.nan)])
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        """Remove stations; survivors keep their state, renumbered compactly."""
+        stations = self._check_drop(stations)
+        self.fallback = np.delete(self.fallback, stations)
+        self.n_stations -= len(stations)
+
+    def _check_drop(self, stations: np.ndarray) -> np.ndarray:
+        return check_drop(stations, self.n_stations)
 
     def _check(self, values: np.ndarray, flags: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         values = np.asarray(values, dtype=np.float64)
@@ -112,20 +181,24 @@ class HoldLastGoodMitigator(StreamingMitigator):
 
     The streaming analogue of the paper's "bridge the anomalous run from
     its boundaries" with only the left boundary available.  Flags before
-    any clean observation pass the raw value through (there is nothing
-    to hold yet).
+    any clean observation repair to :attr:`fallback` when set, and pass
+    the raw value through otherwise (there is nothing to hold yet).
     """
 
     name = "hold_last_good"
 
-    def __init__(self, n_stations: int) -> None:
-        super().__init__(n_stations)
+    def __init__(
+        self, n_stations: int, fallback: float | np.ndarray | None = None
+    ) -> None:
+        super().__init__(n_stations, fallback=fallback)
         self.last_good = np.full(self.n_stations, np.nan)
 
     def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
         values, flags = self._check(values, flags)
-        have_anchor = np.isfinite(self.last_good)
-        repaired = np.where(flags & have_anchor, self.last_good, values)
+        # No clean anchor yet (or the anchor was itself a NaN reading):
+        # degrade to the fallback; NaN fallback passes the raw through.
+        source = np.where(np.isfinite(self.last_good), self.last_good, self.fallback)
+        repaired = np.where(flags & np.isfinite(source), source, values)
         clean = ~flags
         self.last_good[clean] = values[clean]
         return repaired
@@ -134,16 +207,37 @@ class HoldLastGoodMitigator(StreamingMitigator):
         values, flags = self._check_block(values, flags)
         ext_vals, anchor = _anchored(values, ~flags, self.last_good)
         # A flagged column u never refreshes state, so anchor[u] is
-        # already "the last clean value strictly before u".  The repair
-        # guard is finiteness of that value — not anchor validity —
-        # because a clean NaN reading refreshes state without becoming
-        # usable as a repair, exactly as the tick path behaves.
+        # already "the last clean value strictly before u".  A
+        # non-finite anchor value (none yet, or a clean NaN reading)
+        # degrades to the fallback, exactly as the tick path does.
         gathered = np.take_along_axis(ext_vals, np.maximum(anchor, 0), axis=1)
+        source = np.where(
+            np.isfinite(gathered), gathered, self.fallback[:, None]
+        )
         repaired = np.where(
-            flags & np.isfinite(gathered[:, 1:]), gathered[:, 1:], values
+            flags & np.isfinite(source[:, 1:]), source[:, 1:], values
         )
         self.last_good = gathered[:, -1]
         return repaired
+
+    def state_dict(self) -> StateDict:
+        return super().state_dict() | {"last_good": self.last_good.copy()}
+
+    def load_state_dict(self, state: StateDict) -> None:
+        owner = type(self).__name__
+        check_keys(state, {"fallback", "last_good"}, owner)
+        last_good = take(state, "last_good", owner, (self.n_stations,), np.float64)
+        super().load_state_dict({"fallback": state["fallback"]})
+        self.last_good = last_good
+
+    def add_stations(self, n_new: int) -> None:
+        super().add_stations(n_new)
+        self.last_good = np.concatenate([self.last_good, np.full(n_new, np.nan)])
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        stations = self._check_drop(stations)
+        self.last_good = np.delete(self.last_good, stations)
+        super().drop_stations(stations)
 
 
 class CausalLinearMitigator(StreamingMitigator):
@@ -153,13 +247,20 @@ class CausalLinearMitigator(StreamingMitigator):
     flat-lining through long bursts.  ``max_slope_ticks`` caps how far
     the extrapolation runs before degrading to hold-last-good (an
     unbounded linear guess diverges on multi-hour attacks), and repairs
-    are floored at zero — charging volume cannot be negative.
+    are floored at zero — charging volume cannot be negative.  With no
+    clean anchor yet the repair degrades to :attr:`fallback` (raw
+    passthrough when unset).
     """
 
     name = "causal_linear"
 
-    def __init__(self, n_stations: int, max_slope_ticks: int = 6) -> None:
-        super().__init__(n_stations)
+    def __init__(
+        self,
+        n_stations: int,
+        max_slope_ticks: int = 6,
+        fallback: float | np.ndarray | None = None,
+    ) -> None:
+        super().__init__(n_stations, fallback=fallback)
         if max_slope_ticks < 1:
             raise ValueError(f"max_slope_ticks must be >= 1, got {max_slope_ticks}")
         self.max_slope_ticks = int(max_slope_ticks)
@@ -175,10 +276,12 @@ class CausalLinearMitigator(StreamingMitigator):
         )
         steps = np.minimum(self._run_length, self.max_slope_ticks)
         extrapolated = self.last_good + slope * steps
-        have_anchor = np.isfinite(self.last_good)
-        repaired = np.where(
-            flags & have_anchor, np.maximum(extrapolated, 0.0), values
+        source = np.where(
+            np.isfinite(self.last_good),
+            np.maximum(extrapolated, 0.0),
+            self.fallback,
         )
+        repaired = np.where(flags & np.isfinite(source), source, values)
         clean = ~flags
         self.prev_good[clean] = self.last_good[clean]
         self.last_good[clean] = values[clean]
@@ -207,15 +310,53 @@ class CausalLinearMitigator(StreamingMitigator):
         slope = np.where(np.isfinite(prev_good), last_good - prev_good, 0.0)
         steps = np.minimum(run, self.max_slope_ticks)
         extrapolated = last_good + slope * steps
-        repaired = np.where(
-            flags & np.isfinite(last_good[:, 1:]),
+        source = np.where(
+            np.isfinite(last_good[:, 1:]),
             np.maximum(extrapolated[:, 1:], 0.0),
-            values,
+            self.fallback[:, None],
         )
+        repaired = np.where(flags & np.isfinite(source), source, values)
         self._run_length = run[:, -1].copy()
         self.last_good = last_good[:, -1]
         self.prev_good = prev_good[:, -1]
         return repaired
+
+    def get_config(self) -> dict:
+        return {"max_slope_ticks": self.max_slope_ticks}
+
+    def state_dict(self) -> StateDict:
+        return super().state_dict() | {
+            "last_good": self.last_good.copy(),
+            "prev_good": self.prev_good.copy(),
+            "run_length": self._run_length.copy(),
+        }
+
+    def load_state_dict(self, state: StateDict) -> None:
+        owner = type(self).__name__
+        check_keys(state, {"fallback", "last_good", "prev_good", "run_length"}, owner)
+        shape = (self.n_stations,)
+        last_good = take(state, "last_good", owner, shape, np.float64)
+        prev_good = take(state, "prev_good", owner, shape, np.float64)
+        run_length = take(state, "run_length", owner, shape, np.int64)
+        super().load_state_dict({"fallback": state["fallback"]})
+        self.last_good = last_good
+        self.prev_good = prev_good
+        self._run_length = run_length
+
+    def add_stations(self, n_new: int) -> None:
+        super().add_stations(n_new)
+        self.last_good = np.concatenate([self.last_good, np.full(n_new, np.nan)])
+        self.prev_good = np.concatenate([self.prev_good, np.full(n_new, np.nan)])
+        self._run_length = np.concatenate(
+            [self._run_length, np.zeros(n_new, dtype=np.int64)]
+        )
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        stations = self._check_drop(stations)
+        self.last_good = np.delete(self.last_good, stations)
+        self.prev_good = np.delete(self.prev_good, stations)
+        self._run_length = np.delete(self._run_length, stations)
+        super().drop_stations(stations)
 
 
 class SeasonalHoldMitigator(StreamingMitigator):
@@ -224,18 +365,33 @@ class SeasonalHoldMitigator(StreamingMitigator):
     Charging demand is strongly daily-periodic; the value from the same
     hour yesterday is a far better stand-in than the last clean value
     when a burst spans several hours.  Falls back to hold-last-good
-    until a full period of history exists.
+    until a full period of history exists (which itself degrades to
+    :attr:`fallback` before any clean value).
     """
 
     name = "seasonal_hold"
 
-    def __init__(self, n_stations: int, period: int = 24) -> None:
-        super().__init__(n_stations)
+    def __init__(
+        self,
+        n_stations: int,
+        period: int = 24,
+        fallback: float | np.ndarray | None = None,
+    ) -> None:
+        super().__init__(n_stations, fallback=fallback)
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
         self.period = int(period)
         self._history = RingBufferBank(n_stations, period)
         self._fallback = HoldLastGoodMitigator(n_stations)
+        self._fallback.fallback = self.fallback
+
+    def set_fallback(self, values: float | np.ndarray) -> "StreamingMitigator":
+        super().set_fallback(values)
+        # The inner hold-last-good policy does the actual no-anchor
+        # repair; keep it aliased to this policy's fallback array.
+        if hasattr(self, "_fallback"):
+            self._fallback.fallback = self.fallback
+        return self
 
     def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
         values, flags = self._check(values, flags)
@@ -273,6 +429,41 @@ class SeasonalHoldMitigator(StreamingMitigator):
         use_season = flags & ready & np.isfinite(season)
         return np.where(use_season, season, held)
 
+    def get_config(self) -> dict:
+        return {"period": self.period}
+
+    def state_dict(self) -> StateDict:
+        return (
+            super().state_dict()
+            | nest("history", self._history.state_dict())
+            | {"held.last_good": self._fallback.last_good.copy()}
+        )
+
+    def load_state_dict(self, state: StateDict) -> None:
+        owner = type(self).__name__
+        expected = {"fallback", "held.last_good"} | {
+            f"history.{key}" for key in self._history.STATE_KEYS
+        }
+        check_keys(state, expected, owner)
+        last_good = take(state, "held.last_good", owner, (self.n_stations,), np.float64)
+        self._history.load_state_dict(unnest(state, "history"))
+        super().load_state_dict({"fallback": state["fallback"]})
+        self._fallback.last_good = last_good
+        self._fallback.fallback = self.fallback
+
+    def add_stations(self, n_new: int) -> None:
+        super().add_stations(n_new)
+        self._history.add_stations(n_new)
+        self._fallback.add_stations(n_new)
+        self._fallback.fallback = self.fallback
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        stations = self._check_drop(stations)
+        self._history.drop_stations(stations)
+        self._fallback.drop_stations(stations)
+        super().drop_stations(stations)
+        self._fallback.fallback = self.fallback
+
 
 _REGISTRY: dict[str, type[StreamingMitigator]] = {
     "hold_last_good": HoldLastGoodMitigator,
@@ -281,9 +472,17 @@ _REGISTRY: dict[str, type[StreamingMitigator]] = {
 }
 
 
-def get(name_or_mitigator: str | StreamingMitigator, n_stations: int) -> StreamingMitigator:
+def get(
+    name_or_mitigator: str | StreamingMitigator,
+    n_stations: int,
+    **kwargs,
+) -> StreamingMitigator:
     """Resolve a streaming mitigation policy by name."""
     if isinstance(name_or_mitigator, StreamingMitigator):
+        if kwargs:
+            raise ValueError(
+                "constructor kwargs only apply when resolving a policy by name"
+            )
         if name_or_mitigator.n_stations != n_stations:
             raise ValueError(
                 f"mitigator tracks {name_or_mitigator.n_stations} stations, "
@@ -291,7 +490,7 @@ def get(name_or_mitigator: str | StreamingMitigator, n_stations: int) -> Streami
             )
         return name_or_mitigator
     try:
-        return _REGISTRY[name_or_mitigator](n_stations)
+        return _REGISTRY[name_or_mitigator](n_stations, **kwargs)
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise ValueError(

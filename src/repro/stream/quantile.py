@@ -21,7 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.thresholds import ThresholdRule
-from repro.stream._ticks import check_block, check_tick
+from repro.stream._state import StateDict, check_keys, take
+from repro.stream._ticks import check_block, check_drop, check_tick
 
 _N_MARKERS = 5
 
@@ -51,14 +52,7 @@ class P2QuantileBank:
         p = self.q / 100.0
         self._dn = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
         self._heights = np.zeros((self.n_stations, _N_MARKERS))
-        self._positions = np.tile(
-            np.arange(1.0, _N_MARKERS + 1.0), (self.n_stations, 1)
-        )
-        # Canonical desired starting positions: 1, 1+2p, 1+4p, 3+2p, 5.
-        self._desired = np.tile(
-            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
-            (self.n_stations, 1),
-        )
+        self._positions, self._desired = self._fresh_rows(self.n_stations)
         self._warmup = np.zeros((self.n_stations, _N_MARKERS))
         self.counts = np.zeros(self.n_stations, dtype=np.int64)
 
@@ -184,6 +178,73 @@ class P2QuantileBank:
 
         self._heights[rows] = heights
         self._positions[rows] = positions
+
+    # ------------------------------------------------------------------
+    # operations: serialization and elastic fleets
+    # ------------------------------------------------------------------
+    #: state_dict entry names — parents embedding this bank build their
+    #: expected-key sets from this instead of calling state_dict().
+    STATE_KEYS = ("heights", "positions", "desired", "warmup", "counts")
+
+    def state_dict(self) -> StateDict:
+        """Runtime sketch state as a flat dict of arrays (bit-exact resume)."""
+        return {
+            "heights": self._heights.copy(),
+            "positions": self._positions.copy(),
+            "desired": self._desired.copy(),
+            "warmup": self._warmup.copy(),
+            "counts": self.counts.copy(),
+        }
+
+    def load_state_dict(self, state: StateDict) -> None:
+        """Restore state captured by :meth:`state_dict` (strictly validated)."""
+        owner = type(self).__name__
+        check_keys(state, set(self.STATE_KEYS), owner)
+        shape = (self.n_stations, _N_MARKERS)
+        heights = take(state, "heights", owner, shape, np.float64)
+        positions = take(state, "positions", owner, shape, np.float64)
+        desired = take(state, "desired", owner, shape, np.float64)
+        warmup = take(state, "warmup", owner, shape, np.float64)
+        counts = take(state, "counts", owner, (self.n_stations,), np.int64)
+        self._heights = heights
+        self._positions = positions
+        self._desired = desired
+        self._warmup = warmup
+        self.counts = counts
+
+    def _fresh_rows(self, n_new: int) -> tuple[np.ndarray, np.ndarray]:
+        """Initial marker positions and canonical desired positions
+        (1, 1+2p, 1+4p, 3+2p, 5) for ``n_new`` cold estimators — used by
+        both the constructor and :meth:`add_stations`."""
+        p = self.q / 100.0
+        positions = np.tile(np.arange(1.0, _N_MARKERS + 1.0), (n_new, 1))
+        desired = np.tile(
+            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
+            (n_new, 1),
+        )
+        return positions, desired
+
+    def add_stations(self, n_new: int) -> None:
+        """Grow the fleet by ``n_new`` cold (uninitialised) estimators."""
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        positions, desired = self._fresh_rows(n_new)
+        self.n_stations += int(n_new)
+        self._heights = np.concatenate([self._heights, np.zeros((n_new, _N_MARKERS))])
+        self._positions = np.concatenate([self._positions, positions])
+        self._desired = np.concatenate([self._desired, desired])
+        self._warmup = np.concatenate([self._warmup, np.zeros((n_new, _N_MARKERS))])
+        self.counts = np.concatenate([self.counts, np.zeros(n_new, dtype=np.int64)])
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        """Remove stations; survivors keep their sketches, renumbered compactly."""
+        stations = check_drop(stations, self.n_stations)
+        self._heights = np.delete(self._heights, stations, axis=0)
+        self._positions = np.delete(self._positions, stations, axis=0)
+        self._desired = np.delete(self._desired, stations, axis=0)
+        self._warmup = np.delete(self._warmup, stations, axis=0)
+        self.counts = np.delete(self.counts, stations)
+        self.n_stations -= len(stations)
 
     def __repr__(self) -> str:
         return (

@@ -71,3 +71,26 @@ class TestParallelRounds:
     def test_invalid_max_workers_rejected(self):
         with pytest.raises(ValueError, match="max_workers"):
             FederatedSimulation(model_builder=_builder, max_workers=0)
+
+    def test_default_resolves_to_pool_sized_by_clients_and_cpus(self):
+        import os
+
+        sim = FederatedSimulation(model_builder=_builder)
+        cpus = os.cpu_count() or 1
+        assert sim.resolve_workers(3) == min(3, cpus)
+        assert sim.resolve_workers(10_000) == cpus
+        # Explicit opt-out stays strictly sequential.
+        sequential = FederatedSimulation(model_builder=_builder, max_workers=1)
+        assert sequential.resolve_workers(8) == 1
+        # Explicit cap is honoured but never exceeds the participants.
+        capped = FederatedSimulation(model_builder=_builder, max_workers=4)
+        assert capped.resolve_workers(2) == 2
+
+    def test_default_pool_bit_identical_to_sequential_opt_out(self):
+        pooled = _run(max_workers=None)
+        sequential = _run(max_workers=1)
+        for a, b in zip(
+            pooled.global_model.get_weights(), sequential.global_model.get_weights()
+        ):
+            np.testing.assert_array_equal(a, b)
+        assert pooled.final_losses == sequential.final_losses

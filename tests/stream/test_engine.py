@@ -94,6 +94,46 @@ class TestStreamReplayEngine:
         # Either way the spike itself is repaired back to the held value.
         assert closed.mitigated[0, 2 * length] == 0.5
 
+    def test_no_anchor_mitigation_wired_from_scaler(self, small_autoencoder):
+        """Regression: a station attacked on its very first tick must
+        not leak the attacked value downstream as "mitigated" — the
+        engine wires the policy's fallback to the scaler's data_min_."""
+        length = small_autoencoder.config.sequence_length
+        n_ticks = 2 * length
+        fleet = np.full((1, n_ticks), 50.0)
+        fleet[0, 0] = 500.0  # attacked from the very first reading
+        scaler = StreamingMinMaxScaler.from_bounds([10.0], [60.0])
+        detector = StreamingDetector(small_autoencoder, 1, scaler=scaler)
+        engine = StreamReplayEngine(detector, mitigator="hold_last_good")
+        np.testing.assert_array_equal(engine.mitigator.fallback, [10.0])
+        # Force a first-tick flag directly through the policy: the
+        # repair must be the scaler floor, not the attacked 500.0.
+        out = engine.mitigator.mitigate(fleet[:, 0], np.array([True]))
+        assert out[0] == 10.0
+
+    def test_fallback_wired_from_live_scaler_during_replay(self, small_autoencoder):
+        """Regression: with a LIVE (initially unfitted) scaler the
+        fallback cannot be wired at construction — it must be installed
+        during the replay, from bounds learned before the current tick."""
+        fleet = synthesize_fleet(2, 40, seed=3)
+        detector = StreamingDetector(
+            small_autoencoder, 2, scaler=StreamingMinMaxScaler(2), threshold=0.05
+        )
+        engine = StreamReplayEngine(detector, mitigator="hold_last_good")
+        assert not np.isfinite(engine.mitigator.fallback).any()
+        engine.run(fleet)
+        # Wired from the stream: the smallest reading seen BEFORE the
+        # wiring step (tick 1 wires from tick 0's bounds).
+        assert np.isfinite(engine.mitigator.fallback).all()
+        np.testing.assert_array_equal(engine.mitigator.fallback, fleet[:, 0])
+
+    def test_explicit_fallback_wins_over_scaler_wiring(self, small_autoencoder):
+        scaler = StreamingMinMaxScaler.from_bounds([10.0], [60.0])
+        detector = StreamingDetector(small_autoencoder, 1, scaler=scaler)
+        mitigator = HoldLastGoodMitigator(1, fallback=33.0)
+        engine = StreamReplayEngine(detector, mitigator=mitigator)
+        np.testing.assert_array_equal(engine.mitigator.fallback, [33.0])
+
     def test_shape_validation(self, small_autoencoder):
         fleet = synthesize_fleet(2, 40, seed=1)
         engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))

@@ -141,14 +141,15 @@ class TestBlockTickParity:
     def test_nan_reading_raises_without_poisoning_state(
         self, small_autoencoder, fleet
     ):
-        """Tick and block both reject a NaN reading BEFORE committing
-        scaler bounds, so one bad sensor value never silently disables a
-        station — and the pipeline recovers on the next clean input."""
+        """Tick and block both reject a NaN reading (under the default
+        ``missing="raise"``) BEFORE committing scaler bounds, so one bad
+        sensor value never silently disables a station — and the
+        pipeline recovers on the next clean input."""
         bad_tick = fleet[:, 0].copy()
         bad_tick[1] = np.nan
         for mode in ("tick", "block"):
             detector = _detector(small_autoencoder, fleet, frozen=False)
-            with pytest.raises(RuntimeError, match="transform"):
+            with pytest.raises(ValueError, match="missing='impute'"):
                 if mode == "tick":
                     detector.process_tick(bad_tick)
                 else:

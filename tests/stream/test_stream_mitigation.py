@@ -75,6 +75,71 @@ class TestSeasonalHold:
         np.testing.assert_array_equal(out, [7.0, 7.0])
 
 
+class TestNoAnchorFallback:
+    """Regression: a station flagged before ANY clean reading must not
+    pass the attacked value through as "mitigated" when a fallback is
+    available — tick and block paths alike."""
+
+    def test_hold_last_good_first_tick_attack_uses_fallback(self):
+        mitigator = HoldLastGoodMitigator(1, fallback=2.5)
+        out = mitigator.mitigate(np.array([99.0]), np.array([True]))
+        assert out[0] == 2.5
+
+    def test_hold_last_good_block_first_tick_attack_uses_fallback(self):
+        mitigator = HoldLastGoodMitigator(1, fallback=2.5)
+        out = mitigator.mitigate_block(
+            np.array([[99.0, 88.0, 1.0]]), np.array([[True, True, False]])
+        )
+        np.testing.assert_array_equal(out[0], [2.5, 2.5, 1.0])
+
+    def test_causal_linear_first_tick_attack_uses_fallback(self):
+        mitigator = CausalLinearMitigator(1, fallback=2.5)
+        out = mitigator.mitigate(np.array([99.0]), np.array([True]))
+        assert out[0] == 2.5
+
+    def test_causal_linear_block_first_tick_attack_uses_fallback(self):
+        mitigator = CausalLinearMitigator(1, fallback=2.5)
+        out = mitigator.mitigate_block(
+            np.array([[99.0, 88.0]]), np.array([[True, True]])
+        )
+        np.testing.assert_array_equal(out[0], [2.5, 2.5])
+
+    def test_seasonal_hold_first_tick_attack_uses_fallback(self):
+        mitigator = SeasonalHoldMitigator(1, period=4, fallback=2.5)
+        out = mitigator.mitigate(np.array([99.0]), np.array([True]))
+        assert out[0] == 2.5
+
+    def test_tick_and_block_paths_agree_mixed_anchors(self):
+        """Same stream through tick replay and one block call: identical
+        repairs, including the pre-anchor fallback region."""
+        values = [99.0, 88.0, 1.0, 2.0, 77.0, 66.0, 3.0]
+        flags = [True, True, False, False, True, True, False]
+        for make in (
+            lambda: HoldLastGoodMitigator(1, fallback=2.5),
+            lambda: CausalLinearMitigator(1, fallback=2.5),
+            lambda: SeasonalHoldMitigator(1, period=3, fallback=2.5),
+        ):
+            tick_out = _replay(make(), values, flags)
+            block_out = make().mitigate_block(
+                np.array([values]), np.array([flags])
+            )[0]
+            np.testing.assert_array_equal(tick_out, block_out)
+
+    def test_per_station_fallback_and_unset_passthrough(self):
+        mitigator = HoldLastGoodMitigator(2, fallback=[2.5, np.nan])
+        out = mitigator.mitigate(np.array([99.0, 99.0]), np.array([True, True]))
+        # Station 0 repairs to its fallback; station 1 has none set and
+        # keeps the historical raw passthrough.
+        np.testing.assert_array_equal(out, [2.5, 99.0])
+
+    def test_set_fallback_broadcasts_and_fallback_stops_after_first_clean(self):
+        mitigator = HoldLastGoodMitigator(2).set_fallback(1.0)
+        np.testing.assert_array_equal(mitigator.fallback, [1.0, 1.0])
+        mitigator.mitigate(np.array([7.0, 8.0]), np.array([False, False]))
+        out = mitigator.mitigate(np.array([99.0, 99.0]), np.array([True, True]))
+        np.testing.assert_array_equal(out, [7.0, 8.0])
+
+
 class TestRegistry:
     def test_get_by_name(self):
         assert isinstance(get("hold_last_good", 3), HoldLastGoodMitigator)

@@ -33,6 +33,19 @@ class TestStreamingMinMaxScaler:
         np.testing.assert_array_equal(streaming.transform(tick), expected)
         assert streaming.frozen
 
+    def test_from_batch_scalers_rejects_multi_feature(self):
+        """Regression: a multi-feature batch scaler used to be silently
+        truncated to its first column, mis-scaling everything else."""
+        rng = np.random.default_rng(2)
+        multi = MinMaxScaler().fit(rng.random((30, 3)))
+        single = MinMaxScaler().fit(rng.random(30))
+        with pytest.raises(ValueError, match="3 features"):
+            StreamingMinMaxScaler.from_batch_scalers([single, multi])
+
+    def test_from_batch_scalers_rejects_unfitted(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            StreamingMinMaxScaler.from_batch_scalers([MinMaxScaler()])
+
     def test_round_trip(self):
         streaming = StreamingMinMaxScaler.from_bounds([0.0, 10.0], [5.0, 30.0])
         values = np.array([2.5, 17.0])
