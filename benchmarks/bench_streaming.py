@@ -54,11 +54,11 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _gate import check_regression  # noqa: E402
 
-from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
-from repro.stream.buffers import RingBufferBank
-from repro.stream.detector import StreamingDetector
-from repro.stream.engine import StreamReplayEngine, synthesize_fleet
-from repro.stream.scaler import StreamingMinMaxScaler
+from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder  # noqa: E402
+from repro.stream.buffers import RingBufferBank  # noqa: E402
+from repro.stream.detector import StreamingDetector  # noqa: E402
+from repro.stream.engine import StreamReplayEngine, synthesize_fleet  # noqa: E402
+from repro.stream.scaler import StreamingMinMaxScaler  # noqa: E402
 
 
 def run_micro_batched(

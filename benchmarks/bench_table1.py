@@ -4,8 +4,6 @@ Prints the measured MAE/RMSE/R²/time rows next to the paper's values and
 asserts the paper's qualitative orderings.
 """
 
-import pytest
-
 from repro.experiments.table1 import render_table1, table1_rows
 
 

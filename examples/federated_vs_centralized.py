@@ -11,8 +11,6 @@ Set REPRO_EXAMPLES_SMOKE=1 for the seconds-scale CI profile.
 
 import os
 
-import numpy as np
-
 from repro.data import build_paper_clients, generate_paper_dataset
 from repro.federated import payload_bytes
 from repro.forecasting import (

@@ -33,6 +33,7 @@ from repro.nn import (
     Sequential,
     TimeDistributed,
 )
+from repro.nn import backend as backends
 from repro.utils.rng import SeedLike, as_generator, spawn
 from repro.utils.validation import check_3d
 
@@ -152,9 +153,15 @@ class LSTMAutoencoder:
         )
 
     def window_errors(self, windows: np.ndarray) -> np.ndarray:
-        """Per-window reconstruction MSE, shape ``(n_windows,)``."""
+        """Per-window reconstruction MSE, shape ``(n_windows,)``.
+
+        The reduction is dispatched through the model's compute backend
+        (fused subtract-square-mean on accelerated backends; the numpy
+        backend evaluates the plain vectorized expression).
+        """
         reconstructed = self.reconstruct(windows)
-        return np.mean((windows - reconstructed) ** 2, axis=(1, 2))
+        bk = backends.resolve_backend(self.model.backend)
+        return bk.window_errors(np.asarray(windows), reconstructed)
 
     def pointwise_errors(self, windows: np.ndarray) -> np.ndarray:
         """Per-window per-step squared error, shape ``(n_windows, T)``.
@@ -164,7 +171,8 @@ class LSTMAutoencoder:
         :func:`repro.data.windowing.errors_per_point`.
         """
         reconstructed = self.reconstruct(windows)
-        return np.mean((windows - reconstructed) ** 2, axis=2)
+        bk = backends.resolve_backend(self.model.backend)
+        return bk.pointwise_errors(np.asarray(windows), reconstructed)
 
     def _validate_windows(self, windows: np.ndarray) -> None:
         expected = (self.config.sequence_length, self.config.n_features)

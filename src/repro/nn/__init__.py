@@ -8,7 +8,15 @@ Adagrad optimizers, early stopping, and weight serialization.  Gradients
 are validated against finite differences in the test suite.
 """
 
-from repro.nn import policy
+from repro.nn import backend, policy
+from repro.nn.backend import (
+    available_backends,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.nn.callbacks import (
     Callback,
     EarlyStopping,
@@ -40,6 +48,13 @@ from repro.nn.serialization import (
 )
 
 __all__ = [
+    "backend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "available_backends",
+    "resolve_backend",
+    "set_default_backend",
     "policy",
     "dtype_policy",
     "get_dtype_policy",

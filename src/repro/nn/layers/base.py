@@ -103,6 +103,11 @@ class Layer:
         self._variables: list[Variable] = []
         self.input_shape: tuple[int, ...] | None = None
         self.dtype: np.dtype | None = None
+        #: Per-layer compute-backend override (name or Backend instance).
+        #: ``None`` follows the runtime resolution order (model override >
+        #: process default > ``REPRO_BACKEND`` > numpy); see
+        #: :mod:`repro.nn.backend`.  Runtime config only — never serialized.
+        self.backend: object | None = None
 
     # -- lifecycle -----------------------------------------------------
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> None:
@@ -124,7 +129,7 @@ class Layer:
         """Backprop: fill variable grads, return gradient w.r.t. inputs."""
         raise NotImplementedError
 
-    def infer(self, inputs: np.ndarray) -> np.ndarray:
+    def infer(self, inputs: np.ndarray, backend: object | None = None) -> np.ndarray:
         """Inference-only forward: no backward pass will follow.
 
         Defaults to ``forward(training=False)``; layers whose forward
@@ -132,7 +137,13 @@ class Layer:
         BPTT tensors) override this with a leaner state-only path.
         ``backward`` after ``infer`` is undefined — call ``forward``
         when gradients are needed.
+
+        ``backend`` is an already-resolved compute backend handed down by
+        :meth:`Sequential.infer` so chunked prediction resolves dispatch
+        once per call, not once per chunk per layer; ``None`` makes the
+        layer resolve its own (compute layers override this method).
         """
+        del backend
         return self.forward(inputs, training=False)
 
     def _cast(self, array: np.ndarray) -> np.ndarray:

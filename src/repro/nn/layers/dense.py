@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import activations, initializers
+from repro.nn import backend as backends
 from repro.nn.layers.base import Layer
 
 
@@ -75,6 +76,18 @@ class Dense(Layer):
         outputs = self.activation.forward(pre)
         self._cache = {"inputs": inputs, "pre": pre, "outputs": outputs}
         return outputs
+
+    def infer(self, inputs: np.ndarray, backend: object | None = None) -> np.ndarray:
+        """Fused inference: ``activation(x @ W + b)`` via the compute backend.
+
+        Values are identical to :meth:`forward` (the numpy backend runs
+        the same expression, applied in place); no training cache is
+        populated, so ``backward`` must not follow.
+        """
+        inputs = self._cast(inputs)
+        bk = backend if backend is not None else backends.resolve_backend(self.backend)
+        bias = self._bias.value if self.use_bias else None
+        return bk.dense_forward(inputs, self._kernel.value, bias, self.activation)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if not self._cache:

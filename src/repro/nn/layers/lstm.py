@@ -21,12 +21,18 @@ Fused compute engine
 The public weight layout stays Keras-compatible (columns ordered
 ``i, f, g, o``), but internally the kernels are *packed* into the gate
 order ``i, f, o, g`` so the three sigmoid gates form one contiguous
-block: each timestep applies a single fused in-place sigmoid over
-``z[:, :3U]`` and one in-place tanh over ``z[:, 3U:]`` instead of four
-sliced activation calls.  All per-timestep tensors (gate pre-activations,
-cell states, hidden states, matmul outputs) live in per-layer workspaces
-keyed by ``(batch, timesteps)`` and are reused across calls — the hot
-loops in both ``forward`` and the BPTT backward allocate nothing.
+block.  The per-timestep step itself (recurrent matmul + gate
+activations + state update) is dispatched through the pluggable
+:mod:`repro.nn.backend` registry — the default ``"numpy"`` backend
+applies a single fused in-place sigmoid over ``z[:, :3U]`` and one
+in-place tanh over ``z[:, 3U:]``, while the optional ``"numba"`` backend
+compiles the whole elementwise chain into one batch-parallel kernel.
+All per-timestep tensors (gate pre-activations, cell states, hidden
+states, matmul outputs) live in per-layer workspaces keyed by
+``(batch, timesteps)`` and are reused across calls — the hot loops in
+both ``forward`` and the BPTT backward allocate nothing.  Backends
+accelerate the forward direction only; BPTT always runs the numpy path
+against the (backend-written) activated-gate caches.
 
 The packed kernels and their transposes are cached and refreshed only
 when a weight's :attr:`~repro.nn.layers.base.Variable.version` changes
@@ -44,7 +50,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.activations import sigmoid_inplace
+from repro.nn import backend as backends
 from repro.nn.layers.base import Layer
 
 #: Workspaces retained per layer; least-recently-used shapes are evicted
@@ -239,32 +245,35 @@ class LSTM(Layer):
                 self._infer_workspaces.pop(large.pop(0))  # oldest large first
         return ws
 
-    def infer(self, inputs: np.ndarray) -> np.ndarray:
+    def infer(self, inputs: np.ndarray, backend: object | None = None) -> np.ndarray:
         """Cache-free forward pass for inference.
 
-        Same gate math as :meth:`forward` (same fused sigmoid, same
-        update ordering — outputs are bit-identical) but keeps only the
+        Same gate math as :meth:`forward` (same fused kernels via the
+        same backend — outputs are bit-identical) but keeps only the
         running ``h``/``c`` state instead of per-timestep BPTT caches, so
         the working set is O(batch) and stays cache-resident no matter
         how many windows one call scores.  That is what lets block-mode
         streaming push ``B × n_stations`` windows through in ONE call:
         per-ufunc dispatch amortises over the whole block while memory
         traffic stays flat.  ``backward`` after ``infer`` is undefined.
+
+        ``backend`` is an already-resolved backend handle (chunked
+        callers resolve once); ``None`` resolves per call, never per step.
         """
         inputs = self._cast(inputs)
         if inputs.ndim != 3:
             raise ValueError(
                 f"LSTM expects (batch, timesteps, features) input, got {inputs.shape}"
             )
+        bk = backend if backend is not None else backends.resolve_backend(self.backend)
         batch, timesteps, _ = inputs.shape
         units = self.units
         packed = self._refresh_packed()
         ws = self._infer_workspace(batch)
 
         kernel, recurrent, bias = packed["kernel"], packed["recurrent"], packed["bias"]
-        x_t, z, hz = ws["x_t"], ws["z"], ws["hz"]
-        h, c, tanh_c, tmp_u = ws["h"], ws["c"], ws["tanh_c"], ws["tmp_u"]
-        sig_work, sig_num, sig_neg = ws["sig_work"], ws["sig_num"], ws["sig_neg"]
+        x_t, z = ws["x_t"], ws["z"]
+        h, c, tanh_c = ws["h"], ws["c"], ws["tanh_c"]
         h.fill(0.0)
         c.fill(0.0)
         out_seq = (
@@ -277,20 +286,9 @@ class LSTM(Layer):
             np.copyto(x_t, inputs[:, t, :])
             np.matmul(x_t, kernel, out=z)
             z += bias
-            np.matmul(h, recurrent, out=hz)
-            z += hz
-            sigmoid_inplace(z[:, : 3 * units], sig_work, sig_num, sig_neg)
-            g = z[:, 3 * units :]
-            np.tanh(g, out=g)
-
-            i = z[:, :units]
-            f = z[:, units : 2 * units]
-            o = z[:, 2 * units : 3 * units]
-            np.multiply(f, c, out=c)
-            np.multiply(i, g, out=tmp_u)
-            c += tmp_u
-            np.tanh(c, out=tanh_c)
-            np.multiply(o, tanh_c, out=h)
+            # Fused step: recurrent matmul + gate activations + in-place
+            # state update, one backend kernel.
+            bk.lstm_step(z, h, c, c, h, tanh_c, recurrent, ws)
             if out_seq is not None:
                 out_seq[:, t, :] = h
 
@@ -306,6 +304,7 @@ class LSTM(Layer):
             raise ValueError(
                 f"LSTM expects (batch, timesteps, features) input, got {inputs.shape}"
             )
+        bk = backends.resolve_backend(self.backend)
         batch, timesteps, features = inputs.shape
         units = self.units
         packed = self._refresh_packed()
@@ -324,33 +323,17 @@ class LSTM(Layer):
         z += packed["bias"]
 
         hs, cs, tanh_cs = ws["hs"], ws["cs"], ws["tanh_cs"]
-        hz, tmp_u = ws["hz"], ws["tmp_u"]
-        sig_work, sig_num, sig_neg = ws["sig_work"], ws["sig_num"], ws["sig_neg"]
         recurrent = packed["recurrent"]
         h = ws["state0"]  # never written: stays all-zero for reuse
         c = ws["state0"]
 
         for t in range(timesteps):
-            z_t = z[t]
-            np.matmul(h, recurrent, out=hz)
-            z_t += hz
-            # One fused sigmoid over the contiguous (i, f, o) block, one
-            # tanh over g — z_t now holds the activated gates.
-            sigmoid_inplace(z_t[:, : 3 * units], sig_work, sig_num, sig_neg)
-            g = z_t[:, 3 * units :]
-            np.tanh(g, out=g)
-
-            i = z_t[:, :units]
-            f = z_t[:, units : 2 * units]
-            o = z_t[:, 2 * units : 3 * units]
-            c_t = cs[t]
-            np.multiply(f, c, out=c_t)
-            np.multiply(i, g, out=tmp_u)
-            c_t += tmp_u
-            np.tanh(c_t, out=tanh_cs[t])
-            np.multiply(o, tanh_cs[t], out=hs[t])
+            # Fused step (backend-dispatched, resolved once above): the
+            # recurrent matmul, gate activations (written back into z[t]
+            # for the BPTT cache) and the state update into cs/hs/tanh_cs.
+            bk.lstm_step(z[t], h, c, cs[t], hs[t], tanh_cs[t], recurrent, ws)
             h = hs[t]
-            c = c_t
+            c = cs[t]
 
         self._cache = {"inputs": inputs, "ws": ws, "shape": (batch, timesteps, features)}
         # Fresh output array: callers may hold results across calls while

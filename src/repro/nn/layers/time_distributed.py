@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import backend as backends
 from repro.nn.layers.base import Layer
 
 
@@ -30,6 +31,20 @@ class TimeDistributed(Layer):
         self.inner = inner
         self._timesteps: int | None = None
         self._fold_buffers: dict[tuple, np.ndarray] = {}
+
+    @property
+    def backend(self) -> object | None:
+        return self._backend_override
+
+    @backend.setter
+    def backend(self, value: object | None) -> None:
+        # Keep the wrapped layer on the same backend: the inner layer is
+        # what actually computes, and it resolves its own dispatch when
+        # called without an explicit handle.
+        self._backend_override = value
+        inner = getattr(self, "inner", None)
+        if inner is not None:
+            inner.backend = value
 
     def _fold(self, array: np.ndarray, kind: str) -> np.ndarray:
         """View ``(batch, timesteps, features)`` as ``(batch*timesteps, features)``.
@@ -86,14 +101,15 @@ class TimeDistributed(Layer):
         grad_inputs = self.inner.backward(self._fold(grad, "backward"))
         return np.reshape(grad_inputs, (batch, timesteps, -1))
 
-    def infer(self, inputs: np.ndarray) -> np.ndarray:
+    def infer(self, inputs: np.ndarray, backend: object | None = None) -> np.ndarray:
         inputs = self._cast(inputs)
         if inputs.ndim != 3:
             raise ValueError(
                 f"TimeDistributed expects (batch, timesteps, features), got {inputs.shape}"
             )
         batch, timesteps, _ = inputs.shape
-        outputs = self.inner.infer(self._fold(inputs, "infer"))
+        bk = backend if backend is not None else backends.resolve_backend(self.backend)
+        outputs = self.inner.infer(self._fold(inputs, "infer"), backend=bk)
         return np.reshape(outputs, (batch, timesteps, -1))
 
     def zero_grads(self) -> None:

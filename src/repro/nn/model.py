@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import backend as backends
 from repro.nn import losses as losses_module
 from repro.nn import optimizers as optimizers_module
 from repro.nn import policy
@@ -44,6 +45,7 @@ class Sequential:
         layers: list[Layer] | None = None,
         name: str = "sequential",
         dtype: object | None = None,
+        backend: object | None = None,
     ) -> None:
         self.name = name
         self.layers: list[Layer] = []
@@ -54,6 +56,7 @@ class Sequential:
         self._input_shape: tuple[int, ...] | None = None
         self._dtype_request = dtype
         self._dtype: np.dtype | None = None
+        self._backend: object | None = backend
         for layer in layers or []:
             self.add(layer)
 
@@ -66,7 +69,27 @@ class Sequential:
             raise RuntimeError("cannot add layers after the model is built")
         if not isinstance(layer, Layer):
             raise TypeError(f"expected a Layer, got {type(layer).__name__}")
+        if self._backend is not None:
+            layer.backend = self._backend
         self.layers.append(layer)
+
+    def set_backend(self, backend: object | None) -> None:
+        """Pin this model (and every layer) to a compute backend.
+
+        ``backend`` is a registered name, a Backend instance, or ``None``
+        to return to the runtime resolution order (process default >
+        ``REPRO_BACKEND`` > numpy).  A per-model backend beats the
+        process-wide default; it is runtime configuration only and is
+        never serialized with the model.
+        """
+        self._backend = backend
+        for layer in self.layers:
+            layer.backend = backend
+
+    @property
+    def backend(self) -> object | None:
+        """This model's backend override (``None`` = runtime resolution)."""
+        return self._backend
 
     def build(self, input_shape: tuple[int, ...], seed: SeedLike = None) -> None:
         """Allocate all layer variables for per-sample ``input_shape``."""
@@ -131,34 +154,47 @@ class Sequential:
             grad = layer.backward(grad)
         return grad
 
-    def infer(self, inputs: np.ndarray) -> np.ndarray:
+    def infer(self, inputs: np.ndarray, backend: object | None = None) -> np.ndarray:
         """Forward pass down the layers' inference fast paths.
 
         Same function as ``forward(training=False)`` (the LSTM path is
         bit-identical) but no training caches are populated, so the
         recurrent working set stays O(batch) — ``backward`` must not be
         called after ``infer``.
+
+        Backend dispatch is resolved ONCE here (model override > process
+        default > ``REPRO_BACKEND`` > numpy) and the handle is threaded
+        to every layer; chunked callers like :meth:`predict` pass their
+        own pre-resolved handle so resolution never re-runs per chunk.
         """
         inputs = np.asarray(inputs)
         if not self.built:
             self.build(inputs.shape[1:])
+        bk = backend if backend is not None else backends.resolve_backend(self._backend)
         outputs = self._cast(inputs)
         for layer in self.layers:
-            outputs = layer.infer(outputs)
+            outputs = layer.infer(outputs, backend=bk)
         return outputs
 
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Inference in batches; deterministic (dropout disabled).
 
-        Casting happens once inside the chunked forward passes (layers
-        cast only when the dtype actually differs), and every chunk is
-        written straight into one preallocated output array.
+        Per-chunk work is pure compute: the input is cast to the model
+        dtype ONCE up front (chunks are then zero-copy views), the
+        compute backend is resolved once, and every chunk is written
+        straight into one preallocated output array.  Nothing —
+        dtype policy, backend lookup, output allocation — re-resolves
+        inside the chunk loop.
         """
         inputs = np.asarray(inputs)
         if len(inputs) == 0:
             raise ValueError("predict called with an empty batch")
+        if not self.built:
+            self.build(inputs.shape[1:])
+        inputs = self._cast(inputs)
+        bk = backends.resolve_backend(self._backend)
         n_samples = len(inputs)
-        first = self.infer(inputs[:batch_size])
+        first = self.infer(inputs[:batch_size], backend=bk)
         if len(first) == n_samples:
             # A pass-through final layer can hand the caller's own array
             # back; predict must never alias its input.
@@ -168,7 +204,7 @@ class Sequential:
         outputs = np.empty((n_samples,) + first.shape[1:], dtype=first.dtype)
         outputs[: len(first)] = first
         for start in range(batch_size, n_samples, batch_size):
-            chunk = self.infer(inputs[start : start + batch_size])
+            chunk = self.infer(inputs[start : start + batch_size], backend=bk)
             outputs[start : start + len(chunk)] = chunk
         return outputs
 

@@ -3,6 +3,12 @@
 Architectures round-trip through plain dicts (JSON-safe) and weights
 through ``.npz`` archives, which is all the federated runtime needs to
 checkpoint global models between rounds.
+
+Checkpoints are backend-agnostic by design: the compute backend
+(:mod:`repro.nn.backend`) is runtime configuration — like the number of
+BLAS threads, not like the dtype — so it is deliberately NOT part of
+:func:`model_to_config` and a model saved under ``"numba"`` reloads and
+runs on a numpy-only install.
 """
 
 from __future__ import annotations

@@ -1,6 +1,5 @@
 """Tests for report rendering and the table/figure generators."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.reporting import render_bars, render_comparison, render_table

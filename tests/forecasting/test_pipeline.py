@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.anomaly.autoencoder import AutoencoderConfig
 from repro.anomaly.filter import EVChargingAnomalyFilter
 from repro.attacks.ddos import DDoSConfig, DDoSVolumeAttack
 from repro.forecasting.pipeline import VARIANTS, ScenarioPipeline

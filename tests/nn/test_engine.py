@@ -14,7 +14,7 @@ import tracemalloc
 import numpy as np
 import pytest
 
-from repro.nn import LSTM, Dense, Dropout, MeanSquaredError, Sequential, policy
+from repro.nn import LSTM, Dense, Dropout, MeanSquaredError, Sequential
 from repro.nn.gradcheck import check_model_gradients
 
 RNG = np.random.default_rng(123)

@@ -195,7 +195,7 @@ class TestTimeDistributed:
         layer = TimeDistributed(Dense(2))
         layer.build((2, 3), rng)
         x = rng.normal(size=(1, 2, 3))
-        out = layer.forward(x)
+        layer.forward(x)
         # Same feature vector at both timesteps must map identically.
         x_same = np.repeat(x[:, :1, :], 2, axis=1)
         out_same = layer.forward(x_same)

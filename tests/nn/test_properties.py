@@ -4,7 +4,6 @@ Shape algebra, determinism and training invariants that must hold for
 *any* architecture configuration, not just the paper's."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,7 +10,6 @@ autoencoder.
 import numpy as np
 import pytest
 
-from repro.anomaly.autoencoder import LSTMAutoencoder
 from repro.anomaly.detector import ReconstructionAnomalyDetector
 from repro.data.scaling import MinMaxScaler
 from repro.stream.detector import StreamingDetector

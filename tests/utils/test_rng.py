@@ -1,7 +1,6 @@
 """Tests for deterministic RNG management."""
 
 import numpy as np
-import pytest
 
 from repro.utils.rng import as_generator, spawn, spawn_many
 
