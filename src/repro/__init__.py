@@ -27,6 +27,11 @@ system and every substrate it depends on:
   micro-batched :class:`~repro.stream.detector.StreamingDetector`
   (one LSTM forward per tick for the whole fleet), causal mitigation,
   and a replay engine with throughput/latency/detection reporting.
+- :mod:`repro.obs` — opt-in runtime observability: counters, gauges,
+  latency histograms and stage spans threaded through the streaming,
+  training and federated paths, with Prometheus text exposition and
+  JSONL snapshot export (enable via ``repro.obs.enable()`` or
+  ``REPRO_OBS=1``; zero-cost no-ops when off).
 
 Quickstart::
 
@@ -53,6 +58,7 @@ from repro import (
     federated,
     forecasting,
     nn,
+    obs,
     stream,
     utils,
 )
@@ -67,6 +73,7 @@ __all__ = [
     "federated",
     "forecasting",
     "nn",
+    "obs",
     "stream",
     "utils",
     "__version__",

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.federated.aggregation import Aggregator
 from repro.federated.client import FederatedClient, ModelBuilder
 from repro.federated.communication import CommunicationLog
@@ -161,15 +162,15 @@ class FederatedSimulation:
                     self.batch_size,
                     max_workers=self.resolve_workers(len(participants)),
                 )
-            records.append(
-                RoundRecord(
-                    round_index=round_index,
-                    client_losses={name: loss for name, (loss, _) in stats.items()},
-                    client_seconds={name: secs for name, (_, secs) in stats.items()},
-                    participants=[client.name for client in participants],
-                    wall_seconds=round_timer.elapsed,
-                )
+            record = RoundRecord(
+                round_index=round_index,
+                client_losses={name: loss for name, (loss, _) in stats.items()},
+                client_seconds={name: secs for name, (_, secs) in stats.items()},
+                participants=[client.name for client in participants],
+                wall_seconds=round_timer.elapsed,
             )
+            records.append(record)
+            self._record_obs(record)
 
         # By default clients end on their *locally trained* weights of the
         # final round (the paper's "local results": each local model
@@ -188,6 +189,39 @@ class FederatedSimulation:
             communication=server.communication,
             aggregator_name=server.aggregator.name,
         )
+
+    @staticmethod
+    def _record_obs(record: RoundRecord) -> None:
+        """Export one round's timings to the active metrics registry."""
+        reg = obs.registry()
+        if not reg.enabled:
+            return
+        reg.counter(
+            "repro_federated_rounds_total", help="Federated rounds completed."
+        ).inc()
+        reg.gauge(
+            "repro_federated_participants",
+            help="Clients that trained in the most recent round.",
+        ).set(float(len(record.participants)))
+        client_hist = reg.histogram(
+            "repro_federated_client_seconds",
+            help="Local-training duration per client per round.",
+        )
+        for seconds in record.client_seconds.values():
+            client_hist.observe(seconds)
+        reg.histogram(
+            "repro_federated_round_barrier_seconds",
+            help="Modelled concurrent wall-clock per round (max client).",
+        ).observe(record.barrier_seconds)
+        reg.histogram(
+            "repro_federated_round_seconds",
+            help="Measured elapsed time per round (training + aggregation).",
+        ).observe(record.wall_seconds)
+        reg.histogram(
+            "repro_federated_aggregate_seconds",
+            help="Round time not spent inside the slowest client "
+            "(scheduling + FedAvg aggregation overhead).",
+        ).observe(max(record.wall_seconds - record.barrier_seconds, 0.0))
 
     def resolve_workers(self, n_participants: int) -> int:
         """Thread-pool size for one round.

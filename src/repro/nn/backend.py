@@ -57,6 +57,7 @@ import warnings
 
 import numpy as np
 
+from repro import obs
 from repro.nn.activations import Activation, sigmoid, sigmoid_inplace
 
 #: Environment variable consulted when no explicit backend is requested.
@@ -381,6 +382,18 @@ def resolve_backend(request: str | Backend | None = None) -> Backend:
     also warns-and-falls-back rather than raising, so one typo'd shell
     export cannot brick every forward pass.
     """
+    backend = _resolve(request)
+    reg = obs.registry()
+    if reg.enabled:
+        reg.counter(
+            "repro_nn_backend_dispatch_total",
+            help="Kernel-dispatch resolutions per compute backend.",
+            labels={"backend": backend.name},
+        ).inc()
+    return backend
+
+
+def _resolve(request: str | Backend | None) -> Backend:
     if isinstance(request, Backend):
         return request
     if request is not None:

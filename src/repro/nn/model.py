@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nn import backend as backends
 from repro.nn import losses as losses_module
 from repro.nn import optimizers as optimizers_module
@@ -275,32 +276,34 @@ class Sequential:
             # leading slice for the final partial batch).
             x_buffer = np.empty((effective_batch,) + inputs.shape[1:], dtype=self._dtype)
             y_buffer = np.empty((effective_batch,) + targets.shape[1:], dtype=self._dtype)
+        epoch_span = obs.registry().span("repro_nn_fit_epoch")
         for epoch in range(epochs):
-            for callback in all_callbacks:
-                callback.on_epoch_begin(epoch, {})
-            epoch_loss = 0.0
-            if shuffle:
-                order = rng.permutation(sample_count)
-            for start in range(0, sample_count, batch_size):
-                stop = min(start + batch_size, sample_count)
-                length = stop - start
+            with epoch_span:
+                for callback in all_callbacks:
+                    callback.on_epoch_begin(epoch, {})
+                epoch_loss = 0.0
                 if shuffle:
-                    batch_idx = order[start:stop]
-                    x_batch = np.take(inputs, batch_idx, axis=0, out=x_buffer[:length])
-                    y_batch = np.take(targets, batch_idx, axis=0, out=y_buffer[:length])
-                else:
-                    x_batch = inputs[start:stop]
-                    y_batch = targets[start:stop]
-                batch_loss = self._train_step(x_batch, y_batch)
-                epoch_loss += batch_loss * length
-            logs = {"loss": epoch_loss / sample_count}
-            if validation_data is not None:
-                logs["val_loss"] = self.evaluate(*validation_data)
-            if verbose:
-                rendered = ", ".join(f"{k}={v:.6f}" for k, v in logs.items())
-                print(f"epoch {epoch + 1}/{epochs}: {rendered}")
-            for callback in all_callbacks:
-                callback.on_epoch_end(epoch, logs)
+                    order = rng.permutation(sample_count)
+                for start in range(0, sample_count, batch_size):
+                    stop = min(start + batch_size, sample_count)
+                    length = stop - start
+                    if shuffle:
+                        batch_idx = order[start:stop]
+                        x_batch = np.take(inputs, batch_idx, axis=0, out=x_buffer[:length])
+                        y_batch = np.take(targets, batch_idx, axis=0, out=y_buffer[:length])
+                    else:
+                        x_batch = inputs[start:stop]
+                        y_batch = targets[start:stop]
+                    batch_loss = self._train_step(x_batch, y_batch)
+                    epoch_loss += batch_loss * length
+                logs = {"loss": epoch_loss / sample_count}
+                if validation_data is not None:
+                    logs["val_loss"] = self.evaluate(*validation_data)
+                if verbose:
+                    rendered = ", ".join(f"{k}={v:.6f}" for k, v in logs.items())
+                    print(f"epoch {epoch + 1}/{epochs}: {rendered}")
+                for callback in all_callbacks:
+                    callback.on_epoch_end(epoch, logs)
             if self.stop_training:
                 break
 

@@ -1,0 +1,66 @@
+"""Prometheus text exposition for a :class:`~repro.obs.MetricsRegistry`.
+
+:func:`render_prometheus` produces the standard ``text/plain; version
+0.0.4`` format — ``# HELP`` / ``# TYPE`` headers, one sample line per
+series, histograms expanded into cumulative ``_bucket{le=...}`` series
+plus ``_sum`` / ``_count`` — ready to serve from any HTTP handler or
+dump next to a benchmark result.  The output is deterministic (metrics
+sorted by name, labels pre-sorted by the registry) so golden tests can
+compare it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integral floats without the trailing .0."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(pairs: tuple[tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def series_name(metric: Metric) -> str:
+    """The exposition series identifier: ``name{label="value",...}``."""
+    return f"{metric.name}{_label_str(metric.labels)}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in ``registry`` as Prometheus text format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{series_name(metric)} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for i, bound in enumerate(metric.buckets):
+                le = metric.labels + (("le", _fmt(float(bound))),)
+                lines.append(f"{metric.name}_bucket{_label_str(le)} {int(cumulative[i])}")
+            inf = metric.labels + (("le", "+Inf"),)
+            lines.append(f"{metric.name}_bucket{_label_str(inf)} {int(cumulative[-1])}")
+            lines.append(f"{metric.name}_sum{_label_str(metric.labels)} {_fmt(metric.sum)}")
+            lines.append(f"{metric.name}_count{_label_str(metric.labels)} {int(metric.count)}")
+        else:  # pragma: no cover - no other kinds are registered
+            raise TypeError(f"cannot render metric kind {metric.kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,358 @@
+"""Process-local metric primitives and the registry that owns them.
+
+Three metric types, modelled on the Prometheus data model:
+
+* :class:`Counter` — a monotonically increasing total (flags raised,
+  readings ingested, checkpoints written).
+* :class:`Gauge` — a value that goes up and down (readings/s of the
+  last replay, bytes of the last checkpoint).
+* :class:`Histogram` — fixed-bucket latency/size distribution.  The
+  bucket counts live in one numpy ``int64`` array and a scalar
+  ``observe`` is a ``searchsorted`` plus an in-place increment —
+  allocation-free on the hot path.  ``observe_many`` folds a whole
+  vector of observations in with one ``bincount``.
+
+Metrics are owned by a :class:`MetricsRegistry`, keyed by
+``(name, labels)`` with get-or-create semantics so instrumentation
+sites never need module-level metric globals.  ``registry.span(name)``
+returns a context manager that times its block into the histogram
+``{name}_seconds``.
+
+The disabled path is :class:`NullRegistry`: every accessor returns a
+shared no-op singleton, so instrumented code pays a handful of
+attribute lookups and nothing else when observability is off (see
+:mod:`repro.obs` for the module-level switch).
+
+Registries are process-local and not locked: the instrumented hot paths
+all run on the driving thread, and CPython in-place float/int updates
+are safe enough for the coarse counters used here.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+
+import numpy as np
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): a 1/2.5/5 ladder per decade from
+#: 10 µs to 10 s, wide enough for a per-tick span and a full federated
+#: round alike.
+_LADDER = tuple(
+    base * scale for scale in (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0) for base in (1.0, 2.5, 5.0)
+)
+DEFAULT_LATENCY_BUCKETS = _LADDER + (10.0,)
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+
+def _canonical_labels(labels: dict[str, str] | None) -> LabelPairs:
+    if not labels:
+        return ()
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: identity (name + frozen labels) and help text."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labels = labels
+
+    def value_dict(self) -> dict:
+        """Plain-python snapshot of the current value (for JSONL sinks)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        label_str = "".join(f", {k}={v!r}" for k, v in self.labels)
+        return f"{type(self).__name__}({self.name!r}{label_str})"
+
+
+class Counter(Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()) -> None:
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        self.value += amount
+
+    def value_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()) -> None:
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def value_dict(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution, numpy-backed.
+
+    ``buckets`` are the finite upper bounds (ascending); an implicit
+    ``+Inf`` bucket catches the overflow.  Counts are *per-bucket* in
+    storage and cumulated only at exposition time, so ``observe`` is a
+    single ``searchsorted`` + in-place increment: no allocation, no
+    rescan.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelPairs = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = np.asarray(buckets, dtype=np.float64)
+        if bounds.ndim != 1 or bounds.size < 1:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if not np.all(np.diff(bounds) > 0):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {buckets}")
+        if not np.isfinite(bounds).all():
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.buckets = bounds
+        self._counts = np.zeros(bounds.size + 1, dtype=np.int64)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (``value <= bound`` lands in that bucket)."""
+        self._counts[int(np.searchsorted(self.buckets, value, side="left"))] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a vector of observations in one vectorized pass."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.buckets, values, side="left")
+        self._counts += np.bincount(idx, minlength=self._counts.size)
+        self.sum += float(values.sum())
+        self.count += int(values.size)
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
+        """Per-bucket (non-cumulative) counts; last entry is the +Inf bucket."""
+        return self._counts.copy()
+
+    def cumulative_counts(self) -> np.ndarray:
+        """Cumulative counts per bound (Prometheus ``le`` semantics)."""
+        return np.cumsum(self._counts)
+
+    def value_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                ("+Inf" if i == self.buckets.size else repr(float(self.buckets[i]))): int(c)
+                for i, c in enumerate(self.cumulative_counts())
+            },
+        }
+
+
+class _Span:
+    """Times a ``with`` block into a histogram (created per entry)."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Owns metrics keyed by ``(name, labels)`` with get-or-create access.
+
+    ``enabled`` is ``True`` — instrumentation sites branch on it before
+    computing anything worth money (sums, label dicts).  The disabled
+    counterpart is :class:`NullRegistry`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelPairs], Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs) -> Metric:
+        key = (name, _canonical_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is already registered as a {metric.kind}, "
+                f"not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: dict[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def span(self, name: str, help: str = "") -> _Span:
+        """Context manager timing its block into ``{name}_seconds``."""
+        return _Span(self.histogram(f"{name}_seconds", help=help))
+
+    def collect(self) -> list[Metric]:
+        """All registered metrics, sorted by (name, labels) for stable output."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> dict:
+        """Plain-python dump of every metric, grouped by kind.
+
+        Keys are the exposition series names (labels rendered inline) so
+        one JSONL line is self-describing without a schema.
+        """
+        from repro.obs.exposition import series_name
+
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self.collect():
+            out[metric.kind + "s"][series_name(metric)] = metric.value_dict()
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric (fresh-start for tests/benches)."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+# ---------------------------------------------------------------------------
+# Disabled path: shared no-op singletons.
+# ---------------------------------------------------------------------------
+
+
+class _NullMetric:
+    """Absorbs every metric mutation; one instance serves all names."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+
+class _NullSpan:
+    """No-op context manager; one instance serves every span site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry:
+    """The disabled registry: every accessor returns a shared no-op.
+
+    Instrumented code holds one reference per call and pays only
+    attribute lookups — no dict access, no string work, no numpy.
+    """
+
+    enabled = False
+
+    def counter(self, name, help="", labels=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name, help="", labels=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name, help="", labels=None, buckets=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def span(self, name, help="") -> _NullSpan:
+        return _NULL_SPAN
+
+    def collect(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"

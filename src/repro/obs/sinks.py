@@ -1,0 +1,67 @@
+"""Snapshot sinks: periodic JSONL export of a metrics registry.
+
+:class:`JsonlSink` appends one self-describing JSON line per snapshot
+(timestamp + every counter/gauge/histogram value) to a file — the
+no-infrastructure export path: a long replay calls ``maybe_write``
+inside its loop and gets a time-series of the whole registry at the
+configured cadence, greppable and ``json.loads``-able line by line.
+``write`` forces a snapshot regardless of the interval (call it once at
+the end of a run so short runs still leave a record).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class JsonlSink:
+    """Append registry snapshots to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        Target file; parent directories are created on first write.
+    interval_seconds:
+        Minimum spacing between ``maybe_write`` snapshots (0 = every
+        call).  ``write`` ignores the interval.
+    """
+
+    def __init__(self, path: str | Path, interval_seconds: float = 0.0) -> None:
+        if interval_seconds < 0:
+            raise ValueError(f"interval_seconds must be >= 0, got {interval_seconds}")
+        self.path = Path(path)
+        self.interval_seconds = float(interval_seconds)
+        self._last_write: float | None = None
+        self.snapshots_written = 0
+
+    def write(self, registry: MetricsRegistry, timestamp: float | None = None) -> dict:
+        """Force one snapshot line; returns the record written."""
+        now = time.time() if timestamp is None else float(timestamp)
+        record = {"unix_time": now, **registry.snapshot()}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        self._last_write = time.monotonic()
+        self.snapshots_written += 1
+        return record
+
+    def maybe_write(self, registry: MetricsRegistry) -> dict | None:
+        """Snapshot if at least ``interval_seconds`` elapsed since the last.
+
+        The first call always writes.  Returns the record, or ``None``
+        when the interval has not elapsed yet.
+        """
+        now = time.monotonic()
+        if self._last_write is not None and now - self._last_write < self.interval_seconds:
+            return None
+        return self.write(registry)
+
+    def __repr__(self) -> str:
+        return (
+            f"JsonlSink({str(self.path)!r}, interval_seconds={self.interval_seconds}, "
+            f"snapshots_written={self.snapshots_written})"
+        )

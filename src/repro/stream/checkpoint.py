@@ -33,11 +33,14 @@ be reloaded.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
 from repro.nn import Adam
 from repro.nn.serialization import model_from_config, model_to_config
@@ -51,6 +54,14 @@ _FORMAT = "repro.stream.checkpoint"
 _VERSION = 1
 
 
+def _library_version() -> str:
+    # Imported lazily: repro.stream.checkpoint loads while the repro
+    # package itself is still initialising.
+    import repro
+
+    return repro.__version__
+
+
 @dataclass
 class StreamCheckpoint:
     """A restored pipeline: detector, optional mitigator, engine config."""
@@ -59,6 +70,9 @@ class StreamCheckpoint:
     mitigator: StreamingMitigator | None
     feedback: bool
     extra: dict[str, np.ndarray]
+    #: Provenance recorded at save time: library/numpy versions and the
+    #: creation timestamp (empty for checkpoints predating PR 6).
+    library: dict = field(default_factory=dict)
 
     def engine(self) -> StreamReplayEngine:
         """Rebuild the replay engine exactly as it was saved.
@@ -108,6 +122,8 @@ def save_checkpoint(
     an offline fleet matrix) in the same file.  Returns the written
     path (always with the ``.npz`` suffix).
     """
+    reg = obs.registry()
+    save_start = time.perf_counter()
     if isinstance(pipeline, StreamReplayEngine):
         detector = pipeline.detector
         mitigator = pipeline.mitigator
@@ -125,6 +141,18 @@ def save_checkpoint(
     meta = {
         "format": _FORMAT,
         "version": _VERSION,
+        # Provenance: which build wrote this archive, and when.  Read
+        # back at load time to warn on cross-version restores.
+        "library": {
+            "version": _library_version(),
+            "numpy": np.__version__,
+            "created_unix": time.time(),
+        },
+        # Forward-compat stub for sharded fleet checkpoints (ROADMAP:
+        # 100k–1M stations snapshot per shard).  A single-file archive is
+        # always shard 0 of 1; loaders reject anything else until the
+        # sharded reader exists.
+        "sharding": {"shards": 1, "shard_index": 0},
         "detector": {
             "n_stations": detector.n_stations,
             "percentile": detector.percentile,
@@ -162,6 +190,18 @@ def save_checkpoint(
         path = path.with_name(path.name + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
+    if reg.enabled:
+        reg.histogram(
+            "repro_stream_checkpoint_save_seconds",
+            help="Wall-clock of save_checkpoint.",
+        ).observe(time.perf_counter() - save_start)
+        reg.counter(
+            "repro_stream_checkpoint_saves_total", help="Checkpoints written."
+        ).inc()
+        reg.gauge(
+            "repro_stream_checkpoint_bytes",
+            help="Size of the most recently written checkpoint archive.",
+        ).set(float(path.stat().st_size))
     return path
 
 
@@ -173,6 +213,8 @@ def load_checkpoint(path: str | Path) -> StreamCheckpoint:
     (rebuilt under the dtype the model was saved with, so inference
     arithmetic is unchanged).
     """
+    reg = obs.registry()
+    load_start = time.perf_counter()
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
         arrays = {key: archive[key] for key in archive.files}
@@ -185,6 +227,27 @@ def load_checkpoint(path: str | Path) -> StreamCheckpoint:
         raise ValueError(
             f"checkpoint version {meta.get('version')!r} is not supported "
             f"(this build reads version {_VERSION})"
+        )
+    # Provenance (absent from pre-PR-6 archives): resuming across
+    # library versions is allowed — state layouts are strictly validated
+    # downstream — but worth a warning, since bit-exact resume parity is
+    # only promised within one build.
+    library = dict(meta.get("library") or {})
+    saved_version = library.get("version")
+    if saved_version is not None and saved_version != _library_version():
+        warnings.warn(
+            f"checkpoint {path.name} was written by repro {saved_version}, "
+            f"loading under repro {_library_version()}; resume parity is "
+            "only guaranteed within one library version",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    sharding = meta.get("sharding") or {"shards": 1, "shard_index": 0}
+    if sharding.get("shards", 1) != 1:
+        raise ValueError(
+            f"checkpoint {path.name} is shard {sharding.get('shard_index')} of "
+            f"{sharding.get('shards')}; sharded checkpoints are not supported "
+            "yet — load each shard with the (future) sharded reader"
         )
 
     # Autoencoder: rebuild the exact saved architecture (including its
@@ -224,9 +287,19 @@ def load_checkpoint(path: str | Path) -> StreamCheckpoint:
         )
         mitigator.load_state_dict(unnest(arrays, "mitigator"))
 
-    return StreamCheckpoint(
+    restored = StreamCheckpoint(
         detector=detector,
         mitigator=mitigator,
         feedback=bool(meta["feedback"]),
         extra=unnest(arrays, "extra"),
+        library=library,
     )
+    if reg.enabled:
+        reg.histogram(
+            "repro_stream_checkpoint_load_seconds",
+            help="Wall-clock of load_checkpoint.",
+        ).observe(time.perf_counter() - load_start)
+        reg.counter(
+            "repro_stream_checkpoint_loads_total", help="Checkpoints restored."
+        ).inc()
+    return restored

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.anomaly.autoencoder import LSTMAutoencoder
 from repro.data.windowing import sliding_windows
 from repro.stream._state import StateDict, check_keys, nest, scalar, take, unnest
@@ -249,69 +250,83 @@ class StreamingDetector:
         ``missing="impute"`` it is treated as a missing observation (see
         the class docstring).
         """
+        reg = obs.registry()
+        no_anchor_imputes = 0
         # Validate ONCE; every downstream bank gets pre-checked arrays.
-        values, station_index = check_tick(values, stations, self.n_stations)
-        miss = np.isnan(values)
-        missing_full = np.zeros(self.n_stations, dtype=bool)
-        if miss.any():
-            if self.missing == "raise":
-                raise ValueError(
-                    f"{int(miss.sum())} NaN reading(s) at tick {self.tick}; "
-                    "missing readings are rejected by default — construct the "
-                    "detector with missing='impute' to accept them"
-                )
-            missing_full[station_index[miss]] = True
-            self.missing_counts[station_index[miss]] += 1
-            present = ~miss
-            scaled = np.empty_like(values)
-            if self.scaler is not None:
-                if present.any():
-                    # Only real readings fold into the bounds.
-                    scaled[present] = self.scaler.ingest_tick_checked(
-                        values[present], station_index[present]
+        with reg.span("repro_stream_validate"):
+            values, station_index = check_tick(values, stations, self.n_stations)
+        with reg.span("repro_stream_scale_buffer"):
+            miss = np.isnan(values)
+            missing_full = np.zeros(self.n_stations, dtype=bool)
+            if miss.any():
+                if self.missing == "raise":
+                    raise ValueError(
+                        f"{int(miss.sum())} NaN reading(s) at tick {self.tick}; "
+                        "missing readings are rejected by default — construct the "
+                        "detector with missing='impute' to accept them"
                     )
-                floor = self.scaler.feature_range[0]
+                missing_full[station_index[miss]] = True
+                self.missing_counts[station_index[miss]] += 1
+                present = ~miss
+                scaled = np.empty_like(values)
+                if self.scaler is not None:
+                    if present.any():
+                        # Only real readings fold into the bounds.
+                        scaled[present] = self.scaler.ingest_tick_checked(
+                            values[present], station_index[present]
+                        )
+                    floor = self.scaler.feature_range[0]
+                else:
+                    scaled[present] = values[present]
+                    floor = 0.0
+                # Causal impute in scaled space: the station's last buffered
+                # value (which reflects closed-loop repairs), or the scale
+                # floor for a buffer that has never seen a reading.
+                miss_idx = station_index[miss]
+                if reg.enabled:
+                    # Imputes with no buffered anchor degrade to the floor.
+                    no_anchor_imputes = int((self.buffers.counts[miss_idx] < 1).sum())
+                scaled[miss] = np.where(
+                    self.buffers.counts[miss_idx] >= 1,
+                    self.buffers.last(miss_idx),
+                    floor,
+                )
+            elif self.scaler is not None:
+                # Fused fit+transform: raises on an unscalable reading
+                # BEFORE committing bounds, matching the block path's ordering.
+                scaled = self.scaler.ingest_tick_checked(values, station_index)
             else:
-                scaled[present] = values[present]
-                floor = 0.0
-            # Causal impute in scaled space: the station's last buffered
-            # value (which reflects closed-loop repairs), or the scale
-            # floor for a buffer that has never seen a reading.
-            miss_idx = station_index[miss]
-            scaled[miss] = np.where(
-                self.buffers.counts[miss_idx] >= 1,
-                self.buffers.last(miss_idx),
-                floor,
-            )
-        elif self.scaler is not None:
-            # Fused fit+transform: raises on an unscalable reading
-            # BEFORE committing bounds, matching the block path's ordering.
-            scaled = self.scaler.ingest_tick_checked(values, station_index)
-        else:
-            scaled = values
-        self.buffers.push_checked(scaled, station_index)
+                scaled = values
+            self.buffers.push_checked(scaled, station_index)
 
         scores = np.full(self.n_stations, np.nan)
         flags = np.zeros(self.n_stations, dtype=bool)
         due = station_index[self.buffers.ready[station_index]]
         if due.size:
-            windows = self.buffers.windows(due)
-            # The micro-batch: one forward pass for every due station.
-            scores[due] = self.autoencoder.window_errors(windows[:, :, None])
-            thresholds = self.thresholds[due]
-            with np.errstate(invalid="ignore"):
-                flags[due] = scores[due] > np.nan_to_num(thresholds, nan=np.inf)
-            # An absent reading is never flagged (the score judged an
-            # imputed stand-in, not a sensor value).
-            flags &= ~missing_full
-            if self.adaptive is not None:
-                # Guarded adaptation: flagged scores never move the
-                # boundary, and neither do windows closed by an impute.
-                clean = due[~flags[due] & ~missing_full[due]]
-                if clean.size:
-                    self.adaptive.update_checked(scores[clean], clean)
+            with reg.span("repro_stream_forward"):
+                windows = self.buffers.windows(due)
+                # The micro-batch: one forward pass for every due station.
+                scores[due] = self.autoencoder.window_errors(windows[:, :, None])
+            with reg.span("repro_stream_threshold"):
+                thresholds = self.thresholds[due]
+                with np.errstate(invalid="ignore"):
+                    flags[due] = scores[due] > np.nan_to_num(thresholds, nan=np.inf)
+                # An absent reading is never flagged (the score judged an
+                # imputed stand-in, not a sensor value).
+                flags &= ~missing_full
+                if self.adaptive is not None:
+                    # Guarded adaptation: flagged scores never move the
+                    # boundary, and neither do windows closed by an impute.
+                    clean = due[~flags[due] & ~missing_full[due]]
+                    if clean.size:
+                        self.adaptive.update_checked(scores[clean], clean)
         scored = np.zeros(self.n_stations, dtype=bool)
         scored[due] = True
+        if reg.enabled:
+            self._record_obs(
+                reg, values.size, int(flags.sum()), int(missing_full.sum()),
+                no_anchor_imputes,
+            )
         result = TickResult(
             tick=self.tick,
             scored=scored,
@@ -350,62 +365,76 @@ class StreamingDetector:
         the class docstring); ``B = 1`` impute semantics coincide with
         :meth:`process_tick`.
         """
-        values, station_index = check_block(values, stations, self.n_stations)
+        reg = obs.registry()
+        no_anchor_imputes = 0
+        with reg.span("repro_stream_validate"):
+            values, station_index = check_block(values, stations, self.n_stations)
         k, block = values.shape
         length = self.sequence_length
 
-        miss = np.isnan(values)
-        any_missing = bool(miss.any())
-        if any_missing and self.missing == "raise":
-            raise ValueError(
-                f"{int(miss.sum())} NaN reading(s) in block starting at tick "
-                f"{self.tick}; missing readings are rejected by default — "
-                "construct the detector with missing='impute' to accept them"
-            )
-        present = ~miss if any_missing else None
+        with reg.span("repro_stream_scale_buffer"):
+            miss = np.isnan(values)
+            any_missing = bool(miss.any())
+            if any_missing and self.missing == "raise":
+                raise ValueError(
+                    f"{int(miss.sum())} NaN reading(s) in block starting at tick "
+                    f"{self.tick}; missing readings are rejected by default — "
+                    "construct the detector with missing='impute' to accept them"
+                )
+            present = ~miss if any_missing else None
 
-        if self.scaler is not None:
-            # Transform BEFORE committing bounds: the block transform
-            # replays the per-column running bounds internally (missing
-            # entries excluded from the bounds and the finiteness check).
-            scaled = self.scaler.transform_block_checked(
-                values, station_index, present
-            )
-            self.scaler.partial_fit_block_checked(values, station_index, present)
-        elif any_missing:
-            scaled = values.copy()
-        else:
-            scaled = values
-        if any_missing:
-            self.missing_counts[station_index] += miss.sum(axis=1)
-            # Causal impute in scaled space, forward-filled along the
-            # block: each missing entry takes the most recent present
-            # scaled value, carrying in the pre-block buffered value (or
-            # the scale floor for a never-written buffer) — exactly what
-            # B sequential process_tick imputes would have produced.
-            floor = self.scaler.feature_range[0] if self.scaler is not None else 0.0
-            carry = np.where(
-                self.buffers.counts[station_index] >= 1,
-                self.buffers.last(station_index),
-                floor,
-            )
-            ext = np.concatenate([carry[:, None], scaled], axis=1)
-            ext_present = np.concatenate(
-                [np.ones((k, 1), dtype=bool), present], axis=1
-            )
-            anchor = np.maximum.accumulate(
-                np.where(ext_present, np.arange(block + 1)[None, :], 0), axis=1
-            )
-            filled = np.take_along_axis(ext, anchor, axis=1)[:, 1:]
-            scaled = np.where(present, scaled, filled)
+            if self.scaler is not None:
+                # Transform BEFORE committing bounds: the block transform
+                # replays the per-column running bounds internally (missing
+                # entries excluded from the bounds and the finiteness check).
+                scaled = self.scaler.transform_block_checked(
+                    values, station_index, present
+                )
+                self.scaler.partial_fit_block_checked(values, station_index, present)
+            elif any_missing:
+                scaled = values.copy()
+            else:
+                scaled = values
+            if any_missing:
+                self.missing_counts[station_index] += miss.sum(axis=1)
+                # Causal impute in scaled space, forward-filled along the
+                # block: each missing entry takes the most recent present
+                # scaled value, carrying in the pre-block buffered value (or
+                # the scale floor for a never-written buffer) — exactly what
+                # B sequential process_tick imputes would have produced.
+                floor = self.scaler.feature_range[0] if self.scaler is not None else 0.0
+                carry = np.where(
+                    self.buffers.counts[station_index] >= 1,
+                    self.buffers.last(station_index),
+                    floor,
+                )
+                ext = np.concatenate([carry[:, None], scaled], axis=1)
+                ext_present = np.concatenate(
+                    [np.ones((k, 1), dtype=bool), present], axis=1
+                )
+                anchor = np.maximum.accumulate(
+                    np.where(ext_present, np.arange(block + 1)[None, :], 0), axis=1
+                )
+                if reg.enabled:
+                    # Missing entries whose forward-fill anchor is the
+                    # carry of a never-written buffer took the floor.
+                    no_anchor_imputes = int(
+                        (
+                            miss
+                            & (anchor[:, 1:] == 0)
+                            & (self.buffers.counts[station_index] < 1)[:, None]
+                        ).sum()
+                    )
+                filled = np.take_along_axis(ext, anchor, axis=1)[:, 1:]
+                scaled = np.where(present, scaled, filled)
 
-        # History tail ‖ block: window ending at block column t is
-        # extended[:, t : t + L] — a strided view, no per-tick Python.
-        counts_before = self.buffers.counts[station_index].copy()
-        tail = self.buffers.recent(length - 1, station_index)
-        self.buffers.push_block_checked(scaled, station_index)
-        extended = np.concatenate([tail, scaled], axis=1)
-        windows = np.lib.stride_tricks.sliding_window_view(extended, length, axis=1)
+            # History tail ‖ block: window ending at block column t is
+            # extended[:, t : t + L] — a strided view, no per-tick Python.
+            counts_before = self.buffers.counts[station_index].copy()
+            tail = self.buffers.recent(length - 1, station_index)
+            self.buffers.push_block_checked(scaled, station_index)
+            extended = np.concatenate([tail, scaled], axis=1)
+            windows = np.lib.stride_tricks.sliding_window_view(extended, length, axis=1)
 
         # Column t completes a window iff the station had accumulated
         # length-1-t readings beforehand.
@@ -420,30 +449,37 @@ class StreamingDetector:
             missing_full[station_index] = miss
         rows, cols = np.nonzero(due)
         if rows.size:
-            # ONE forward pass for every completed window in the block.
-            errors = self.autoencoder.window_errors(windows[rows, cols][:, :, None])
-            scores[station_index[rows], cols] = errors
-            thresholds = self.thresholds[station_index[rows]]
-            with np.errstate(invalid="ignore"):
-                flags[station_index[rows], cols] = errors > np.nan_to_num(
-                    thresholds, nan=np.inf
-                )
-            if any_missing:
-                # An absent reading is never flagged (the score judged
-                # an imputed stand-in, not a sensor value).
-                flags[station_index] &= present
-            if self.adaptive is not None:
-                # Guarded, block-granular adaptation: sweep the block's
-                # clean scores (flagged and imputed ones pre-masked out)
-                # through the sketch in column order.
-                clean = due & ~flags[station_index]
-                if any_missing:
-                    clean &= present
-                if clean.any():
-                    self.adaptive.update_block_checked(
-                        scores[station_index], station_index, mask=clean
+            with reg.span("repro_stream_forward"):
+                # ONE forward pass for every completed window in the block.
+                errors = self.autoencoder.window_errors(windows[rows, cols][:, :, None])
+            with reg.span("repro_stream_threshold"):
+                scores[station_index[rows], cols] = errors
+                thresholds = self.thresholds[station_index[rows]]
+                with np.errstate(invalid="ignore"):
+                    flags[station_index[rows], cols] = errors > np.nan_to_num(
+                        thresholds, nan=np.inf
                     )
+                if any_missing:
+                    # An absent reading is never flagged (the score judged
+                    # an imputed stand-in, not a sensor value).
+                    flags[station_index] &= present
+                if self.adaptive is not None:
+                    # Guarded, block-granular adaptation: sweep the block's
+                    # clean scores (flagged and imputed ones pre-masked out)
+                    # through the sketch in column order.
+                    clean = due & ~flags[station_index]
+                    if any_missing:
+                        clean &= present
+                    if clean.any():
+                        self.adaptive.update_block_checked(
+                            scores[station_index], station_index, mask=clean
+                        )
         scored[station_index[rows], cols] = True
+        if reg.enabled:
+            self._record_obs(
+                reg, values.size, int(flags.sum()), int(missing_full.sum()),
+                no_anchor_imputes,
+            )
         result = BlockResult(
             first_tick=self.tick,
             scored=scored,
@@ -453,6 +489,30 @@ class StreamingDetector:
         )
         self.tick += block
         return result
+
+    @staticmethod
+    def _record_obs(
+        reg, readings: int, flagged: int, missing: int, no_anchor: int
+    ) -> None:
+        """Fold one tick/block's counts into the enabled registry."""
+        reg.counter(
+            "repro_stream_readings_total", help="Readings ingested."
+        ).inc(readings)
+        if flagged:
+            reg.counter(
+                "repro_stream_flags_total", help="Readings flagged anomalous."
+            ).inc(flagged)
+        if missing:
+            reg.counter(
+                "repro_stream_missing_total",
+                help="NaN readings accepted as missing and imputed.",
+            ).inc(missing)
+        if no_anchor:
+            reg.counter(
+                "repro_stream_impute_fallback_total",
+                help="Missing readings imputed from the scale floor "
+                "(no buffered anchor yet).",
+            ).inc(no_anchor)
 
     def amend_last(
         self, values: np.ndarray, stations: np.ndarray | None = None

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.anomaly.metrics import DetectionMetrics, aggregate_detection_metrics
 from repro.attacks.scenario import AttackScenario
 from repro.data.datasets import ClientDataset
@@ -62,6 +63,11 @@ class StreamReport:
 
     @property
     def ticks_per_second(self) -> float:
+        # Guard the degenerate replays: zero ticks is zero throughput
+        # (not inf or 0/0), and a zero elapsed time with work done is
+        # "unmeasurably fast".
+        if self.n_ticks == 0:
+            return 0.0
         return self.n_ticks / self.elapsed_seconds if self.elapsed_seconds > 0 else float("inf")
 
     @property
@@ -69,7 +75,12 @@ class StreamReport:
         return self.ticks_per_second * self.n_stations
 
     def latency_quantile(self, q: float) -> float:
-        """Per-tick latency at percentile ``q`` (seconds)."""
+        """Per-tick latency at percentile ``q`` (seconds).
+
+        NaN for a zero-tick replay — there are no latencies to rank.
+        """
+        if self.latencies.size == 0:
+            return float("nan")
         return float(np.percentile(self.latencies, q))
 
     def summary(self) -> str:
@@ -77,13 +88,18 @@ class StreamReport:
         lines = [
             f"streamed {self.n_ticks} ticks x {self.n_stations} stations "
             f"in {self.elapsed_seconds:.3f}s",
-            f"throughput: {self.ticks_per_second:,.1f} ticks/s "
-            f"({self.readings_per_second:,.0f} readings/s)",
-            f"per-tick latency: mean {1e3 * float(np.mean(self.latencies)):.3f} ms, "
-            f"p50 {1e3 * self.latency_quantile(50):.3f} ms, "
-            f"p95 {1e3 * self.latency_quantile(95):.3f} ms, "
-            f"max {1e3 * float(np.max(self.latencies)):.3f} ms",
         ]
+        if self.n_ticks == 0:
+            lines.append("no ticks streamed (empty replay)")
+        else:
+            lines += [
+                f"throughput: {self.ticks_per_second:,.1f} ticks/s "
+                f"({self.readings_per_second:,.0f} readings/s)",
+                f"per-tick latency: mean {1e3 * float(np.mean(self.latencies)):.3f} ms, "
+                f"p50 {1e3 * self.latency_quantile(50):.3f} ms, "
+                f"p95 {1e3 * self.latency_quantile(95):.3f} ms, "
+                f"max {1e3 * float(np.max(self.latencies)):.3f} ms",
+            ]
         total_missing = int(self.missing.sum())
         if total_missing:
             affected = int((self.missing_counts > 0).sum())
@@ -161,6 +177,13 @@ class StreamReplayEngine:
             fallback = self.mitigator.fallback.copy()
             fallback[fill] = data_min[fill]
             self.mitigator.set_fallback(fallback)
+            reg = obs.registry()
+            if reg.enabled:
+                reg.counter(
+                    "repro_stream_fallback_wired_total",
+                    help="Stations whose no-anchor mitigation fallback was "
+                    "wired from the scaler minimum.",
+                ).inc(int(fill.sum()))
             if bool(np.isfinite(fallback).all()):
                 self._fallback_wired = True
 
@@ -203,12 +226,25 @@ class StreamReplayEngine:
                 # Newcomers join with an unset fallback.
                 self._fallback_wired = False
                 self._wire_fallback()
+        self._count_churn("add", int(n_new))
 
     def drop_stations(self, stations: np.ndarray) -> None:
         """Remove stations mid-operation: detector and mitigator together."""
+        before = self.detector.n_stations
         self.detector.drop_stations(stations)
         if self.mitigator is not None:
             self.mitigator.drop_stations(stations)
+        self._count_churn("drop", before - self.detector.n_stations)
+
+    @staticmethod
+    def _count_churn(op: str, n: int) -> None:
+        reg = obs.registry()
+        if reg.enabled:
+            reg.counter(
+                "repro_stream_churn_stations_total",
+                help="Stations added to / dropped from the fleet at runtime.",
+                labels={"op": op},
+            ).inc(n)
 
     def run(
         self,
@@ -267,6 +303,18 @@ class StreamReplayEngine:
         mitigated = fleet.copy()
         latencies = np.empty(n_ticks)
 
+        reg = obs.registry()
+        tick_hist = block_hist = None
+        if reg.enabled:
+            tick_hist = reg.histogram(
+                "repro_stream_tick_seconds",
+                help="Wall-clock per tick-mode engine step (detect + mitigate).",
+            )
+            block_hist = reg.histogram(
+                "repro_stream_block_seconds",
+                help="Wall-clock per block-mode engine step (detect + mitigate).",
+            )
+
         start = time.perf_counter()
         if block_size == 1:
             for tick in range(n_ticks):
@@ -278,22 +326,25 @@ class StreamReplayEngine:
                 if result.missing is not None:
                     missing[:, tick] = result.missing
                 if self.mitigator is not None:
-                    # Missing readings are repaired exactly like flagged
-                    # ones: the policy's causal impute replaces the NaN.
-                    repair = flags[:, tick] | missing[:, tick]
-                    mitigated[:, tick] = self.mitigator.mitigate(
-                        fleet[:, tick], repair
-                    )
-                    if self.feedback and repair.any():
-                        writeback = self._writeback_mask(
-                            repair, mitigated[:, tick]
+                    with reg.span("repro_stream_mitigate"):
+                        # Missing readings are repaired exactly like flagged
+                        # ones: the policy's causal impute replaces the NaN.
+                        repair = flags[:, tick] | missing[:, tick]
+                        mitigated[:, tick] = self.mitigator.mitigate(
+                            fleet[:, tick], repair
                         )
-                        if writeback.any():
-                            stations = np.nonzero(writeback)[0]
-                            self.detector.amend_last(
-                                mitigated[stations, tick], stations
+                        if self.feedback and repair.any():
+                            writeback = self._writeback_mask(
+                                repair, mitigated[:, tick]
                             )
+                            if writeback.any():
+                                stations = np.nonzero(writeback)[0]
+                                self.detector.amend_last(
+                                    mitigated[stations, tick], stations
+                                )
                 latencies[tick] = time.perf_counter() - tick_start
+                if tick_hist is not None:
+                    tick_hist.observe(latencies[tick])
         else:
             for first in range(0, n_ticks, block_size):
                 block_start = time.perf_counter()
@@ -305,24 +356,37 @@ class StreamReplayEngine:
                 if result.missing is not None:
                     missing[:, sl] = result.missing
                 if self.mitigator is not None:
-                    repair = flags[:, sl] | missing[:, sl]
-                    mitigated[:, sl] = self.mitigator.mitigate_block(
-                        fleet[:, sl], repair
-                    )
-                    if self.feedback and repair.any():
-                        # Mask-restricted: only repaired entries are
-                        # written back, so clean readings keep the
-                        # running-bounds scaling they were buffered with.
-                        writeback = self._writeback_mask(
-                            repair, mitigated[:, sl]
+                    with reg.span("repro_stream_mitigate"):
+                        repair = flags[:, sl] | missing[:, sl]
+                        mitigated[:, sl] = self.mitigator.mitigate_block(
+                            fleet[:, sl], repair
                         )
-                        if writeback.any():
-                            self.detector.amend_block(
-                                mitigated[:, sl], flags=writeback
+                        if self.feedback and repair.any():
+                            # Mask-restricted: only repaired entries are
+                            # written back, so clean readings keep the
+                            # running-bounds scaling they were buffered with.
+                            writeback = self._writeback_mask(
+                                repair, mitigated[:, sl]
                             )
+                            if writeback.any():
+                                self.detector.amend_block(
+                                    mitigated[:, sl], flags=writeback
+                                )
                 block_ticks = sl.stop - sl.start
-                latencies[sl] = (time.perf_counter() - block_start) / block_ticks
+                block_elapsed = time.perf_counter() - block_start
+                latencies[sl] = block_elapsed / block_ticks
+                if block_hist is not None:
+                    block_hist.observe(block_elapsed)
         elapsed = time.perf_counter() - start
+        if reg.enabled:
+            reg.counter(
+                "repro_stream_replay_runs_total", help="Replay engine runs."
+            ).inc()
+            if n_ticks and elapsed > 0:
+                reg.gauge(
+                    "repro_stream_readings_per_second",
+                    help="Throughput of the most recent replay run.",
+                ).set(n_ticks * n_stations / elapsed)
 
         metrics = None
         if labels is not None:

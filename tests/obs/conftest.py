@@ -1,0 +1,35 @@
+"""Shared fixtures for the observability suite.
+
+Every test here manipulates the module-level registry switch, and the
+tier-1 suite also runs with ``REPRO_OBS=1`` (one CI leg), so the global
+state is snapshotted around every test: whatever a test enables,
+disables or swaps is undone before the next one runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_state():
+    """Snapshot/restore the module-level registry switch around each test."""
+    active, last = obs._active, obs._last
+    yield
+    obs._active, obs._last = active, last
+
+
+@pytest.fixture
+def fresh_registry():
+    """A brand-new enabled registry, active for the duration of the test."""
+    registry = obs.enable(obs.MetricsRegistry())
+    yield registry
+
+
+@pytest.fixture
+def obs_disabled():
+    """Force the disabled path regardless of the ambient REPRO_OBS."""
+    obs.disable()
+    yield

@@ -1,0 +1,111 @@
+"""Golden tests for the Prometheus text format and the JSONL sink.
+
+The renderer promises deterministic output (sorted metrics, pre-sorted
+labels), so these compare byte-for-byte against hand-written expected
+text — any accidental format drift fails loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MetricsRegistry, render_prometheus, series_name
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_counter_and_gauge_golden(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", help="Total hits.").inc(3)
+        registry.gauge("repro_depth", help="Queue depth.").set(2.5)
+        assert render_prometheus(registry) == (
+            "# HELP repro_depth Queue depth.\n"
+            "# TYPE repro_depth gauge\n"
+            "repro_depth 2.5\n"
+            "# HELP repro_hits_total Total hits.\n"
+            "# TYPE repro_hits_total counter\n"
+            "repro_hits_total 3\n"
+        )
+
+    def test_histogram_golden_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat", help="Latency.", buckets=(0.5, 1.0))
+        hist.observe(0.25)
+        hist.observe(0.75)
+        hist.observe(9.0)
+        assert render_prometheus(registry) == (
+            "# HELP repro_lat Latency.\n"
+            "# TYPE repro_lat histogram\n"
+            'repro_lat_bucket{le="0.5"} 1\n'
+            'repro_lat_bucket{le="1"} 2\n'
+            'repro_lat_bucket{le="+Inf"} 3\n'
+            "repro_lat_sum 10\n"  # integral sums render without the .0
+            "repro_lat_count 3\n"
+        )
+
+    def test_labelled_series_share_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", help="Ops.", labels={"op": "add"}).inc()
+        registry.counter("repro_ops_total", labels={"op": "drop"}).inc(2)
+        assert render_prometheus(registry) == (
+            "# HELP repro_ops_total Ops.\n"
+            "# TYPE repro_ops_total counter\n"
+            'repro_ops_total{op="add"} 1\n'
+            'repro_ops_total{op="drop"} 2\n'
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"path": 'a"b\\c\nd'}).inc()
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in render_prometheus(registry)
+
+    def test_histogram_labels_combine_with_le(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", labels={"zone": "A"}, buckets=(1.0,)).observe(0.5)
+        text = render_prometheus(registry)
+        assert 'h_bucket{zone="A",le="1"} 1' in text
+        assert 'h_bucket{zone="A",le="+Inf"} 1' in text
+        assert 'h_sum{zone="A"} 0.5' in text
+        assert 'h_count{zone="A"} 1' in text
+
+    def test_series_name_renders_labels_inline(self):
+        registry = MetricsRegistry()
+        metric = registry.counter("c_total", labels={"b": "2", "a": "1"})
+        assert series_name(metric) == 'c_total{a="1",b="2"}'
+
+
+class TestJsonlSink:
+    def test_write_appends_parseable_lines(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        sink = JsonlSink(tmp_path / "sub" / "metrics.jsonl")
+        sink.write(registry, timestamp=100.0)
+        registry.counter("c_total").inc()
+        sink.write(registry, timestamp=200.0)
+        lines = [json.loads(line) for line in sink.path.read_text().splitlines()]
+        assert [line["unix_time"] for line in lines] == [100.0, 200.0]
+        assert lines[0]["counters"]["c_total"]["value"] == 2.0
+        assert lines[1]["counters"]["c_total"]["value"] == 3.0
+        assert sink.snapshots_written == 2
+
+    def test_maybe_write_respects_interval(self, tmp_path):
+        registry = MetricsRegistry()
+        sink = JsonlSink(tmp_path / "metrics.jsonl", interval_seconds=3600.0)
+        assert sink.maybe_write(registry) is not None  # first call always writes
+        assert sink.maybe_write(registry) is None
+        assert sink.snapshots_written == 1
+        # A forced write ignores the interval entirely.
+        assert sink.write(registry)["unix_time"] > 0
+        assert sink.snapshots_written == 2
+
+    def test_zero_interval_writes_every_call(self, tmp_path):
+        registry = MetricsRegistry()
+        sink = JsonlSink(tmp_path / "metrics.jsonl")
+        assert sink.maybe_write(registry) is not None
+        assert sink.maybe_write(registry) is not None
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 0"):
+            JsonlSink(tmp_path / "metrics.jsonl", interval_seconds=-1.0)

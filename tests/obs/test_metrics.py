@@ -1,0 +1,217 @@
+"""Metric primitives, the registry, and the module-level switch."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, _NULL_METRIC, _NULL_SPAN
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(4.5)
+        assert counter.value == 5.5
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("requests_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad-name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_value_on_bound_lands_in_that_bucket(self):
+        # Prometheus le semantics: observation <= bound counts there.
+        hist = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(3.0)
+        hist.observe(100.0)
+        np.testing.assert_array_equal(hist.bucket_counts, [1, 1, 1, 1])
+        np.testing.assert_array_equal(hist.cumulative_counts(), [1, 2, 3, 4])
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_observe_many_matches_scalar_observe(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 12.0, size=257)
+        batched = Histogram("lat", buckets=(1.0, 2.0, 4.0, 8.0))
+        looped = Histogram("lat", buckets=(1.0, 2.0, 4.0, 8.0))
+        batched.observe_many(values)
+        for value in values:
+            looped.observe(float(value))
+        np.testing.assert_array_equal(batched.bucket_counts, looped.bucket_counts)
+        assert batched.count == looped.count
+        assert batched.sum == pytest.approx(looped.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        hist = Histogram("lat", buckets=(1.0,))
+        hist.observe_many(np.empty(0))
+        assert hist.count == 0
+
+    @pytest.mark.parametrize("buckets", [(), (2.0, 1.0), (1.0, 1.0), (1.0, float("inf"))])
+    def test_rejects_bad_bounds(self, buckets):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=buckets)
+
+    def test_default_buckets_cover_latency_range(self):
+        hist = Histogram("lat")
+        assert hist.buckets.size == len(DEFAULT_LATENCY_BUCKETS)
+        hist.observe(3e-5)
+        hist.observe(42.0)  # beyond the last bound -> +Inf bucket
+        counts = hist.bucket_counts
+        assert counts[-1] == 1
+        assert counts.sum() == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", help="Hits.")
+        second = registry.counter("hits_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"b": "2", "a": "1"})
+        b = registry.counter("hits_total", labels={"a": "1", "b": "2"})
+        assert a is b
+        assert a.labels == (("a", "1"), ("b", "2"))
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"zone": "A"})
+        b = registry.counter("hits_total", labels={"zone": "B"})
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+    def test_invalid_label_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("hits_total", labels={"bad-key": "x"})
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError, match="already registered as a counter"):
+            registry.gauge("thing")
+
+    def test_span_times_into_named_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("stage"):
+            pass
+        hist = registry.histogram("stage_seconds")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_span_is_reusable_across_entries(self):
+        registry = MetricsRegistry()
+        span = registry.span("stage")
+        for _ in range(3):
+            with span:
+                pass
+        assert registry.histogram("stage_seconds").count == 3
+
+    def test_collect_is_sorted_and_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.gauge("zz")
+        registry.counter("aa")
+        assert [m.name for m in registry.collect()] == ["aa", "zz"]
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_snapshot_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["c_total"] == {"value": 2.0}
+        assert snap["gauges"]["g"] == {"value": 1.5}
+        assert snap["histograms"]["h"] == {
+            "count": 1,
+            "sum": 0.5,
+            "buckets": {"1.0": 1, "+Inf": 1},
+        }
+
+
+class TestNullRegistry:
+    def test_accessors_return_shared_singletons(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.gauge("b") is null.histogram("c")
+        assert null.counter("a") is _NULL_METRIC
+        assert null.span("x") is null.span("y") is _NULL_SPAN
+        assert not null.enabled
+        assert len(null) == 0
+
+    def test_mutations_are_absorbed(self):
+        null = NullRegistry()
+        null.counter("a").inc(5)
+        null.gauge("b").set(3)
+        null.histogram("c").observe(1.0)
+        null.histogram("c").observe_many(np.ones(4))
+        with null.span("stage"):
+            pass
+        assert null.collect() == []
+        assert null.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestModuleSwitch:
+    def test_enable_is_idempotent(self):
+        first = obs.enable()
+        second = obs.enable()
+        assert first is second
+        assert obs.enabled()
+        assert obs.registry() is first
+
+    def test_disable_then_enable_resumes_same_registry(self):
+        registry = obs.enable(obs.MetricsRegistry())
+        registry.counter("kept_total").inc()
+        obs.disable()
+        assert not obs.enabled()
+        assert isinstance(obs.registry(), NullRegistry)
+        resumed = obs.enable()
+        assert resumed is registry
+        assert resumed.counter("kept_total").value == 1.0
+
+    def test_enable_with_fresh_registry_swaps(self):
+        old = obs.enable(obs.MetricsRegistry())
+        new = obs.enable(obs.MetricsRegistry())
+        assert new is not old
+        assert obs.registry() is new
+
+    def test_enable_rejects_non_registry(self):
+        with pytest.raises(TypeError, match="MetricsRegistry"):
+            obs.enable(NullRegistry())
+
+    @pytest.mark.parametrize(
+        "value,expect", [("1", True), ("true", True), ("ON", True), ("0", False), ("", False)]
+    )
+    def test_env_var_enables_at_import(self, value, expect):
+        env = {**os.environ, obs.ENV_VAR: value}
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        code = "from repro import obs; print(obs.enabled())"
+        out = subprocess.run([sys.executable, "-c", code], env=env, capture_output=True, text=True)
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == str(expect)

@@ -299,3 +299,69 @@ class TestComponentStateDicts:
         without = StreamingDetector(small_autoencoder, 2, threshold=0.5)
         with pytest.raises(ValueError, match="unexpected"):
             without.load_state_dict(with_scaler.state_dict())
+
+def _rewrite_meta(path, mutate):
+    """Reload an archive, apply ``mutate`` to its meta dict, save in place."""
+    import json
+
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    meta = json.loads(str(arrays["meta"]))
+    mutate(meta)
+    arrays["meta"] = np.asarray(json.dumps(meta))
+    np.savez(path, **arrays)
+
+
+class TestCheckpointProvenance:
+    """Creation metadata: library versions in, warnings out."""
+
+    @pytest.fixture
+    def saved(self, small_autoencoder, tmp_path):
+        fleet = synthesize_fleet(2, 20, seed=4)
+        engine = _pipeline(small_autoencoder, fleet, "hold_last_good", None)
+        engine.run(fleet, block_size=5)
+        return save_checkpoint(tmp_path / "prov", engine)
+
+    def test_save_records_library_metadata(self, saved):
+        import repro
+
+        restored = load_checkpoint(saved)
+        assert restored.library["version"] == repro.__version__
+        assert restored.library["numpy"] == np.__version__
+        assert restored.library["created_unix"] > 0
+
+    def test_same_version_load_does_not_warn(self, saved):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            load_checkpoint(saved)
+
+    def test_cross_version_load_warns_but_loads(self, saved):
+        _rewrite_meta(saved, lambda m: m["library"].__setitem__("version", "0.0.1"))
+        with pytest.warns(RuntimeWarning, match="written by repro 0.0.1"):
+            restored = load_checkpoint(saved)
+        assert restored.library["version"] == "0.0.1"
+        assert restored.detector.tick == 20  # state still restored in full
+
+    def test_legacy_archive_without_provenance_loads_silently(self, saved):
+        """Pre-provenance archives (no library/sharding keys) stay loadable."""
+        import warnings
+
+        def strip(meta):
+            meta.pop("library")
+            meta.pop("sharding")
+
+        _rewrite_meta(saved, strip)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            restored = load_checkpoint(saved)
+        assert restored.library == {}
+
+    def test_sharded_archive_rejected_for_now(self, saved):
+        def shard(meta):
+            meta["sharding"] = {"shards": 4, "shard_index": 2}
+
+        _rewrite_meta(saved, shard)
+        with pytest.raises(ValueError, match="shard 2 of 4"):
+            load_checkpoint(saved)

@@ -177,3 +177,41 @@ class TestFleetAdapters:
             synthesize_fleet(0, 10)
         with pytest.raises(ValueError, match="n_ticks"):
             synthesize_fleet(2, 0)
+
+class TestZeroTickReport:
+    """Regression: degenerate zero-tick replays must not divide by zero.
+
+    An empty replay (station churn drained the queue, a guard clause
+    returned early, a smoke profile sized to nothing) used to make
+    ``ticks_per_second`` raise and ``latency_quantile`` blow up inside
+    ``np.percentile``; now it reports zero throughput, NaN latency and a
+    summary that says so.
+    """
+
+    def test_empty_replay_reports_gracefully(self, small_autoencoder):
+        fleet = synthesize_fleet(3, 20, seed=2)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        report = engine.run(fleet[:, :0])
+        assert report.n_ticks == 0
+        assert report.ticks_per_second == 0.0
+        assert report.readings_per_second == 0.0
+        assert np.isnan(report.latency_quantile(50))
+        assert np.isnan(report.latency_quantile(95))
+        summary = report.summary()
+        assert "no ticks streamed" in summary
+        assert "throughput" not in summary
+
+    def test_zero_elapsed_with_ticks_is_unmeasurably_fast(self, small_autoencoder):
+        from repro.stream.engine import StreamReport
+
+        report = StreamReport(
+            n_stations=2,
+            n_ticks=5,
+            elapsed_seconds=0.0,
+            latencies=np.zeros(5),
+            flags=np.zeros((2, 5), dtype=bool),
+            scores=np.zeros((2, 5)),
+            mitigated=np.zeros((2, 5)),
+            missing=np.zeros((2, 5), dtype=bool),
+        )
+        assert report.ticks_per_second == float("inf")
