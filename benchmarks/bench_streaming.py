@@ -363,6 +363,95 @@ def obs_overhead_profile(args: argparse.Namespace) -> dict:
     }
 
 
+def slo_profile(args: argparse.Namespace) -> dict:
+    """Ingest→flag latency SLO under injected faults.
+
+    Serves a fleet through real loopback sockets with a
+    ``ChaosTransport`` injecting ``--slo-fault-rate`` each of
+    drop/duplicate/reorder/delay, and reports end-to-end readings/s plus
+    the p50/p99 of per-tick ingest latency (first frame arrival →
+    flag decision, watermark hold included).  Informational: no
+    ``speedup_`` keys, so nothing here is baseline-gated — the numbers
+    exist to make latency regressions visible in the artifact.
+    """
+    import asyncio
+
+    from repro.serve import ChaosTransport, IngestClient, IngestionServer, TcpTransport
+
+    config = AutoencoderConfig(
+        sequence_length=12, encoder_units=(4, 2), decoder_units=(2, 4)
+    )
+    autoencoder = LSTMAutoencoder(config, seed=args.seed)
+    stations = min(args.stations, args.slo_stations)
+    ticks = args.slo_ticks
+    rate = args.slo_fault_rate
+    fleet = synthesize_fleet(stations, ticks, seed=args.seed)
+    scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
+    detector = StreamingDetector(
+        autoencoder, stations, scaler=scaler, threshold=1.0, missing="impute"
+    )
+    engine = StreamReplayEngine(detector, mitigator="hold_last_good")
+    stations_per_client = max(1, stations // 16)
+
+    async def scenario() -> tuple[object, list, float]:
+        server = IngestionServer(
+            engine,
+            block_size=args.slo_block_size,
+            lateness=4,
+            capacity=4096,
+            queue_size=4096,
+            max_inflight=1024,
+        )
+        await server.start()
+        clients = []
+        for i in range(-(-stations // stations_per_client)):
+            transport = ChaosTransport(
+                TcpTransport("127.0.0.1", server.port),
+                drop=rate,
+                duplicate=rate,
+                reorder=rate,
+                delay=rate,
+                seed=args.seed * 7919 + i,
+            )
+            client = IngestClient(
+                client_id=f"gateway-{i}",
+                transport=transport,
+                seed=args.seed + i,
+                max_attempts=20,
+            )
+            await client.connect()
+            clients.append(client)
+        start = time.perf_counter()
+        for tick in range(ticks):
+            for station in range(stations):
+                await clients[station // stations_per_client].send(
+                    station, tick, fleet[station, tick]
+                )
+        for client in clients:
+            await client.drain(timeout=300)
+            await client.close()
+        await server.finish()
+        return server, clients, time.perf_counter() - start
+
+    server, clients, elapsed = asyncio.run(scenario())
+    latencies = np.asarray(server.ingest_latencies, dtype=np.float64)
+    acked = sum(len(client.ack_log) for client in clients)
+    return {
+        "stations": stations,
+        "ticks": ticks,
+        "block_size": args.slo_block_size,
+        "fault_rate_each": rate,
+        "faults": "drop, duplicate, reorder, delay",
+        "clients": len(clients),
+        "served_ticks": int(server.served()["ticks"].size),
+        "acked_readings": acked,
+        "ingest_readings_per_second": stations * ticks / elapsed,
+        "ingest_latency_p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+        "ingest_latency_p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+        "ingest_latency_max_ms": float(latencies.max()) * 1e3,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--stations", type=int, default=1000)
@@ -390,6 +479,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail below this micro-batch speedup (default: 10 at >=1000 stations, 3 below)",
     )
+    parser.add_argument("--slo-ticks", type=int, default=64,
+                        help="ticks served per station (slo profile)")
+    parser.add_argument("--slo-stations", type=int, default=128,
+                        help="stations cap for the slo profile (socket fan-in bound)")
+    parser.add_argument("--slo-block-size", type=int, default=8,
+                        help="detector block size in the slo profile")
+    parser.add_argument("--slo-fault-rate", type=float, default=0.01,
+                        help="per-fault injection rate (drop/dup/reorder/delay) in the slo profile")
+    parser.add_argument(
+        "--profiles",
+        default="station_batching,block,ops,obs_overhead,slo",
+        help="comma-separated subset of profiles to run",
+    )
     parser.add_argument("--output", type=Path, default=Path("BENCH_streaming.json"))
     parser.add_argument("--check", type=Path, default=None,
                         help="baseline JSON to gate speedups against")
@@ -410,6 +512,15 @@ def main(argv: list[str] | None = None) -> int:
         args.obs_ticks = min(args.obs_ticks, 33)
         # Short smoke replays are noisier; more repeats keep the 5% gate honest.
         args.obs_repeats = max(args.obs_repeats, 5)
+        args.slo_ticks = min(args.slo_ticks, 40)
+    known_profiles = ("station_batching", "block", "ops", "obs_overhead", "slo")
+    profiles = [name.strip() for name in args.profiles.split(",") if name.strip()]
+    unknown = sorted(set(profiles) - set(known_profiles))
+    if unknown:
+        parser.error(
+            f"unknown profile(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(known_profiles)}"
+        )
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 10.0 if args.stations >= 1000 else 3.0
@@ -422,67 +533,86 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": {},
     }
 
-    print(f"[bench_streaming] station_batching: {args.stations} stations ...", flush=True)
-    station = station_batching_profile(args)
-    results["workloads"]["station_batching"] = station
-    print(
-        f"micro-batched: {station['micro_batched_readings_per_second']:,.0f} readings/s | "
-        f"naive loop: {station['naive_readings_per_second']:,.0f} readings/s | "
-        f"speedup {station['speedup_micro_batched_vs_naive']:.1f}x "
-        f"(required: >= {min_speedup:.0f}x)"
-    )
+    station = obs_overhead = None
+    if "station_batching" in profiles:
+        print(f"[bench_streaming] station_batching: {args.stations} stations ...", flush=True)
+        station = station_batching_profile(args)
+        results["workloads"]["station_batching"] = station
+        print(
+            f"micro-batched: {station['micro_batched_readings_per_second']:,.0f} readings/s | "
+            f"naive loop: {station['naive_readings_per_second']:,.0f} readings/s | "
+            f"speedup {station['speedup_micro_batched_vs_naive']:.1f}x "
+            f"(required: >= {min_speedup:.0f}x)"
+        )
 
-    print(f"[bench_streaming] block: {args.stations} stations, B={args.block_size} ...", flush=True)
-    block = block_profile(args)
-    results["workloads"]["block"] = block
-    print(
-        f"pre-block reference: {block['reference_ticks_per_second']:,.1f} ticks/s | "
-        f"per-tick: {block['per_tick_ticks_per_second']:,.1f} ticks/s | "
-        f"block(B={args.block_size}): {block['block_ticks_per_second']:,.1f} ticks/s"
-    )
-    print(
-        f"block vs pre-block reference: {block['speedup_block_vs_reference_tick']:.2f}x | "
-        f"block vs per-tick: {block['speedup_block_vs_per_tick']:.2f}x | "
-        f"per-tick vs reference: {block['ratio_per_tick_vs_reference']:.2f}x"
-    )
+    if "block" in profiles:
+        print(f"[bench_streaming] block: {args.stations} stations, B={args.block_size} ...", flush=True)
+        block = block_profile(args)
+        results["workloads"]["block"] = block
+        print(
+            f"pre-block reference: {block['reference_ticks_per_second']:,.1f} ticks/s | "
+            f"per-tick: {block['per_tick_ticks_per_second']:,.1f} ticks/s | "
+            f"block(B={args.block_size}): {block['block_ticks_per_second']:,.1f} ticks/s"
+        )
+        print(
+            f"block vs pre-block reference: {block['speedup_block_vs_reference_tick']:.2f}x | "
+            f"block vs per-tick: {block['speedup_block_vs_per_tick']:.2f}x | "
+            f"per-tick vs reference: {block['ratio_per_tick_vs_reference']:.2f}x"
+        )
 
-    print(
-        f"[bench_streaming] ops: {args.stations} stations, "
-        f"{100 * args.dropout_rate:.0f}% dropout, churn ...", flush=True,
-    )
-    ops = ops_profile(args)
-    results["workloads"]["ops"] = ops
-    print(
-        f"dropout+churn replay: {ops['ops_ticks_per_second']:,.1f} ticks/s "
-        f"({ops['ops_readings_per_second']:,.0f} readings/s) | "
-        f"{ops['missing_readings']} readings imputed | "
-        f"{ops['churned_stations']} stations joined+left mid-run"
-    )
+    if "ops" in profiles:
+        print(
+            f"[bench_streaming] ops: {args.stations} stations, "
+            f"{100 * args.dropout_rate:.0f}% dropout, churn ...", flush=True,
+        )
+        ops = ops_profile(args)
+        results["workloads"]["ops"] = ops
+        print(
+            f"dropout+churn replay: {ops['ops_ticks_per_second']:,.1f} ticks/s "
+            f"({ops['ops_readings_per_second']:,.0f} readings/s) | "
+            f"{ops['missing_readings']} readings imputed | "
+            f"{ops['churned_stations']} stations joined+left mid-run"
+        )
 
-    print(
-        f"[bench_streaming] obs_overhead: {args.stations} stations, "
-        f"best of {args.obs_repeats} ...", flush=True,
-    )
-    obs_overhead = obs_overhead_profile(args)
-    results["workloads"]["obs_overhead"] = obs_overhead
-    print(
-        f"obs off: {obs_overhead['off_ticks_per_second']:,.1f} ticks/s | "
-        f"obs on: {obs_overhead['on_ticks_per_second']:,.1f} ticks/s | "
-        f"overhead {100 * obs_overhead['obs_overhead_fraction']:+.1f}% "
-        f"(allowed: <= {100 * args.obs_overhead_max:.0f}%) | outputs bit-identical"
-    )
+    if "obs_overhead" in profiles:
+        print(
+            f"[bench_streaming] obs_overhead: {args.stations} stations, "
+            f"best of {args.obs_repeats} ...", flush=True,
+        )
+        obs_overhead = obs_overhead_profile(args)
+        results["workloads"]["obs_overhead"] = obs_overhead
+        print(
+            f"obs off: {obs_overhead['off_ticks_per_second']:,.1f} ticks/s | "
+            f"obs on: {obs_overhead['on_ticks_per_second']:,.1f} ticks/s | "
+            f"overhead {100 * obs_overhead['obs_overhead_fraction']:+.1f}% "
+            f"(allowed: <= {100 * args.obs_overhead_max:.0f}%) | outputs bit-identical"
+        )
+
+    if "slo" in profiles:
+        print(
+            f"[bench_streaming] slo: {min(args.stations, args.slo_stations)} stations, "
+            f"{100 * args.slo_fault_rate:.1f}% drop/dup/reorder/delay ...", flush=True,
+        )
+        slo = slo_profile(args)
+        results["workloads"]["slo"] = slo
+        print(
+            f"served {slo['served_ticks']} ticks via {slo['clients']} chaotic clients | "
+            f"{slo['ingest_readings_per_second']:,.0f} readings/s | "
+            f"ingest→flag p50 {slo['ingest_latency_p50_ms']:.1f} ms, "
+            f"p99 {slo['ingest_latency_p99_ms']:.1f} ms"
+        )
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"[bench_streaming] wrote {args.output}")
 
-    if station["speedup_micro_batched_vs_naive"] < min_speedup:
+    if station is not None and station["speedup_micro_batched_vs_naive"] < min_speedup:
         print(
             f"[bench_streaming] FAIL: micro-batched speedup "
             f"{station['speedup_micro_batched_vs_naive']:.1f}x < {min_speedup:.0f}x"
         )
         return 1
 
-    if obs_overhead["obs_overhead_fraction"] > args.obs_overhead_max:
+    if obs_overhead is not None and obs_overhead["obs_overhead_fraction"] > args.obs_overhead_max:
         print(
             f"[bench_streaming] FAIL: observability overhead "
             f"{100 * obs_overhead['obs_overhead_fraction']:.1f}% > "

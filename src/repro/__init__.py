@@ -27,6 +27,12 @@ system and every substrate it depends on:
   micro-batched :class:`~repro.stream.detector.StreamingDetector`
   (one LSTM forward per tick for the whole fleet), causal mitigation,
   and a replay engine with throughput/latency/detection reporting.
+- :mod:`repro.serve` — the live ingestion layer: a framed, CRC-checked
+  wire protocol, an asyncio :class:`~repro.serve.server.IngestionServer`
+  (reorder buffer with lateness watermark, dedup, bounded-queue
+  backpressure, SIGTERM checkpointing with bit-exact crash recovery)
+  and a retrying :class:`~repro.serve.client.IngestClient` with a
+  chaos-injection transport for fault soak tests.
 - :mod:`repro.obs` — opt-in runtime observability: counters, gauges,
   latency histograms and stage spans threaded through the streaming,
   training and federated paths, with Prometheus text exposition and
@@ -59,6 +65,7 @@ from repro import (
     forecasting,
     nn,
     obs,
+    serve,
     stream,
     utils,
 )
@@ -74,6 +81,7 @@ __all__ = [
     "forecasting",
     "nn",
     "obs",
+    "serve",
     "stream",
     "utils",
     "__version__",

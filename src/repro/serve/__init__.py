@@ -1,0 +1,70 @@
+"""Live ingestion: the wire between sensor fleets and the detector.
+
+Everything before this package assumed readings arrive as a tidy
+``(n_stations, n_ticks)`` matrix.  Real fleets deliver them over a
+network that reorders, duplicates, delays, corrupts, and drops — so
+this package provides the serving layer:
+
+* :mod:`~repro.serve.protocol` — length-prefixed, CRC-checked frames
+  carrying ``(station, seq, timestamp, reading)``; corruption is
+  detected per-frame without losing stream sync.
+* :mod:`~repro.serve.reorder` — re-sequencing with a lateness
+  watermark, dedup by ``(station, seq)``, u32 seq unwrapping, and
+  bounded-memory backpressure.
+* :mod:`~repro.serve.server` — :class:`IngestionServer`: asyncio
+  listener → bounded queue → reorder buffer → block batcher →
+  ``engine.step_block``; BUSY backpressure (reject-new or shed-oldest),
+  SIGTERM checkpointing, bit-exact crash recovery.
+* :mod:`~repro.serve.client` — :class:`IngestClient`: idempotent
+  resend-by-seq, jittered exponential backoff, reconnect, timeouts.
+* :mod:`~repro.serve.chaos` — :class:`ChaosTransport`: seeded
+  drop/duplicate/delay/reorder/corrupt/disconnect fault injection for
+  soak tests.
+
+Quickstart::
+
+    from repro.serve import IngestionServer, IngestClient
+
+    server = IngestionServer(engine, block_size=16)   # missing="impute"
+    await server.start()
+
+    client = IngestClient(port=server.port, client_id="station-0")
+    await client.connect()
+    for tick, reading in enumerate(readings):
+        await client.send(station=0, seq=tick, reading=reading)
+    await client.drain()
+
+The guarantee worth the ceremony: the served flags/scores/mitigated
+outputs are bit-exact against an offline
+:meth:`~repro.stream.engine.StreamReplayEngine.run` over the
+effectively-delivered readings (undelivered slots as NaN missing) —
+chaos on the wire changes *which* readings arrive, never what the
+pipeline decides about the ones that do.
+"""
+
+from repro.serve.chaos import ChaosTransport
+from repro.serve.client import DeliveryError, IngestClient, TcpTransport
+from repro.serve.protocol import (
+    SEQ_MOD,
+    AckStatus,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+)
+from repro.serve.reorder import Offer, ReorderBuffer
+from repro.serve.server import IngestionServer
+
+__all__ = [
+    "AckStatus",
+    "ChaosTransport",
+    "DeliveryError",
+    "FrameDecoder",
+    "FrameType",
+    "IngestClient",
+    "IngestionServer",
+    "Offer",
+    "ProtocolError",
+    "ReorderBuffer",
+    "SEQ_MOD",
+    "TcpTransport",
+]

@@ -1,0 +1,63 @@
+"""The ingestion service's metric families, in one place.
+
+The server and the obs golden-exposition test must agree byte-for-byte
+on metric names, help strings, and histogram buckets — so both import
+this helper instead of each hand-rolling the registrations.
+"""
+
+from __future__ import annotations
+
+#: Ingest→flag latency buckets: sub-millisecond through multi-second,
+#: wide enough for a watermark-delayed tick under load.
+INGEST_LATENCY_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0)
+
+
+def ingest_metrics(reg) -> dict:
+    """Register (or fetch) every serve metric family on ``reg``."""
+    return {
+        "frames": reg.counter(
+            "repro_serve_frames_total",
+            help="DATA frames received (before dedup/watermark).",
+        ),
+        "corrupt": reg.counter(
+            "repro_serve_corrupt_frames_total",
+            help="Frames whose CRC check failed (not acked; client resends).",
+        ),
+        "accepted": reg.counter(
+            "repro_serve_accepted_total",
+            help="Readings filed into the reorder buffer.",
+        ),
+        "duplicates": reg.counter(
+            "repro_serve_duplicates_total",
+            help="Readings already delivered (retries, network dups).",
+        ),
+        "late": reg.counter(
+            "repro_serve_late_total",
+            help="Readings past the watermark, dropped as missing.",
+        ),
+        "shed": reg.counter(
+            "repro_serve_shed_total",
+            help="Queued readings shed under the shed-oldest policy.",
+        ),
+        "busy": reg.counter(
+            "repro_serve_busy_total",
+            help="BUSY frames sent (backpressure: queue full or quota).",
+        ),
+        "queue_depth": reg.gauge(
+            "repro_serve_queue_depth",
+            help="Readings waiting in the bounded ingest queue.",
+        ),
+        "pending_ticks": reg.gauge(
+            "repro_serve_pending_ticks",
+            help="Tick span buffered in the reorder window.",
+        ),
+        "ingest_latency": reg.histogram(
+            "repro_serve_ingest_latency_seconds",
+            help="First frame arrival to flag decision, per emitted tick.",
+            buckets=INGEST_LATENCY_BUCKETS,
+        ),
+        "blocks": reg.counter(
+            "repro_serve_blocks_total",
+            help="Blocks fed through the streaming detector.",
+        ),
+    }

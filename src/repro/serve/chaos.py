@@ -1,0 +1,176 @@
+"""Seeded fault injection between client and server.
+
+:class:`ChaosTransport` wraps any transport with the
+:class:`~repro.serve.client.TcpTransport` interface and mangles
+*outgoing DATA frames* with independently seeded probabilities — the
+failure modes a sensor fleet's uplink actually exhibits:
+
+=============== ====================================================
+``drop``        frame vanishes (client retries after backoff)
+``duplicate``   frame sent twice (server dedups by (station, seq))
+``delay``       frame held back 1..\\ ``max_delay`` later sends — the
+                straggler generator (arrives out of order, maybe LATE)
+``reorder``     frame swapped with the next one sent
+``corrupt``     one byte past the header flipped — CRC fails at the
+                server, frame is ignored, resend delivers it
+``disconnect``  connection torn down mid-stream (client re-dials,
+                re-HELLOs, resends everything unacked)
+=============== ====================================================
+
+Handshake and control frames pass through untouched — faulting HELLO
+only retests the connect loop, not the data path.  All randomness comes
+from one seeded generator, so a soak run is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.protocol import FrameType, MAGIC
+
+
+class ChaosTransport:
+    """Wrap ``inner`` and interfere with its outgoing DATA frames."""
+
+    def __init__(
+        self,
+        inner,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        disconnect: float = 0.0,
+        max_delay: int = 6,
+        seed: int = 0,
+    ) -> None:
+        for name, rate in (
+            ("drop", drop),
+            ("duplicate", duplicate),
+            ("delay", delay),
+            ("reorder", reorder),
+            ("corrupt", corrupt),
+            ("disconnect", disconnect),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {max_delay}")
+        self.inner = inner
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.reorder = reorder
+        self.corrupt = corrupt
+        self.disconnect = disconnect
+        self.max_delay = max_delay
+        self._rng = np.random.default_rng(seed)
+        # (frame, remaining-sends-before-release) for delayed frames.
+        self._held: list[list] = []
+        self._swap: bytes | None = None
+        self.stats = {
+            "sent": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "reordered": 0,
+            "corrupted": 0,
+            "disconnects": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # transport interface
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    async def connect(self, timeout: float = 5.0) -> None:
+        # A fresh session starts clean: frames held by the old one are
+        # gone (the client's retry loop re-earns them).
+        self._held.clear()
+        self._swap = None
+        await self.inner.connect(timeout)
+
+    async def drain(self) -> None:
+        await self.inner.drain()
+
+    async def read(self, timeout: float) -> bytes:
+        return await self.inner.read(timeout)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # ------------------------------------------------------------------
+    # fault injection
+
+    @staticmethod
+    def _is_data(frame: bytes) -> bool:
+        return len(frame) > 5 and frame[0] == MAGIC and frame[5] == FrameType.DATA
+
+    def send(self, frame: bytes) -> None:
+        if not self._is_data(frame):
+            self.inner.send(frame)
+            return
+        self._tick_held()
+        roll = self._rng.random
+        if roll() < self.disconnect:
+            self.stats["disconnects"] += 1
+            self._held.clear()
+            self._swap = None
+            self.inner.close()
+            raise ConnectionError("chaos: connection torn down")
+        if roll() < self.drop:
+            self.stats["dropped"] += 1
+            return
+        if roll() < self.delay:
+            self.stats["delayed"] += 1
+            hold = int(self._rng.integers(1, self.max_delay + 1))
+            self._held.append([frame, hold])
+            return
+        if roll() < self.reorder:
+            self.stats["reordered"] += 1
+            previous, self._swap = self._swap, frame
+            if previous is not None:
+                self._send_now(previous)
+            return
+        if self._swap is not None:
+            held, self._swap = self._swap, None
+            self._send_now(frame)
+            self._send_now(held)
+            return
+        self._send_now(frame)
+
+    def _send_now(self, frame: bytes) -> None:
+        if self._rng.random() < self.corrupt:
+            self.stats["corrupted"] += 1
+            frame = self._flip_byte(frame)
+        self.inner.send(frame)
+        self.stats["sent"] += 1
+        if self._rng.random() < self.duplicate:
+            self.stats["duplicated"] += 1
+            self.inner.send(frame)
+
+    def _flip_byte(self, frame: bytes) -> bytes:
+        # Only bytes past magic+length are fair game: the frame must
+        # stay *structurally* parseable so the server sees a CRC
+        # failure, not a desynced stream.
+        index = int(self._rng.integers(5, len(frame)))
+        mangled = bytearray(frame)
+        mangled[index] ^= 0xFF
+        return bytes(mangled)
+
+    def _tick_held(self) -> None:
+        """Age delayed frames; release the ones whose hold expired."""
+        ready: list[bytes] = []
+        keep: list[list] = []
+        for entry in self._held:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                ready.append(entry[0])
+            else:
+                keep.append(entry)
+        self._held = keep
+        for frame in ready:
+            self._send_now(frame)

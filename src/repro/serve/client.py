@@ -1,0 +1,285 @@
+"""Client SDK: fault-tolerant delivery into the ingestion server.
+
+Delivery contract: :meth:`IngestClient.send` files a reading and
+:meth:`IngestClient.drain` returns once every filed reading reached a
+*terminal* ack — ``OK`` (delivered), ``DUPLICATE`` (a previous copy
+already landed), or ``LATE`` (past the watermark; the server served
+that slot as missing).  Everything between is the client's problem and
+handled automatically:
+
+* **Idempotent resend by seq.**  Readings are retransmitted verbatim
+  until terminally acked; the server dedups by ``(station, seq)``, so
+  lost frames, lost acks, and chaos duplicates all converge.
+* **Jittered exponential backoff.**  Retry ``k`` waits
+  ``min(backoff_max, backoff_base * backoff_factor**k)`` scaled by a
+  seeded uniform jitter in ``[0.5, 1.0)`` — no thundering herd.  BUSY
+  acks (backpressure) reschedule the frame the same way without
+  consuming a retry attempt.
+* **Reconnect.**  A broken connection (reset, BYE, structural protocol
+  desync) is re-dialed with the same backoff schedule and a fresh
+  HELLO; unacked frames are marked due immediately after the handshake.
+* **Timeouts.**  ``connect_timeout`` bounds dial+handshake;
+  ``read_timeout`` is the poll granularity of the pump loop.
+
+The client is deliberately single-task: no background reader, no locks
+— :meth:`send`/:meth:`drain` pump I/O inline, so tests and the chaos
+soak get deterministic interleavings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.serve.protocol import (
+    SEQ_MOD,
+    FrameDecoder,
+    FrameType,
+    AckStatus,
+    ProtocolError,
+    encode_frame,
+    pack_data,
+    pack_hello,
+    unpack_ack,
+    unpack_busy,
+    unpack_welcome,
+)
+
+
+class DeliveryError(RuntimeError):
+    """A reading exhausted its retry budget without a terminal ack."""
+
+
+class TcpTransport:
+    """Thin asyncio TCP wrapper: connect, send bytes, read chunks."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self._writer is None or self._writer.is_closing()
+
+    async def connect(self, timeout: float = 5.0) -> None:
+        self.close()
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout
+        )
+
+    def send(self, frame: bytes) -> None:
+        if self.closed:
+            raise ConnectionError("transport is closed")
+        self._writer.write(frame)
+
+    async def drain(self) -> None:
+        if not self.closed:
+            await self._writer.drain()
+
+    async def read(self, timeout: float) -> bytes:
+        """One chunk off the socket; ``b""`` on poll timeout, raises on EOF."""
+        if self._reader is None:
+            raise ConnectionError("transport is closed")
+        try:
+            chunk = await asyncio.wait_for(self._reader.read(4096), timeout)
+        except asyncio.TimeoutError:
+            return b""
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        return chunk
+
+    def close(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            self._writer.close()
+        self._reader = None
+        self._writer = None
+
+
+class _PendingSend:
+    __slots__ = ("frame", "station", "seq", "attempts", "due")
+
+    def __init__(self, frame: bytes, station: int, seq: int, due: float) -> None:
+        self.frame = frame
+        self.station = station
+        self.seq = seq
+        self.attempts = 0
+        self.due = due
+
+
+class IngestClient:
+    """Deliver readings reliably over a (possibly chaotic) transport.
+
+    ``transport`` accepts any object with the :class:`TcpTransport`
+    interface — pass a :class:`~repro.serve.chaos.ChaosTransport` to
+    inject faults between this client and the server.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        client_id: str = "client",
+        token: str = "",
+        transport=None,
+        max_attempts: int = 12,
+        backoff_base: float = 0.02,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 0.5,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        self.client_id = client_id
+        self.token = token
+        self.transport = transport if transport is not None else TcpTransport(host, port)
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self._rng = np.random.default_rng(seed)
+        self._decoder = FrameDecoder()
+        self._unacked: dict[tuple[int, int], _PendingSend] = {}
+        #: Terminal ack per ``(station, seq)`` — the soak test's ground
+        #: truth for which readings were effectively delivered.
+        self.ack_log: dict[tuple[int, int], AckStatus] = {}
+        self.max_inflight = 64
+        self.busy_count = 0
+        self.reconnect_count = 0
+        self.retransmits = 0
+        self._connected = False
+
+    # ------------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.backoff_max, self.backoff_base * self.backoff_factor**attempt)
+        return delay * (0.5 + 0.5 * float(self._rng.random()))
+
+    async def connect(self) -> None:
+        """Dial + HELLO/WELCOME, with backoff across attempts."""
+        failures = 0
+        while True:
+            try:
+                await self.transport.connect(self.connect_timeout)
+                self._decoder = FrameDecoder()
+                self.transport.send(pack_hello(self.client_id, self.token))
+                await self.transport.drain()
+                deadline = time.perf_counter() + self.connect_timeout
+                while True:
+                    chunk = await self.transport.read(self.read_timeout)
+                    for ftype, body in self._decoder.feed(chunk):
+                        if ftype is FrameType.WELCOME:
+                            self.max_inflight = int(unpack_welcome(body)["max_inflight"])
+                            self._connected = True
+                            return
+                        if ftype is FrameType.ERROR:
+                            raise ConnectionError(
+                                f"server refused HELLO: {body.decode(errors='replace')}"
+                            )
+                    if time.perf_counter() > deadline:
+                        raise ConnectionError("timed out waiting for WELCOME")
+            except (ConnectionError, OSError, ProtocolError, asyncio.TimeoutError):
+                self.transport.close()
+                failures += 1
+                if failures > self.max_attempts:
+                    raise
+                await asyncio.sleep(self._backoff(failures - 1))
+
+    async def _reconnect(self) -> None:
+        self.reconnect_count += 1
+        self._connected = False
+        await self.connect()
+        now = time.perf_counter()
+        for pending in self._unacked.values():
+            pending.due = now  # resend everything unacked on the new session
+
+    # ------------------------------------------------------------------
+
+    async def send(
+        self, station: int, seq: int, reading: float, timestamp: float | None = None
+    ) -> None:
+        """File one reading for delivery (returns before it is acked)."""
+        key = (station, seq % SEQ_MOD)
+        if key in self.ack_log or key in self._unacked:
+            return  # idempotent: already terminal or already queued
+        frame = pack_data(station, seq, time.time() if timestamp is None else timestamp, reading)
+        self._unacked[key] = _PendingSend(frame, station, key[1], time.perf_counter())
+        await self._pump()
+        while len(self._unacked) >= self.max_inflight:
+            await self._pump()
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Pump until every filed reading has a terminal ack."""
+        deadline = time.perf_counter() + timeout
+        while self._unacked:
+            await self._pump()
+            if time.perf_counter() > deadline:
+                stuck = sorted(self._unacked)[:5]
+                raise TimeoutError(
+                    f"{len(self._unacked)} reading(s) still unacked after "
+                    f"{timeout}s (e.g. {stuck})"
+                )
+
+    async def close(self) -> None:
+        if self._connected and not self.transport.closed:
+            try:
+                self.transport.send(encode_frame(FrameType.BYE))
+                await self.transport.drain()
+            except (ConnectionError, OSError):
+                pass
+        self.transport.close()
+        self._connected = False
+
+    # ------------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        """One I/O round: reconnect if needed, retransmit due, read acks."""
+        if not self._connected or self.transport.closed:
+            await self._reconnect()
+        try:
+            now = time.perf_counter()
+            for pending in list(self._unacked.values()):
+                if pending.due > now:
+                    continue
+                if pending.attempts >= self.max_attempts:
+                    raise DeliveryError(
+                        f"reading (station={pending.station}, seq={pending.seq}) "
+                        f"got no terminal ack after {pending.attempts} attempts"
+                    )
+                self.transport.send(pending.frame)
+                if pending.attempts:
+                    self.retransmits += 1
+                pending.attempts += 1
+                pending.due = now + self._backoff(pending.attempts)
+            await self.transport.drain()
+            chunk = await self.transport.read(self.read_timeout)
+            for ftype, body in self._decoder.feed(chunk):
+                self._on_frame(ftype, body)
+        except (ConnectionError, OSError, ProtocolError, asyncio.IncompleteReadError):
+            self.transport.close()
+            self._connected = False  # next pump re-dials and resends
+
+    def _on_frame(self, ftype: FrameType, body: bytes) -> None:
+        if ftype is FrameType.ACK:
+            station, seq, status = unpack_ack(body)
+            key = (station, seq)
+            self._unacked.pop(key, None)
+            self.ack_log.setdefault(key, status)
+        elif ftype is FrameType.BUSY:
+            station, seq = unpack_busy(body)
+            self.busy_count += 1
+            pending = self._unacked.get((station, seq))
+            if pending is not None:
+                # Backpressure costs backoff, not a retry attempt.
+                pending.due = time.perf_counter() + self._backoff(max(1, pending.attempts))
+        elif ftype is FrameType.BYE:
+            raise ConnectionError("server said BYE")
+        elif ftype is FrameType.ERROR:
+            raise ConnectionError(f"server error: {body.decode(errors='replace')}")
+        # CORRUPT or unexpected types: drop; retransmission recovers.

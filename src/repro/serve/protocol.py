@@ -1,0 +1,209 @@
+"""Framed wire protocol for the live ingestion service.
+
+Every message on the wire is one *frame*::
+
+    +-------+----------------+------+----------+-----------+
+    | magic | length (u32 BE)| type | body ... | crc32 (BE)|
+    +-------+----------------+------+----------+-----------+
+      0x7E    len(type+body+crc)      length - 5 bytes
+
+``length`` counts everything after the length field (type byte + body +
+4-byte CRC), so a reader can always consume exactly one frame without
+understanding its type.  The CRC-32 (:func:`zlib.crc32`) covers the type
+byte and body.  Two distinct failure modes fall out of this layout:
+
+* **Payload corruption** — magic and length are intact, the CRC check
+  fails.  Framing survives: the reader stays synchronized and reports
+  the damaged frame as :data:`FrameType.CORRUPT` (a sentinel that never
+  appears on the wire) so the server can count it and simply *not ack*;
+  the client's idempotent resend-by-seq delivers a clean copy.
+* **Structural desync** — wrong magic byte or an absurd length.  The
+  byte stream can no longer be trusted at all; the reader raises
+  :class:`ProtocolError` and the connection must be torn down (the
+  client reconnects and resends everything unacked).
+
+Body formats (all big-endian):
+
+========= ======================= ========================================
+type      body                    meaning
+========= ======================= ========================================
+HELLO     UTF-8 JSON              ``{"client_id", "token"}`` auth stub
+WELCOME   UTF-8 JSON              ``{"session", "max_inflight"}``
+DATA      ``>IIdd``               station u32, seq u32, unix ts, reading
+ACK       ``>IIB``                station, seq, :class:`AckStatus`
+BUSY      ``>II``                 station, seq rejected — back off, retry
+ERROR     UTF-8 text              fatal; server closes the connection
+BYE       empty                   graceful close
+========= ======================= ========================================
+
+``seq`` is an unsigned 32-bit *tick index* that wraps at ``2**32``; the
+server's reorder buffer unwraps it (see :mod:`repro.serve.reorder`).
+``reading`` may be NaN — an explicit missing measurement, routed into
+the detector's imputation path like any other gap.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+import zlib
+from enum import IntEnum
+
+MAGIC = 0x7E
+#: Wire seq numbers live in u32 and wrap at this modulus.
+SEQ_MOD = 2**32
+#: Upper bound on ``length``; anything larger is structural desync, not
+#: a plausible frame (the largest real body is a short JSON HELLO).
+MAX_FRAME_BODY = 4096
+_HEADER = struct.Struct(">BI")  # magic, length
+_DATA = struct.Struct(">IIdd")  # station, seq, timestamp, reading
+_ACK = struct.Struct(">IIB")  # station, seq, status
+_BUSY = struct.Struct(">II")  # station, seq
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is structurally broken; close the connection."""
+
+
+class FrameType(IntEnum):
+    #: Never sent on the wire: a decoder sentinel for a frame whose CRC
+    #: check failed but whose framing was intact.
+    CORRUPT = 0
+    HELLO = 1
+    WELCOME = 2
+    DATA = 3
+    ACK = 4
+    BUSY = 5
+    ERROR = 6
+    BYE = 7
+
+
+class AckStatus(IntEnum):
+    OK = 0  # accepted into the reorder buffer
+    DUPLICATE = 1  # already delivered (resend/dup); nothing to do
+    LATE = 2  # past the watermark; dropped, counted as missing
+
+
+def encode_frame(ftype: FrameType, body: bytes = b"") -> bytes:
+    """Serialize one frame (magic + length + type + body + CRC)."""
+    if len(body) > MAX_FRAME_BODY:
+        raise ProtocolError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BODY}")
+    payload = bytes([ftype]) + body
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, len(payload) + 4) + payload + struct.pack(">I", crc)
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary chunking of the stream.
+
+    Feed it whatever the socket hands you; it yields complete frames and
+    buffers the rest.  CRC failures come back as ``(FrameType.CORRUPT,
+    b"")``; structural desync raises :class:`ProtocolError`.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, chunk: bytes) -> list[tuple[FrameType, bytes]]:
+        self._buf.extend(chunk)
+        frames: list[tuple[FrameType, bytes]] = []
+        while len(self._buf) >= _HEADER.size:
+            magic, length = _HEADER.unpack_from(self._buf)
+            if magic != MAGIC:
+                raise ProtocolError(f"bad magic byte 0x{magic:02x}; stream desynced")
+            if not 5 <= length <= MAX_FRAME_BODY + 5:
+                raise ProtocolError(f"implausible frame length {length}; stream desynced")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                break
+            payload = bytes(self._buf[_HEADER.size : end - 4])
+            (crc,) = struct.unpack_from(">I", self._buf, end - 4)
+            del self._buf[:end]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                frames.append((FrameType.CORRUPT, b""))
+                continue
+            try:
+                ftype = FrameType(payload[0])
+            except ValueError:
+                # Unknown-but-well-framed type: corrupt payload, framing
+                # intact. Skip it; the sender's resend recovers.
+                frames.append((FrameType.CORRUPT, b""))
+                continue
+            if ftype is FrameType.CORRUPT:
+                frames.append((FrameType.CORRUPT, b""))
+                continue
+            frames.append((ftype, payload[1:]))
+        return frames
+
+
+def pack_data(station: int, seq: int, timestamp: float, reading: float) -> bytes:
+    """Encode a DATA frame. ``seq`` is taken modulo :data:`SEQ_MOD`."""
+    body = _DATA.pack(station, seq % SEQ_MOD, timestamp, reading)
+    return encode_frame(FrameType.DATA, body)
+
+
+def unpack_data(body: bytes) -> tuple[int, int, float, float]:
+    if len(body) != _DATA.size:
+        raise ProtocolError(f"DATA body must be {_DATA.size} bytes, got {len(body)}")
+    return _DATA.unpack(body)
+
+
+def pack_ack(station: int, seq: int, status: AckStatus) -> bytes:
+    return encode_frame(FrameType.ACK, _ACK.pack(station, seq % SEQ_MOD, status))
+
+
+def unpack_ack(body: bytes) -> tuple[int, int, AckStatus]:
+    if len(body) != _ACK.size:
+        raise ProtocolError(f"ACK body must be {_ACK.size} bytes, got {len(body)}")
+    station, seq, status = _ACK.unpack(body)
+    return station, seq, AckStatus(status)
+
+
+def pack_busy(station: int, seq: int) -> bytes:
+    return encode_frame(FrameType.BUSY, _BUSY.pack(station, seq % SEQ_MOD))
+
+
+def unpack_busy(body: bytes) -> tuple[int, int]:
+    if len(body) != _BUSY.size:
+        raise ProtocolError(f"BUSY body must be {_BUSY.size} bytes, got {len(body)}")
+    return _BUSY.unpack(body)
+
+
+def pack_hello(client_id: str, token: str = "") -> bytes:
+    body = json.dumps({"client_id": client_id, "token": token}).encode()
+    return encode_frame(FrameType.HELLO, body)
+
+
+def unpack_hello(body: bytes) -> dict:
+    try:
+        hello = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed HELLO body: {exc}") from exc
+    if not isinstance(hello, dict) or "client_id" not in hello:
+        raise ProtocolError("HELLO body must be a JSON object with client_id")
+    return hello
+
+
+def pack_welcome(session: str, max_inflight: int) -> bytes:
+    body = json.dumps({"session": session, "max_inflight": max_inflight}).encode()
+    return encode_frame(FrameType.WELCOME, body)
+
+
+def unpack_welcome(body: bytes) -> dict:
+    try:
+        welcome = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed WELCOME body: {exc}") from exc
+    if not isinstance(welcome, dict) or "max_inflight" not in welcome:
+        raise ProtocolError("WELCOME body must be a JSON object with max_inflight")
+    return welcome
+
+
+def pack_error(message: str) -> bytes:
+    return encode_frame(FrameType.ERROR, message.encode())
+
+
+def is_missing(reading: float) -> bool:
+    """NaN readings are explicit missing-data markers on the wire."""
+    return math.isnan(reading)

@@ -1,0 +1,451 @@
+"""Asyncio ingestion server driving the streaming detector.
+
+Data path::
+
+    client ──DATA──▶ connection handler ──▶ bounded ingest queue
+                                                 │  (backpressure)
+                                                 ▼
+                                          consumer task
+                                                 │ offer()
+                                                 ▼
+                                          ReorderBuffer ──drain──▶ column
+                                                                   batcher
+                                                                     │ B cols
+                                                                     ▼
+                                                      engine.step_block(...)
+
+Correctness contract: blocks are always exactly ``block_size`` columns
+of consecutive ticks (the trailing partial block happens only at
+:meth:`IngestionServer.finish`), which is precisely the partition
+:meth:`StreamReplayEngine.run` uses — so the served flags/scores/
+mitigated outputs are **bit-exact** against an offline replay of the
+effectively-delivered readings (undelivered slots as NaN missing).
+
+Failure semantics:
+
+* Frames failing CRC are counted and *not acked*; the client's
+  idempotent resend-by-seq delivers a clean copy.
+* A full ingest queue triggers the configured backpressure ``policy``:
+  ``"reject"`` answers BUSY (client backs off, retries); ``"shed"``
+  drops the *oldest queued* reading instead — it was never acked, so
+  its sender retries it too.
+* Readings past the reorder watermark are acked LATE and dropped; their
+  tick already shipped with that slot NaN → imputed downstream.
+* SIGTERM (see :meth:`install_signal_handlers`) drains the ingest queue
+  into the reorder buffer, writes a checkpoint bundling detector +
+  mitigator + reorder/batcher state, and closes.  A server restored
+  with :meth:`IngestionServer.from_checkpoint` resumes the timeline
+  bit-exactly — block boundaries stay globally aligned, so the combined
+  pre/post-restart output equals one uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.serve._metrics import ingest_metrics
+from repro.serve.protocol import (
+    FrameDecoder,
+    FrameType,
+    AckStatus,
+    ProtocolError,
+    encode_frame,
+    pack_ack,
+    pack_busy,
+    pack_error,
+    pack_welcome,
+    unpack_data,
+    unpack_hello,
+)
+from repro.serve.reorder import Offer, ReorderBuffer
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.engine import StreamReplayEngine
+
+_OFFER_ACK = {
+    Offer.ACCEPTED: AckStatus.OK,
+    Offer.DUPLICATE: AckStatus.DUPLICATE,
+    Offer.LATE: AckStatus.LATE,
+}
+
+
+class _Conn:
+    """Per-connection bookkeeping: writer, identity, inflight quota."""
+
+    __slots__ = ("writer", "client_id", "inflight")
+
+    def __init__(self, writer: asyncio.StreamWriter, client_id: str) -> None:
+        self.writer = writer
+        self.client_id = client_id
+        self.inflight = 0
+
+    def send(self, frame: bytes) -> None:
+        try:
+            if not self.writer.is_closing():
+                self.writer.write(frame)
+        except (ConnectionError, OSError):
+            pass  # the peer vanished; its retries land on a new connection
+
+
+class IngestionServer:
+    """Serve the streaming detector over the framed wire protocol.
+
+    Parameters
+    ----------
+    engine:
+        A calibrated :class:`~repro.stream.engine.StreamReplayEngine`
+        whose detector was built with ``missing="impute"`` (undelivered
+        readings become NaN columns and *must* be imputable).
+    block_size:
+        Ticks per detector block; the batcher only fires full blocks.
+    lateness, capacity:
+        Reorder-buffer watermark lag and buffered-tick span
+        (see :class:`~repro.serve.reorder.ReorderBuffer`).
+    queue_size:
+        Bound of the ingest queue between connections and the consumer.
+    policy:
+        Backpressure on a full queue: ``"reject"`` (BUSY the sender) or
+        ``"shed"`` (drop the oldest queued reading, unacked).
+    max_inflight:
+        Per-connection unacked-frame quota (announced in WELCOME);
+        frames beyond it are answered BUSY without queueing.
+    auth_token:
+        When set, HELLO must present exactly this token (auth stub).
+    checkpoint_path:
+        Where :meth:`shutdown` writes the final checkpoint (optional).
+    start_tick:
+        Absolute tick the timeline starts at (tests park this near the
+        u32 wrap point).
+    """
+
+    def __init__(
+        self,
+        engine: StreamReplayEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        block_size: int = 8,
+        lateness: int = 8,
+        capacity: int = 1024,
+        queue_size: int = 256,
+        policy: str = "reject",
+        max_inflight: int = 64,
+        auth_token: str | None = None,
+        checkpoint_path=None,
+        start_tick: int = 0,
+    ) -> None:
+        if engine.detector.missing != "impute":
+            raise ValueError(
+                "the served detector must be built with missing='impute': "
+                "undelivered readings become NaN columns"
+            )
+        if policy not in ("reject", "shed"):
+            raise ValueError(f"policy must be 'reject' or 'shed', got {policy!r}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.block_size = block_size
+        self.policy = policy
+        self.max_inflight = max_inflight
+        self.auth_token = auth_token
+        self.checkpoint_path = checkpoint_path
+        self.n_stations = engine.detector.n_stations
+        self.reorder = ReorderBuffer(
+            self.n_stations, lateness=lateness, capacity=capacity, start=start_tick
+        )
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        # Emitted-but-unprocessed tick columns waiting to fill a block.
+        self._columns: list[tuple[int, np.ndarray, float]] = []
+        # Served outputs, one column per processed tick.
+        self._served_ticks: list[int] = []
+        self._served_flags: list[np.ndarray] = []
+        self._served_scores: list[np.ndarray] = []
+        self._served_missing: list[np.ndarray] = []
+        self._served_mitigated: list[np.ndarray] = []
+        #: Per-tick ingest→flag latency (seconds) for ticks whose first
+        #: frame arrival was tracked; fuels the SLO bench profile.
+        self.ingest_latencies: list[float] = []
+        self._metrics = ingest_metrics(obs.registry())
+        self._server: asyncio.AbstractServer | None = None
+        self._consumer: asyncio.Task | None = None
+        #: Set when a signal handler schedules :meth:`shutdown`, so the
+        #: process can await the drain+checkpoint before exiting.
+        self.shutdown_task: asyncio.Task | None = None
+        self._sessions = 0
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Bind the listener (resolving an ephemeral port) and consume."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._consumer = asyncio.create_task(self._consume())
+
+    def install_signal_handlers(self, sig: signal.Signals = signal.SIGTERM) -> None:
+        """Graceful shutdown on ``sig`` (default SIGTERM)."""
+        loop = asyncio.get_running_loop()
+
+        def _on_signal() -> None:
+            self.shutdown_task = loop.create_task(self.shutdown())
+
+        loop.add_signal_handler(sig, _on_signal)
+
+    async def shutdown(self) -> None:
+        """Drain the queue, checkpoint, close — the SIGTERM path.
+
+        Buffered-but-unemittable state (reorder window, a partial
+        block's columns) is *checkpointed, not flushed*: a restored
+        server picks the timeline up exactly where it stopped, keeping
+        block boundaries globally aligned with an uninterrupted run.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+        while not self._queue.empty():
+            self._apply(self._queue.get_nowait())
+        if self.checkpoint_path is not None:
+            self.save(self.checkpoint_path)
+
+    async def finish(self) -> None:
+        """End-of-stream: flush the reorder window, run the last blocks.
+
+        Unlike :meth:`shutdown`, this declares the stream over —
+        everything buffered is emitted (undelivered slots as NaN) and
+        processed, ending with a trailing partial block exactly like
+        ``engine.run``'s.
+        """
+        if self._server is not None and not self._closing:
+            self._server.close()
+            await self._server.wait_closed()
+        self._closing = True
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+        while not self._queue.empty():
+            self._apply(self._queue.get_nowait())
+        self._columns.extend(self.reorder.flush())
+        while self._columns:
+            take = min(self.block_size, len(self._columns))
+            self._process_block(self._columns[:take])
+            del self._columns[:take]
+
+    def save(self, path) -> None:
+        """Checkpoint detector + mitigator + serve state into one .npz."""
+        extra: dict[str, np.ndarray] = {}
+        for key, value in self.reorder.state_dict().items():
+            extra[f"serve.reorder.{key}"] = value
+        extra["serve.columns_ticks"] = np.asarray(
+            [tick for tick, _, _ in self._columns], dtype=np.int64
+        )
+        extra["serve.columns_values"] = (
+            np.stack([values for _, values, _ in self._columns], axis=1)
+            if self._columns
+            else np.empty((self.n_stations, 0))
+        )
+        extra["serve.columns_arrivals"] = np.asarray(
+            [arrival for _, _, arrival in self._columns], dtype=np.float64
+        )
+        extra["serve.block_size"] = np.asarray(self.block_size, dtype=np.int64)
+        save_checkpoint(path, self.engine, extra=extra)
+
+    @classmethod
+    def from_checkpoint(cls, path, **kwargs) -> "IngestionServer":
+        """Rebuild a server exactly as :meth:`shutdown` left it."""
+        restored = load_checkpoint(path)
+        extra = restored.extra
+        kwargs.setdefault("block_size", int(extra["serve.block_size"]))
+        server = cls(restored.engine(), **kwargs)
+        server.reorder.load_state_dict(
+            {
+                key[len("serve.reorder.") :]: value
+                for key, value in extra.items()
+                if key.startswith("serve.reorder.")
+            }
+        )
+        ticks = np.asarray(extra["serve.columns_ticks"], dtype=np.int64)
+        values = np.asarray(extra["serve.columns_values"], dtype=np.float64)
+        arrivals = np.asarray(extra["serve.columns_arrivals"], dtype=np.float64)
+        server._columns = [
+            (int(ticks[i]), values[:, i].copy(), float(arrivals[i]))
+            for i in range(len(ticks))
+        ]
+        return server
+
+    # ------------------------------------------------------------------
+    # connections
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder()
+        conn: _Conn | None = None
+        try:
+            conn = await self._handshake(reader, writer, decoder)
+            if conn is None:
+                return
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    return
+                for ftype, body in decoder.feed(chunk):
+                    if ftype is FrameType.DATA:
+                        self._on_data(conn, body)
+                    elif ftype is FrameType.CORRUPT:
+                        self._metrics["corrupt"].inc()
+                    elif ftype is FrameType.BYE:
+                        return
+                    # Anything else from a client is ignorable noise.
+        except ProtocolError as exc:
+            try:
+                writer.write(pack_error(str(exc)))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                if not writer.is_closing():
+                    writer.write(encode_frame(FrameType.BYE))
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+
+    async def _handshake(self, reader, writer, decoder) -> _Conn | None:
+        while True:
+            chunk = await reader.read(4096)
+            if not chunk:
+                return None
+            frames = decoder.feed(chunk)
+            if not frames:
+                continue
+            ftype, body = frames[0]
+            if ftype is not FrameType.HELLO:
+                raise ProtocolError(f"expected HELLO, got {ftype.name}")
+            hello = unpack_hello(body)
+            if self.auth_token is not None and hello.get("token") != self.auth_token:
+                writer.write(pack_error("authentication failed"))
+                await writer.drain()
+                writer.close()
+                return None
+            self._sessions += 1
+            conn = _Conn(writer, str(hello["client_id"]))
+            writer.write(pack_welcome(f"s{self._sessions}", self.max_inflight))
+            await writer.drain()
+            # A greedy client may pipeline DATA right behind HELLO.
+            for extra_type, extra_body in frames[1:]:
+                if extra_type is FrameType.DATA:
+                    self._on_data(conn, extra_body)
+                elif extra_type is FrameType.CORRUPT:
+                    self._metrics["corrupt"].inc()
+            return conn
+
+    def _on_data(self, conn: _Conn, body: bytes) -> None:
+        station, seq, timestamp, reading = unpack_data(body)
+        self._metrics["frames"].inc()
+        if not 0 <= station < self.n_stations:
+            raise ProtocolError(f"station {station} out of range [0, {self.n_stations})")
+        if conn.inflight >= self.max_inflight:
+            self._metrics["busy"].inc()
+            conn.send(pack_busy(station, seq))
+            return
+        item = (conn, station, seq, timestamp, reading, time.perf_counter())
+        if self._queue.full():
+            if self.policy == "reject":
+                self._metrics["busy"].inc()
+                conn.send(pack_busy(station, seq))
+                return
+            # shed-oldest: the victim is silently dropped — never acked,
+            # so its sender retransmits it after backoff.
+            victim = self._queue.get_nowait()
+            victim[0].inflight -= 1
+            self._metrics["shed"].inc()
+        conn.inflight += 1
+        self._queue.put_nowait(item)
+        self._metrics["queue_depth"].set(float(self._queue.qsize()))
+
+    # ------------------------------------------------------------------
+    # consumer
+
+    async def _consume(self) -> None:
+        while True:
+            item = await self._queue.get()
+            self._apply(item)
+            self._metrics["queue_depth"].set(float(self._queue.qsize()))
+
+    def _apply(self, item) -> None:
+        conn, station, seq, _timestamp, reading, arrival = item
+        conn.inflight -= 1
+        outcome = self.reorder.offer(station, seq, reading, arrival=arrival)
+        if outcome is Offer.OVERFLOW:
+            self._metrics["busy"].inc()
+            conn.send(pack_busy(station, seq))
+        else:
+            if outcome is Offer.ACCEPTED:
+                self._metrics["accepted"].inc()
+            elif outcome is Offer.DUPLICATE:
+                self._metrics["duplicates"].inc()
+            else:
+                self._metrics["late"].inc()
+            conn.send(pack_ack(station, seq, _OFFER_ACK[outcome]))
+        self._columns.extend(self.reorder.drain())
+        self._metrics["pending_ticks"].set(float(self.reorder.pending_ticks))
+        while len(self._columns) >= self.block_size:
+            self._process_block(self._columns[: self.block_size])
+            del self._columns[: self.block_size]
+
+    def _process_block(self, columns: list[tuple[int, np.ndarray, float]]) -> None:
+        values = np.stack([col for _, col, _ in columns], axis=1)
+        flags, scores, missing, mitigated = self.engine.step_block(values)
+        done = time.perf_counter()
+        for i, (tick, _, arrival) in enumerate(columns):
+            self._served_ticks.append(tick)
+            self._served_flags.append(flags[:, i])
+            self._served_scores.append(scores[:, i])
+            self._served_missing.append(missing[:, i])
+            self._served_mitigated.append(mitigated[:, i])
+            if arrival > 0.0:
+                latency = max(0.0, done - arrival)
+                self.ingest_latencies.append(latency)
+                self._metrics["ingest_latency"].observe(latency)
+        self._metrics["blocks"].inc()
+
+    # ------------------------------------------------------------------
+    # results
+
+    def served(self) -> dict[str, np.ndarray]:
+        """Everything decided so far, one column per processed tick."""
+
+        def stack(cols: list[np.ndarray], dtype) -> np.ndarray:
+            if not cols:
+                return np.empty((self.n_stations, 0), dtype=dtype)
+            return np.stack(cols, axis=1)
+
+        return {
+            "ticks": np.asarray(self._served_ticks, dtype=np.int64),
+            "flags": stack(self._served_flags, bool),
+            "scores": stack(self._served_scores, np.float64),
+            "missing": stack(self._served_missing, bool),
+            "mitigated": stack(self._served_mitigated, np.float64),
+        }

@@ -48,12 +48,14 @@ Quickstart::
 
 from repro.stream.buffers import RingBufferBank
 from repro.stream.checkpoint import (
+    CheckpointError,
     StreamCheckpoint,
     load_checkpoint,
     save_checkpoint,
 )
 from repro.stream.detector import BlockResult, StreamingDetector, TickResult
 from repro.stream.engine import (
+    StreamInterrupted,
     StreamReplayEngine,
     StreamReport,
     attack_fleet,
@@ -74,12 +76,14 @@ from repro.stream.scaler import StreamingMinMaxScaler
 
 __all__ = [
     "RingBufferBank",
+    "CheckpointError",
     "StreamCheckpoint",
     "load_checkpoint",
     "save_checkpoint",
     "BlockResult",
     "StreamingDetector",
     "TickResult",
+    "StreamInterrupted",
     "StreamReplayEngine",
     "StreamReport",
     "attack_fleet",

@@ -54,6 +54,18 @@ _FORMAT = "repro.stream.checkpoint"
 _VERSION = 1
 
 
+class CheckpointError(ValueError):
+    """A checkpoint archive could not be read.
+
+    Raised by :func:`load_checkpoint` when the file is missing,
+    truncated, corrupt, or not a stream checkpoint at all — always
+    naming the offending path, instead of surfacing a raw
+    ``zipfile``/``zlib``/numpy traceback from deep inside the archive
+    reader.  Subclasses :class:`ValueError` so pre-existing callers
+    catching that keep working.
+    """
+
+
 def _library_version() -> str:
     # Imported lazily: repro.stream.checkpoint loads while the repro
     # package itself is still initialising.
@@ -216,17 +228,33 @@ def load_checkpoint(path: str | Path) -> StreamCheckpoint:
     reg = obs.registry()
     load_start = time.perf_counter()
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        arrays = {key: archive[key] for key in archive.files}
+    try:
+        # Materialize every entry while the archive is open: a truncated
+        # file can pass the zip directory check yet fail mid-entry, and
+        # that failure must surface here, not lazily during rebuild.
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except Exception as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: the archive is missing, "
+            f"truncated, or corrupt ({type(exc).__name__}: {exc})"
+        ) from exc
     if "meta" not in arrays:
-        raise ValueError(f"{path} is not a stream checkpoint (no meta entry)")
-    meta = json.loads(str(arrays.pop("meta")))
+        raise CheckpointError(f"{path} is not a stream checkpoint (no meta entry)")
+    try:
+        meta = json.loads(str(arrays.pop("meta")))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has a corrupt meta entry: {exc}"
+        ) from exc
     if meta.get("format") != _FORMAT:
-        raise ValueError(f"{path} is not a stream checkpoint: {meta.get('format')!r}")
+        raise CheckpointError(
+            f"{path} is not a stream checkpoint: {meta.get('format')!r}"
+        )
     if meta.get("version") != _VERSION:
-        raise ValueError(
-            f"checkpoint version {meta.get('version')!r} is not supported "
-            f"(this build reads version {_VERSION})"
+        raise CheckpointError(
+            f"checkpoint {path}: version {meta.get('version')!r} is not "
+            f"supported (this build reads version {_VERSION})"
         )
     # Provenance (absent from pre-PR-6 archives): resuming across
     # library versions is allowed — state layouts are strictly validated

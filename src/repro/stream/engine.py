@@ -34,6 +34,26 @@ from repro.stream.mitigation import get as get_mitigator
 from repro.utils.rng import SeedLike, as_generator, spawn
 
 
+class StreamInterrupted(RuntimeError):
+    """A replay aborted mid-run (source raised, pipeline raised, Ctrl-C).
+
+    The engine finalizes everything processed up to the failure into a
+    complete :class:`StreamReport` — throughput, latencies, flags,
+    mitigated values over the *completed* ticks — and attaches it as
+    :attr:`report` instead of losing the run's stats.  The original
+    failure is chained as ``__cause__`` (a ``KeyboardInterrupt`` during
+    replay therefore surfaces as this exception; check ``__cause__`` if
+    the distinction matters).
+    """
+
+    def __init__(self, report: StreamReport, cause: BaseException) -> None:
+        super().__init__(
+            f"stream replay interrupted after {report.n_ticks} completed "
+            f"tick(s): {cause!r}"
+        )
+        self.report = report
+
+
 @dataclass
 class StreamReport:
     """Everything one replay produced.
@@ -204,6 +224,108 @@ class StreamReplayEngine:
             writeback &= fitted if repair.ndim == 1 else fitted[:, None]
         return writeback
 
+    def _step_tick(self, values: np.ndarray, reg) -> tuple:
+        """One closed-loop tick: detect, mitigate, write back.
+
+        Returns ``(result, mitigated)`` where ``mitigated`` is ``None``
+        when no mitigator is configured.  This is the exact loop body of
+        :meth:`run`'s tick path, shared with live ingestion
+        (:mod:`repro.serve`), so a served stream and an offline replay
+        of the same readings take one code path.
+        """
+        self._wire_fallback()
+        result = self.detector.process_tick(values)
+        mitigated = None
+        if self.mitigator is not None:
+            with reg.span("repro_stream_mitigate"):
+                # Missing readings are repaired exactly like flagged
+                # ones: the policy's causal impute replaces the NaN.
+                missing = (
+                    result.missing
+                    if result.missing is not None
+                    else np.zeros(result.flags.shape, dtype=bool)
+                )
+                repair = result.flags | missing
+                mitigated = self.mitigator.mitigate(values, repair)
+                if self.feedback and repair.any():
+                    writeback = self._writeback_mask(repair, mitigated)
+                    if writeback.any():
+                        stations = np.nonzero(writeback)[0]
+                        self.detector.amend_last(mitigated[stations], stations)
+        return result, mitigated
+
+    def _step_block(self, values: np.ndarray, reg) -> tuple:
+        """One closed-loop block: detect, mitigate, write back.
+
+        The block-mode counterpart of :meth:`_step_tick` — the exact
+        loop body of :meth:`run`'s block path.
+        """
+        self._wire_fallback()
+        result = self.detector.process_block(values)
+        mitigated = None
+        if self.mitigator is not None:
+            with reg.span("repro_stream_mitigate"):
+                missing = (
+                    result.missing
+                    if result.missing is not None
+                    else np.zeros(result.flags.shape, dtype=bool)
+                )
+                repair = result.flags | missing
+                mitigated = self.mitigator.mitigate_block(values, repair)
+                if self.feedback and repair.any():
+                    # Mask-restricted: only repaired entries are
+                    # written back, so clean readings keep the
+                    # running-bounds scaling they were buffered with.
+                    writeback = self._writeback_mask(repair, mitigated)
+                    if writeback.any():
+                        self.detector.amend_block(mitigated, flags=writeback)
+        return result, mitigated
+
+    def step_tick(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Process one tick of live readings through the closed loop.
+
+        The live-ingestion entry point (one assembled ``(n_stations,)``
+        column): identical semantics to one iteration of
+        :meth:`run`'s tick path.  Returns ``(flags, scores, missing,
+        mitigated)``, each ``(n_stations,)``; without a mitigator,
+        ``mitigated`` is a copy of ``values`` (NaN readings stay NaN).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        result, mitigated = self._step_tick(values, obs.registry())
+        missing = (
+            result.missing
+            if result.missing is not None
+            else np.zeros(result.flags.shape, dtype=bool)
+        )
+        if mitigated is None:
+            mitigated = values.copy()
+        return result.flags, result.scores, missing, mitigated
+
+    def step_block(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Process one ``(n_stations, B)`` block through the closed loop.
+
+        The live-ingestion entry point for batched readings: identical
+        semantics to one iteration of :meth:`run`'s block path, so a
+        server feeding consecutive blocks reproduces
+        ``run(fleet, block_size=B)`` bit-for-bit on the same readings.
+        Returns ``(flags, scores, missing, mitigated)``, each
+        ``(n_stations, B)``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        result, mitigated = self._step_block(values, obs.registry())
+        missing = (
+            result.missing
+            if result.missing is not None
+            else np.zeros(result.flags.shape, dtype=bool)
+        )
+        if mitigated is None:
+            mitigated = values.copy()
+        return result.flags, result.scores, missing, mitigated
+
     def add_stations(
         self,
         n_new: int,
@@ -280,30 +402,41 @@ class StreamReplayEngine:
         block).  A trailing partial block is processed with whatever
         ticks remain.  Per-tick ``latencies`` within one block report
         the block's wall-clock divided evenly across its ticks.
+
+        ``fleet`` may also be any *iterable* of per-tick
+        ``(n_stations,)`` readings (a generator, a live source): ticks
+        are consumed lazily, blocks are assembled as ``block_size``
+        ticks accumulate (plus a trailing partial block), and the report
+        covers however many ticks the source yielded.  ``labels``
+        require a materialized fleet.
+
+        If the source or the pipeline raises mid-run — including
+        ``KeyboardInterrupt`` — the ticks completed so far are finalized
+        into a full :class:`StreamReport` and re-raised as
+        :class:`StreamInterrupted` with the report attached, instead of
+        losing the whole run's stats.
         """
-        fleet = np.asarray(fleet, dtype=np.float64)
-        if fleet.ndim != 2 or fleet.shape[0] != self.detector.n_stations:
-            raise ValueError(
-                f"fleet must be ({self.detector.n_stations}, n_ticks), got {fleet.shape}"
-            )
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
-        n_stations, n_ticks = fleet.shape
-        if labels is not None:
-            labels = np.asarray(labels, dtype=bool)
-            if labels.shape != fleet.shape:
-                raise ValueError(
-                    f"labels shape {labels.shape} must match fleet shape {fleet.shape}"
-                )
+        n_stations = self.detector.n_stations
         if station_names is not None and len(station_names) != n_stations:
             raise ValueError("station_names must have one entry per station")
-        flags = np.zeros((n_stations, n_ticks), dtype=bool)
-        scores = np.full((n_stations, n_ticks), np.nan)
-        missing = np.zeros((n_stations, n_ticks), dtype=bool)
-        mitigated = fleet.copy()
-        latencies = np.empty(n_ticks)
+        if isinstance(fleet, np.ndarray) or isinstance(fleet, (list, tuple)):
+            return self._run_materialized(
+                np.asarray(fleet, dtype=np.float64), labels, station_names, block_size
+            )
+        if labels is not None:
+            raise ValueError("labels require a materialized (array) fleet")
+        try:
+            ticks = iter(fleet)
+        except TypeError:
+            raise TypeError(
+                f"fleet must be an array or an iterable of per-tick readings, "
+                f"got {type(fleet).__name__}"
+            ) from None
+        return self._run_stream(ticks, station_names, block_size)
 
-        reg = obs.registry()
+    def _obs_run_metrics(self, reg) -> tuple:
         tick_hist = block_hist = None
         if reg.enabled:
             tick_hist = reg.histogram(
@@ -314,70 +447,24 @@ class StreamReplayEngine:
                 "repro_stream_block_seconds",
                 help="Wall-clock per block-mode engine step (detect + mitigate).",
             )
+        return tick_hist, block_hist
 
-        start = time.perf_counter()
-        if block_size == 1:
-            for tick in range(n_ticks):
-                tick_start = time.perf_counter()
-                self._wire_fallback()
-                result = self.detector.process_tick(fleet[:, tick])
-                flags[:, tick] = result.flags
-                scores[:, tick] = result.scores
-                if result.missing is not None:
-                    missing[:, tick] = result.missing
-                if self.mitigator is not None:
-                    with reg.span("repro_stream_mitigate"):
-                        # Missing readings are repaired exactly like flagged
-                        # ones: the policy's causal impute replaces the NaN.
-                        repair = flags[:, tick] | missing[:, tick]
-                        mitigated[:, tick] = self.mitigator.mitigate(
-                            fleet[:, tick], repair
-                        )
-                        if self.feedback and repair.any():
-                            writeback = self._writeback_mask(
-                                repair, mitigated[:, tick]
-                            )
-                            if writeback.any():
-                                stations = np.nonzero(writeback)[0]
-                                self.detector.amend_last(
-                                    mitigated[stations, tick], stations
-                                )
-                latencies[tick] = time.perf_counter() - tick_start
-                if tick_hist is not None:
-                    tick_hist.observe(latencies[tick])
-        else:
-            for first in range(0, n_ticks, block_size):
-                block_start = time.perf_counter()
-                self._wire_fallback()
-                sl = slice(first, min(first + block_size, n_ticks))
-                result = self.detector.process_block(fleet[:, sl])
-                flags[:, sl] = result.flags
-                scores[:, sl] = result.scores
-                if result.missing is not None:
-                    missing[:, sl] = result.missing
-                if self.mitigator is not None:
-                    with reg.span("repro_stream_mitigate"):
-                        repair = flags[:, sl] | missing[:, sl]
-                        mitigated[:, sl] = self.mitigator.mitigate_block(
-                            fleet[:, sl], repair
-                        )
-                        if self.feedback and repair.any():
-                            # Mask-restricted: only repaired entries are
-                            # written back, so clean readings keep the
-                            # running-bounds scaling they were buffered with.
-                            writeback = self._writeback_mask(
-                                repair, mitigated[:, sl]
-                            )
-                            if writeback.any():
-                                self.detector.amend_block(
-                                    mitigated[:, sl], flags=writeback
-                                )
-                block_ticks = sl.stop - sl.start
-                block_elapsed = time.perf_counter() - block_start
-                latencies[sl] = block_elapsed / block_ticks
-                if block_hist is not None:
-                    block_hist.observe(block_elapsed)
-        elapsed = time.perf_counter() - start
+    def _finalize(
+        self,
+        reg,
+        elapsed: float,
+        latencies: np.ndarray,
+        flags: np.ndarray,
+        scores: np.ndarray,
+        mitigated: np.ndarray,
+        missing: np.ndarray,
+        labels: np.ndarray | None,
+        station_names: list[str] | None,
+        error: BaseException | None,
+    ) -> StreamReport:
+        """Assemble the report; raise :class:`StreamInterrupted` on error."""
+        n_stations = self.detector.n_stations
+        n_ticks = flags.shape[1]
         if reg.enabled:
             reg.counter(
                 "repro_stream_replay_runs_total", help="Replay engine runs."
@@ -387,14 +474,13 @@ class StreamReplayEngine:
                     "repro_stream_readings_per_second",
                     help="Throughput of the most recent replay run.",
                 ).set(n_ticks * n_stations / elapsed)
-
         metrics = None
         if labels is not None:
             names = station_names or [f"station-{j}" for j in range(n_stations)]
             metrics = aggregate_detection_metrics(
                 {names[j]: (labels[j], flags[j]) for j in range(n_stations)}
             )
-        return StreamReport(
+        report = StreamReport(
             n_stations=n_stations,
             n_ticks=n_ticks,
             elapsed_seconds=elapsed,
@@ -404,6 +490,187 @@ class StreamReplayEngine:
             mitigated=mitigated,
             missing=missing,
             metrics=metrics,
+        )
+        if error is not None:
+            raise StreamInterrupted(report, error) from error
+        return report
+
+    def _run_materialized(
+        self,
+        fleet: np.ndarray,
+        labels: np.ndarray | None,
+        station_names: list[str] | None,
+        block_size: int,
+    ) -> StreamReport:
+        n_stations = self.detector.n_stations
+        if fleet.ndim != 2 or fleet.shape[0] != n_stations:
+            raise ValueError(
+                f"fleet must be ({n_stations}, n_ticks), got {fleet.shape}"
+            )
+        n_ticks = fleet.shape[1]
+        if labels is not None:
+            labels = np.asarray(labels, dtype=bool)
+            if labels.shape != fleet.shape:
+                raise ValueError(
+                    f"labels shape {labels.shape} must match fleet shape {fleet.shape}"
+                )
+        flags = np.zeros((n_stations, n_ticks), dtype=bool)
+        scores = np.full((n_stations, n_ticks), np.nan)
+        missing = np.zeros((n_stations, n_ticks), dtype=bool)
+        mitigated = fleet.copy()
+        latencies = np.empty(n_ticks)
+
+        reg = obs.registry()
+        tick_hist, block_hist = self._obs_run_metrics(reg)
+
+        error: BaseException | None = None
+        completed = 0
+        start = time.perf_counter()
+        try:
+            if block_size == 1:
+                for tick in range(n_ticks):
+                    tick_start = time.perf_counter()
+                    result, tick_mitigated = self._step_tick(fleet[:, tick], reg)
+                    flags[:, tick] = result.flags
+                    scores[:, tick] = result.scores
+                    if result.missing is not None:
+                        missing[:, tick] = result.missing
+                    if tick_mitigated is not None:
+                        mitigated[:, tick] = tick_mitigated
+                    latencies[tick] = time.perf_counter() - tick_start
+                    if tick_hist is not None:
+                        tick_hist.observe(latencies[tick])
+                    completed = tick + 1
+            else:
+                for first in range(0, n_ticks, block_size):
+                    block_start = time.perf_counter()
+                    sl = slice(first, min(first + block_size, n_ticks))
+                    result, block_mitigated = self._step_block(fleet[:, sl], reg)
+                    flags[:, sl] = result.flags
+                    scores[:, sl] = result.scores
+                    if result.missing is not None:
+                        missing[:, sl] = result.missing
+                    if block_mitigated is not None:
+                        mitigated[:, sl] = block_mitigated
+                    block_ticks = sl.stop - sl.start
+                    block_elapsed = time.perf_counter() - block_start
+                    latencies[sl] = block_elapsed / block_ticks
+                    if block_hist is not None:
+                        block_hist.observe(block_elapsed)
+                    completed = sl.stop
+        except (Exception, KeyboardInterrupt) as exc:
+            error = exc
+        elapsed = time.perf_counter() - start
+        if error is not None:
+            # Truncate to the completed ticks; an interrupted block's
+            # partial state stays in the detector but its undecided
+            # columns are not reported.
+            flags = flags[:, :completed]
+            scores = scores[:, :completed]
+            missing = missing[:, :completed]
+            mitigated = mitigated[:, :completed]
+            latencies = latencies[:completed]
+            if labels is not None:
+                labels = labels[:, :completed]
+        return self._finalize(
+            reg, elapsed, latencies, flags, scores, mitigated, missing,
+            labels, station_names, error,
+        )
+
+    def _run_stream(
+        self,
+        ticks,
+        station_names: list[str] | None,
+        block_size: int,
+    ) -> StreamReport:
+        """Lazily consume an iterable of per-tick readings."""
+        n_stations = self.detector.n_stations
+        flag_cols: list[np.ndarray] = []
+        score_cols: list[np.ndarray] = []
+        miss_cols: list[np.ndarray] = []
+        mit_cols: list[np.ndarray] = []
+        lat: list[float] = []
+
+        reg = obs.registry()
+        tick_hist, block_hist = self._obs_run_metrics(reg)
+
+        def do_block(block: np.ndarray) -> None:
+            block_start = time.perf_counter()
+            result, block_mitigated = self._step_block(block, reg)
+            if block_mitigated is None:
+                block_mitigated = block.copy()
+            block_missing = (
+                result.missing
+                if result.missing is not None
+                else np.zeros(result.flags.shape, dtype=bool)
+            )
+            block_elapsed = time.perf_counter() - block_start
+            flag_cols.extend(result.flags.T)
+            score_cols.extend(result.scores.T)
+            miss_cols.extend(block_missing.T)
+            mit_cols.extend(block_mitigated.T)
+            lat.extend([block_elapsed / block.shape[1]] * block.shape[1])
+            if block_hist is not None:
+                block_hist.observe(block_elapsed)
+
+        error: BaseException | None = None
+        pending: list[np.ndarray] = []
+        start = time.perf_counter()
+        try:
+            for values in ticks:
+                values = np.asarray(values, dtype=np.float64)
+                if values.shape != (n_stations,):
+                    raise ValueError(
+                        f"each tick must be ({n_stations},), got {values.shape}"
+                    )
+                if block_size == 1:
+                    tick_start = time.perf_counter()
+                    result, tick_mitigated = self._step_tick(values, reg)
+                    if tick_mitigated is None:
+                        tick_mitigated = values.copy()
+                    flag_cols.append(result.flags)
+                    score_cols.append(result.scores)
+                    miss_cols.append(
+                        result.missing
+                        if result.missing is not None
+                        else np.zeros(n_stations, dtype=bool)
+                    )
+                    mit_cols.append(tick_mitigated)
+                    lat.append(time.perf_counter() - tick_start)
+                    if tick_hist is not None:
+                        tick_hist.observe(lat[-1])
+                else:
+                    pending.append(values)
+                    if len(pending) == block_size:
+                        do_block(np.stack(pending, axis=1))
+                        pending.clear()
+            if pending:
+                # Trailing partial block — same semantics as the
+                # materialized path's final short block.
+                do_block(np.stack(pending, axis=1))
+                pending.clear()
+        except (Exception, KeyboardInterrupt) as exc:
+            # Ticks delivered but not yet processed (a partial pending
+            # block) are dropped: only completed decisions are reported.
+            error = exc
+        elapsed = time.perf_counter() - start
+
+        def stack(cols: list[np.ndarray], dtype) -> np.ndarray:
+            if not cols:
+                return np.empty((n_stations, 0), dtype=dtype)
+            return np.stack(cols, axis=1)
+
+        return self._finalize(
+            reg,
+            elapsed,
+            np.asarray(lat, dtype=np.float64),
+            stack(flag_cols, bool),
+            stack(score_cols, np.float64),
+            stack(mit_cols, np.float64),
+            stack(miss_cols, bool),
+            None,
+            station_names,
+            error,
         )
 
 

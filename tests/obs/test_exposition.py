@@ -109,3 +109,91 @@ class TestJsonlSink:
     def test_negative_interval_rejected(self, tmp_path):
         with pytest.raises(ValueError, match=">= 0"):
             JsonlSink(tmp_path / "metrics.jsonl", interval_seconds=-1.0)
+
+
+class TestIngestMetricFamilies:
+    """The serving layer's metric families render byte-for-byte
+    deterministically — same contract the core families hold."""
+
+    @staticmethod
+    def _populated_registry():
+        from repro.serve._metrics import ingest_metrics
+
+        registry = MetricsRegistry()
+        metrics = ingest_metrics(registry)
+        metrics["frames"].inc(12)
+        metrics["accepted"].inc(9)
+        metrics["duplicates"].inc(1)
+        metrics["late"].inc(1)
+        metrics["corrupt"].inc(1)
+        metrics["busy"].inc(2)
+        metrics["shed"].inc(1)
+        metrics["blocks"].inc(1)
+        metrics["queue_depth"].set(3)
+        metrics["pending_ticks"].set(5)
+        metrics["ingest_latency"].observe(0.004)
+        metrics["ingest_latency"].observe(0.3)
+        return registry
+
+    def test_ingest_families_golden(self):
+        assert render_prometheus(self._populated_registry()) == (
+            "# HELP repro_serve_accepted_total Readings filed into the reorder buffer.\n"
+            "# TYPE repro_serve_accepted_total counter\n"
+            "repro_serve_accepted_total 9\n"
+            "# HELP repro_serve_blocks_total Blocks fed through the streaming detector.\n"
+            "# TYPE repro_serve_blocks_total counter\n"
+            "repro_serve_blocks_total 1\n"
+            "# HELP repro_serve_busy_total BUSY frames sent (backpressure: queue full or quota).\n"
+            "# TYPE repro_serve_busy_total counter\n"
+            "repro_serve_busy_total 2\n"
+            "# HELP repro_serve_corrupt_frames_total Frames whose CRC check failed (not acked; client resends).\n"
+            "# TYPE repro_serve_corrupt_frames_total counter\n"
+            "repro_serve_corrupt_frames_total 1\n"
+            "# HELP repro_serve_duplicates_total Readings already delivered (retries, network dups).\n"
+            "# TYPE repro_serve_duplicates_total counter\n"
+            "repro_serve_duplicates_total 1\n"
+            "# HELP repro_serve_frames_total DATA frames received (before dedup/watermark).\n"
+            "# TYPE repro_serve_frames_total counter\n"
+            "repro_serve_frames_total 12\n"
+            "# HELP repro_serve_ingest_latency_seconds First frame arrival to flag decision, per emitted tick.\n"
+            "# TYPE repro_serve_ingest_latency_seconds histogram\n"
+            'repro_serve_ingest_latency_seconds_bucket{le="0.001"} 0\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="0.005"} 1\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="0.025"} 1\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="0.1"} 1\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="0.5"} 2\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="2"} 2\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="10"} 2\n'
+            'repro_serve_ingest_latency_seconds_bucket{le="+Inf"} 2\n'
+            "repro_serve_ingest_latency_seconds_sum 0.304\n"
+            "repro_serve_ingest_latency_seconds_count 2\n"
+            "# HELP repro_serve_late_total Readings past the watermark, dropped as missing.\n"
+            "# TYPE repro_serve_late_total counter\n"
+            "repro_serve_late_total 1\n"
+            "# HELP repro_serve_pending_ticks Tick span buffered in the reorder window.\n"
+            "# TYPE repro_serve_pending_ticks gauge\n"
+            "repro_serve_pending_ticks 5\n"
+            "# HELP repro_serve_queue_depth Readings waiting in the bounded ingest queue.\n"
+            "# TYPE repro_serve_queue_depth gauge\n"
+            "repro_serve_queue_depth 3\n"
+            "# HELP repro_serve_shed_total Queued readings shed under the shed-oldest policy.\n"
+            "# TYPE repro_serve_shed_total counter\n"
+            "repro_serve_shed_total 1\n"
+        )
+
+    def test_ingest_families_jsonl_round_trip(self, tmp_path):
+        sink = JsonlSink(tmp_path / "ingest.jsonl")
+        snapshot = sink.write(self._populated_registry(), timestamp=42.0)
+        assert snapshot["counters"]["repro_serve_frames_total"]["value"] == 12.0
+        assert snapshot["histograms"]["repro_serve_ingest_latency_seconds"]["count"] == 2
+
+    def test_registration_is_idempotent(self):
+        """Server construction and exposition can both call
+        ingest_metrics without double-registering families."""
+        from repro.serve._metrics import ingest_metrics
+
+        registry = MetricsRegistry()
+        first = ingest_metrics(registry)
+        second = ingest_metrics(registry)
+        assert first["frames"] is second["frames"]
+        assert first["ingest_latency"] is second["ingest_latency"]

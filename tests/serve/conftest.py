@@ -1,0 +1,44 @@
+"""Shared serving-test plumbing: a tiny calibrated pipeline factory.
+
+The soak tests need *several identically-initialized* engines (one to
+serve, one for the offline reference replay), so the factory is a
+function of (autoencoder, fleet) rather than a one-shot fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
+from repro.stream import (
+    StreamingDetector,
+    StreamingMinMaxScaler,
+    StreamReplayEngine,
+)
+
+
+@pytest.fixture(scope="package")
+def small_autoencoder():
+    config = AutoencoderConfig(
+        sequence_length=8, encoder_units=(6, 3), decoder_units=(3, 6), dropout=0.0
+    )
+    return LSTMAutoencoder(config, seed=11)
+
+
+def build_engine(
+    autoencoder, fleet: np.ndarray, mitigator: str = "hold_last_good"
+) -> StreamReplayEngine:
+    """A calibrated impute-capable pipeline over ``fleet``'s bounds.
+
+    Deterministic in its inputs: calling it twice yields two engines
+    that produce bit-identical decisions — the soak tests' foundation.
+    """
+    scaler = StreamingMinMaxScaler.from_bounds(np.nanmin(fleet, axis=1), np.nanmax(fleet, axis=1))
+    detector = StreamingDetector(
+        autoencoder,
+        fleet.shape[0],
+        scaler=scaler,
+        min_calibration_scores=5,
+        missing="impute",
+    )
+    detector.calibrate(fleet)
+    return StreamReplayEngine(detector, mitigator=mitigator)

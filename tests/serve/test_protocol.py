@@ -1,0 +1,137 @@
+"""Wire protocol: framing, round-trips, and corruption behavior.
+
+The load-bearing property: a CRC failure is a *payload* problem — the
+decoder reports it and stays synchronized — while a bad magic byte or
+an absurd length is a *stream* problem and kills the connection.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAGIC,
+    MAX_FRAME_BODY,
+    SEQ_MOD,
+    AckStatus,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+    pack_ack,
+    pack_busy,
+    pack_data,
+    pack_hello,
+    pack_welcome,
+    unpack_ack,
+    unpack_busy,
+    unpack_data,
+    unpack_hello,
+    unpack_welcome,
+)
+
+
+def decode_all(payload: bytes, chunk: int = 0):
+    decoder = FrameDecoder()
+    if chunk <= 0:
+        return decoder.feed(payload)
+    frames = []
+    for start in range(0, len(payload), chunk):
+        frames.extend(decoder.feed(payload[start : start + chunk]))
+    return frames
+
+
+class TestRoundTrips:
+    def test_data_frame_round_trips(self):
+        frame = pack_data(7, 123456, 1700000000.25, -3.5)
+        ((ftype, body),) = decode_all(frame)
+        assert ftype is FrameType.DATA
+        assert unpack_data(body) == (7, 123456, 1700000000.25, -3.5)
+
+    def test_data_nan_reading_survives(self):
+        frame = pack_data(0, 1, 0.0, float("nan"))
+        ((_, body),) = decode_all(frame)
+        assert math.isnan(unpack_data(body)[3])
+
+    def test_data_seq_wraps_at_u32(self):
+        frame = pack_data(1, SEQ_MOD + 5, 0.0, 1.0)
+        ((_, body),) = decode_all(frame)
+        assert unpack_data(body)[1] == 5
+
+    def test_ack_round_trips_every_status(self):
+        for status in AckStatus:
+            ((_, body),) = decode_all(pack_ack(3, 9, status))
+            assert unpack_ack(body) == (3, 9, status)
+
+    def test_busy_round_trips(self):
+        ((_, body),) = decode_all(pack_busy(2, 11))
+        assert unpack_busy(body) == (2, 11)
+
+    def test_hello_welcome_round_trip(self):
+        ((_, hello),) = decode_all(pack_hello("station-3", token="sekrit"))
+        assert unpack_hello(hello) == {"client_id": "station-3", "token": "sekrit"}
+        ((_, welcome),) = decode_all(pack_welcome("s1", 32))
+        assert unpack_welcome(welcome) == {"session": "s1", "max_inflight": 32}
+
+    def test_bye_has_empty_body(self):
+        ((ftype, body),) = decode_all(encode_frame(FrameType.BYE))
+        assert ftype is FrameType.BYE and body == b""
+
+
+class TestDecoder:
+    def test_byte_at_a_time_chunking(self):
+        stream = pack_data(1, 2, 3.0, 4.0) + pack_ack(1, 2, AckStatus.OK) + pack_busy(0, 7)
+        frames = decode_all(stream, chunk=1)
+        assert [ftype for ftype, _ in frames] == [
+            FrameType.DATA,
+            FrameType.ACK,
+            FrameType.BUSY,
+        ]
+
+    def test_partial_frame_is_buffered_not_dropped(self):
+        frame = pack_data(1, 2, 3.0, 4.0)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        ((ftype, _),) = decoder.feed(frame[-1:])
+        assert ftype is FrameType.DATA
+
+    @pytest.mark.parametrize("offset", [5, 9, 20])
+    def test_crc_failure_yields_corrupt_and_stream_stays_synced(self, offset):
+        """A flipped payload byte damages ONE frame, not the stream."""
+        bad = bytearray(pack_data(1, 2, 3.0, 4.0))
+        bad[offset] ^= 0xFF
+        stream = bytes(bad) + pack_data(5, 6, 7.0, 8.0)
+        frames = decode_all(stream, chunk=3)
+        assert frames[0] == (FrameType.CORRUPT, b"")
+        assert frames[1][0] is FrameType.DATA
+        assert unpack_data(frames[1][1]) == (5, 6, 7.0, 8.0)
+
+    def test_unknown_frame_type_is_corrupt_not_fatal(self):
+        payload = bytes([200]) + b"xx"
+        import zlib
+
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        frame = struct.pack(">BI", MAGIC, len(payload) + 4) + payload + struct.pack(">I", crc)
+        assert decode_all(frame) == [(FrameType.CORRUPT, b"")]
+
+    def test_bad_magic_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_all(b"\x00" + pack_data(1, 2, 3.0, 4.0))
+
+    def test_implausible_length_raises_protocol_error(self):
+        header = struct.pack(">BI", MAGIC, MAX_FRAME_BODY + 6)
+        with pytest.raises(ProtocolError, match="length"):
+            decode_all(header + b"\x00" * 16)
+
+    def test_oversized_body_rejected_at_encode_time(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(FrameType.ERROR, b"x" * (MAX_FRAME_BODY + 1))
+
+    def test_malformed_hello_json_raises(self):
+        with pytest.raises(ProtocolError, match="HELLO"):
+            unpack_hello(b"{not json")
+
+    def test_truncated_data_body_raises(self):
+        with pytest.raises(ProtocolError, match="DATA body"):
+            unpack_data(b"\x00\x01")

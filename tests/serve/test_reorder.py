@@ -1,0 +1,206 @@
+"""Reorder buffer: re-sequencing, dedup, watermark, wraparound, overflow.
+
+Covers the ISSUE's named edge cases: seq wraparound, duplicate *after*
+the watermark dropped a tick, a station that never sends (all-NaN
+column), and a burst landing exactly on the watermark boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import SEQ_MOD
+from repro.serve.reorder import Offer, ReorderBuffer
+
+
+def drained_matrix(emitted, n_stations):
+    """Stack drained (tick, values, arrival) triples into (n, T)."""
+    if not emitted:
+        return np.empty((n_stations, 0))
+    return np.stack([values for _, values, _ in emitted], axis=1)
+
+
+class TestBasics:
+    def test_in_order_ticks_emit_behind_watermark(self):
+        buf = ReorderBuffer(2, lateness=2, capacity=16)
+        for tick in range(5):
+            for station in range(2):
+                assert buf.offer(station, tick, float(tick)) is Offer.ACCEPTED
+        emitted = buf.drain()
+        # high=4, lateness=2 -> ticks 0..2 are flushable
+        assert [tick for tick, _, _ in emitted] == [0, 1, 2]
+        np.testing.assert_array_equal(drained_matrix(emitted, 2), [[0, 1, 2], [0, 1, 2]])
+        assert buf.pending_ticks == 2
+
+    def test_out_of_order_arrivals_resequence(self):
+        buf = ReorderBuffer(1, lateness=0, capacity=16)
+        buf.offer(0, 2, 22.0)
+        buf.offer(0, 0, 20.0)
+        buf.offer(0, 1, 21.0)
+        emitted = buf.drain()
+        assert [tick for tick, _, _ in emitted] == [0, 1, 2]
+        np.testing.assert_array_equal(drained_matrix(emitted, 1), [[20.0, 21.0, 22.0]])
+
+    def test_duplicate_pending_reading_rejected(self):
+        buf = ReorderBuffer(1, lateness=4, capacity=16)
+        assert buf.offer(0, 0, 1.0) is Offer.ACCEPTED
+        assert buf.offer(0, 0, 99.0) is Offer.DUPLICATE
+        buf.offer(0, 9, 9.0)
+        emitted = buf.drain()
+        assert emitted[0][1][0] == 1.0  # first write wins
+
+    def test_late_frame_after_emission_dropped(self):
+        buf = ReorderBuffer(1, lateness=0, capacity=16)
+        buf.offer(0, 0, 1.0)
+        buf.offer(0, 1, 2.0)
+        buf.drain()  # emits ticks 0..1 (watermark = high = 1)... tick 0 surely
+        assert buf.next_emit >= 1
+        assert buf.offer(0, 0, 1.0) is Offer.LATE
+        assert buf.counts[Offer.LATE] == 1
+
+    def test_gap_tick_emits_all_nan_column(self):
+        buf = ReorderBuffer(2, lateness=0, capacity=16)
+        buf.offer(0, 0, 1.0)
+        buf.offer(1, 0, 2.0)
+        buf.offer(0, 3, 4.0)  # nobody ever mentions ticks 1..2
+        emitted = buf.drain()
+        assert [tick for tick, _, _ in emitted] == [0, 1, 2, 3]
+        matrix = drained_matrix(emitted, 2)
+        assert np.isnan(matrix[:, 1]).all() and np.isnan(matrix[:, 2]).all()
+        np.testing.assert_array_equal(matrix[:, 0], [1.0, 2.0])
+
+    def test_partial_tick_missing_station_is_nan(self):
+        buf = ReorderBuffer(3, lateness=0, capacity=16)
+        buf.offer(0, 0, 1.0)
+        buf.offer(2, 0, 3.0)
+        buf.offer(0, 1, 1.5)
+        tick0 = buf.drain()[0]
+        np.testing.assert_array_equal(np.isnan(tick0[1]), [False, True, False])
+
+    def test_flush_emits_everything_buffered(self):
+        buf = ReorderBuffer(1, lateness=100, capacity=200)
+        for tick in range(5):
+            buf.offer(0, tick, float(tick))
+        assert buf.drain() == []  # all held by the huge lateness
+        emitted = buf.flush()
+        assert [tick for tick, _, _ in emitted] == [0, 1, 2, 3, 4]
+        assert buf.pending_ticks == 0
+
+    def test_station_out_of_range_raises(self):
+        buf = ReorderBuffer(2, lateness=0, capacity=4)
+        with pytest.raises(ValueError, match="station"):
+            buf.offer(2, 0, 1.0)
+
+    def test_capacity_must_cover_lateness(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ReorderBuffer(1, lateness=8, capacity=4)
+
+
+class TestBackpressure:
+    def test_offer_beyond_capacity_overflows(self):
+        buf = ReorderBuffer(1, lateness=0, capacity=4)
+        buf.offer(0, 0, 0.0)
+        assert buf.offer(0, 4, 4.0) is Offer.OVERFLOW  # would span 5 ticks
+        assert buf.offer(0, 3, 3.0) is Offer.ACCEPTED
+        assert buf.counts[Offer.OVERFLOW] == 1
+
+    def test_overflowed_tick_accepted_after_drain_advances(self):
+        buf = ReorderBuffer(1, lateness=0, capacity=4)
+        buf.offer(0, 0, 0.0)
+        buf.offer(0, 3, 3.0)
+        assert buf.offer(0, 4, 4.0) is Offer.OVERFLOW
+        buf.drain()  # advances next_emit past the watermark
+        assert buf.offer(0, 4, 4.0) is Offer.ACCEPTED
+
+
+class TestEdgeCases:
+    """The ISSUE's named corners."""
+
+    def test_seq_wraparound_keeps_timeline_monotone(self):
+        start = SEQ_MOD - 3
+        buf = ReorderBuffer(1, lateness=0, capacity=16, start=start)
+        readings = {}
+        for i, raw in enumerate(
+            [(start + i) % SEQ_MOD for i in range(6)]  # crosses the u32 wrap
+        ):
+            assert buf.offer(0, raw, float(i)) is Offer.ACCEPTED
+            readings[start + i] = float(i)
+        emitted = buf.flush()
+        assert [tick for tick, _, _ in emitted] == sorted(readings)
+        assert emitted[-1][0] == start + 5  # absolute ticks keep growing past 2**32
+        for tick, values, _ in emitted:
+            assert values[0] == readings[tick]
+
+    def test_wrapped_duplicate_is_not_a_new_epoch(self):
+        """A stale resend of seq 0 after the wrap must not be filed
+        2**32 ticks in the future."""
+        start = SEQ_MOD - 2
+        buf = ReorderBuffer(1, lateness=0, capacity=16, start=start)
+        for i in range(4):  # absolute ticks 2**32-2 .. 2**32+1
+            buf.offer(0, (start + i) % SEQ_MOD, float(i))
+        buf.drain()
+        # raw seq 0 == absolute tick 2**32, already emitted -> LATE
+        assert buf.offer(0, 0, 99.0) is Offer.LATE
+
+    def test_duplicate_after_watermark_is_late(self):
+        buf = ReorderBuffer(1, lateness=1, capacity=16)
+        buf.offer(0, 0, 1.0)
+        buf.offer(0, 1, 2.0)
+        buf.offer(0, 2, 3.0)
+        emitted = buf.drain()  # watermark = 1 -> ticks 0..1 out
+        assert [tick for tick, _, _ in emitted] == [0, 1]
+        assert buf.offer(0, 0, 1.0) is Offer.LATE
+        assert buf.offer(0, 1, 2.0) is Offer.LATE
+        assert buf.offer(0, 2, 3.0) is Offer.DUPLICATE  # still pending
+
+    def test_never_sending_station_yields_all_nan_row(self):
+        buf = ReorderBuffer(3, lateness=0, capacity=32)
+        for tick in range(6):
+            buf.offer(0, tick, float(tick))
+            buf.offer(2, tick, float(-tick))
+        emitted = buf.drain() + buf.flush()
+        matrix = drained_matrix(emitted, 3)
+        assert np.isnan(matrix[1]).all()
+        assert np.isfinite(matrix[0]).all() and np.isfinite(matrix[2]).all()
+
+    def test_burst_exactly_at_watermark_boundary(self):
+        """Frames for tick == watermark arrive just in time; one tick
+        earlier is already gone."""
+        buf = ReorderBuffer(2, lateness=2, capacity=32)
+        for tick in range(6):
+            buf.offer(0, tick, float(tick))
+        assert buf.watermark == 3
+        emitted = buf.drain()  # emits 0..3
+        assert [tick for tick, _, _ in emitted] == [0, 1, 2, 3]
+        # station 1's straggler burst: ticks 4 and 5 are the pending
+        # window (>= next_emit); ticks <= 3 are gone.
+        assert buf.offer(1, 4, 40.0) is Offer.ACCEPTED
+        assert buf.offer(1, 5, 50.0) is Offer.ACCEPTED
+        assert buf.offer(1, 3, 30.0) is Offer.LATE
+        emitted = buf.flush()
+        matrix = drained_matrix(emitted, 2)
+        np.testing.assert_array_equal(matrix[1], [40.0, 50.0])
+
+
+class TestCheckpoint:
+    def test_state_dict_round_trip_is_exact(self):
+        buf = ReorderBuffer(3, lateness=2, capacity=32, start=100)
+        rng = np.random.default_rng(0)
+        for raw in rng.permutation(np.arange(100, 118)):
+            for station in range(3):
+                if rng.random() < 0.7:
+                    buf.offer(station, int(raw), float(raw + station))
+        buf.drain()
+        clone = ReorderBuffer(3, lateness=0, capacity=8)
+        clone.load_state_dict(buf.state_dict())
+        assert (clone.next_emit, clone.high) == (buf.next_emit, buf.high)
+        assert (clone.lateness, clone.capacity) == (buf.lateness, buf.capacity)
+        np.testing.assert_array_equal(clone.last_seen, buf.last_seen)
+        a, b = buf.flush(), clone.flush()
+        assert [t for t, _, _ in a] == [t for t, _, _ in b]
+        np.testing.assert_array_equal(drained_matrix(a, 3), drained_matrix(b, 3))
+
+    def test_station_count_mismatch_rejected(self):
+        buf = ReorderBuffer(3, lateness=0, capacity=8)
+        clone = ReorderBuffer(2, lateness=0, capacity=8)
+        with pytest.raises(ValueError, match="stations"):
+            clone.load_state_dict(buf.state_dict())

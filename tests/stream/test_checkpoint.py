@@ -365,3 +365,74 @@ class TestCheckpointProvenance:
         _rewrite_meta(saved, shard)
         with pytest.raises(ValueError, match="shard 2 of 4"):
             load_checkpoint(saved)
+
+
+class TestCorruptArchives:
+    """Unreadable archives fail with CheckpointError naming the path."""
+
+    @pytest.fixture
+    def valid_checkpoint(self, small_autoencoder, tmp_path):
+        fleet = synthesize_fleet(2, 20, seed=51)
+        engine = _pipeline(small_autoencoder, fleet, "hold_last_good", 0.01)
+        engine.run(fleet[:, :10])
+        return save_checkpoint(tmp_path / "valid", engine)
+
+    def test_checkpoint_error_is_a_value_error(self):
+        from repro.stream import CheckpointError
+
+        assert issubclass(CheckpointError, ValueError)
+
+    @pytest.mark.parametrize("keep", [0.25, 0.5, 0.9])
+    def test_byte_truncated_archive_raises_checkpoint_error(
+        self, valid_checkpoint, tmp_path, keep
+    ):
+        from repro.stream import CheckpointError
+
+        data = valid_checkpoint.read_bytes()
+        truncated = tmp_path / f"truncated-{keep}.npz"
+        truncated.write_bytes(data[: int(len(data) * keep)])
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(truncated)
+        assert str(truncated) in str(excinfo.value)
+        assert "truncated" in str(excinfo.value)
+
+    def test_tail_truncation_of_central_directory(self, valid_checkpoint, tmp_path):
+        from repro.stream import CheckpointError
+
+        data = valid_checkpoint.read_bytes()
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(data[:-17])
+        with pytest.raises(CheckpointError, match="clipped"):
+            load_checkpoint(clipped)
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        from repro.stream import CheckpointError
+
+        ghost = tmp_path / "never-written.npz"
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(ghost)
+        assert str(ghost) in str(excinfo.value)
+
+    def test_garbage_bytes_raise_checkpoint_error(self, tmp_path):
+        from repro.stream import CheckpointError
+
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"this was never a zip archive" * 10)
+        with pytest.raises(CheckpointError, match="garbage"):
+            load_checkpoint(garbage)
+
+    def test_foreign_npz_raises_checkpoint_error(self, tmp_path):
+        from repro.stream import CheckpointError
+
+        foreign = tmp_path / "foreign.npz"
+        np.savez(foreign, weights=np.zeros(3))
+        with pytest.raises(CheckpointError, match="not a stream checkpoint"):
+            load_checkpoint(foreign)
+
+    def test_corrupt_meta_json_raises_checkpoint_error(self, tmp_path):
+        from repro.stream import CheckpointError
+
+        mangled = tmp_path / "mangled.npz"
+        np.savez(mangled, meta=np.asarray("{not json"))
+        with pytest.raises(CheckpointError, match="meta"):
+            load_checkpoint(mangled)

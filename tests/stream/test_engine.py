@@ -215,3 +215,140 @@ class TestZeroTickReport:
             missing=np.zeros((2, 5), dtype=bool),
         )
         assert report.ticks_per_second == float("inf")
+
+
+class TestIteratorFleets:
+    """run() over a lazy per-tick source == run() over the matrix."""
+
+    def test_generator_matches_array_tick_mode(self, small_autoencoder):
+        fleet = synthesize_fleet(3, 25, seed=31)
+        reference = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet), "hold_last_good"
+        ).run(fleet)
+        streamed = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet), "hold_last_good"
+        ).run(fleet[:, tick] for tick in range(fleet.shape[1]))
+        np.testing.assert_array_equal(reference.flags, streamed.flags)
+        np.testing.assert_array_equal(reference.scores, streamed.scores)
+        np.testing.assert_array_equal(reference.mitigated, streamed.mitigated)
+        np.testing.assert_array_equal(reference.missing, streamed.missing)
+
+    def test_generator_matches_array_block_mode_with_partial_tail(
+        self, small_autoencoder
+    ):
+        fleet = synthesize_fleet(3, 26, seed=32)  # 26 = 3 blocks of 8 + 2
+        reference = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet), "hold_last_good"
+        ).run(fleet, block_size=8)
+        streamed = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet), "hold_last_good"
+        ).run((fleet[:, tick] for tick in range(fleet.shape[1])), block_size=8)
+        assert streamed.n_ticks == 26
+        np.testing.assert_array_equal(reference.flags, streamed.flags)
+        np.testing.assert_array_equal(reference.scores, streamed.scores)
+        np.testing.assert_array_equal(reference.mitigated, streamed.mitigated)
+
+    def test_empty_iterator_reports_zero_ticks(self, small_autoencoder):
+        fleet = synthesize_fleet(2, 20, seed=33)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        report = engine.run(iter([]))
+        assert report.n_ticks == 0
+        assert report.flags.shape == (2, 0)
+
+    def test_labels_require_materialized_fleet(self, small_autoencoder):
+        fleet = synthesize_fleet(2, 20, seed=34)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        with pytest.raises(ValueError, match="materialized"):
+            engine.run(iter([fleet[:, 0]]), labels=np.zeros((2, 1), dtype=bool))
+
+    def test_non_iterable_fleet_raises_type_error(self, small_autoencoder):
+        fleet = synthesize_fleet(2, 20, seed=35)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        with pytest.raises(TypeError, match="iterable"):
+            engine.run(object())
+
+
+class TestInterruptedRun:
+    """A mid-run failure finalizes the completed ticks, not nothing."""
+
+    @staticmethod
+    def _failing_source(fleet, fail_after, exc_factory):
+        for tick in range(fleet.shape[1]):
+            if tick == fail_after:
+                raise exc_factory()
+            yield fleet[:, tick]
+
+    def test_source_exception_yields_partial_report(self, small_autoencoder):
+        from repro.stream.engine import StreamInterrupted
+
+        fleet = synthesize_fleet(3, 30, seed=41)
+        engine = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet), "hold_last_good"
+        )
+        with pytest.raises(StreamInterrupted) as excinfo:
+            engine.run(
+                self._failing_source(fleet, 11, lambda: RuntimeError("feed died"))
+            )
+        report = excinfo.value.report
+        assert report.n_ticks == 11
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "11 completed" in str(excinfo.value)
+        reference = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet), "hold_last_good"
+        ).run(fleet[:, :11])
+        np.testing.assert_array_equal(report.flags, reference.flags)
+        np.testing.assert_array_equal(report.scores, reference.scores)
+        np.testing.assert_array_equal(report.mitigated, reference.mitigated)
+        assert report.latencies.shape == (11,)
+        assert np.isfinite(report.latency_quantile(50))
+
+    def test_keyboard_interrupt_is_converted_and_chained(self, small_autoencoder):
+        from repro.stream.engine import StreamInterrupted
+
+        fleet = synthesize_fleet(2, 20, seed=42)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        with pytest.raises(StreamInterrupted) as excinfo:
+            engine.run(self._failing_source(fleet, 5, KeyboardInterrupt))
+        assert isinstance(excinfo.value.__cause__, KeyboardInterrupt)
+        assert excinfo.value.report.n_ticks == 5
+
+    def test_block_mode_drops_the_partial_pending_block(self, small_autoencoder):
+        """Ticks delivered but not yet through the detector are not in
+        the report: completed means decided."""
+        from repro.stream.engine import StreamInterrupted
+
+        fleet = synthesize_fleet(2, 30, seed=43)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        with pytest.raises(StreamInterrupted) as excinfo:
+            engine.run(
+                self._failing_source(fleet, 11, lambda: RuntimeError("boom")),
+                block_size=4,
+            )
+        assert excinfo.value.report.n_ticks == 8  # 2 full blocks of 4
+
+    def test_materialized_fleet_pipeline_failure_also_finalizes(
+        self, small_autoencoder, monkeypatch
+    ):
+        from repro.stream.engine import StreamInterrupted
+
+        fleet = synthesize_fleet(2, 20, seed=44)
+        engine = StreamReplayEngine(_make_detector(small_autoencoder, fleet))
+        original = engine.detector.process_tick
+        calls = {"n": 0}
+
+        def flaky(values):
+            if calls["n"] == 7:
+                raise RuntimeError("inference backend fell over")
+            calls["n"] += 1
+            return original(values)
+
+        monkeypatch.setattr(engine.detector, "process_tick", flaky)
+        with pytest.raises(StreamInterrupted) as excinfo:
+            engine.run(fleet)
+        report = excinfo.value.report
+        assert report.n_ticks == 7
+        assert report.flags.shape == (2, 7)
+        reference = StreamReplayEngine(
+            _make_detector(small_autoencoder, fleet)
+        ).run(fleet[:, :7])
+        np.testing.assert_array_equal(report.flags, reference.flags)
