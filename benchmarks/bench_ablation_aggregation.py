@@ -39,7 +39,7 @@ def weight_sets():
 def distance_to_honest_mean(aggregated, honest_mean):
     return float(
         np.sqrt(
-            sum(np.sum((a - h) ** 2) for a, h in zip(aggregated, honest_mean))
+            sum(np.sum((a - h) ** 2) for a, h in zip(aggregated, honest_mean, strict=True))
         )
     )
 

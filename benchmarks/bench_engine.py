@@ -226,7 +226,7 @@ class _SeedForecaster:
         self.t += 1
         index = 0
         for layer in self.layers:
-            for p, g in zip(layer.params, layer.grads):
+            for p, g in zip(layer.params, layer.grads, strict=True):
                 m = self.m[index]
                 v = self.v[index]
                 m *= b1

@@ -1,0 +1,10 @@
+"""reprolint: AST-based invariant checker for this repository.
+
+Run with ``python -m repro.analysis [paths...]``.  This package root
+re-exports only the runtime-free markers — importing it from library
+code (for ``@hot_path``) must never drag in the analysis engine.
+"""
+
+from repro.analysis.markers import hot_path
+
+__all__ = ["hot_path"]

@@ -1,0 +1,85 @@
+"""Baseline file: grandfathered findings that don't fail the run.
+
+Fingerprints deliberately exclude line numbers: a finding is identified
+by ``(path, code, detail, occurrence-index)``, where *detail* is the
+rule's line-independent payload (attribute name, offending call, scope)
+and the occurrence index disambiguates identical findings within one
+file in source order.  Reformatting or moving code within a file keeps a
+baselined finding matched; changing what the finding is *about* (or
+adding a second identical violation) surfaces it as new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import defaultdict
+
+from repro.analysis.engine import Finding
+
+VERSION = 1
+
+_NOTE = (
+    "Grandfathered reprolint findings. Entries here are known violations "
+    "that predate the rule and do not fail CI; fix them and regenerate "
+    "with `python -m repro.analysis --write-baseline`. New code must not "
+    "add entries."
+)
+
+
+def fingerprint(path: str, code: str, detail: str, index: int) -> str:
+    payload = f"{path}\0{code}\0{detail}\0{index}".encode()
+    return hashlib.sha1(payload).hexdigest()[:12]
+
+
+def assign_fingerprints(findings: list[Finding]) -> list[tuple[Finding, str]]:
+    """Pair every finding with its move-tolerant fingerprint."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    seen: dict[tuple[str, str, str], int] = defaultdict(int)
+    out = []
+    for finding in ordered:
+        key = (finding.path, finding.code, finding.detail)
+        out.append((finding, fingerprint(*key, seen[key])))
+        seen[key] += 1
+    return out
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints from a baseline file; empty set if absent."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    if data.get("version") != VERSION:
+        raise ValueError(f"unsupported baseline version in {path}: {data.get('version')!r}")
+    return set(data.get("entries", {}))
+
+
+def write_baseline(path: str, findings: list[Finding]) -> int:
+    """Write all ``findings`` as the new baseline; returns entry count."""
+    entries = {
+        fp: {"code": f.code, "path": f.path, "detail": f.detail}
+        for f, fp in assign_fingerprints(findings)
+    }
+    doc = {"version": VERSION, "note": _NOTE, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: list[Finding], baselined: set[str]
+) -> tuple[list[Finding], int]:
+    """Drop baselined findings; returns (new_findings, matched_count)."""
+    if not baselined:
+        return findings, 0
+    kept: list[Finding] = []
+    matched = 0
+    for finding, fp in assign_fingerprints(findings):
+        if fp in baselined:
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched

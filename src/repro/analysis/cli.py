@@ -1,0 +1,132 @@
+"""reprolint command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 new
+findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.config import load_config
+from repro.analysis.engine import Finding
+from repro.analysis.reporters import REPORTERS, RunResult
+from repro.analysis.rules import build_rules, rule_catalog
+from repro.analysis.runner import Analyzer, collect_files
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for this repository: checkpoint "
+            "completeness, dtype policy, hot-loop hygiene, determinism, "
+            "async-blocking."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: [tool.reprolint] paths)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: config select)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file (default: [tool.reprolint] baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report baselined findings too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into the baseline file and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, name, description in rule_catalog():
+            print(f"{code}  {name}\n       {description}")
+        return 0
+
+    try:
+        config = load_config()
+        select = (
+            tuple(c.strip() for c in args.select.split(",") if c.strip())
+            if args.select
+            else None
+        )
+        rules = build_rules(config, select)
+    except ValueError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or list(config.paths)
+    files = collect_files(paths, config)
+    analyzer = Analyzer(rules)
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for path in files:
+        file_findings, file_suppressed = analyzer.analyze_file(path)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+
+    baseline_path = args.baseline or config.baseline
+    if args.write_baseline:
+        count = baseline_mod.write_baseline(baseline_path, findings)
+        print(f"reprolint: wrote {count} entr{'y' if count == 1 else 'ies'} to {baseline_path}")
+        return 0
+
+    if args.no_baseline:
+        new, matched = findings, 0
+    else:
+        try:
+            known = baseline_mod.load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+        new, matched = baseline_mod.apply_baseline(findings, known)
+
+    result = RunResult(
+        findings=new,
+        files_checked=len(files),
+        suppressed=suppressed,
+        baselined=matched,
+    )
+    report = REPORTERS[args.format](result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    else:
+        sys.stdout.write(report)
+    return 1 if new else 0

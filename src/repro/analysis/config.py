@@ -1,0 +1,141 @@
+"""reprolint configuration: ``[tool.reprolint]`` in pyproject.toml.
+
+Every knob has an in-code default that **mirrors the committed
+pyproject.toml** — on Python 3.10 (no ``tomllib`` in the stdlib, and
+this repo adds no third-party deps) the TOML section cannot be read, so
+the defaults below *are* the configuration.  Keep the two in sync when
+editing either.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback
+    tomllib = None
+
+
+@dataclass(frozen=True)
+class Config:
+    """Resolved reprolint configuration."""
+
+    #: Rule codes to run (order is cosmetic; findings sort by location).
+    select: tuple[str, ...] = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+    #: Default analysis roots when the CLI gets no path arguments.
+    paths: tuple[str, ...] = ("src",)
+    #: Path fragments never analyzed (matched as path segments).
+    exclude: tuple[str, ...] = ("__pycache__", ".git", "build", "dist")
+    #: Committed baseline of grandfathered findings.
+    baseline: str = ".reprolint-baseline.json"
+
+    # RPR002 dtype-policy ------------------------------------------------
+    #: Packages where allocations must pass an explicit dtype.
+    dtype_packages: tuple[str, ...] = ("repro/nn", "repro/stream")
+    #: Files exempt from RPR002 (the policy itself, float64-by-design
+    #: numerics like gradient checking and the numba kernels).
+    dtype_exclude: tuple[str, ...] = (
+        "repro/nn/policy.py",
+        "repro/nn/gradcheck.py",
+        "repro/nn/_numba_kernels.py",
+    )
+    #: Packages where a literal ``dtype=np.float64`` must go through
+    #: repro.nn.policy instead (the stream contract *is* float64, so
+    #: only repro.nn is policed).
+    dtype_literal_packages: tuple[str, ...] = ("repro/nn",)
+
+    # RPR003 hot-loop hygiene --------------------------------------------
+    #: Qualified names (``Class.method`` or ``function``) treated as hot
+    #: in addition to anything carrying the ``@hot_path`` marker.
+    hot_functions: tuple[str, ...] = ()
+    #: Allocating numpy calls that must not sit inside a hot loop.
+    allocating_calls: tuple[str, ...] = (
+        "np.zeros", "np.empty", "np.ones", "np.full", "np.array",
+        "np.arange", "np.linspace", "np.concatenate", "np.stack",
+        "np.vstack", "np.hstack", "np.tile", "np.repeat",
+    )
+
+    # RPR004 determinism -------------------------------------------------
+    #: Trees exempt from the determinism rule (non-library code).
+    determinism_exempt: tuple[str, ...] = ("tests", "benchmarks", "examples")
+
+    # RPR005 async-blocking ----------------------------------------------
+    #: Packages whose ``async def`` bodies are policed.
+    async_packages: tuple[str, ...] = ("repro/serve",)
+    #: Call names (matched on the last dotted component) considered
+    #: heavy/blocking when invoked directly from a coroutine.
+    heavy_calls: tuple[str, ...] = (
+        "save_checkpoint", "load_checkpoint", "save", "load",
+    )
+    #: Exact blocking calls never allowed directly in a coroutine.
+    blocking_calls: tuple[str, ...] = ("time.sleep", "open", "socket.create_connection")
+
+    @classmethod
+    def from_mapping(cls, data: dict) -> "Config":
+        """Build a config from a ``[tool.reprolint]`` table.
+
+        TOML keys use dashes (``hot-functions``); unknown keys raise so
+        a typo in pyproject.toml fails loudly instead of silently
+        running with defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            name = key.replace("-", "_")
+            if name not in known:
+                raise ValueError(f"unknown [tool.reprolint] key: {key!r}")
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+
+def find_pyproject(start: str | None = None) -> str | None:
+    """Nearest pyproject.toml at or above ``start`` (default: cwd)."""
+    here = os.path.abspath(start or os.getcwd())
+    while True:
+        candidate = os.path.join(here, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(here)
+        if parent == here:
+            return None
+        here = parent
+
+
+def load_config(start: str | None = None) -> Config:
+    """Config from the nearest pyproject.toml, or in-code defaults.
+
+    Without ``tomllib`` (py3.10) the defaults apply; they are kept
+    byte-identical to the committed pyproject section, so behavior does
+    not drift across interpreter versions.
+    """
+    if tomllib is None:
+        return Config()
+    path = find_pyproject(start)
+    if path is None:
+        return Config()
+    with open(path, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("reprolint")
+    if table is None:
+        return Config()
+    return Config.from_mapping(table)
+
+
+def path_matches(relpath: str, fragment: str) -> bool:
+    """Whether ``fragment`` occurs as a path-segment run in ``relpath``.
+
+    ``repro/nn`` matches ``src/repro/nn/layers.py`` but not
+    ``src/repro/nnx/layers.py``; a full filename fragment like
+    ``repro/nn/policy.py`` matches only that file.
+    """
+    hay = "/" + relpath.replace(os.sep, "/").strip("/") + "/"
+    needle = "/" + fragment.strip("/") + "/"
+    return needle in hay
+
+
+def path_matches_any(relpath: str, fragments: tuple[str, ...]) -> bool:
+    return any(path_matches(relpath, frag) for frag in fragments)

@@ -1,0 +1,284 @@
+"""Single-walk AST rule engine.
+
+One :class:`Walker` traverses each module's AST exactly once and
+dispatches node *events* to every rule that subscribed to that node
+type, so analysis cost stays O(files), not O(files × rules).  Rules are
+plain objects exposing ``visit_<NodeType>`` / ``leave_<NodeType>``
+methods; the walker maintains the shared :class:`Context` (module path,
+class/function stacks, loop depth) that rules read instead of
+re-deriving scope themselves.
+
+Event ordering contract (what rule authors rely on):
+
+* ``visit_X`` fires *before* node ``X`` is pushed onto the context
+  stacks — inside ``visit_FunctionDef`` the context describes the
+  *enclosing* scope, and the function itself is the ``node`` argument.
+* ``leave_X`` fires *after* the node's subtree was walked and the node
+  was popped — the context again describes the enclosing scope.
+* Loop bodies (``for``/``while``/``async for`` and comprehensions)
+  increment :attr:`Context.loop_depth`; expressions evaluated once per
+  loop (a ``for`` statement's iterable, a comprehension's first
+  iterable) are visited *outside* the incremented depth.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Line-independent payload (attribute name, offending call, ...)
+    #: used for baseline fingerprints — a finding that merely moves
+    #: keeps its identity.
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description`,
+    implement any ``visit_<NodeType>`` / ``leave_<NodeType>`` methods,
+    and may override :meth:`applies_to` to scope themselves to part of
+    the tree.  A rule instance is reused across files — per-file state
+    must be reset in :meth:`start_file`.
+    """
+
+    code: str = "RPR000"
+    name: str = "unnamed"
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule runs on ``relpath`` (posix, repo-relative)."""
+        return True
+
+    def start_file(self, ctx: "Context") -> None:
+        """Hook: reset per-file state before a module is walked."""
+
+    def finish_file(self, ctx: "Context") -> None:
+        """Hook: emit aggregate findings after a module is walked."""
+
+
+@dataclass
+class _FuncFrame:
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: len(class_stack) at push time — used to find "the method of the
+    #: innermost class" regardless of closure nesting.
+    class_depth: int
+
+
+@dataclass
+class Context:
+    """Shared walk state handed to every rule callback."""
+
+    path: str
+    class_stack: list[ast.ClassDef] = field(default_factory=list)
+    func_stack: list[_FuncFrame] = field(default_factory=list)
+    loop_depth: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    def report(self, rule: Rule, node: ast.AST, message: str, detail: str) -> None:
+        self.findings.append(
+            Finding(
+                code=rule.code,
+                rule=rule.name,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                detail=detail,
+            )
+        )
+
+    @property
+    def current_class(self) -> ast.ClassDef | None:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def current_function(self) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        return self.func_stack[-1].node if self.func_stack else None
+
+    @property
+    def in_async_function(self) -> bool:
+        return isinstance(self.current_function, ast.AsyncFunctionDef)
+
+    @property
+    def in_loop(self) -> bool:
+        return self.loop_depth > 0
+
+    def method_name(self) -> str | None:
+        """Name of the current method of the *innermost* class.
+
+        For code nested in closures inside a method, this is still the
+        method — the first function pushed at the innermost class depth.
+        ``None`` outside any class method (module level, class body).
+        """
+        depth = len(self.class_stack)
+        if depth == 0:
+            return None
+        for frame in self.func_stack:
+            if frame.class_depth == depth:
+                return frame.node.name
+        return None
+
+    def qualname(self) -> str:
+        """Dotted Class.method / function path of the current scope."""
+        parts = [cls.name for cls in self.class_stack]
+        parts += [frame.node.name for frame in self.func_stack]
+        return ".".join(parts)
+
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+class Walker:
+    """Walk one AST once, dispatching node events to subscribed rules."""
+
+    def __init__(self, rules: list[Rule]) -> None:
+        self.rules = rules
+        self._visit: dict[type, list] = {}
+        self._leave: dict[type, list] = {}
+        for rule in rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    node_type = getattr(ast, attr[len("visit_"):], None)
+                    if node_type is not None:
+                        self._visit.setdefault(node_type, []).append(getattr(rule, attr))
+                elif attr.startswith("leave_"):
+                    node_type = getattr(ast, attr[len("leave_"):], None)
+                    if node_type is not None:
+                        self._leave.setdefault(node_type, []).append(getattr(rule, attr))
+
+    def run(self, tree: ast.Module, ctx: Context) -> None:
+        for rule in self.rules:
+            rule.start_file(ctx)
+        self._walk(tree, ctx)
+        for rule in self.rules:
+            rule.finish_file(ctx)
+
+    def _dispatch(self, table: dict[type, list], node: ast.AST, ctx: Context) -> None:
+        callbacks = table.get(type(node))
+        if callbacks:
+            for callback in callbacks:
+                callback(node, ctx)
+
+    def _walk(self, node: ast.AST, ctx: Context) -> None:
+        self._dispatch(self._visit, node, ctx)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Decorators/defaults/annotations evaluate in the enclosing
+            # scope (and at def time, outside any enclosing loop body
+            # semantics we care about); only the body is the new scope.
+            for dec in node.decorator_list:
+                self._walk(dec, ctx)
+            for default in [*node.args.defaults, *node.args.kw_defaults]:
+                if default is not None:
+                    self._walk(default, ctx)
+            ctx.func_stack.append(_FuncFrame(node, len(ctx.class_stack)))
+            # A nested def's body runs when *called*, not per enclosing
+            # loop iteration.
+            outer_depth, ctx.loop_depth = ctx.loop_depth, 0
+            for child in node.body:
+                self._walk(child, ctx)
+            ctx.loop_depth = outer_depth
+            ctx.func_stack.pop()
+        elif isinstance(node, ast.ClassDef):
+            for dec in node.decorator_list:
+                self._walk(dec, ctx)
+            ctx.class_stack.append(node)
+            for child in [*node.bases, *node.keywords, *node.body]:
+                self._walk(child, ctx)
+            ctx.class_stack.pop()
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._walk(node.iter, ctx)      # evaluated once
+            self._walk(node.target, ctx)
+            ctx.loop_depth += 1
+            for child in [*node.body, *node.orelse]:
+                self._walk(child, ctx)
+            ctx.loop_depth -= 1
+        elif isinstance(node, ast.While):
+            ctx.loop_depth += 1             # the test re-evaluates per pass
+            self._walk(node.test, ctx)
+            for child in [*node.body, *node.orelse]:
+                self._walk(child, ctx)
+            ctx.loop_depth -= 1
+        elif isinstance(node, _COMPREHENSIONS):
+            first = node.generators[0]
+            self._walk(first.iter, ctx)     # evaluated once
+            ctx.loop_depth += 1
+            self._walk(first.target, ctx)
+            for cond in first.ifs:
+                self._walk(cond, ctx)
+            for gen in node.generators[1:]:
+                self._walk(gen.target, ctx)
+                self._walk(gen.iter, ctx)
+                for cond in gen.ifs:
+                    self._walk(cond, ctx)
+            if isinstance(node, ast.DictComp):
+                self._walk(node.key, ctx)
+                self._walk(node.value, ctx)
+            else:
+                self._walk(node.elt, ctx)
+            ctx.loop_depth -= 1
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, ctx)
+        self._dispatch(self._leave, node, ctx)
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's target (``np.zeros``, ``open``, ...)."""
+    return dotted_name(node.func)
+
+
+def self_attribute(node: ast.AST) -> str | None:
+    """First-level attribute name for a ``self.x[...].y``-rooted chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        inner = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(inner, ast.Name)
+            and inner.id == "self"
+        ):
+            return node.attr
+        node = inner
+    return None
+
+
+def has_keyword(node: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in node.keywords)

@@ -1,0 +1,26 @@
+"""Source-level markers consumed by reprolint, free of runtime cost.
+
+Library code imports from this module only — it must never pull in the
+analysis engine (ast walking, config parsing) just to decorate a
+function on an import path the streaming hot loop touches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hot_path(func: _F) -> _F:
+    """Mark a function as a streaming hot path.
+
+    A no-op at runtime.  reprolint's RPR003 (hot-loop hygiene) checks
+    every function carrying this marker: loops inside it must not
+    allocate numpy arrays, resolve compute backends, or re-resolve the
+    observability registry per element — the per-element disciplines the
+    block-mode and obs work established by hand.  Decorating a function
+    is a contract that CI will keep enforcing after you've moved on.
+    """
+    func.__reprolint_hot__ = True
+    return func

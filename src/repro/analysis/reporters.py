@@ -1,0 +1,61 @@
+"""Text and JSON reporters for reprolint runs."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.engine import Finding
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything a reporter needs about one reprolint run."""
+
+    findings: list[Finding]       # new (non-baselined, non-suppressed)
+    files_checked: int
+    suppressed: int
+    baselined: int
+
+
+def _sorted(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def render_text(result: RunResult) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}"
+        for f in _sorted(result.findings)
+    ]
+    tail = []
+    if result.suppressed:
+        tail.append(f"{result.suppressed} suppressed inline")
+    if result.baselined:
+        tail.append(f"{result.baselined} baselined")
+    suffix = f" ({', '.join(tail)})" if tail else ""
+    if result.findings:
+        counts = Counter(f.code for f in result.findings)
+        breakdown = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"Found {len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s) [{breakdown}]{suffix}"
+        )
+    else:
+        lines.append(f"All checks passed on {result.files_checked} file(s){suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: RunResult) -> str:
+    doc = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [f.as_dict() for f in _sorted(result.findings)],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+REPORTERS = {"text": render_text, "json": render_json}

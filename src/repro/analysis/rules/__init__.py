@@ -1,0 +1,36 @@
+"""reprolint rule registry."""
+
+from __future__ import annotations
+
+from repro.analysis.config import Config
+from repro.analysis.engine import Rule
+from repro.analysis.rules.async_blocking import AsyncBlocking
+from repro.analysis.rules.checkpoint import CheckpointCompleteness
+from repro.analysis.rules.determinism import Determinism
+from repro.analysis.rules.dtype import DtypePolicy
+from repro.analysis.rules.hotloop import HotLoopHygiene
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    CheckpointCompleteness,
+    DtypePolicy,
+    HotLoopHygiene,
+    Determinism,
+    AsyncBlocking,
+)
+
+_BY_CODE = {cls.code: cls for cls in ALL_RULES}
+
+
+def build_rules(config: Config, select: tuple[str, ...] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (default: config.select)."""
+    codes = tuple(select) if select is not None else config.select
+    unknown = [c for c in codes if c not in _BY_CODE]
+    if unknown:
+        known = ", ".join(sorted(_BY_CODE))
+        raise ValueError(f"unknown rule code(s) {unknown}; known: {known}")
+    return [_BY_CODE[c](config) for c in codes]
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """``(code, name, description)`` for every registered rule."""
+    return [(cls.code, cls.name, cls.description) for cls in ALL_RULES]

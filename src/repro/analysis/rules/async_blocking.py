@@ -1,0 +1,78 @@
+"""RPR005: no blocking calls directly inside ``repro.serve`` coroutines.
+
+The ingestion server is single-event-loop; one synchronous sleep, file
+write, socket call, or checkpoint save inside an ``async def`` stalls
+every connected station at once.  Blocking work belongs behind
+``await asyncio.to_thread(...)`` (or an executor) — which also clears
+this rule, since the blocked call then appears as a function *reference*
+rather than a call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import Config, path_matches_any
+from repro.analysis.engine import Context, Rule, call_name
+
+#: Method names that are blocking socket/file primitives when invoked
+#: synchronously (asyncio's own equivalents are loop.sock_* / reader
+#: and writer methods, which never collide with these).
+_BLOCKING_METHODS = frozenset({"sendall", "recv", "recv_into", "accept", "makefile"})
+
+
+class AsyncBlocking(Rule):
+    code = "RPR005"
+    name = "async-blocking"
+    description = (
+        "async defs in repro.serve must not call time.sleep, sync "
+        "socket/file I/O, or save/load-checkpoint-class functions directly; "
+        "wrap them in asyncio.to_thread"
+    )
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+        self.heavy = frozenset(config.heavy_calls)
+        self.blocking = frozenset(config.blocking_calls)
+
+    def applies_to(self, relpath: str) -> bool:
+        return path_matches_any(relpath, self.config.async_packages)
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        if not ctx.in_async_function:
+            return
+        name = call_name(node)
+        if name is None:
+            return
+        scope = ctx.qualname() or "<module>"
+        tail = name.rsplit(".", 1)[-1]
+        if name in self.blocking:
+            hint = (
+                "use await asyncio.sleep(...)"
+                if name == "time.sleep"
+                else "run it via await asyncio.to_thread(...)"
+            )
+            ctx.report(
+                self,
+                node,
+                f"{name}() blocks the event loop inside coroutine {scope}; {hint}.",
+                detail=f"blocking:{name}:{scope}",
+            )
+        elif tail in self.heavy:
+            ctx.report(
+                self,
+                node,
+                f"heavy call {name}() directly inside coroutine {scope} "
+                f"stalls every connection while it runs; wrap it in "
+                f"await asyncio.to_thread(...).",
+                detail=f"heavy:{name}:{scope}",
+            )
+        elif tail in _BLOCKING_METHODS:
+            ctx.report(
+                self,
+                node,
+                f"synchronous socket/file call {name}() inside coroutine "
+                f"{scope} blocks the event loop; use the asyncio stream API "
+                f"or await asyncio.to_thread(...).",
+                detail=f"sync-io:{name}:{scope}",
+            )

@@ -1,0 +1,164 @@
+"""RPR001: checkpoint completeness for stream components.
+
+A class that defines ``state_dict``/``load_state_dict`` is promising
+bit-exact crash recovery.  Every ``self.<attr>`` it assigns in
+``__init__`` or mutates in any method is state that promise covers —
+unless the attribute is read somewhere inside ``state_dict`` /
+``load_state_dict``, or the class declares it ephemeral:
+
+    _EPHEMERAL = ("n_stations", "length")  # config, rebuilt by ctor
+
+Anything else is checkpoint drift: an attribute that evolves at runtime
+but silently resets on resume, exactly the class of bug the parity
+soaks catch two PRs too late.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.config import Config
+from repro.analysis.engine import Context, Rule, self_attribute
+
+_STATE_METHODS = frozenset({"state_dict", "load_state_dict"})
+
+
+@dataclass
+class _ClassRecord:
+    node: ast.ClassDef
+    methods: set[str] = field(default_factory=set)
+    ephemeral: set[str] = field(default_factory=set)
+    #: attr -> (first relevant node, human description of the site)
+    tracked: dict[str, tuple[ast.AST, str]] = field(default_factory=dict)
+    #: attrs touched (read or written) inside state_dict/load_state_dict
+    covered: set[str] = field(default_factory=set)
+
+
+class CheckpointCompleteness(Rule):
+    code = "RPR001"
+    name = "checkpoint-completeness"
+    description = (
+        "every attribute a state_dict-bearing class assigns in __init__ or "
+        "mutates in methods must appear in state_dict or _EPHEMERAL"
+    )
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+        self._stack: list[_ClassRecord] = []
+
+    def start_file(self, ctx: Context) -> None:
+        self._stack = []
+
+    # -- scope tracking -------------------------------------------------
+
+    def _record(self, ctx: Context) -> _ClassRecord | None:
+        """The active record, iff the walk is inside that class."""
+        if self._stack and ctx.current_class is self._stack[-1].node:
+            return self._stack[-1]
+        return None
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: Context) -> None:
+        self._stack.append(_ClassRecord(node))
+
+    def leave_ClassDef(self, node: ast.ClassDef, ctx: Context) -> None:
+        record = self._stack.pop()
+        if not (record.methods & _STATE_METHODS):
+            return
+        for attr in sorted(record.tracked):
+            if attr in record.covered or attr in record.ephemeral:
+                continue
+            site, where = record.tracked[attr]
+            cls = record.node.name
+            ctx.report(
+                self,
+                site,
+                f"'{cls}.{attr}' is {where} but never appears in "
+                f"state_dict/load_state_dict; a checkpoint silently drops it. "
+                f"Round-trip it through state_dict or declare it in "
+                f"{cls}._EPHEMERAL.",
+                detail=f"{cls}.{attr}",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: Context) -> None:
+        record = self._record(ctx)
+        # visit fires before the function is pushed, so method_name()
+        # is None exactly for defs directly in the class body.
+        if record is not None and ctx.method_name() is None:
+            record.methods.add(node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx: Context) -> None:
+        self.visit_FunctionDef(node, ctx)  # type: ignore[arg-type]
+
+    # -- attribute bookkeeping ------------------------------------------
+
+    @staticmethod
+    def _flatten_targets(target: ast.AST):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from CheckpointCompleteness._flatten_targets(elt)
+        elif isinstance(target, ast.Starred):
+            yield from CheckpointCompleteness._flatten_targets(target.value)
+        else:
+            yield target
+
+    def _register(self, record: _ClassRecord, attr: str, method: str, node: ast.AST) -> None:
+        if method == "__init__":
+            where = "assigned in __init__"
+            prior = record.tracked.get(attr)
+            # __init__ is the canonical site even if a mutation was
+            # walked first (defs can appear in any order).
+            if prior is None or not prior[1].startswith("assigned"):
+                record.tracked[attr] = (node, where)
+        elif attr not in record.tracked:
+            record.tracked[attr] = (node, f"mutated in {method}()")
+
+    def _track_assign(self, targets, node: ast.AST, ctx: Context) -> None:
+        record = self._record(ctx)
+        if record is None:
+            return
+        method = ctx.method_name()
+        if method is None:
+            return  # class-body assignment; _EPHEMERAL handled below
+        if method in _STATE_METHODS:
+            return  # coverage is collected by visit_Attribute
+        for target in targets:
+            for leaf in self._flatten_targets(target):
+                attr = self_attribute(leaf)
+                if attr is not None:
+                    self._register(record, attr, method, node)
+
+    def visit_Assign(self, node: ast.Assign, ctx: Context) -> None:
+        record = self._record(ctx)
+        if record is not None and ctx.method_name() is None and ctx.current_function is None:
+            # Class-body statement: pick up the _EPHEMERAL declaration.
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "_EPHEMERAL":
+                    record.ephemeral |= _string_elements(node.value)
+            return
+        self._track_assign(node.targets, node, ctx)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign, ctx: Context) -> None:
+        if node.value is not None:
+            self._track_assign([node.target], node, ctx)
+
+    def visit_AugAssign(self, node: ast.AugAssign, ctx: Context) -> None:
+        self._track_assign([node.target], node, ctx)
+
+    def visit_Attribute(self, node: ast.Attribute, ctx: Context) -> None:
+        record = self._record(ctx)
+        if record is None:
+            return
+        if ctx.method_name() in _STATE_METHODS:
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                record.covered.add(node.attr)
+
+
+def _string_elements(node: ast.AST) -> set[str]:
+    """String constants of a tuple/list literal (lenient on anything else)."""
+    out: set[str] = set()
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.add(elt.value)
+    return out

@@ -1,0 +1,97 @@
+"""RPR004: determinism — library code must not consult OS entropy/clocks.
+
+The parity suite asserts bit-exact equivalence between replayed runs
+(tick vs block, backend vs backend, crash/resume vs straight-through).
+One unseeded RNG or wall-clock read in library code and those guarantees
+quietly rot.  Randomness must flow through seeded
+``np.random.default_rng(seed)`` Generators; wall time is allowed only
+where it *is* the payload (checkpoint metadata, wire timestamps) and
+such sites carry an inline suppression saying so.  Tests, benchmarks,
+and examples are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import Config, path_matches_any
+from repro.analysis.engine import Context, Rule, call_name
+
+#: np.random constructors that take their seed explicitly — fine.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"Generator", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+#: stdlib random module-level functions backed by the global RNG.
+_STDLIB_RANDOM = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "triangular", "gauss", "normalvariate",
+        "lognormvariate", "expovariate", "vonmisesvariate", "betavariate",
+        "gammavariate", "paretovariate", "weibullvariate", "seed",
+        "getrandbits", "randbytes",
+    }
+)
+
+
+def _normalize(name: str) -> str:
+    return "np." + name[len("numpy."):] if name.startswith("numpy.") else name
+
+
+class Determinism(Rule):
+    code = "RPR004"
+    name = "determinism"
+    description = (
+        "library code must not call unseeded np.random.*/random.* or "
+        "time.time(); randomness flows through seeded Generators"
+    )
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+
+    def applies_to(self, relpath: str) -> bool:
+        return not path_matches_any(relpath, self.config.determinism_exempt)
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        name = call_name(node)
+        if name is None:
+            return
+        name = _normalize(name)
+        scope = ctx.qualname() or "<module>"
+        if name == "time.time":
+            ctx.report(
+                self,
+                node,
+                "time.time() in library code breaks replay determinism; take "
+                "the clock as a parameter (time.perf_counter is fine for "
+                "pure duration measurement), or suppress with a comment "
+                "where wall time is the payload.",
+                detail=f"time.time:{scope}",
+            )
+        elif name == "np.random.default_rng":
+            if not node.args and not node.keywords:
+                ctx.report(
+                    self,
+                    node,
+                    "argless np.random.default_rng() seeds from OS entropy; "
+                    "pass an explicit seed so runs replay bit-exactly.",
+                    detail=f"default_rng:{scope}",
+                )
+        elif name.startswith("np.random."):
+            tail = name[len("np.random."):]
+            if tail not in _SEEDED_CONSTRUCTORS:
+                ctx.report(
+                    self,
+                    node,
+                    f"legacy {name}() draws from numpy's unseeded global "
+                    f"state; use a seeded np.random.Generator.",
+                    detail=f"np.random:{tail}:{scope}",
+                )
+        elif name.startswith("random.") and name[len("random."):] in _STDLIB_RANDOM:
+            ctx.report(
+                self,
+                node,
+                f"{name}() uses the process-global stdlib RNG; use a seeded "
+                f"random.Random(seed) or np.random.default_rng(seed).",
+                detail=f"random:{name}:{scope}",
+            )

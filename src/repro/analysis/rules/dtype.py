@@ -1,0 +1,93 @@
+"""RPR002: dtype policy — allocations must say what they allocate.
+
+``np.zeros(n)`` silently means float64; ``repro.nn`` runs float32 by
+default through ``repro.nn.policy`` and the stream contract is float64
+*on purpose*.  Dtype-less allocations in either package are latent
+precision bugs, so they must pass an explicit ``dtype``.  Inside
+``repro.nn`` the explicit dtype must itself come from the policy, not a
+hardcoded ``np.float64`` literal (the handful of float64-by-design
+accumulators carry inline suppressions explaining themselves).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import Config, path_matches_any
+from repro.analysis.engine import Context, Rule, call_name, dotted_name
+
+#: call -> index of the positional dtype argument
+_ALLOCATORS = {
+    "np.zeros": 1,
+    "np.empty": 1,
+    "np.ones": 1,
+    "np.array": 1,
+    "np.full": 2,
+}
+
+_FLOAT64 = frozenset({"np.float64", "numpy.float64"})
+
+
+def _normalize(name: str) -> str:
+    return "np." + name[len("numpy."):] if name.startswith("numpy.") else name
+
+
+class DtypePolicy(Rule):
+    code = "RPR002"
+    name = "dtype-policy"
+    description = (
+        "numpy allocations in repro.nn/repro.stream must pass an explicit "
+        "dtype; repro.nn must source it from repro.nn.policy, not a bare "
+        "np.float64 literal"
+    )
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+        self._literal_scope = False
+
+    def applies_to(self, relpath: str) -> bool:
+        return path_matches_any(relpath, self.config.dtype_packages) and not path_matches_any(
+            relpath, self.config.dtype_exclude
+        )
+
+    def start_file(self, ctx: Context) -> None:
+        self._literal_scope = path_matches_any(
+            ctx.path, self.config.dtype_literal_packages
+        )
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        name = call_name(node)
+        if name is None:
+            return
+        name = _normalize(name)
+        scope = ctx.qualname() or "<module>"
+        dtype_value: ast.AST | None = None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype_value = kw.value
+                break
+        dtype_pos = _ALLOCATORS.get(name)
+        if dtype_pos is not None:
+            if dtype_value is None and len(node.args) > dtype_pos:
+                dtype_value = node.args[dtype_pos]
+            if dtype_value is None:
+                ctx.report(
+                    self,
+                    node,
+                    f"{name}(...) without an explicit dtype silently allocates "
+                    f"float64; pass dtype= (resolve_dtype()/get_dtype_policy() in "
+                    f"repro.nn, np.float64 in repro.stream).",
+                    detail=f"missing-dtype:{name}:{scope}",
+                )
+                return
+        # Any dtype=np.float64 literal in repro.nn — allocator or
+        # reduction — sidesteps the float32 policy.
+        if self._literal_scope and dtype_value is not None and dotted_name(dtype_value) in _FLOAT64:
+            ctx.report(
+                self,
+                node,
+                "hardcoded dtype=np.float64 bypasses repro.nn.policy; use "
+                "resolve_dtype()/get_dtype_policy(), or suppress with a "
+                "comment if float64 is load-bearing here.",
+                detail=f"float64-literal:{name}:{scope}",
+            )

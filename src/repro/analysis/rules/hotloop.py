@@ -1,0 +1,107 @@
+"""RPR003: hot-loop hygiene.
+
+Functions on the streaming hot path — marked with ``@hot_path`` or
+listed under ``hot-functions`` in config — must keep their loops free
+of per-iteration overhead the tick/block work paid to eliminate:
+numpy allocations (hoist or preallocate), ``resolve_backend`` (resolve
+once at setup), and obs-registry resolution (resolve once per
+tick/block, the NullRegistry makes that free).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import Config
+from repro.analysis.engine import Context, Rule, call_name
+
+
+def _normalize(name: str) -> str:
+    return "np." + name[len("numpy."):] if name.startswith("numpy.") else name
+
+
+class HotLoopHygiene(Rule):
+    code = "RPR003"
+    name = "hot-loop-hygiene"
+    description = (
+        "loops in @hot_path/configured-hot functions must not allocate "
+        "numpy arrays, call resolve_backend, or re-resolve the obs registry"
+    )
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+        self.allocating = frozenset(config.allocating_calls)
+        self.hot_names = frozenset(config.hot_functions)
+        self._hot_stack: list[bool] = []
+
+    def start_file(self, ctx: Context) -> None:
+        self._hot_stack = []
+
+    # -- hot-scope tracking ---------------------------------------------
+
+    def _is_marked(self, node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: Context) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Name) and target.id == "hot_path":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "hot_path":
+                return True
+        qual = ".".join(
+            [c.name for c in ctx.class_stack]
+            + [f.node.name for f in ctx.func_stack]
+            + [node.name]
+        )
+        return qual in self.hot_names
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: Context) -> None:
+        # Closures inside a hot function run per call of that function:
+        # they inherit hotness.
+        inherited = bool(self._hot_stack) and self._hot_stack[-1]
+        self._hot_stack.append(inherited or self._is_marked(node, ctx))
+
+    def leave_FunctionDef(self, node: ast.FunctionDef, ctx: Context) -> None:
+        self._hot_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx: Context) -> None:
+        self.visit_FunctionDef(node, ctx)  # type: ignore[arg-type]
+
+    def leave_AsyncFunctionDef(self, node: ast.AsyncFunctionDef, ctx: Context) -> None:
+        self.leave_FunctionDef(node, ctx)  # type: ignore[arg-type]
+
+    # -- the checks -----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        if not (self._hot_stack and self._hot_stack[-1] and ctx.in_loop):
+            return
+        name = call_name(node)
+        if name is None:
+            return
+        name = _normalize(name)
+        scope = ctx.qualname() or "<module>"
+        if name in self.allocating:
+            ctx.report(
+                self,
+                node,
+                f"allocating call {name}(...) inside a loop of hot function "
+                f"{scope}; hoist it above the loop or write into a "
+                f"preallocated buffer.",
+                detail=f"alloc:{name}:{scope}",
+            )
+        elif name.rsplit(".", 1)[-1] == "resolve_backend":
+            ctx.report(
+                self,
+                node,
+                f"resolve_backend() inside a loop of hot function {scope} "
+                f"re-resolves the compute backend every iteration; resolve "
+                f"once at setup.",
+                detail=f"backend:{scope}",
+            )
+        elif name == "registry" or name.endswith("obs.registry"):
+            ctx.report(
+                self,
+                node,
+                f"obs registry resolved inside a loop of hot function "
+                f"{scope}; resolve once per tick/block and reuse the handle "
+                f"(NullRegistry makes the disabled path free).",
+                detail=f"obs:{scope}",
+            )

@@ -1,0 +1,110 @@
+"""File collection and per-file orchestration for reprolint.
+
+:func:`analyze_source` is the seam the fixture tests drive: one source
+string, one relpath, the configured rules — returning findings with
+inline suppressions already applied (baseline handling lives a level
+up, in the CLI, because it spans files).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.config import Config, path_matches_any
+from repro.analysis.engine import Context, Finding, Rule, Walker
+from repro.analysis.suppress import apply_suppressions, suppressed_lines
+
+#: Code reserved for files the engine could not analyze at all.
+PARSE_ERROR_CODE = "RPR000"
+
+
+def collect_files(paths: list[str], config: Config) -> list[str]:
+    """All ``.py`` files under ``paths``, excluded trees pruned."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if not d.startswith(".") and not path_matches_any(d, config.exclude)
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return out
+
+
+def relpath_for(path: str) -> str:
+    """Repo-relative posix path for reporting and rule scoping."""
+    rel = os.path.relpath(path)
+    if rel.startswith(".."):
+        rel = os.path.abspath(path)
+    return rel.replace(os.sep, "/")
+
+
+class Analyzer:
+    """Reusable analysis pipeline over a fixed rule set.
+
+    Walkers are cached per applicable-rule subset, so a tree where most
+    files see the same rules builds the dispatch table a handful of
+    times, not once per file.
+    """
+
+    def __init__(self, rules: list[Rule]) -> None:
+        self.rules = rules
+        self._walkers: dict[tuple[str, ...], Walker] = {}
+
+    def _walker_for(self, relpath: str) -> Walker:
+        applicable = tuple(r.code for r in self.rules if r.applies_to(relpath))
+        walker = self._walkers.get(applicable)
+        if walker is None:
+            chosen = [r for r in self.rules if r.code in applicable]
+            walker = self._walkers[applicable] = Walker(chosen)
+        return walker
+
+    def analyze_source(self, source: str, relpath: str) -> tuple[list[Finding], int]:
+        """Findings for one module, inline suppressions applied.
+
+        Returns ``(findings, suppressed_count)``.  Syntax errors
+        surface as a single RPR000 finding rather than crashing the
+        run — a file reprolint cannot read is a file whose invariants
+        nobody is checking.
+        """
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except (SyntaxError, ValueError) as exc:
+            msg = getattr(exc, "msg", None) or str(exc)
+            finding = Finding(
+                code=PARSE_ERROR_CODE,
+                rule="parse-error",
+                path=relpath,
+                line=getattr(exc, "lineno", None) or 1,
+                col=getattr(exc, "offset", None) or 1,
+                message=f"could not parse file: {msg}",
+                detail=f"parse-error:{msg}",
+            )
+            return [finding], 0
+        ctx = Context(path=relpath)
+        self._walker_for(relpath).run(tree, ctx)
+        return apply_suppressions(ctx.findings, suppressed_lines(source))
+
+    def analyze_file(self, path: str) -> tuple[list[Finding], int]:
+        relpath = relpath_for(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            finding = Finding(
+                code=PARSE_ERROR_CODE,
+                rule="parse-error",
+                path=relpath,
+                line=1,
+                col=1,
+                message=f"could not read file: {exc}",
+                detail=f"read-error:{exc.__class__.__name__}",
+            )
+            return [finding], 0
+        return self.analyze_source(source, relpath)

@@ -1,0 +1,53 @@
+"""Inline suppression comments: ``# reprolint: disable=RPR001,RPR002``.
+
+A suppression applies to findings reported on the *same physical line*.
+``# reprolint: disable`` with no code list silences every rule on that
+line; trailing free text after the codes is allowed so suppressions can
+carry their justification:
+
+    "created_unix": time.time(),  # reprolint: disable=RPR004 -- wall time is the payload
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.engine import Finding
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<codes>RPR\d+(?:\s*,\s*RPR\d+)*))?"
+)
+
+
+def suppressed_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line number -> suppressed codes (None = all codes)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "reprolint" not in line:
+            continue
+        match = _PATTERN.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: dict[int, frozenset[str] | None]
+) -> tuple[list[Finding], int]:
+    """Drop suppressed findings; returns (kept, suppressed_count)."""
+    if not suppressions:
+        return findings, 0
+    kept: list[Finding] = []
+    dropped = 0
+    for finding in findings:
+        codes = suppressions.get(finding.line, ...)
+        if codes is ... or (codes is not None and finding.code not in codes):
+            kept.append(finding)
+        else:
+            dropped += 1
+    return kept, dropped

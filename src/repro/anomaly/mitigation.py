@@ -35,7 +35,7 @@ def merge_small_gaps(mask: np.ndarray, max_gap: int = 2) -> np.ndarray:
     if anomalous.size < 2:
         return mask
     gaps = np.diff(anomalous)  # distance between consecutive anomalous points
-    for position, gap in zip(anomalous[:-1], gaps):
+    for position, gap in zip(anomalous[:-1], gaps, strict=True):
         if 1 < gap <= max_gap + 1:
             mask[position + 1 : position + gap] = True
     return mask
@@ -49,7 +49,7 @@ def find_segments(mask: np.ndarray) -> list[tuple[int, int]]:
     padded = np.concatenate([[False], mask, [False]])
     starts = np.flatnonzero(~padded[:-1] & padded[1:])
     ends = np.flatnonzero(padded[:-1] & ~padded[1:])
-    return list(zip(starts.tolist(), ends.tolist()))
+    return list(zip(starts.tolist(), ends.tolist(), strict=True))
 
 
 class Imputer:

@@ -175,4 +175,4 @@ def _burst_slices(labels: np.ndarray) -> list[tuple[int, int]]:
     padded = np.concatenate([[False], labels, [False]])
     starts = np.flatnonzero(~padded[:-1] & padded[1:])
     ends = np.flatnonzero(padded[:-1] & ~padded[1:])
-    return list(zip(starts.tolist(), ends.tolist()))
+    return list(zip(starts.tolist(), ends.tolist(), strict=True))

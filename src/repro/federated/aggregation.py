@@ -41,7 +41,7 @@ class Aggregator:
                 raise ValueError(
                     f"client {index} has {len(weights)} tensors, expected {len(reference)}"
                 )
-            for tensor_index, (tensor, ref) in enumerate(zip(weights, reference)):
+            for tensor_index, (tensor, ref) in enumerate(zip(weights, reference, strict=True)):
                 if tensor.shape != ref.shape:
                     raise ValueError(
                         f"client {index} tensor {tensor_index} has shape "
@@ -91,7 +91,7 @@ class FedAvg(Aggregator):
         return [
             sum(
                 coefficient * weights[tensor_index]
-                for coefficient, weights in zip(coefficients, client_weights)
+                for coefficient, weights in zip(coefficients, client_weights, strict=True)
             )
             for tensor_index in range(n_tensors)
         ]

@@ -132,14 +132,14 @@ class PrivateFedAvg(Aggregator):
 
         clipped_deltas = []
         for weights in client_weights:
-            delta = [w - r for w, r in zip(weights, reference)]
+            delta = [w - r for w, r in zip(weights, reference, strict=True)]
             clipped_deltas.append(self.clipper.clip(delta))
 
         averaged = FedAvg(weighted=False).aggregate(clipped_deltas)
         sigma = self.noise_multiplier * self.clipper.clip_norm / n_clients
         mechanism = GaussianMechanism(sigma, seed=self._rng)
         noised = mechanism.add_noise(averaged)
-        return [r + d for r, d in zip(reference, noised)]
+        return [r + d for r, d in zip(reference, noised, strict=True)]
 
 
 class SecureAggregationSimulator:

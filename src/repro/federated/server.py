@@ -83,7 +83,7 @@ class FederatedServer:
         stats: dict[str, tuple[float, float]] = {}
         collected: list[list[np.ndarray]] = []
         sample_counts: list[int] = []
-        for client, (loss, seconds) in zip(clients, results):
+        for client, (loss, seconds) in zip(clients, results, strict=True):
             stats[client.name] = (loss, seconds)
             weights = client.get_weights()
             self.communication.record(self.round_index, client.name, "upload", weights)

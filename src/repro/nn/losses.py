@@ -30,7 +30,7 @@ class Loss:
     def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         y_pred = np.asarray(y_pred)
         if y_pred.dtype not in (np.float32, np.float64):
-            y_pred = np.asarray(y_pred, dtype=np.float64)
+            y_pred = np.asarray(y_pred, dtype=np.float64)  # reprolint: disable=RPR002
         y_true = np.asarray(y_true, dtype=y_pred.dtype)
         if y_true.shape != y_pred.shape:
             raise ValueError(
@@ -50,7 +50,7 @@ class MeanSquaredError(Loss):
     def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
         y_true, y_pred = self._validate(y_true, y_pred)
         diff = y_pred - y_true
-        return float(np.mean(diff * diff, dtype=np.float64))
+        return float(np.mean(diff * diff, dtype=np.float64))  # reprolint: disable=RPR002
 
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         y_true, y_pred = self._validate(y_true, y_pred)
@@ -64,7 +64,7 @@ class MeanAbsoluteError(Loss):
 
     def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
         y_true, y_pred = self._validate(y_true, y_pred)
-        return float(np.mean(np.abs(y_pred - y_true), dtype=np.float64))
+        return float(np.mean(np.abs(y_pred - y_true), dtype=np.float64))  # reprolint: disable=RPR002
 
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         y_true, y_pred = self._validate(y_true, y_pred)
@@ -87,7 +87,10 @@ class Huber(Loss):
         abs_diff = np.abs(diff)
         quadratic = 0.5 * diff * diff
         linear = self.delta * (abs_diff - 0.5 * self.delta)
-        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear), dtype=np.float64))
+        loss = np.mean(  # reprolint: disable=RPR002 -- float64 reduction by design
+            np.where(abs_diff <= self.delta, quadratic, linear), dtype=np.float64
+        )
+        return float(loss)
 
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         y_true, y_pred = self._validate(y_true, y_pred)

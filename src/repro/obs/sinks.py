@@ -40,7 +40,8 @@ class JsonlSink:
 
     def write(self, registry: MetricsRegistry, timestamp: float | None = None) -> dict:
         """Force one snapshot line; returns the record written."""
-        now = time.time() if timestamp is None else float(timestamp)
+        # Snapshot wall time is the payload, not hidden state.
+        now = time.time() if timestamp is None else float(timestamp)  # reprolint: disable=RPR004
         record = {"unix_time": now, **registry.snapshot()}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:

@@ -208,7 +208,13 @@ class IngestClient:
         key = (station, seq % SEQ_MOD)
         if key in self.ack_log or key in self._unacked:
             return  # idempotent: already terminal or already queued
-        frame = pack_data(station, seq, time.time() if timestamp is None else timestamp, reading)
+        frame = pack_data(
+            station,
+            seq,
+            # The wire timestamp is the payload, not hidden state.
+            time.time() if timestamp is None else timestamp,  # reprolint: disable=RPR004
+            reading,
+        )
         self._unacked[key] = _PendingSend(frame, station, key[1], time.perf_counter())
         await self._pump()
         while len(self._unacked) >= self.max_inflight:

@@ -80,6 +80,10 @@ class ReorderBuffer:
         u32 wrap point.
     """
 
+    #: Telemetry tallies restart from zero on resume by design — the obs
+    #: layer owns cumulative counters (RPR001).
+    _EPHEMERAL = ("counts",)
+
     def __init__(
         self,
         n_stations: int,

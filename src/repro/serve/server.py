@@ -223,7 +223,9 @@ class IngestionServer:
         while not self._queue.empty():
             self._apply(self._queue.get_nowait())
         if self.checkpoint_path is not None:
-            self.save(self.checkpoint_path)
+            # Checkpoint writes hit disk; keep the loop responsive for
+            # any connections still draining their BYE handshakes.
+            await asyncio.to_thread(self.save, self.checkpoint_path)
 
     async def finish(self) -> None:
         """End-of-stream: flush the reorder window, run the last blocks.

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.stream._state import StateDict, check_keys, take
 from repro.stream._ticks import check_block, check_drop, check_tick
 
@@ -49,7 +50,7 @@ class RingBufferBank:
         self.length = int(length)
         # Doubled storage: value at ring slot i is mirrored at i + length,
         # making every wrap-around window a contiguous slice.
-        self._data = np.zeros((self.n_stations, 2 * self.length))
+        self._data = np.zeros((self.n_stations, 2 * self.length), dtype=np.float64)
         self._write = np.zeros(self.n_stations, dtype=np.int64)
         self.counts = np.zeros(self.n_stations, dtype=np.int64)
 
@@ -67,6 +68,7 @@ class RingBufferBank:
         values, stations = check_tick(values, stations, self.n_stations)
         self.push_checked(values, stations)
 
+    @hot_path
     def push_checked(self, values: np.ndarray, stations: np.ndarray) -> None:
         """:meth:`push` for pre-validated ``(values, stations)`` arrays."""
         write = self._write[stations]
@@ -85,6 +87,7 @@ class RingBufferBank:
         values, stations = check_block(values, stations, self.n_stations)
         self.push_block_checked(values, stations)
 
+    @hot_path
     def push_block_checked(self, values: np.ndarray, stations: np.ndarray) -> None:
         """:meth:`push_block` for pre-validated arrays."""
         block = values.shape[1]
@@ -99,6 +102,7 @@ class RingBufferBank:
         self._write[stations] = (self._write[stations] + block) % self.length
         self.counts[stations] += block
 
+    @hot_path
     def windows(self, stations: np.ndarray | None = None) -> np.ndarray:
         """Last ``length`` readings per station, oldest first, ``(k, L)``.
 
@@ -131,7 +135,7 @@ class RingBufferBank:
         else:
             stations = np.asarray(stations, dtype=np.int64)
         if m == 0:
-            return np.empty((len(stations), 0))
+            return np.empty((len(stations), 0), dtype=np.float64)
         # The last `length` readings sit in doubled columns
         # [write, write + length); the last m are the tail of that slice.
         columns = (
@@ -166,6 +170,7 @@ class RingBufferBank:
         values, stations = check_block(values, stations, self.n_stations)
         self.amend_block_checked(values, stations)
 
+    @hot_path
     def amend_block_checked(
         self,
         values: np.ndarray,
@@ -241,7 +246,7 @@ class RingBufferBank:
             raise ValueError(f"n_new must be >= 1, got {n_new}")
         self.n_stations += int(n_new)
         self._data = np.concatenate(
-            [self._data, np.zeros((n_new, 2 * self.length))]
+            [self._data, np.zeros((n_new, 2 * self.length), dtype=np.float64)]
         )
         self._write = np.concatenate([self._write, np.zeros(n_new, dtype=np.int64)])
         self.counts = np.concatenate([self.counts, np.zeros(n_new, dtype=np.int64)])

@@ -158,7 +158,8 @@ def save_checkpoint(
         "library": {
             "version": _library_version(),
             "numpy": np.__version__,
-            "created_unix": time.time(),
+            # Wall-clock provenance is the payload here, not hidden state.
+            "created_unix": time.time(),  # reprolint: disable=RPR004
         },
         # Forward-compat stub for sharded fleet checkpoints (ROADMAP:
         # 100k–1M stations snapshot per shard).  A single-file archive is

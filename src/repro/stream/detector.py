@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.analysis.markers import hot_path
 from repro.anomaly.autoencoder import LSTMAutoencoder
 from repro.data.windowing import sliding_windows
 from repro.stream._state import StateDict, check_keys, nest, scalar, take, unnest
@@ -150,6 +151,11 @@ class StreamingDetector:
         policy (see :class:`~repro.stream.engine.StreamReplayEngine`).
     """
 
+    #: Constructor configuration (and the injected model), supplied
+    #: again on rebuild — deliberately absent from state_dict (RPR001).
+    #: The autoencoder's weights checkpoint through its own state_dict.
+    _EPHEMERAL = ("autoencoder", "percentile", "min_calibration_scores", "missing")
+
     def __init__(
         self,
         autoencoder: LSTMAutoencoder,
@@ -187,7 +193,7 @@ class StreamingDetector:
         self.tick = 0
 
         self.adaptive: P2QuantileBank | None = None
-        self._thresholds = np.full(self.n_stations, np.nan)
+        self._thresholds = np.full(self.n_stations, np.nan, dtype=np.float64)
         if isinstance(threshold, str):
             if threshold != "p2":
                 raise ValueError(f"threshold string must be 'p2', got {threshold!r}")
@@ -236,6 +242,7 @@ class StreamingDetector:
         self.adaptive = None
         return self._thresholds
 
+    @hot_path
     def process_tick(
         self, values: np.ndarray, stations: np.ndarray | None = None
     ) -> TickResult:
@@ -299,7 +306,7 @@ class StreamingDetector:
                 scaled = values
             self.buffers.push_checked(scaled, station_index)
 
-        scores = np.full(self.n_stations, np.nan)
+        scores = np.full(self.n_stations, np.nan, dtype=np.float64)
         flags = np.zeros(self.n_stations, dtype=bool)
         due = station_index[self.buffers.ready[station_index]]
         if due.size:
@@ -337,6 +344,7 @@ class StreamingDetector:
         self.tick += 1
         return result
 
+    @hot_path
     def process_block(
         self, values: np.ndarray, stations: np.ndarray | None = None
     ) -> BlockResult:
@@ -441,7 +449,7 @@ class StreamingDetector:
         due = (
             counts_before[:, None] + np.arange(1, block + 1)[None, :] >= length
         )
-        scores = np.full((self.n_stations, block), np.nan)
+        scores = np.full((self.n_stations, block), np.nan, dtype=np.float64)
         flags = np.zeros((self.n_stations, block), dtype=bool)
         scored = np.zeros((self.n_stations, block), dtype=bool)
         missing_full = np.zeros((self.n_stations, block), dtype=bool)
@@ -649,7 +657,7 @@ class StreamingDetector:
                 "adaptive (p2) mode has no fixed thresholds to assign; "
                 "new stations calibrate from the stream"
             )
-        new_thresholds = np.full(n_new, np.nan)
+        new_thresholds = np.full(n_new, np.nan, dtype=np.float64)
         if thresholds is not None:
             new_thresholds[:] = np.asarray(thresholds, dtype=np.float64)
         if self.scaler is not None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.analysis.markers import hot_path
 from repro.anomaly.metrics import DetectionMetrics, aggregate_detection_metrics
 from repro.attacks.scenario import AttackScenario
 from repro.data.datasets import ClientDataset
@@ -224,6 +225,7 @@ class StreamReplayEngine:
             writeback &= fitted if repair.ndim == 1 else fitted[:, None]
         return writeback
 
+    @hot_path
     def _step_tick(self, values: np.ndarray, reg) -> tuple:
         """One closed-loop tick: detect, mitigate, write back.
 
@@ -254,6 +256,7 @@ class StreamReplayEngine:
                         self.detector.amend_last(mitigated[stations], stations)
         return result, mitigated
 
+    @hot_path
     def _step_block(self, values: np.ndarray, reg) -> tuple:
         """One closed-loop block: detect, mitigate, write back.
 
@@ -515,10 +518,10 @@ class StreamReplayEngine:
                     f"labels shape {labels.shape} must match fleet shape {fleet.shape}"
                 )
         flags = np.zeros((n_stations, n_ticks), dtype=bool)
-        scores = np.full((n_stations, n_ticks), np.nan)
+        scores = np.full((n_stations, n_ticks), np.nan, dtype=np.float64)
         missing = np.zeros((n_stations, n_ticks), dtype=bool)
         mitigated = fleet.copy()
-        latencies = np.empty(n_ticks)
+        latencies = np.empty(n_ticks, dtype=np.float64)
 
         reg = obs.registry()
         tick_hist, block_hist = self._obs_run_metrics(reg)
@@ -738,7 +741,7 @@ def synthesize_fleet(
         raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
     rng = as_generator(seed)
     zone_ids = sorted(PAPER_ZONE_CONFIGS)
-    fleet = np.empty((n_stations, n_ticks))
+    fleet = np.empty((n_stations, n_ticks), dtype=np.float64)
     for j in range(n_stations):
         config = PAPER_ZONE_CONFIGS[zone_ids[j % len(zone_ids)]]
         series = generate_zone_series(

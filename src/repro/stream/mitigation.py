@@ -56,7 +56,7 @@ class StreamingMitigator:
         if n_stations < 1:
             raise ValueError(f"n_stations must be >= 1, got {n_stations}")
         self.n_stations = int(n_stations)
-        self.fallback = np.full(self.n_stations, np.nan)
+        self.fallback = np.full(self.n_stations, np.nan, dtype=np.float64)
         if fallback is not None:
             self.set_fallback(fallback)
 
@@ -108,7 +108,7 @@ class StreamingMitigator:
         if n_new < 1:
             raise ValueError(f"n_new must be >= 1, got {n_new}")
         self.n_stations += int(n_new)
-        self.fallback = np.concatenate([self.fallback, np.full(n_new, np.nan)])
+        self.fallback = np.concatenate([self.fallback, np.full(n_new, np.nan, dtype=np.float64)])
 
     def drop_stations(self, stations: np.ndarray) -> None:
         """Remove stations; survivors keep their state, renumbered compactly."""
@@ -166,7 +166,7 @@ def _anchored(
     policies whose pre-block state always exists (so anchor >= 0).
     """
     n, block = values.shape
-    ext_vals = np.empty((n, block + 1))
+    ext_vals = np.empty((n, block + 1), dtype=np.float64)
     ext_vals[:, 0] = carry
     ext_vals[:, 1:] = values
     ext_clean = np.empty((n, block + 1), dtype=bool)
@@ -191,7 +191,7 @@ class HoldLastGoodMitigator(StreamingMitigator):
         self, n_stations: int, fallback: float | np.ndarray | None = None
     ) -> None:
         super().__init__(n_stations, fallback=fallback)
-        self.last_good = np.full(self.n_stations, np.nan)
+        self.last_good = np.full(self.n_stations, np.nan, dtype=np.float64)
 
     def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
         values, flags = self._check(values, flags)
@@ -232,7 +232,7 @@ class HoldLastGoodMitigator(StreamingMitigator):
 
     def add_stations(self, n_new: int) -> None:
         super().add_stations(n_new)
-        self.last_good = np.concatenate([self.last_good, np.full(n_new, np.nan)])
+        self.last_good = np.concatenate([self.last_good, np.full(n_new, np.nan, dtype=np.float64)])
 
     def drop_stations(self, stations: np.ndarray) -> None:
         stations = self._check_drop(stations)
@@ -254,6 +254,10 @@ class CausalLinearMitigator(StreamingMitigator):
 
     name = "causal_linear"
 
+    #: Constructor configuration, rebuilt from get_config() on
+    #: checkpoint restore — deliberately absent from state_dict (RPR001).
+    _EPHEMERAL = ("max_slope_ticks",)
+
     def __init__(
         self,
         n_stations: int,
@@ -264,8 +268,8 @@ class CausalLinearMitigator(StreamingMitigator):
         if max_slope_ticks < 1:
             raise ValueError(f"max_slope_ticks must be >= 1, got {max_slope_ticks}")
         self.max_slope_ticks = int(max_slope_ticks)
-        self.last_good = np.full(self.n_stations, np.nan)
-        self.prev_good = np.full(self.n_stations, np.nan)
+        self.last_good = np.full(self.n_stations, np.nan, dtype=np.float64)
+        self.prev_good = np.full(self.n_stations, np.nan, dtype=np.float64)
         self._run_length = np.zeros(self.n_stations, dtype=np.int64)
 
     def mitigate(self, values: np.ndarray, flags: np.ndarray) -> np.ndarray:
@@ -345,8 +349,8 @@ class CausalLinearMitigator(StreamingMitigator):
 
     def add_stations(self, n_new: int) -> None:
         super().add_stations(n_new)
-        self.last_good = np.concatenate([self.last_good, np.full(n_new, np.nan)])
-        self.prev_good = np.concatenate([self.prev_good, np.full(n_new, np.nan)])
+        self.last_good = np.concatenate([self.last_good, np.full(n_new, np.nan, dtype=np.float64)])
+        self.prev_good = np.concatenate([self.prev_good, np.full(n_new, np.nan, dtype=np.float64)])
         self._run_length = np.concatenate(
             [self._run_length, np.zeros(n_new, dtype=np.int64)]
         )
@@ -370,6 +374,10 @@ class SeasonalHoldMitigator(StreamingMitigator):
     """
 
     name = "seasonal_hold"
+
+    #: Constructor configuration, rebuilt from get_config() on
+    #: checkpoint restore — deliberately absent from state_dict (RPR001).
+    _EPHEMERAL = ("period",)
 
     def __init__(
         self,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.anomaly.thresholds import ThresholdRule
 from repro.stream._state import StateDict, check_keys, take
 from repro.stream._ticks import check_block, check_drop, check_tick
@@ -42,6 +43,10 @@ class P2QuantileBank:
     percentile with O(5) state per station.
     """
 
+    #: Constructor configuration and values derived from it — rebuilt on
+    #: construction, deliberately absent from state_dict (RPR001).
+    _EPHEMERAL = ("n_stations", "q", "_dn")
+
     def __init__(self, n_stations: int, q: float = 98.0) -> None:
         if n_stations < 1:
             raise ValueError(f"n_stations must be >= 1, got {n_stations}")
@@ -50,10 +55,10 @@ class P2QuantileBank:
         self.n_stations = int(n_stations)
         self.q = float(q)
         p = self.q / 100.0
-        self._dn = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0])
-        self._heights = np.zeros((self.n_stations, _N_MARKERS))
+        self._dn = np.array([0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0], dtype=np.float64)
+        self._heights = np.zeros((self.n_stations, _N_MARKERS), dtype=np.float64)
         self._positions, self._desired = self._fresh_rows(self.n_stations)
-        self._warmup = np.zeros((self.n_stations, _N_MARKERS))
+        self._warmup = np.zeros((self.n_stations, _N_MARKERS), dtype=np.float64)
         self.counts = np.zeros(self.n_stations, dtype=np.int64)
 
     @property
@@ -97,6 +102,7 @@ class P2QuantileBank:
                 )
         self.update_block_checked(values, stations, mask)
 
+    @hot_path
     def update_block_checked(
         self, values: np.ndarray, stations: np.ndarray, mask: np.ndarray | None = None
     ) -> None:
@@ -109,6 +115,7 @@ class P2QuantileBank:
                 if take.any():
                     self.update_checked(values[take, t], stations[take])
 
+    @hot_path
     def update_checked(self, values: np.ndarray, stations: np.ndarray) -> None:
         """:meth:`update` for pre-validated arrays."""
         counts = self.counts[stations]
@@ -127,6 +134,7 @@ class P2QuantileBank:
     # ------------------------------------------------------------------
     # one vectorized P² update for stations past initialisation
     # ------------------------------------------------------------------
+    @hot_path
     def _step(self, rows: np.ndarray, x: np.ndarray) -> None:
         heights = self._heights[rows]
         positions = self._positions[rows]
@@ -143,6 +151,7 @@ class P2QuantileBank:
         positions += np.arange(_N_MARKERS)[None, :] > k[:, None]
         desired = self._desired[rows] + self._dn[None, :]
         self._desired[rows] = desired
+        all_rows = np.arange(len(rows))
 
         for i in (1, 2, 3):
             d = desired[:, i] - positions[:, i]
@@ -165,7 +174,6 @@ class P2QuantileBank:
 
             # Linear fallback toward the neighbour in the move direction.
             neighbour = i + sign.astype(np.int64)
-            all_rows = np.arange(len(rows))
             q_nb = heights[all_rows, neighbour]
             n_nb = positions[all_rows, neighbour]
             lin_den = np.where(n_nb - np_here == 0.0, 1.0, n_nb - np_here)
@@ -219,7 +227,7 @@ class P2QuantileBank:
         p = self.q / 100.0
         positions = np.tile(np.arange(1.0, _N_MARKERS + 1.0), (n_new, 1))
         desired = np.tile(
-            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]),
+            np.array([1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0], dtype=np.float64),
             (n_new, 1),
         )
         return positions, desired
@@ -230,10 +238,14 @@ class P2QuantileBank:
             raise ValueError(f"n_new must be >= 1, got {n_new}")
         positions, desired = self._fresh_rows(n_new)
         self.n_stations += int(n_new)
-        self._heights = np.concatenate([self._heights, np.zeros((n_new, _N_MARKERS))])
+        self._heights = np.concatenate(
+            [self._heights, np.zeros((n_new, _N_MARKERS), dtype=np.float64)]
+        )
         self._positions = np.concatenate([self._positions, positions])
         self._desired = np.concatenate([self._desired, desired])
-        self._warmup = np.concatenate([self._warmup, np.zeros((n_new, _N_MARKERS))])
+        self._warmup = np.concatenate(
+            [self._warmup, np.zeros((n_new, _N_MARKERS), dtype=np.float64)]
+        )
         self.counts = np.concatenate([self.counts, np.zeros(n_new, dtype=np.int64)])
 
     def drop_stations(self, stations: np.ndarray) -> None:
@@ -273,7 +285,7 @@ class P2QuantileEstimator:
         return float(self._bank.estimate[0])
 
     def update(self, value: float) -> "P2QuantileEstimator":
-        self._bank.update(np.array([float(value)]))
+        self._bank.update(np.array([float(value)], dtype=np.float64))
         return self
 
     def update_many(self, values: np.ndarray) -> "P2QuantileEstimator":

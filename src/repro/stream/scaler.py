@@ -33,6 +33,10 @@ class StreamingMinMaxScaler:
         Target range, default [0, 1] (the paper's normalisation).
     """
 
+    #: Constructor configuration, rebuilt on construction — deliberately
+    #: absent from state_dict (RPR001).
+    _EPHEMERAL = ("n_stations", "feature_range")
+
     def __init__(
         self, n_stations: int, feature_range: tuple[float, float] = (0.0, 1.0)
     ) -> None:
@@ -43,8 +47,8 @@ class StreamingMinMaxScaler:
             raise ValueError(f"feature_range must be increasing, got {feature_range}")
         self.n_stations = int(n_stations)
         self.feature_range = (float(low), float(high))
-        self.data_min_ = np.full(self.n_stations, np.inf)
-        self.data_max_ = np.full(self.n_stations, -np.inf)
+        self.data_min_ = np.full(self.n_stations, np.inf, dtype=np.float64)
+        self.data_max_ = np.full(self.n_stations, -np.inf, dtype=np.float64)
         self.frozen = False
 
     @classmethod
@@ -97,7 +101,9 @@ class StreamingMinMaxScaler:
                 )
             mins.append(float(data_min[0]))
             maxs.append(float(data_max[0]))
-        return cls.from_bounds(np.array(mins), np.array(maxs), feature_range)
+        return cls.from_bounds(
+            np.array(mins, dtype=np.float64), np.array(maxs, dtype=np.float64), feature_range
+        )
 
     @property
     def fitted(self) -> np.ndarray:
@@ -394,8 +400,8 @@ class StreamingMinMaxScaler:
         if (data_min is None) != (data_max is None):
             raise ValueError("pass both data_min and data_max, or neither")
         if data_min is None:
-            new_min = np.full(n_new, np.inf)
-            new_max = np.full(n_new, -np.inf)
+            new_min = np.full(n_new, np.inf, dtype=np.float64)
+            new_max = np.full(n_new, -np.inf, dtype=np.float64)
         else:
             new_min = np.asarray(data_min, dtype=np.float64).ravel()
             new_max = np.asarray(data_max, dtype=np.float64).ravel()

@@ -1,0 +1,32 @@
+"""Shared helpers for the reprolint test suite."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.config import Config
+from repro.analysis.rules import build_rules
+from repro.analysis.runner import Analyzer
+
+#: Default fixture location: inside repro.stream so every rule that
+#: scopes itself by package applies (except RPR005, which wants serve).
+STREAM_PATH = "src/repro/stream/fixture.py"
+NN_PATH = "src/repro/nn/fixture.py"
+SERVE_PATH = "src/repro/serve/fixture.py"
+TEST_PATH = "tests/stream/fixture.py"
+
+
+@pytest.fixture
+def lint():
+    """``lint(source, relpath=..., select=...) -> [Finding]``."""
+
+    def run(source, relpath=STREAM_PATH, select=None, config=None):
+        analyzer = Analyzer(build_rules(config or Config(), select))
+        findings, _ = analyzer.analyze_source(textwrap.dedent(source), relpath)
+        return findings
+
+    return run
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)

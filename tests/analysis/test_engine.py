@@ -1,0 +1,284 @@
+"""Engine mechanics: walker scope/loop tracking, suppressions, baseline,
+reporters, config parity, CLI surface."""
+
+import ast
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    assign_fingerprints,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import Config, load_config, path_matches
+from repro.analysis.engine import Context, Finding, Rule, Walker
+from repro.analysis.reporters import RunResult, render_json, render_text
+from repro.analysis.runner import Analyzer
+from repro.analysis.suppress import apply_suppressions, suppressed_lines
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class _Probe(Rule):
+    """Records (call-name, loop_depth, qualname, in_async) per Call."""
+
+    code = "RPR999"
+    name = "probe"
+
+    def __init__(self):
+        self.calls = []
+
+    def visit_Call(self, node, ctx):
+        name = node.func.id if isinstance(node.func, ast.Name) else "?"
+        self.calls.append((name, ctx.loop_depth, ctx.qualname(), ctx.in_async_function))
+
+
+def _probe(source):
+    probe = _Probe()
+    ctx = Context(path="x.py")
+    Walker([probe]).run(ast.parse(source), ctx)
+    return {name: (depth, qual, is_async) for name, depth, qual, is_async in probe.calls}
+
+
+class TestWalkerScopes:
+    def test_loop_depth_for_body_vs_iter(self):
+        calls = _probe(
+            "for x in iter_once():\n"
+            "    body_each()\n"
+        )
+        assert calls["iter_once"][0] == 0
+        assert calls["body_each"][0] == 1
+
+    def test_while_test_reevaluates_per_pass(self):
+        calls = _probe("while cond():\n    body()\n")
+        assert calls["cond"][0] == 1
+        assert calls["body"][0] == 1
+
+    def test_comprehension_first_iter_outside(self):
+        calls = _probe("y = [elem(v) for v in source() if keep(v)]\n")
+        assert calls["source"][0] == 0
+        assert calls["elem"][0] == 1
+        assert calls["keep"][0] == 1
+
+    def test_nested_def_resets_loop_depth(self):
+        calls = _probe(
+            "for x in src():\n"
+            "    def inner():\n"
+            "        per_call()\n"
+        )
+        assert calls["per_call"][0] == 0
+
+    def test_qualname_and_async(self):
+        calls = _probe(
+            "class C:\n"
+            "    def m(self):\n"
+            "        in_method()\n"
+            "    async def a(self):\n"
+            "        in_coro()\n"
+        )
+        assert calls["in_method"][1:] == ("C.m", False)
+        assert calls["in_coro"][1:] == ("C.a", True)
+
+    def test_method_name_sees_through_closures(self):
+        class NameProbe(Rule):
+            code = "RPR999"
+            name = "probe"
+
+            def __init__(self):
+                self.seen = []
+
+            def visit_Call(self, node, ctx):
+                self.seen.append(ctx.method_name())
+
+        probe = NameProbe()
+        Walker([probe]).run(
+            ast.parse(
+                "class C:\n"
+                "    def m(self):\n"
+                "        def closure():\n"
+                "            f()\n"
+            ),
+            Context(path="x.py"),
+        )
+        assert probe.seen == ["m"]
+
+    def test_single_walk_dispatch(self):
+        """Two rules subscribing to Call both fire from one traversal."""
+
+        class Counter(Rule):
+            code = "RPR999"
+            name = "count"
+
+            def __init__(self):
+                self.n = 0
+
+            def visit_Call(self, node, ctx):
+                self.n += 1
+
+        a, b = Counter(), Counter()
+        Walker([a, b]).run(ast.parse("f()\ng()\n"), Context(path="x.py"))
+        assert (a.n, b.n) == (2, 2)
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rpr000(self, lint):
+        findings = lint("def broken(:\n")
+        assert [f.code for f in findings] == ["RPR000"]
+        assert findings[0].line == 1
+
+
+class TestSuppressions:
+    def test_specific_code_with_trailing_text(self):
+        lines = suppressed_lines("x = f()  # reprolint: disable=RPR004 -- why\n")
+        assert lines == {1: frozenset({"RPR004"})}
+
+    def test_code_list_and_blanket(self):
+        src = "a = f()  # reprolint: disable=RPR001, RPR002\nb = g()  # reprolint: disable\n"
+        lines = suppressed_lines(src)
+        assert lines[1] == frozenset({"RPR001", "RPR002"})
+        assert lines[2] is None
+
+    def test_only_matching_code_on_line_suppressed(self):
+        f1 = Finding("RPR004", "r", "p", 3, 1, "m", "d")
+        f2 = Finding("RPR002", "r", "p", 3, 1, "m", "d")
+        kept, dropped = apply_suppressions([f1, f2], {3: frozenset({"RPR004"})})
+        assert kept == [f2] and dropped == 1
+
+    def test_end_to_end_inline_suppression(self, lint):
+        noisy = "import time\n\ndef f():\n    return time.time()\n"
+        assert [f.code for f in lint(noisy)] == ["RPR004"]
+        quiet = noisy.replace("time.time()", "time.time()  # reprolint: disable=RPR004")
+        assert lint(quiet) == []
+
+
+class TestBaseline:
+    def _finding(self, line=10, detail="C.attr"):
+        return Finding("RPR001", "checkpoint-completeness", "src/m.py", line, 1, "msg", detail)
+
+    def test_moved_finding_still_matches(self, tmp_path):
+        """Fingerprints exclude line numbers: moving code keeps the match."""
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [self._finding(line=10)])
+        known = load_baseline(path)
+        moved = self._finding(line=99)
+        new, matched = apply_baseline([moved], known)
+        assert new == [] and matched == 1
+
+    def test_different_detail_is_new(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [self._finding()])
+        known = load_baseline(path)
+        other = self._finding(detail="C.other")
+        new, _ = apply_baseline([other], known)
+        assert new == [other]
+
+    def test_second_identical_violation_is_new(self, tmp_path):
+        """Occurrence index: baselining one instance grandfathers one."""
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [self._finding(line=10)])
+        known = load_baseline(path)
+        new, matched = apply_baseline(
+            [self._finding(line=10), self._finding(line=20)], known
+        )
+        assert matched == 1 and len(new) == 1
+
+    def test_identical_findings_get_distinct_fingerprints(self):
+        pairs = assign_fingerprints([self._finding(10), self._finding(20)])
+        assert len({fp for _, fp in pairs}) == 2
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == set()
+
+
+class TestReporters:
+    def _result(self):
+        return RunResult(
+            findings=[Finding("RPR002", "dtype-policy", "src/a.py", 5, 3, "msg", "d")],
+            files_checked=7,
+            suppressed=2,
+            baselined=1,
+        )
+
+    def test_text_lists_location_and_summary(self):
+        text = render_text(self._result())
+        assert "src/a.py:5:3: RPR002 msg" in text
+        assert "2 suppressed inline" in text and "1 baselined" in text
+
+    def test_json_round_trips(self):
+        doc = json.loads(render_json(self._result()))
+        assert doc["files_checked"] == 7
+        assert doc["findings"][0]["code"] == "RPR002"
+        assert doc["baselined"] == 1
+
+    def test_clean_text(self):
+        text = render_text(RunResult([], 3, 0, 0))
+        assert "All checks passed on 3 file(s)" in text
+
+
+class TestConfig:
+    def test_pyproject_matches_in_code_defaults(self):
+        """py3.10 runs on the in-code defaults; they must equal pyproject."""
+        loaded = load_config(str(REPO))
+        assert loaded == Config(), (
+            "[tool.reprolint] in pyproject.toml has drifted from the "
+            "Config defaults in repro/analysis/config.py — keep them in "
+            "sync so Python 3.10 enforces the same rules"
+        )
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Config.from_mapping({"no-such-knob": 1})
+
+    def test_path_matches_segments_only(self):
+        assert path_matches("src/repro/nn/layers.py", "repro/nn")
+        assert not path_matches("src/repro/nnx/layers.py", "repro/nn")
+        assert path_matches("src/repro/nn/policy.py", "repro/nn/policy.py")
+
+
+class TestRuleScoping:
+    def test_walker_cache_reused_per_rule_subset(self, lint):
+        analyzer = Analyzer([])
+        analyzer.analyze_source("x = 1\n", "src/repro/stream/a.py")
+        analyzer.analyze_source("x = 1\n", "src/repro/stream/b.py")
+        assert len(analyzer._walkers) == 1
+
+
+class TestCli:
+    def _run(self, *args, cwd=None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or str(REPO),
+        )
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert code in proc.stdout
+
+    def test_unknown_select_is_usage_error(self):
+        proc = self._run("--select", "RPR777", "src")
+        assert proc.returncode == 2
+
+    def test_dirty_file_fails_and_json_reports(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "stream" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.zeros(4)\n")
+        proc = self._run("--format", "json", str(bad))
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["findings"][0]["code"] == "RPR002"
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        good = tmp_path / "src" / "repro" / "stream" / "good.py"
+        good.parent.mkdir(parents=True)
+        good.write_text("import numpy as np\nx = np.zeros(4, dtype=np.float64)\n")
+        proc = self._run(str(good))
+        assert proc.returncode == 0, proc.stdout

@@ -1,0 +1,319 @@
+"""Per-rule fixtures: each rule fires on a minimal violation and stays
+silent on the corrected form."""
+
+from tests.analysis.conftest import NN_PATH, SERVE_PATH, STREAM_PATH, TEST_PATH, codes
+
+
+class TestRPR001CheckpointCompleteness:
+    VIOLATION = """
+        import numpy as np
+
+        class Bank:
+            def __init__(self, n):
+                self.n = n
+                self.totals = np.zeros(n, dtype=np.float64)
+                self.cursor = 0
+
+            def push(self, x):
+                self.totals += x
+                self.cursor += 1
+
+            def state_dict(self):
+                return {"totals": self.totals.copy(), "n": self.n}
+
+            def load_state_dict(self, state):
+                self.totals = state["totals"].copy()
+    """
+
+    def test_uncovered_mutated_attr_fires(self, lint):
+        findings = lint(self.VIOLATION, select=("RPR001",))
+        assert [f.code for f in findings] == ["RPR001"]
+        assert findings[0].detail == "Bank.cursor"
+        assert "cursor" in findings[0].message
+
+    def test_covering_in_state_dict_clears(self, lint):
+        fixed = self.VIOLATION.replace(
+            '"n": self.n}', '"n": self.n, "cursor": self.cursor}'
+        )
+        assert lint(fixed, select=("RPR001",)) == []
+
+    def test_ephemeral_allowlist_clears(self, lint):
+        fixed = self.VIOLATION.replace(
+            "def __init__", '_EPHEMERAL = ("cursor",)\n\n            def __init__'
+        )
+        assert lint(fixed, select=("RPR001",)) == []
+
+    def test_class_without_state_dict_exempt(self, lint):
+        source = """
+            class Plain:
+                def __init__(self):
+                    self.anything = 1
+
+                def bump(self):
+                    self.anything += 1
+        """
+        assert lint(source, select=("RPR001",)) == []
+
+    def test_attr_only_assigned_outside_init_fires(self, lint):
+        source = """
+            class Lazy:
+                def __init__(self):
+                    self.ready = 0
+
+                def warm(self):
+                    self.cache = 42
+
+                def state_dict(self):
+                    return {"ready": self.ready}
+        """
+        findings = lint(source, select=("RPR001",))
+        assert [f.detail for f in findings] == ["Lazy.cache"]
+        assert "mutated in warm()" in findings[0].message
+
+    def test_subscript_mutation_counts(self, lint):
+        source = """
+            class Grid:
+                def __init__(self, data, aux):
+                    self.data = data
+                    self.aux = aux
+
+                def poke(self, i):
+                    self.aux[i] = 0.0
+
+                def state_dict(self):
+                    return {"data": self.data.copy()}
+        """
+        findings = lint(source, select=("RPR001",))
+        assert [f.detail for f in findings] == ["Grid.aux"]
+
+    def test_coverage_via_load_state_dict(self, lint):
+        source = """
+            class Half:
+                def __init__(self):
+                    self.seen = 0
+
+                def state_dict(self):
+                    return {}
+
+                def load_state_dict(self, state):
+                    self.seen = int(state["seen"])
+        """
+        assert lint(source, select=("RPR001",)) == []
+
+
+class TestRPR002DtypePolicy:
+    def test_dtypeless_zeros_fires(self, lint):
+        src = "import numpy as np\nx = np.zeros(8)\n"
+        findings = lint(src, select=("RPR002",))
+        assert codes(findings) == ["RPR002"]
+
+    def test_explicit_dtype_clears(self, lint):
+        src = "import numpy as np\nx = np.zeros(8, dtype=np.float64)\n"
+        assert lint(src, select=("RPR002",)) == []
+
+    def test_positional_dtype_counts(self, lint):
+        src = "import numpy as np\nx = np.zeros(8, np.float64)\n"
+        assert lint(src, select=("RPR002",)) == []
+
+    def test_full_needs_third_positional(self, lint):
+        assert lint("import numpy as np\nx = np.full(8, 0.5)\n", select=("RPR002",))
+        assert (
+            lint(
+                "import numpy as np\nx = np.full(8, 0.5, dtype=np.float64)\n",
+                select=("RPR002",),
+            )
+            == []
+        )
+
+    def test_float64_literal_flagged_in_nn_only(self, lint):
+        src = "import numpy as np\nx = np.zeros(8, dtype=np.float64)\n"
+        nn = lint(src, relpath=NN_PATH, select=("RPR002",))
+        assert [f.detail for f in nn] == ["float64-literal:np.zeros:<module>"]
+        # The stream contract *is* float64 — explicit literals pass there.
+        assert lint(src, relpath=STREAM_PATH, select=("RPR002",)) == []
+
+    def test_float64_reduction_flagged_in_nn(self, lint):
+        src = "import numpy as np\ns = float(np.mean(x, dtype=np.float64))\n"
+        assert codes(lint(src, relpath=NN_PATH, select=("RPR002",))) == ["RPR002"]
+
+    def test_policy_module_exempt(self, lint):
+        src = "import numpy as np\nx = np.zeros(8)\n"
+        assert lint(src, relpath="src/repro/nn/policy.py", select=("RPR002",)) == []
+
+    def test_outside_scoped_packages_exempt(self, lint):
+        src = "import numpy as np\nx = np.zeros(8)\n"
+        assert lint(src, relpath="src/repro/data/loading.py", select=("RPR002",)) == []
+
+
+RPR003_HOT_LOOP = """
+    import numpy as np
+    from repro.analysis.markers import hot_path
+
+    @hot_path
+    def score(values):
+        out = []
+        for column in values:
+            out.append(np.zeros(column.shape, dtype=np.float64))
+        return out
+"""
+
+
+class TestRPR003HotLoopHygiene:
+    def test_alloc_in_hot_loop_fires(self, lint):
+        findings = lint(RPR003_HOT_LOOP, select=("RPR003",))
+        assert [f.detail for f in findings] == ["alloc:np.zeros:score"]
+
+    def test_hoisted_alloc_clears(self, lint):
+        fixed = """
+            import numpy as np
+            from repro.analysis.markers import hot_path
+
+            @hot_path
+            def score(values):
+                out = np.zeros(values.shape, dtype=np.float64)
+                for i, column in enumerate(values):
+                    out[i] = column
+                return out
+        """
+        assert lint(fixed, select=("RPR003",)) == []
+
+    def test_unmarked_function_exempt(self, lint):
+        unmarked = RPR003_HOT_LOOP.replace("@hot_path\n    ", "")
+        assert lint(unmarked, select=("RPR003",)) == []
+
+    def test_loop_iter_expression_is_outside(self, lint):
+        source = """
+            import numpy as np
+            from repro.analysis.markers import hot_path
+
+            @hot_path
+            def f(n):
+                for i in np.arange(n):
+                    pass
+        """
+        assert lint(source, select=("RPR003",)) == []
+
+    def test_resolve_backend_and_registry_in_loop_fire(self, lint):
+        source = """
+            from repro.analysis.markers import hot_path
+            from repro.nn.backend import resolve_backend
+            from repro import obs
+
+            @hot_path
+            def f(items):
+                for item in items:
+                    backend = resolve_backend()
+                    reg = obs.registry()
+        """
+        details = sorted(f.detail for f in lint(source, select=("RPR003",)))
+        assert details == ["backend:f", "obs:f"]
+
+    def test_configured_hot_function_without_marker(self, lint):
+        from repro.analysis.config import Config
+
+        source = """
+            import numpy as np
+
+            class Bank:
+                def step(self, rows):
+                    for r in rows:
+                        x = np.zeros(3, dtype=np.float64)
+        """
+        config = Config(hot_functions=("Bank.step",))
+        findings = lint(source, select=("RPR003",), config=config)
+        assert [f.detail for f in findings] == ["alloc:np.zeros:Bank.step"]
+
+
+class TestRPR004Determinism:
+    def test_time_time_fires(self, lint):
+        findings = lint("import time\nt = time.time()\n", select=("RPR004",))
+        assert codes(findings) == ["RPR004"]
+
+    def test_perf_counter_clears(self, lint):
+        assert lint("import time\nt = time.perf_counter()\n", select=("RPR004",)) == []
+
+    def test_argless_default_rng_fires_seeded_clears(self, lint):
+        bad = "import numpy as np\nrng = np.random.default_rng()\n"
+        good = "import numpy as np\nrng = np.random.default_rng(1234)\n"
+        assert codes(lint(bad, select=("RPR004",))) == ["RPR004"]
+        assert lint(good, select=("RPR004",)) == []
+
+    def test_legacy_np_random_fires(self, lint):
+        findings = lint(
+            "import numpy as np\nx = np.random.rand(3)\n", select=("RPR004",)
+        )
+        assert [f.detail for f in findings] == ["np.random:rand:<module>"]
+
+    def test_stdlib_random_fires(self, lint):
+        findings = lint("import random\nx = random.random()\n", select=("RPR004",))
+        assert codes(findings) == ["RPR004"]
+
+    def test_test_tree_exempt(self, lint):
+        src = "import time\nt = time.time()\n"
+        assert lint(src, relpath=TEST_PATH, select=("RPR004",)) == []
+
+
+RPR005_VIOLATION = """
+    import time
+
+    class Server:
+        async def shutdown(self):
+            time.sleep(0.1)
+            self.save("ckpt.npz")
+"""
+
+
+class TestRPR005AsyncBlocking:
+    def test_sleep_and_heavy_call_fire(self, lint):
+        findings = lint(RPR005_VIOLATION, relpath=SERVE_PATH, select=("RPR005",))
+        details = sorted(f.detail for f in findings)
+        assert details == [
+            "blocking:time.sleep:Server.shutdown",
+            "heavy:self.save:Server.shutdown",
+        ]
+
+    def test_to_thread_form_clears(self, lint):
+        fixed = """
+            import asyncio
+
+            class Server:
+                async def shutdown(self):
+                    await asyncio.sleep(0.1)
+                    await asyncio.to_thread(self.save, "ckpt.npz")
+        """
+        assert lint(fixed, relpath=SERVE_PATH, select=("RPR005",)) == []
+
+    def test_sync_method_exempt(self, lint):
+        source = """
+            import time
+
+            class Server:
+                def save_now(self):
+                    time.sleep(0.1)
+                    self.save("ckpt.npz")
+        """
+        assert lint(source, relpath=SERVE_PATH, select=("RPR005",)) == []
+
+    def test_outside_serve_exempt(self, lint):
+        assert lint(RPR005_VIOLATION, relpath=STREAM_PATH, select=("RPR005",)) == []
+
+    def test_open_in_coroutine_fires(self, lint):
+        source = """
+            async def dump(path, data):
+                with open(path, "w") as fh:
+                    fh.write(data)
+        """
+        findings = lint(source, relpath=SERVE_PATH, select=("RPR005",))
+        assert [f.detail for f in findings] == ["blocking:open:dump"]
+
+    def test_closure_inside_coroutine_is_sync(self, lint):
+        """A nested sync def is executor-target material, not coroutine body."""
+        source = """
+            import time
+
+            async def shutdown(save):
+                def worker():
+                    time.sleep(0.1)
+                return worker
+        """
+        assert lint(source, relpath=SERVE_PATH, select=("RPR005",)) == []

@@ -54,7 +54,7 @@ class TestSchedule:
         padded = np.concatenate([[False], labels, [False]])
         starts = np.flatnonzero(~padded[:-1] & padded[1:])
         ends = np.flatnonzero(padded[:-1] & ~padded[1:])
-        for end, next_start in zip(ends[:-1], starts[1:]):
+        for end, next_start in zip(ends[:-1], starts[1:], strict=True):
             assert next_start - end >= 1
 
     def test_deterministic(self):

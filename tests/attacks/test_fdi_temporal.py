@@ -81,7 +81,7 @@ class TestSegmentShuffle:
         padded = np.concatenate([[False], result.labels, [False]])
         starts = np.flatnonzero(~padded[:-1] & padded[1:])
         ends = np.flatnonzero(padded[:-1] & ~padded[1:])
-        for start, end in zip(starts, ends):
+        for start, end in zip(starts, ends, strict=True):
             np.testing.assert_allclose(
                 np.sort(result.attacked[start:end]), np.sort(series[start:end])
             )

@@ -121,7 +121,7 @@ class TestKrum:
         clients = weight_set(1.0, 2.0, 3.0, 50.0)
         aggregated = Krum(n_byzantine=1).aggregate(clients)
         matches = [
-            all(np.array_equal(a, c) for a, c in zip(aggregated, client))
+            all(np.array_equal(a, c) for a, c in zip(aggregated, client, strict=True))
             for client in clients
         ]
         assert sum(matches) == 1

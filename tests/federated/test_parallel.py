@@ -46,18 +46,18 @@ class TestParallelRounds:
         sequential = _run(max_workers=None)
         threaded = _run(max_workers=4)
         for a, b in zip(
-            sequential.global_model.get_weights(), threaded.global_model.get_weights()
+            sequential.global_model.get_weights(), threaded.global_model.get_weights(), strict=True
         ):
             np.testing.assert_array_equal(a, b)
-        for client_seq, client_thr in zip(sequential.clients, threaded.clients):
-            for a, b in zip(client_seq.get_weights(), client_thr.get_weights()):
+        for client_seq, client_thr in zip(sequential.clients, threaded.clients, strict=True):
+            for a, b in zip(client_seq.get_weights(), client_thr.get_weights(), strict=True):
                 np.testing.assert_array_equal(a, b)
 
     def test_losses_and_participants_identical(self):
         sequential = _run(max_workers=None)
         threaded = _run(max_workers=2)
         assert sequential.final_losses == threaded.final_losses
-        for r_seq, r_thr in zip(sequential.rounds, threaded.rounds):
+        for r_seq, r_thr in zip(sequential.rounds, threaded.rounds, strict=True):
             assert r_seq.participants == r_thr.participants
             assert r_seq.client_losses == r_thr.client_losses
 
@@ -90,7 +90,7 @@ class TestParallelRounds:
         pooled = _run(max_workers=None)
         sequential = _run(max_workers=1)
         for a, b in zip(
-            pooled.global_model.get_weights(), sequential.global_model.get_weights()
+            pooled.global_model.get_weights(), sequential.global_model.get_weights(), strict=True
         ):
             np.testing.assert_array_equal(a, b)
         assert pooled.final_losses == sequential.final_losses

@@ -46,7 +46,7 @@ class TestUpdateClipper:
         clipper = UpdateClipper(clip_norm=100.0)
         update = update_of(1.0)
         clipped = clipper.clip(update)
-        for a, b in zip(clipped, update):
+        for a, b in zip(clipped, update, strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_large_update_scaled_to_ball(self):
@@ -76,7 +76,7 @@ class TestGaussianMechanism:
         mechanism = GaussianMechanism(0.0, seed=0)
         update = update_of(2.0)
         noised = mechanism.add_noise(update)
-        for a, b in zip(noised, update):
+        for a, b in zip(noised, update, strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_noise_magnitude(self):
@@ -100,7 +100,7 @@ class TestPrivateFedAvg:
         aggregator = PrivateFedAvg(clip_norm=1e9, noise_multiplier=0.0, seed=0)
         plain = FedAvg(weighted=False).aggregate([update_of(1.0), update_of(3.0)])
         private = aggregator.aggregate([update_of(1.0), update_of(3.0)])
-        for a, b in zip(private, plain):
+        for a, b in zip(private, plain, strict=True):
             np.testing.assert_allclose(a, b)
 
     def test_clipping_neutralises_poisoned_update(self):
@@ -121,7 +121,7 @@ class TestPrivateFedAvg:
         clients = [update_of(0.5), update_of(0.6)]
         quiet = no_noise.aggregate(clients)
         loud = with_noise.aggregate(clients)
-        assert any(not np.allclose(a, b) for a, b in zip(quiet, loud))
+        assert any(not np.allclose(a, b) for a, b in zip(quiet, loud, strict=True))
 
     def test_invalid_noise(self):
         with pytest.raises(ValueError, match="noise_multiplier"):

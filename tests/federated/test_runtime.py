@@ -77,7 +77,7 @@ class TestFederatedClient:
         weights = client.get_weights()
         client.train_round(1, 8)
         client.set_weights(weights)
-        for got, expected in zip(client.get_weights(), weights):
+        for got, expected in zip(client.get_weights(), weights, strict=True):
             np.testing.assert_array_equal(got, expected)
 
 
@@ -93,7 +93,7 @@ class TestFederatedServer:
         after = server.global_weights()
         assert set(stats) == set(client_data)
         assert any(
-            not np.array_equal(b, a) for b, a in zip(before, after)
+            not np.array_equal(b, a) for b, a in zip(before, after, strict=True)
         )
         assert server.round_index == 1
 
@@ -131,7 +131,7 @@ class TestFederatedSimulation:
         result = simulation.run(client_data)
         global_weights = result.global_model.get_weights()
         for client in result.clients:
-            for got, expected in zip(client.get_weights(), global_weights):
+            for got, expected in zip(client.get_weights(), global_weights, strict=True):
                 np.testing.assert_array_equal(got, expected)
 
     def test_local_models_differ_without_final_sync(self, client_data):
@@ -143,7 +143,7 @@ class TestFederatedSimulation:
         differs = [
             any(
                 not np.array_equal(w, g)
-                for w, g in zip(client.get_weights(), global_weights)
+                for w, g in zip(client.get_weights(), global_weights, strict=True)
             )
             for client in result.clients
         ]
@@ -155,7 +155,7 @@ class TestFederatedSimulation:
             simulation = FederatedSimulation(builder, rounds=1, epochs_per_round=1, seed=5)
             result = simulation.run(client_data)
             results.append(result.global_model.get_weights())
-        for a, b in zip(*results):
+        for a, b in zip(*results, strict=True):
             np.testing.assert_array_equal(a, b)
 
     def test_client_dropout_failure_injection(self, client_data):

@@ -386,7 +386,7 @@ class TestNumbaKernelLogicViaStub:
             tanh_c = np.empty((batch, units), dtype=dtype)
             bk.lstm_step(z, h, c, c, h, tanh_c, recurrent, ws)
             results.append((z, h, c, tanh_c))
-        for got, want in zip(results[1], results[0]):
+        for got, want in zip(results[1], results[0], strict=True):
             np.testing.assert_allclose(got, want, **tol)
 
     @pytest.mark.parametrize("dtype", ["float32", "float64"])

@@ -32,7 +32,7 @@ def _twin_models(layers_factory, input_shape, seed=5):
 class TestPrecisionParity:
     def test_weight_init_is_cast_identical(self):
         m32, m64 = _twin_models(lambda: [LSTM(6), Dense(2)], (8, 2))
-        for w32, w64 in zip(m32.get_weights(), m64.get_weights()):
+        for w32, w64 in zip(m32.get_weights(), m64.get_weights(), strict=True):
             np.testing.assert_array_equal(w32, w64.astype(np.float32))
 
     def test_lstm_forward_parity(self):
@@ -67,7 +67,7 @@ class TestPrecisionParity:
             model.zero_grads()
             model.backward(loss.gradient(y, predictions))
             grads.append([v.grad.copy() for v in model.trainable_variables])
-        for g32, g64 in zip(*grads):
+        for g32, g64 in zip(*grads, strict=True):
             np.testing.assert_allclose(g32, g64, rtol=5e-4, atol=1e-6)
 
     @pytest.mark.parametrize(

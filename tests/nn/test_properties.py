@@ -59,7 +59,7 @@ class TestDeterminism:
             model.build((5, 1), seed=seed_value)
             return model.get_weights()
 
-        for a, b in zip(weights_with(seed), weights_with(seed)):
+        for a, b in zip(weights_with(seed), weights_with(seed), strict=True):
             np.testing.assert_array_equal(a, b)
 
     @given(scale=st.floats(0.1, 10.0))

@@ -13,7 +13,7 @@ from repro.stream.mitigation import (
 
 def _replay(mitigator, values, flags):
     out = np.empty_like(np.asarray(values, dtype=np.float64))
-    for t, (value, flag) in enumerate(zip(values, flags)):
+    for t, (value, flag) in enumerate(zip(values, flags, strict=True)):
         out[t] = mitigator.mitigate(np.array([float(value)]), np.array([flag]))[0]
     return out
 
