@@ -50,6 +50,7 @@ from repro.serve.protocol import (
     FrameDecoder,
     FrameType,
     ProtocolError,
+    sign_token,
 )
 from repro.serve.reorder import Offer, ReorderBuffer
 from repro.serve.server import IngestionServer
@@ -67,4 +68,5 @@ __all__ = [
     "ReorderBuffer",
     "SEQ_MOD",
     "TcpTransport",
+    "sign_token",
 ]

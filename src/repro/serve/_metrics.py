@@ -43,6 +43,14 @@ def ingest_metrics(reg) -> dict:
             "repro_serve_busy_total",
             help="BUSY frames sent (backpressure: queue full or quota).",
         ),
+        "rate_limited": reg.counter(
+            "repro_serve_rate_limited_total",
+            help="DATA frames refused by the per-client token bucket.",
+        ),
+        "auth_failures": reg.counter(
+            "repro_serve_auth_failures_total",
+            help="HELLO handshakes rejected for a bad or missing token.",
+        ),
         "queue_depth": reg.gauge(
             "repro_serve_queue_depth",
             help="Readings waiting in the bounded ingest queue.",

@@ -42,6 +42,7 @@ from repro.serve.protocol import (
     encode_frame,
     pack_data,
     pack_hello,
+    sign_token,
     unpack_ack,
     unpack_busy,
     unpack_welcome,
@@ -125,6 +126,7 @@ class IngestClient:
         *,
         client_id: str = "client",
         token: str = "",
+        secret: str | None = None,
         transport=None,
         max_attempts: int = 12,
         backoff_base: float = 0.02,
@@ -135,7 +137,9 @@ class IngestClient:
         seed: int = 0,
     ) -> None:
         self.client_id = client_id
-        self.token = token
+        # A shared secret outranks an explicit token: the credential is
+        # derived per client id, matching IngestionServer(auth_secret=...).
+        self.token = sign_token(secret, client_id) if secret is not None else token
         self.transport = transport if transport is not None else TcpTransport(host, port)
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base

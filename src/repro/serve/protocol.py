@@ -44,6 +44,8 @@ the detector's imputation path like any other gap.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import math
 import struct
@@ -168,6 +170,18 @@ def unpack_busy(body: bytes) -> tuple[int, int]:
     if len(body) != _BUSY.size:
         raise ProtocolError(f"BUSY body must be {_BUSY.size} bytes, got {len(body)}")
     return _BUSY.unpack(body)
+
+
+def sign_token(secret: str, client_id: str) -> str:
+    """HMAC-SHA256 credential binding ``client_id`` to a shared secret.
+
+    The HELLO token under secret-based auth: the client derives it from
+    the deployment's shared secret and its own id, the server recomputes
+    and compares in constant time.  Unlike a bare shared token, a
+    captured credential only impersonates that one ``client_id``, and
+    the secret itself never crosses the wire.
+    """
+    return hmac.new(secret.encode(), client_id.encode(), hashlib.sha256).hexdigest()
 
 
 def pack_hello(client_id: str, token: str = "") -> bytes:

@@ -42,8 +42,10 @@ Failure semantics:
 from __future__ import annotations
 
 import asyncio
+import hmac
 import signal
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -59,18 +61,44 @@ from repro.serve.protocol import (
     pack_busy,
     pack_error,
     pack_welcome,
+    sign_token,
     unpack_data,
     unpack_hello,
 )
 from repro.serve.reorder import Offer, ReorderBuffer
 from repro.stream.checkpoint import load_checkpoint, save_checkpoint
-from repro.stream.engine import StreamReplayEngine
+from repro.stream.engine import ReplayDriver, StreamReplayEngine
+from repro.stream.shard import (
+    MANIFEST_NAME,
+    ShardedFleetEngine,
+    load_sharded_checkpoint,
+    save_sharded_checkpoint,
+)
 
 _OFFER_ACK = {
     Offer.ACCEPTED: AckStatus.OK,
     Offer.DUPLICATE: AckStatus.DUPLICATE,
     Offer.LATE: AckStatus.LATE,
 }
+
+
+class _TokenBucket:
+    """Classic token bucket: ``rate`` refills/s up to ``burst`` capacity."""
+
+    __slots__ = ("tokens", "last")
+
+    def __init__(self, burst: float) -> None:
+        self.tokens = float(burst)
+        self.last = time.perf_counter()
+
+    def take(self, rate: float, burst: float) -> bool:
+        now = time.perf_counter()
+        self.tokens = min(float(burst), self.tokens + (now - self.last) * rate)
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
 
 
 class _Conn:
@@ -97,9 +125,13 @@ class IngestionServer:
     Parameters
     ----------
     engine:
-        A calibrated :class:`~repro.stream.engine.StreamReplayEngine`
-        whose detector was built with ``missing="impute"`` (undelivered
-        readings become NaN columns and *must* be imputable).
+        A calibrated replay engine whose detector was built with
+        ``missing="impute"`` (undelivered readings become NaN columns
+        and *must* be imputable) — either the in-process
+        :class:`~repro.stream.engine.StreamReplayEngine` or a
+        :class:`~repro.stream.shard.ShardedFleetEngine` fronting a
+        worker fleet; the server routes blocks through whichever
+        ``step_block`` it is handed.
     block_size:
         Ticks per detector block; the batcher only fires full blocks.
     lateness, capacity:
@@ -113,10 +145,28 @@ class IngestionServer:
     max_inflight:
         Per-connection unacked-frame quota (announced in WELCOME);
         frames beyond it are answered BUSY without queueing.
+    auth_secret:
+        When set, HELLO must present the HMAC-SHA256 credential
+        :func:`~repro.serve.protocol.sign_token` derives from this
+        shared secret and the client's id.  Verified with a
+        constant-time compare; a mismatch is answered with ERROR and
+        the connection closes.  Clients pass the same value as
+        ``IngestClient(secret=...)``.
     auth_token:
-        When set, HELLO must present exactly this token (auth stub).
+        Legacy shared-token auth: HELLO must present exactly this
+        token.  ``auth_secret`` supersedes it when both are set.
+    rate_limit, rate_burst:
+        Per-client token-bucket rate limiting, beyond the inflight
+        quota: sustained DATA admission of ``rate_limit`` readings/s
+        with bursts up to ``rate_burst`` (default ``2 * rate_limit``).
+        Excess frames are answered BUSY (the client backs off and
+        retries) and counted in ``repro_serve_rate_limited_total``.
+        Buckets are keyed by client id, so reconnecting does not reset
+        a client's budget.
     checkpoint_path:
         Where :meth:`shutdown` writes the final checkpoint (optional).
+        A single-process engine checkpoints to one ``.npz``; a sharded
+        engine writes a manifest *directory* of per-shard members.
     start_tick:
         Absolute tick the timeline starts at (tests park this near the
         u32 wrap point).
@@ -124,7 +174,7 @@ class IngestionServer:
 
     def __init__(
         self,
-        engine: StreamReplayEngine,
+        engine: ReplayDriver,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -134,11 +184,14 @@ class IngestionServer:
         queue_size: int = 256,
         policy: str = "reject",
         max_inflight: int = 64,
+        auth_secret: str | None = None,
         auth_token: str | None = None,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
         checkpoint_path=None,
         start_tick: int = 0,
     ) -> None:
-        if engine.detector.missing != "impute":
+        if engine.missing_mode != "impute":
             raise ValueError(
                 "the served detector must be built with missing='impute': "
                 "undelivered readings become NaN columns"
@@ -149,15 +202,32 @@ class IngestionServer:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be > 0 readings/s, got {rate_limit}")
+        if rate_burst is not None:
+            if rate_limit is None:
+                raise ValueError("rate_burst requires rate_limit")
+            if rate_burst < 1:
+                raise ValueError(f"rate_burst must be >= 1, got {rate_burst}")
         self.engine = engine
         self.host = host
         self.port = port
         self.block_size = block_size
         self.policy = policy
         self.max_inflight = max_inflight
+        self.auth_secret = auth_secret
         self.auth_token = auth_token
+        self.rate_limit = rate_limit
+        self.rate_burst = (
+            rate_burst
+            if rate_burst is not None
+            else (None if rate_limit is None else max(1.0, 2.0 * rate_limit))
+        )
+        #: Token buckets keyed by client id (not connection), so a
+        #: reconnect keeps spending the same budget.
+        self._buckets: dict[str, _TokenBucket] = {}
         self.checkpoint_path = checkpoint_path
-        self.n_stations = engine.detector.n_stations
+        self.n_stations = engine.n_stations
         self.reorder = ReorderBuffer(
             self.n_stations, lateness=lateness, capacity=capacity, start=start_tick
         )
@@ -254,7 +324,14 @@ class IngestionServer:
             del self._columns[:take]
 
     def save(self, path) -> None:
-        """Checkpoint detector + mitigator + serve state into one .npz."""
+        """Checkpoint the pipeline + serve state.
+
+        A single-process engine bundles everything into one ``.npz``; a
+        :class:`~repro.stream.shard.ShardedFleetEngine` writes a
+        manifest directory instead (delta save: only shards that
+        changed since the last checkpoint are rewritten), with the
+        serve state in the manifest's ``extra`` member.
+        """
         extra: dict[str, np.ndarray] = {}
         for key, value in self.reorder.state_dict().items():
             extra[f"serve.reorder.{key}"] = value
@@ -270,15 +347,26 @@ class IngestionServer:
             [arrival for _, _, arrival in self._columns], dtype=np.float64
         )
         extra["serve.block_size"] = np.asarray(self.block_size, dtype=np.int64)
-        save_checkpoint(path, self.engine, extra=extra)
+        if isinstance(self.engine, ShardedFleetEngine):
+            save_sharded_checkpoint(path, self.engine, extra=extra)
+        else:
+            save_checkpoint(path, self.engine, extra=extra)
 
     @classmethod
     def from_checkpoint(cls, path, **kwargs) -> "IngestionServer":
-        """Rebuild a server exactly as :meth:`shutdown` left it."""
-        restored = load_checkpoint(path)
-        extra = restored.extra
+        """Rebuild a server exactly as :meth:`shutdown` left it.
+
+        ``path`` may be a single-file archive or a sharded manifest
+        directory — whichever :meth:`save` produced; a sharded restore
+        respawns the worker fleet before serving resumes.
+        """
+        if (Path(path) / MANIFEST_NAME).is_file():
+            engine, extra = load_sharded_checkpoint(path)
+        else:
+            restored = load_checkpoint(path)
+            engine, extra = restored.engine(), restored.extra
         kwargs.setdefault("block_size", int(extra["serve.block_size"]))
-        server = cls(restored.engine(), **kwargs)
+        server = cls(engine, **kwargs)
         server.reorder.load_state_dict(
             {
                 key[len("serve.reorder.") :]: value
@@ -346,7 +434,8 @@ class IngestionServer:
             if ftype is not FrameType.HELLO:
                 raise ProtocolError(f"expected HELLO, got {ftype.name}")
             hello = unpack_hello(body)
-            if self.auth_token is not None and hello.get("token") != self.auth_token:
+            if not self._authenticate(hello):
+                self._metrics["auth_failures"].inc()
                 writer.write(pack_error("authentication failed"))
                 await writer.drain()
                 writer.close()
@@ -363,11 +452,32 @@ class IngestionServer:
                     self._metrics["corrupt"].inc()
             return conn
 
+    def _authenticate(self, hello: dict) -> bool:
+        """Check HELLO credentials (constant-time on both paths)."""
+        token = str(hello.get("token") or "")
+        if self.auth_secret is not None:
+            expected = sign_token(self.auth_secret, str(hello["client_id"]))
+            return hmac.compare_digest(token, expected)
+        if self.auth_token is not None:
+            return hmac.compare_digest(token, self.auth_token)
+        return True
+
     def _on_data(self, conn: _Conn, body: bytes) -> None:
         station, seq, timestamp, reading = unpack_data(body)
         self._metrics["frames"].inc()
         if not 0 <= station < self.n_stations:
             raise ProtocolError(f"station {station} out of range [0, {self.n_stations})")
+        if self.rate_limit is not None:
+            bucket = self._buckets.get(conn.client_id)
+            if bucket is None:
+                bucket = self._buckets[conn.client_id] = _TokenBucket(self.rate_burst)
+            if not bucket.take(self.rate_limit, self.rate_burst):
+                # Over budget: BUSY, unacked — the client backs off and
+                # resends, exactly like queue backpressure.
+                self._metrics["rate_limited"].inc()
+                self._metrics["busy"].inc()
+                conn.send(pack_busy(station, seq))
+                return
         if conn.inflight >= self.max_inflight:
             self._metrics["busy"].inc()
             conn.send(pack_busy(station, seq))

@@ -29,7 +29,11 @@ shrink at runtime (``add_stations``/``drop_stations`` on the detector,
 engine and every state bank), and NaN readings can be accepted as
 missing data (``StreamingDetector(..., missing="impute")``) — imputed
 causally, excluded from scaler/threshold adaptation, and counted
-per-station in the report.
+per-station in the report.  For fleets larger than one process,
+:mod:`repro.stream.shard` runs the same pipeline as N shard-local
+worker processes behind one engine facade — bit-exact against the
+single-engine path, with per-shard manifest checkpoints and worker
+failover.
 
 Quickstart::
 
@@ -55,6 +59,7 @@ from repro.stream.checkpoint import (
 )
 from repro.stream.detector import BlockResult, StreamingDetector, TickResult
 from repro.stream.engine import (
+    ReplayDriver,
     StreamInterrupted,
     StreamReplayEngine,
     StreamReport,
@@ -83,6 +88,7 @@ __all__ = [
     "BlockResult",
     "StreamingDetector",
     "TickResult",
+    "ReplayDriver",
     "StreamInterrupted",
     "StreamReplayEngine",
     "StreamReport",

@@ -120,6 +120,98 @@ def _mitigator_meta(mitigator: StreamingMitigator) -> dict:
     return {"name": mitigator.name, "config": mitigator.get_config()}
 
 
+def _library_meta() -> dict:
+    """Provenance: which build wrote this archive, and when."""
+    return {
+        "version": _library_version(),
+        "numpy": np.__version__,
+        # Wall-clock provenance is the payload here, not hidden state.
+        "created_unix": time.time(),  # reprolint: disable=RPR004
+    }
+
+
+def pipeline_meta(
+    detector: StreamingDetector,
+    mitigator: StreamingMitigator | None,
+    feedback: bool,
+) -> dict:
+    """The JSON-serializable rebuild recipe for a pipeline.
+
+    Everything :func:`build_pipeline` needs to reconstruct the exact
+    detector/mitigator *structure* (state is shipped separately as
+    ``state_dict()`` arrays).  Shared between the single-file checkpoint
+    and the sharded manifest, so both describe pipelines identically.
+    """
+    return {
+        "detector": {
+            "n_stations": detector.n_stations,
+            "percentile": detector.percentile,
+            "min_calibration_scores": detector.min_calibration_scores,
+            "missing": detector.missing,
+            "adaptive": detector.adaptive is not None,
+            "scaler": (
+                None
+                if detector.scaler is None
+                else {"feature_range": list(detector.scaler.feature_range)}
+            ),
+        },
+        "autoencoder": asdict(detector.autoencoder.config),
+        "model": model_to_config(detector.autoencoder.model),
+        "mitigator": None if mitigator is None else _mitigator_meta(mitigator),
+        "feedback": bool(feedback),
+    }
+
+
+def build_autoencoder(meta: dict, weights: list[np.ndarray]) -> LSTMAutoencoder:
+    """Rebuild the exact saved autoencoder (architecture, dtype, weights)."""
+    ae_config = dict(meta["autoencoder"])
+    ae_config["encoder_units"] = tuple(ae_config["encoder_units"])
+    ae_config["decoder_units"] = tuple(ae_config["decoder_units"])
+    config = AutoencoderConfig(**ae_config)
+    model = model_from_config(meta["model"])
+    model.compile(optimizer=Adam(config.learning_rate), loss="mse")
+    model.set_weights(weights)
+    return LSTMAutoencoder.from_model(config, model)
+
+
+def build_pipeline(
+    meta: dict,
+    autoencoder: LSTMAutoencoder,
+    n_stations: int | None = None,
+) -> tuple[StreamingDetector, StreamingMitigator | None]:
+    """Reconstruct a (state-less) detector + mitigator from ``meta``.
+
+    ``n_stations`` overrides the fleet size recorded in ``meta`` — the
+    shard layer rebuilds shard-local pipelines from the *fleet-wide*
+    recipe this way.  Component state is loaded separately via
+    ``load_state_dict``.
+    """
+    detector_meta = meta["detector"]
+    if n_stations is None:
+        n_stations = int(detector_meta["n_stations"])
+    scaler = None
+    if detector_meta["scaler"] is not None:
+        scaler = StreamingMinMaxScaler(
+            n_stations,
+            feature_range=tuple(detector_meta["scaler"]["feature_range"]),
+        )
+    detector = StreamingDetector(
+        autoencoder,
+        n_stations,
+        scaler=scaler,
+        threshold="p2" if detector_meta["adaptive"] else None,
+        percentile=detector_meta["percentile"],
+        min_calibration_scores=detector_meta["min_calibration_scores"],
+        missing=detector_meta["missing"],
+    )
+    mitigator = None
+    if meta["mitigator"] is not None:
+        mitigator = _REGISTRY[meta["mitigator"]["name"]](
+            n_stations, **meta["mitigator"]["config"]
+        )
+    return detector, mitigator
+
+
 def save_checkpoint(
     path: str | Path,
     pipeline: StreamReplayEngine | StreamingDetector,
@@ -153,36 +245,15 @@ def save_checkpoint(
     meta = {
         "format": _FORMAT,
         "version": _VERSION,
-        # Provenance: which build wrote this archive, and when.  Read
-        # back at load time to warn on cross-version restores.
-        "library": {
-            "version": _library_version(),
-            "numpy": np.__version__,
-            # Wall-clock provenance is the payload here, not hidden state.
-            "created_unix": time.time(),  # reprolint: disable=RPR004
-        },
-        # Forward-compat stub for sharded fleet checkpoints (ROADMAP:
-        # 100k–1M stations snapshot per shard).  A single-file archive is
-        # always shard 0 of 1; loaders reject anything else until the
-        # sharded reader exists.
+        # Provenance read back at load time to warn on cross-version
+        # restores.
+        "library": _library_meta(),
+        # A single-file archive is always shard 0 of 1; the per-shard
+        # members of a sharded fleet checkpoint carry their real
+        # coordinates and are only loadable through the manifest
+        # (:func:`repro.stream.shard.load_sharded_checkpoint`).
         "sharding": {"shards": 1, "shard_index": 0},
-        "detector": {
-            "n_stations": detector.n_stations,
-            "percentile": detector.percentile,
-            "min_calibration_scores": detector.min_calibration_scores,
-            "missing": detector.missing,
-            "adaptive": detector.adaptive is not None,
-            "scaler": (
-                None
-                if detector.scaler is None
-                else {"feature_range": list(detector.scaler.feature_range)}
-            ),
-        },
-        "autoencoder": asdict(detector.autoencoder.config),
-        "model": model_to_config(detector.autoencoder.model),
-        "mitigator": None if mitigator is None else _mitigator_meta(mitigator),
-        "feedback": bool(feedback),
-    }
+    } | pipeline_meta(detector, mitigator, feedback)
 
     arrays: StateDict = {"meta": np.asarray(json.dumps(meta))}
     arrays |= {
@@ -273,47 +344,24 @@ def load_checkpoint(path: str | Path) -> StreamCheckpoint:
         )
     sharding = meta.get("sharding") or {"shards": 1, "shard_index": 0}
     if sharding.get("shards", 1) != 1:
-        raise ValueError(
+        raise CheckpointError(
             f"checkpoint {path.name} is shard {sharding.get('shard_index')} of "
-            f"{sharding.get('shards')}; sharded checkpoints are not supported "
-            "yet — load each shard with the (future) sharded reader"
+            f"{sharding.get('shards')} — one member of a sharded fleet "
+            "checkpoint.  Load the manifest directory that contains it with "
+            "repro.stream.shard.load_sharded_checkpoint (or "
+            "ShardedFleetEngine.from_checkpoint) instead"
         )
 
     # Autoencoder: rebuild the exact saved architecture (including its
     # compute dtype) and install the saved weights.
-    ae_config = dict(meta["autoencoder"])
-    ae_config["encoder_units"] = tuple(ae_config["encoder_units"])
-    ae_config["decoder_units"] = tuple(ae_config["decoder_units"])
-    config = AutoencoderConfig(**ae_config)
-    model = model_from_config(meta["model"])
-    model.compile(optimizer=Adam(config.learning_rate), loss="mse")
     weights = unnest(arrays, "model")
-    model.set_weights([weights[f"w{i}"] for i in range(len(weights))])
-    autoencoder = LSTMAutoencoder.from_model(config, model)
-
-    detector_meta = meta["detector"]
-    scaler = None
-    if detector_meta["scaler"] is not None:
-        scaler = StreamingMinMaxScaler(
-            detector_meta["n_stations"],
-            feature_range=tuple(detector_meta["scaler"]["feature_range"]),
-        )
-    detector = StreamingDetector(
-        autoencoder,
-        detector_meta["n_stations"],
-        scaler=scaler,
-        threshold="p2" if detector_meta["adaptive"] else None,
-        percentile=detector_meta["percentile"],
-        min_calibration_scores=detector_meta["min_calibration_scores"],
-        missing=detector_meta["missing"],
+    autoencoder = build_autoencoder(
+        meta, [weights[f"w{i}"] for i in range(len(weights))]
     )
-    detector.load_state_dict(unnest(arrays, "detector"))
 
-    mitigator = None
-    if meta["mitigator"] is not None:
-        mitigator = _REGISTRY[meta["mitigator"]["name"]](
-            detector_meta["n_stations"], **meta["mitigator"]["config"]
-        )
+    detector, mitigator = build_pipeline(meta, autoencoder)
+    detector.load_state_dict(unnest(arrays, "detector"))
+    if mitigator is not None:
         mitigator.load_state_dict(unnest(arrays, "mitigator"))
 
     restored = StreamCheckpoint(

@@ -14,6 +14,13 @@ station-readings/s), per-tick latency quantiles, the full flag/mitigated
 matrices, and — when ground-truth labels are supplied — the same
 point-level detection metrics the batch experiments report
 (:func:`repro.anomaly.metrics.aggregate_detection_metrics`).
+
+The replay loop itself (tick/block scheduling, latency bookkeeping,
+interrupt recovery, report assembly) lives in :class:`ReplayDriver`, an
+engine-agnostic base shared between the in-process
+:class:`StreamReplayEngine` and the multi-process
+:class:`~repro.stream.shard.ShardedFleetEngine` — one loop, two
+steppers, bit-identical reports.
 """
 
 from __future__ import annotations
@@ -138,7 +145,389 @@ class StreamReport:
         return "\n".join(lines)
 
 
-class StreamReplayEngine:
+class ReplayDriver:
+    """Engine-agnostic replay loop: scheduling, timing, report assembly.
+
+    Subclasses supply the fleet shape and the closed-loop step
+    primitives — :attr:`n_stations`, :attr:`missing_mode`,
+    ``_step_tick(values, reg)`` and ``_step_block(values, reg)``, each
+    returning ``(result, mitigated)`` where ``result`` carries
+    ``flags``/``scores``/``missing`` — and inherit the whole public
+    replay surface (:meth:`run`, :meth:`step_tick`, :meth:`step_block`)
+    with identical semantics.  The single-process
+    :class:`StreamReplayEngine` and the multi-process
+    :class:`~repro.stream.shard.ShardedFleetEngine` are the two
+    implementations; because they share this exact loop, their
+    :class:`StreamReport` outputs are comparable field-for-field.
+    """
+
+    @property
+    def n_stations(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def missing_mode(self) -> str:
+        """The detector's missing-data mode (``"raise"`` or ``"impute"``)."""
+        raise NotImplementedError
+
+    def _step_tick(self, values: np.ndarray, reg) -> tuple:
+        raise NotImplementedError
+
+    def _step_block(self, values: np.ndarray, reg) -> tuple:
+        raise NotImplementedError
+
+    def step_tick(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Process one tick of live readings through the closed loop.
+
+        The live-ingestion entry point (one assembled ``(n_stations,)``
+        column): identical semantics to one iteration of
+        :meth:`run`'s tick path.  Returns ``(flags, scores, missing,
+        mitigated)``, each ``(n_stations,)``; without a mitigator,
+        ``mitigated`` is a copy of ``values`` (NaN readings stay NaN).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        result, mitigated = self._step_tick(values, obs.registry())
+        missing = (
+            result.missing
+            if result.missing is not None
+            else np.zeros(result.flags.shape, dtype=bool)
+        )
+        if mitigated is None:
+            mitigated = values.copy()
+        return result.flags, result.scores, missing, mitigated
+
+    def step_block(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Process one ``(n_stations, B)`` block through the closed loop.
+
+        The live-ingestion entry point for batched readings: identical
+        semantics to one iteration of :meth:`run`'s block path, so a
+        server feeding consecutive blocks reproduces
+        ``run(fleet, block_size=B)`` bit-for-bit on the same readings.
+        Returns ``(flags, scores, missing, mitigated)``, each
+        ``(n_stations, B)``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        result, mitigated = self._step_block(values, obs.registry())
+        missing = (
+            result.missing
+            if result.missing is not None
+            else np.zeros(result.flags.shape, dtype=bool)
+        )
+        if mitigated is None:
+            mitigated = values.copy()
+        return result.flags, result.scores, missing, mitigated
+
+    def run(
+        self,
+        fleet: np.ndarray,
+        labels: np.ndarray | None = None,
+        station_names: list[str] | None = None,
+        block_size: int = 1,
+    ) -> StreamReport:
+        """Replay ``fleet`` (``(n_stations, n_ticks)`` raw readings).
+
+        ``labels`` — same-shape boolean ground truth — enables detection
+        metrics in the report (micro-aggregated across stations, as the
+        paper's "overall" numbers are).
+
+        NaN entries in ``fleet`` raise under the detector's default
+        ``missing="raise"``; with ``missing="impute"`` they stream as
+        missing readings — scored against causal imputes, repaired by
+        the mitigation policy (missing entries are treated exactly like
+        flagged ones), and tallied in ``StreamReport.missing``.  Without
+        a mitigator, missing entries stay NaN in ``report.mitigated``.
+
+        ``block_size`` feeds ``B`` ticks at a time through
+        :meth:`~repro.stream.detector.StreamingDetector.process_block` —
+        the throughput lever for large fleets (one forward pass and one
+        mitigation call per block instead of per tick).  ``block_size=1``
+        reproduces the tick-by-tick replay bit-for-bit.  Larger blocks
+        keep tick semantics for scaling and fixed-threshold scoring (to
+        floating-point round-off — float32 inference can round the last
+        ulp differently across batch sizes), but move the closed loop to
+        block granularity: repairs
+        are written back only *between* blocks, so windows inside a
+        block score raw readings (and adaptive thresholds update per
+        block).  A trailing partial block is processed with whatever
+        ticks remain.  Per-tick ``latencies`` within one block report
+        the block's wall-clock divided evenly across its ticks.
+
+        ``fleet`` may also be any *iterable* of per-tick
+        ``(n_stations,)`` readings (a generator, a live source): ticks
+        are consumed lazily, blocks are assembled as ``block_size``
+        ticks accumulate (plus a trailing partial block), and the report
+        covers however many ticks the source yielded.  ``labels``
+        require a materialized fleet.
+
+        If the source or the pipeline raises mid-run — including
+        ``KeyboardInterrupt`` — the ticks completed so far are finalized
+        into a full :class:`StreamReport` and re-raised as
+        :class:`StreamInterrupted` with the report attached, instead of
+        losing the whole run's stats.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        n_stations = self.n_stations
+        if station_names is not None and len(station_names) != n_stations:
+            raise ValueError("station_names must have one entry per station")
+        if isinstance(fleet, np.ndarray) or isinstance(fleet, (list, tuple)):
+            return self._run_materialized(
+                np.asarray(fleet, dtype=np.float64), labels, station_names, block_size
+            )
+        if labels is not None:
+            raise ValueError("labels require a materialized (array) fleet")
+        try:
+            ticks = iter(fleet)
+        except TypeError:
+            raise TypeError(
+                f"fleet must be an array or an iterable of per-tick readings, "
+                f"got {type(fleet).__name__}"
+            ) from None
+        return self._run_stream(ticks, station_names, block_size)
+
+    def _obs_run_metrics(self, reg) -> tuple:
+        tick_hist = block_hist = None
+        if reg.enabled:
+            tick_hist = reg.histogram(
+                "repro_stream_tick_seconds",
+                help="Wall-clock per tick-mode engine step (detect + mitigate).",
+            )
+            block_hist = reg.histogram(
+                "repro_stream_block_seconds",
+                help="Wall-clock per block-mode engine step (detect + mitigate).",
+            )
+        return tick_hist, block_hist
+
+    def _finalize(
+        self,
+        reg,
+        elapsed: float,
+        latencies: np.ndarray,
+        flags: np.ndarray,
+        scores: np.ndarray,
+        mitigated: np.ndarray,
+        missing: np.ndarray,
+        labels: np.ndarray | None,
+        station_names: list[str] | None,
+        error: BaseException | None,
+    ) -> StreamReport:
+        """Assemble the report; raise :class:`StreamInterrupted` on error."""
+        n_stations = self.n_stations
+        n_ticks = flags.shape[1]
+        if reg.enabled:
+            reg.counter(
+                "repro_stream_replay_runs_total", help="Replay engine runs."
+            ).inc()
+            if n_ticks and elapsed > 0:
+                reg.gauge(
+                    "repro_stream_readings_per_second",
+                    help="Throughput of the most recent replay run.",
+                ).set(n_ticks * n_stations / elapsed)
+        metrics = None
+        if labels is not None:
+            names = station_names or [f"station-{j}" for j in range(n_stations)]
+            metrics = aggregate_detection_metrics(
+                {names[j]: (labels[j], flags[j]) for j in range(n_stations)}
+            )
+        report = StreamReport(
+            n_stations=n_stations,
+            n_ticks=n_ticks,
+            elapsed_seconds=elapsed,
+            latencies=latencies,
+            flags=flags,
+            scores=scores,
+            mitigated=mitigated,
+            missing=missing,
+            metrics=metrics,
+        )
+        if error is not None:
+            raise StreamInterrupted(report, error) from error
+        return report
+
+    def _run_materialized(
+        self,
+        fleet: np.ndarray,
+        labels: np.ndarray | None,
+        station_names: list[str] | None,
+        block_size: int,
+    ) -> StreamReport:
+        n_stations = self.n_stations
+        if fleet.ndim != 2 or fleet.shape[0] != n_stations:
+            raise ValueError(
+                f"fleet must be ({n_stations}, n_ticks), got {fleet.shape}"
+            )
+        n_ticks = fleet.shape[1]
+        if labels is not None:
+            labels = np.asarray(labels, dtype=bool)
+            if labels.shape != fleet.shape:
+                raise ValueError(
+                    f"labels shape {labels.shape} must match fleet shape {fleet.shape}"
+                )
+        flags = np.zeros((n_stations, n_ticks), dtype=bool)
+        scores = np.full((n_stations, n_ticks), np.nan, dtype=np.float64)
+        missing = np.zeros((n_stations, n_ticks), dtype=bool)
+        mitigated = fleet.copy()
+        latencies = np.empty(n_ticks, dtype=np.float64)
+
+        reg = obs.registry()
+        tick_hist, block_hist = self._obs_run_metrics(reg)
+
+        error: BaseException | None = None
+        completed = 0
+        start = time.perf_counter()
+        try:
+            if block_size == 1:
+                for tick in range(n_ticks):
+                    tick_start = time.perf_counter()
+                    result, tick_mitigated = self._step_tick(fleet[:, tick], reg)
+                    flags[:, tick] = result.flags
+                    scores[:, tick] = result.scores
+                    if result.missing is not None:
+                        missing[:, tick] = result.missing
+                    if tick_mitigated is not None:
+                        mitigated[:, tick] = tick_mitigated
+                    latencies[tick] = time.perf_counter() - tick_start
+                    if tick_hist is not None:
+                        tick_hist.observe(latencies[tick])
+                    completed = tick + 1
+            else:
+                for first in range(0, n_ticks, block_size):
+                    block_start = time.perf_counter()
+                    sl = slice(first, min(first + block_size, n_ticks))
+                    result, block_mitigated = self._step_block(fleet[:, sl], reg)
+                    flags[:, sl] = result.flags
+                    scores[:, sl] = result.scores
+                    if result.missing is not None:
+                        missing[:, sl] = result.missing
+                    if block_mitigated is not None:
+                        mitigated[:, sl] = block_mitigated
+                    block_ticks = sl.stop - sl.start
+                    block_elapsed = time.perf_counter() - block_start
+                    latencies[sl] = block_elapsed / block_ticks
+                    if block_hist is not None:
+                        block_hist.observe(block_elapsed)
+                    completed = sl.stop
+        except (Exception, KeyboardInterrupt) as exc:
+            error = exc
+        elapsed = time.perf_counter() - start
+        if error is not None:
+            # Truncate to the completed ticks; an interrupted block's
+            # partial state stays in the detector but its undecided
+            # columns are not reported.
+            flags = flags[:, :completed]
+            scores = scores[:, :completed]
+            missing = missing[:, :completed]
+            mitigated = mitigated[:, :completed]
+            latencies = latencies[:completed]
+            if labels is not None:
+                labels = labels[:, :completed]
+        return self._finalize(
+            reg, elapsed, latencies, flags, scores, mitigated, missing,
+            labels, station_names, error,
+        )
+
+    def _run_stream(
+        self,
+        ticks,
+        station_names: list[str] | None,
+        block_size: int,
+    ) -> StreamReport:
+        """Lazily consume an iterable of per-tick readings."""
+        n_stations = self.n_stations
+        flag_cols: list[np.ndarray] = []
+        score_cols: list[np.ndarray] = []
+        miss_cols: list[np.ndarray] = []
+        mit_cols: list[np.ndarray] = []
+        lat: list[float] = []
+
+        reg = obs.registry()
+        tick_hist, block_hist = self._obs_run_metrics(reg)
+
+        def do_block(block: np.ndarray) -> None:
+            block_start = time.perf_counter()
+            result, block_mitigated = self._step_block(block, reg)
+            if block_mitigated is None:
+                block_mitigated = block.copy()
+            block_missing = (
+                result.missing
+                if result.missing is not None
+                else np.zeros(result.flags.shape, dtype=bool)
+            )
+            block_elapsed = time.perf_counter() - block_start
+            flag_cols.extend(result.flags.T)
+            score_cols.extend(result.scores.T)
+            miss_cols.extend(block_missing.T)
+            mit_cols.extend(block_mitigated.T)
+            lat.extend([block_elapsed / block.shape[1]] * block.shape[1])
+            if block_hist is not None:
+                block_hist.observe(block_elapsed)
+
+        error: BaseException | None = None
+        pending: list[np.ndarray] = []
+        start = time.perf_counter()
+        try:
+            for values in ticks:
+                values = np.asarray(values, dtype=np.float64)
+                if values.shape != (n_stations,):
+                    raise ValueError(
+                        f"each tick must be ({n_stations},), got {values.shape}"
+                    )
+                if block_size == 1:
+                    tick_start = time.perf_counter()
+                    result, tick_mitigated = self._step_tick(values, reg)
+                    if tick_mitigated is None:
+                        tick_mitigated = values.copy()
+                    flag_cols.append(result.flags)
+                    score_cols.append(result.scores)
+                    miss_cols.append(
+                        result.missing
+                        if result.missing is not None
+                        else np.zeros(n_stations, dtype=bool)
+                    )
+                    mit_cols.append(tick_mitigated)
+                    lat.append(time.perf_counter() - tick_start)
+                    if tick_hist is not None:
+                        tick_hist.observe(lat[-1])
+                else:
+                    pending.append(values)
+                    if len(pending) == block_size:
+                        do_block(np.stack(pending, axis=1))
+                        pending.clear()
+            if pending:
+                # Trailing partial block — same semantics as the
+                # materialized path's final short block.
+                do_block(np.stack(pending, axis=1))
+                pending.clear()
+        except (Exception, KeyboardInterrupt) as exc:
+            # Ticks delivered but not yet processed (a partial pending
+            # block) are dropped: only completed decisions are reported.
+            error = exc
+        elapsed = time.perf_counter() - start
+
+        def stack(cols: list[np.ndarray], dtype) -> np.ndarray:
+            if not cols:
+                return np.empty((n_stations, 0), dtype=dtype)
+            return np.stack(cols, axis=1)
+
+        return self._finalize(
+            reg,
+            elapsed,
+            np.asarray(lat, dtype=np.float64),
+            stack(flag_cols, bool),
+            stack(score_cols, np.float64),
+            stack(mit_cols, np.float64),
+            stack(miss_cols, bool),
+            None,
+            station_names,
+            error,
+        )
+
+
+class StreamReplayEngine(ReplayDriver):
     """Drive a fleet matrix through detection + mitigation, tick by tick."""
 
     def __init__(
@@ -167,6 +556,14 @@ class StreamReplayEngine:
                 self._fallback_wired = True
             else:
                 self._wire_fallback()
+
+    @property
+    def n_stations(self) -> int:
+        return self.detector.n_stations
+
+    @property
+    def missing_mode(self) -> str:
+        return self.detector.missing
 
     def _wire_fallback(self) -> None:
         """Default the mitigator's no-anchor fallback to scaler minima.
@@ -284,51 +681,6 @@ class StreamReplayEngine:
                         self.detector.amend_block(mitigated, flags=writeback)
         return result, mitigated
 
-    def step_tick(
-        self, values: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Process one tick of live readings through the closed loop.
-
-        The live-ingestion entry point (one assembled ``(n_stations,)``
-        column): identical semantics to one iteration of
-        :meth:`run`'s tick path.  Returns ``(flags, scores, missing,
-        mitigated)``, each ``(n_stations,)``; without a mitigator,
-        ``mitigated`` is a copy of ``values`` (NaN readings stay NaN).
-        """
-        values = np.asarray(values, dtype=np.float64)
-        result, mitigated = self._step_tick(values, obs.registry())
-        missing = (
-            result.missing
-            if result.missing is not None
-            else np.zeros(result.flags.shape, dtype=bool)
-        )
-        if mitigated is None:
-            mitigated = values.copy()
-        return result.flags, result.scores, missing, mitigated
-
-    def step_block(
-        self, values: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Process one ``(n_stations, B)`` block through the closed loop.
-
-        The live-ingestion entry point for batched readings: identical
-        semantics to one iteration of :meth:`run`'s block path, so a
-        server feeding consecutive blocks reproduces
-        ``run(fleet, block_size=B)`` bit-for-bit on the same readings.
-        Returns ``(flags, scores, missing, mitigated)``, each
-        ``(n_stations, B)``.
-        """
-        values = np.asarray(values, dtype=np.float64)
-        result, mitigated = self._step_block(values, obs.registry())
-        missing = (
-            result.missing
-            if result.missing is not None
-            else np.zeros(result.flags.shape, dtype=bool)
-        )
-        if mitigated is None:
-            mitigated = values.copy()
-        return result.flags, result.scores, missing, mitigated
-
     def add_stations(
         self,
         n_new: int,
@@ -370,311 +722,6 @@ class StreamReplayEngine:
                 help="Stations added to / dropped from the fleet at runtime.",
                 labels={"op": op},
             ).inc(n)
-
-    def run(
-        self,
-        fleet: np.ndarray,
-        labels: np.ndarray | None = None,
-        station_names: list[str] | None = None,
-        block_size: int = 1,
-    ) -> StreamReport:
-        """Replay ``fleet`` (``(n_stations, n_ticks)`` raw readings).
-
-        ``labels`` — same-shape boolean ground truth — enables detection
-        metrics in the report (micro-aggregated across stations, as the
-        paper's "overall" numbers are).
-
-        NaN entries in ``fleet`` raise under the detector's default
-        ``missing="raise"``; with ``missing="impute"`` they stream as
-        missing readings — scored against causal imputes, repaired by
-        the mitigation policy (missing entries are treated exactly like
-        flagged ones), and tallied in ``StreamReport.missing``.  Without
-        a mitigator, missing entries stay NaN in ``report.mitigated``.
-
-        ``block_size`` feeds ``B`` ticks at a time through
-        :meth:`~repro.stream.detector.StreamingDetector.process_block` —
-        the throughput lever for large fleets (one forward pass and one
-        mitigation call per block instead of per tick).  ``block_size=1``
-        reproduces the tick-by-tick replay bit-for-bit.  Larger blocks
-        keep tick semantics for scaling and fixed-threshold scoring (to
-        floating-point round-off — float32 inference can round the last
-        ulp differently across batch sizes), but move the closed loop to
-        block granularity: repairs
-        are written back only *between* blocks, so windows inside a
-        block score raw readings (and adaptive thresholds update per
-        block).  A trailing partial block is processed with whatever
-        ticks remain.  Per-tick ``latencies`` within one block report
-        the block's wall-clock divided evenly across its ticks.
-
-        ``fleet`` may also be any *iterable* of per-tick
-        ``(n_stations,)`` readings (a generator, a live source): ticks
-        are consumed lazily, blocks are assembled as ``block_size``
-        ticks accumulate (plus a trailing partial block), and the report
-        covers however many ticks the source yielded.  ``labels``
-        require a materialized fleet.
-
-        If the source or the pipeline raises mid-run — including
-        ``KeyboardInterrupt`` — the ticks completed so far are finalized
-        into a full :class:`StreamReport` and re-raised as
-        :class:`StreamInterrupted` with the report attached, instead of
-        losing the whole run's stats.
-        """
-        if block_size < 1:
-            raise ValueError(f"block_size must be >= 1, got {block_size}")
-        n_stations = self.detector.n_stations
-        if station_names is not None and len(station_names) != n_stations:
-            raise ValueError("station_names must have one entry per station")
-        if isinstance(fleet, np.ndarray) or isinstance(fleet, (list, tuple)):
-            return self._run_materialized(
-                np.asarray(fleet, dtype=np.float64), labels, station_names, block_size
-            )
-        if labels is not None:
-            raise ValueError("labels require a materialized (array) fleet")
-        try:
-            ticks = iter(fleet)
-        except TypeError:
-            raise TypeError(
-                f"fleet must be an array or an iterable of per-tick readings, "
-                f"got {type(fleet).__name__}"
-            ) from None
-        return self._run_stream(ticks, station_names, block_size)
-
-    def _obs_run_metrics(self, reg) -> tuple:
-        tick_hist = block_hist = None
-        if reg.enabled:
-            tick_hist = reg.histogram(
-                "repro_stream_tick_seconds",
-                help="Wall-clock per tick-mode engine step (detect + mitigate).",
-            )
-            block_hist = reg.histogram(
-                "repro_stream_block_seconds",
-                help="Wall-clock per block-mode engine step (detect + mitigate).",
-            )
-        return tick_hist, block_hist
-
-    def _finalize(
-        self,
-        reg,
-        elapsed: float,
-        latencies: np.ndarray,
-        flags: np.ndarray,
-        scores: np.ndarray,
-        mitigated: np.ndarray,
-        missing: np.ndarray,
-        labels: np.ndarray | None,
-        station_names: list[str] | None,
-        error: BaseException | None,
-    ) -> StreamReport:
-        """Assemble the report; raise :class:`StreamInterrupted` on error."""
-        n_stations = self.detector.n_stations
-        n_ticks = flags.shape[1]
-        if reg.enabled:
-            reg.counter(
-                "repro_stream_replay_runs_total", help="Replay engine runs."
-            ).inc()
-            if n_ticks and elapsed > 0:
-                reg.gauge(
-                    "repro_stream_readings_per_second",
-                    help="Throughput of the most recent replay run.",
-                ).set(n_ticks * n_stations / elapsed)
-        metrics = None
-        if labels is not None:
-            names = station_names or [f"station-{j}" for j in range(n_stations)]
-            metrics = aggregate_detection_metrics(
-                {names[j]: (labels[j], flags[j]) for j in range(n_stations)}
-            )
-        report = StreamReport(
-            n_stations=n_stations,
-            n_ticks=n_ticks,
-            elapsed_seconds=elapsed,
-            latencies=latencies,
-            flags=flags,
-            scores=scores,
-            mitigated=mitigated,
-            missing=missing,
-            metrics=metrics,
-        )
-        if error is not None:
-            raise StreamInterrupted(report, error) from error
-        return report
-
-    def _run_materialized(
-        self,
-        fleet: np.ndarray,
-        labels: np.ndarray | None,
-        station_names: list[str] | None,
-        block_size: int,
-    ) -> StreamReport:
-        n_stations = self.detector.n_stations
-        if fleet.ndim != 2 or fleet.shape[0] != n_stations:
-            raise ValueError(
-                f"fleet must be ({n_stations}, n_ticks), got {fleet.shape}"
-            )
-        n_ticks = fleet.shape[1]
-        if labels is not None:
-            labels = np.asarray(labels, dtype=bool)
-            if labels.shape != fleet.shape:
-                raise ValueError(
-                    f"labels shape {labels.shape} must match fleet shape {fleet.shape}"
-                )
-        flags = np.zeros((n_stations, n_ticks), dtype=bool)
-        scores = np.full((n_stations, n_ticks), np.nan, dtype=np.float64)
-        missing = np.zeros((n_stations, n_ticks), dtype=bool)
-        mitigated = fleet.copy()
-        latencies = np.empty(n_ticks, dtype=np.float64)
-
-        reg = obs.registry()
-        tick_hist, block_hist = self._obs_run_metrics(reg)
-
-        error: BaseException | None = None
-        completed = 0
-        start = time.perf_counter()
-        try:
-            if block_size == 1:
-                for tick in range(n_ticks):
-                    tick_start = time.perf_counter()
-                    result, tick_mitigated = self._step_tick(fleet[:, tick], reg)
-                    flags[:, tick] = result.flags
-                    scores[:, tick] = result.scores
-                    if result.missing is not None:
-                        missing[:, tick] = result.missing
-                    if tick_mitigated is not None:
-                        mitigated[:, tick] = tick_mitigated
-                    latencies[tick] = time.perf_counter() - tick_start
-                    if tick_hist is not None:
-                        tick_hist.observe(latencies[tick])
-                    completed = tick + 1
-            else:
-                for first in range(0, n_ticks, block_size):
-                    block_start = time.perf_counter()
-                    sl = slice(first, min(first + block_size, n_ticks))
-                    result, block_mitigated = self._step_block(fleet[:, sl], reg)
-                    flags[:, sl] = result.flags
-                    scores[:, sl] = result.scores
-                    if result.missing is not None:
-                        missing[:, sl] = result.missing
-                    if block_mitigated is not None:
-                        mitigated[:, sl] = block_mitigated
-                    block_ticks = sl.stop - sl.start
-                    block_elapsed = time.perf_counter() - block_start
-                    latencies[sl] = block_elapsed / block_ticks
-                    if block_hist is not None:
-                        block_hist.observe(block_elapsed)
-                    completed = sl.stop
-        except (Exception, KeyboardInterrupt) as exc:
-            error = exc
-        elapsed = time.perf_counter() - start
-        if error is not None:
-            # Truncate to the completed ticks; an interrupted block's
-            # partial state stays in the detector but its undecided
-            # columns are not reported.
-            flags = flags[:, :completed]
-            scores = scores[:, :completed]
-            missing = missing[:, :completed]
-            mitigated = mitigated[:, :completed]
-            latencies = latencies[:completed]
-            if labels is not None:
-                labels = labels[:, :completed]
-        return self._finalize(
-            reg, elapsed, latencies, flags, scores, mitigated, missing,
-            labels, station_names, error,
-        )
-
-    def _run_stream(
-        self,
-        ticks,
-        station_names: list[str] | None,
-        block_size: int,
-    ) -> StreamReport:
-        """Lazily consume an iterable of per-tick readings."""
-        n_stations = self.detector.n_stations
-        flag_cols: list[np.ndarray] = []
-        score_cols: list[np.ndarray] = []
-        miss_cols: list[np.ndarray] = []
-        mit_cols: list[np.ndarray] = []
-        lat: list[float] = []
-
-        reg = obs.registry()
-        tick_hist, block_hist = self._obs_run_metrics(reg)
-
-        def do_block(block: np.ndarray) -> None:
-            block_start = time.perf_counter()
-            result, block_mitigated = self._step_block(block, reg)
-            if block_mitigated is None:
-                block_mitigated = block.copy()
-            block_missing = (
-                result.missing
-                if result.missing is not None
-                else np.zeros(result.flags.shape, dtype=bool)
-            )
-            block_elapsed = time.perf_counter() - block_start
-            flag_cols.extend(result.flags.T)
-            score_cols.extend(result.scores.T)
-            miss_cols.extend(block_missing.T)
-            mit_cols.extend(block_mitigated.T)
-            lat.extend([block_elapsed / block.shape[1]] * block.shape[1])
-            if block_hist is not None:
-                block_hist.observe(block_elapsed)
-
-        error: BaseException | None = None
-        pending: list[np.ndarray] = []
-        start = time.perf_counter()
-        try:
-            for values in ticks:
-                values = np.asarray(values, dtype=np.float64)
-                if values.shape != (n_stations,):
-                    raise ValueError(
-                        f"each tick must be ({n_stations},), got {values.shape}"
-                    )
-                if block_size == 1:
-                    tick_start = time.perf_counter()
-                    result, tick_mitigated = self._step_tick(values, reg)
-                    if tick_mitigated is None:
-                        tick_mitigated = values.copy()
-                    flag_cols.append(result.flags)
-                    score_cols.append(result.scores)
-                    miss_cols.append(
-                        result.missing
-                        if result.missing is not None
-                        else np.zeros(n_stations, dtype=bool)
-                    )
-                    mit_cols.append(tick_mitigated)
-                    lat.append(time.perf_counter() - tick_start)
-                    if tick_hist is not None:
-                        tick_hist.observe(lat[-1])
-                else:
-                    pending.append(values)
-                    if len(pending) == block_size:
-                        do_block(np.stack(pending, axis=1))
-                        pending.clear()
-            if pending:
-                # Trailing partial block — same semantics as the
-                # materialized path's final short block.
-                do_block(np.stack(pending, axis=1))
-                pending.clear()
-        except (Exception, KeyboardInterrupt) as exc:
-            # Ticks delivered but not yet processed (a partial pending
-            # block) are dropped: only completed decisions are reported.
-            error = exc
-        elapsed = time.perf_counter() - start
-
-        def stack(cols: list[np.ndarray], dtype) -> np.ndarray:
-            if not cols:
-                return np.empty((n_stations, 0), dtype=dtype)
-            return np.stack(cols, axis=1)
-
-        return self._finalize(
-            reg,
-            elapsed,
-            np.asarray(lat, dtype=np.float64),
-            stack(flag_cols, bool),
-            stack(score_cols, np.float64),
-            stack(mit_cols, np.float64),
-            stack(miss_cols, bool),
-            None,
-            station_names,
-            error,
-        )
 
 
 def _apply_dropout(

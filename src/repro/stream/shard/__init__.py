@@ -1,0 +1,37 @@
+"""Horizontal scale-out: shard the streaming fleet across processes.
+
+The shard layer splits one logical fleet across N worker processes
+while preserving every contract the single-process engine makes —
+bit-exact outputs, elastic churn, checkpoint/resume parity — and adds
+worker failover (respawn from snapshot + gap replay).
+
+* :class:`ShardPlan` — deterministic, balanced station→shard routing
+  that never migrates a survivor.
+* :class:`ShardedFleetEngine` — the multi-process
+  :class:`~repro.stream.engine.ReplayDriver`: scatter blocks, gather
+  decisions, one engine facade.
+* :func:`save_sharded_checkpoint` / :func:`load_sharded_checkpoint` —
+  per-shard member files under one manifest, with delta saves.
+"""
+
+from repro.stream.shard.checkpoint import (
+    MANIFEST_NAME,
+    load_sharded_checkpoint,
+    save_sharded_checkpoint,
+)
+from repro.stream.shard.engine import (
+    ShardedFleetEngine,
+    ShardFailoverError,
+    ShardWorkerError,
+)
+from repro.stream.shard.plan import ShardPlan
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ShardFailoverError",
+    "ShardPlan",
+    "ShardWorkerError",
+    "ShardedFleetEngine",
+    "load_sharded_checkpoint",
+    "save_sharded_checkpoint",
+]

@@ -1,0 +1,75 @@
+"""Publish read-only autoencoder weights once via shared memory.
+
+Every shard worker needs the same trained weights.  Pickling them down
+N pipes costs N copies in flight (and N times the serialization work);
+instead the parent packs all weight tensors into one
+:class:`multiprocessing.shared_memory.SharedMemory` block and ships
+only a tiny descriptor — workers map the block, copy the tensors into
+their model variables at init, and detach.  The parent unlinks the
+block as soon as every worker has reported ready, so its lifetime is
+the spawn window, not the run.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def publish_weights(
+    weights: list[np.ndarray],
+) -> tuple[shared_memory.SharedMemory, dict]:
+    """Pack ``weights`` into one shared-memory block.
+
+    Returns ``(shm, descriptor)``; the descriptor (name + per-tensor
+    shape/dtype/offset) is cheap to pickle into each worker's init
+    message.  The caller owns the block: ``close()`` + ``unlink()``
+    once every consumer has attached and copied.
+    """
+    total = int(sum(w.nbytes for w in weights))
+    # Zero-size blocks are invalid; a weightless model still needs a
+    # valid descriptor to ship.
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    specs = []
+    offset = 0
+    for w in weights:
+        w = np.ascontiguousarray(w)
+        view = np.ndarray(w.shape, dtype=w.dtype, buffer=shm.buf, offset=offset)
+        view[...] = w
+        specs.append({"shape": list(w.shape), "dtype": w.dtype.str, "offset": offset})
+        offset += w.nbytes
+    return shm, {"name": shm.name, "specs": specs}
+
+
+def read_weights(descriptor: dict) -> list[np.ndarray]:
+    """Copy the published weights out of shared memory (worker side).
+
+    Returns independent arrays — the segment can vanish (parent unlink)
+    the moment this returns.  The attachment is untracked where the
+    interpreter allows (``track=False``, 3.13+): the worker never owns
+    the block.  On older Pythons the attach re-registers the name
+    (bpo-39959) — harmlessly, because CPython shares one resource
+    tracker across the process tree, so the registration set-adds a
+    name the parent already registered and the parent's ``unlink()``
+    retires it exactly once.  Workers must *not* unregister here: with
+    the shared tracker, N workers unregistering one name races into
+    KeyError noise and strips the parent's legitimate registration.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor["name"], track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        shm = shared_memory.SharedMemory(name=descriptor["name"])
+    try:
+        weights = []
+        for spec in descriptor["specs"]:
+            view = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=np.dtype(spec["dtype"]),
+                buffer=shm.buf,
+                offset=int(spec["offset"]),
+            )
+            weights.append(view.copy())
+    finally:
+        shm.close()
+    return weights

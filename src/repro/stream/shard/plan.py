@@ -1,0 +1,176 @@
+"""Deterministic station→shard partitioning with churn-stable rebalance.
+
+A :class:`ShardPlan` is the single source of truth for which shard owns
+which station.  Its contract is built around the engine's bit-exactness
+guarantees:
+
+* **Deterministic.**  The same ``(n_stations, n_shards, seed)`` always
+  produces the same assignment — a fleet restarted from a checkpoint on
+  another machine routes every station to the same shard.
+* **Balanced.**  Shard populations differ by at most one station (the
+  seeded permutation is dealt round-robin).
+* **No survivor migration.**  :meth:`add_stations` assigns newcomers to
+  the least-loaded shards and :meth:`drop_stations` only removes; an
+  existing station never moves between shards, so per-station streaming
+  state (ring buffers, scaler bounds, P² sketches, mitigation anchors)
+  never has to cross a process boundary — the property that keeps
+  churn bit-identical to the single-engine path.
+
+Within one shard, stations are ordered by ascending global index.
+Because newcomers always join at the global tail, a shard's local
+ordering is append-only — exactly matching how the worker's detector
+grows via ``add_stations`` — and compaction after a drop renumbers both
+sides identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stream._state import StateDict, check_keys, scalar, take
+from repro.stream._ticks import check_drop
+from repro.utils.rng import SeedLike, as_generator
+
+
+class ShardPlan:
+    """Station→shard assignment: deterministic, balanced, churn-stable."""
+
+    #: ``seed`` only shapes the initial deal; the assignment itself is
+    #: the serialized truth.
+    _EPHEMERAL = ("seed",)
+
+    def __init__(
+        self,
+        n_stations: int,
+        n_shards: int,
+        seed: SeedLike = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if n_stations < n_shards:
+            raise ValueError(
+                f"need at least one station per shard: "
+                f"{n_stations} stations across {n_shards} shards"
+            )
+        self.n_shards = int(n_shards)
+        self.seed = seed
+        # Deal a seeded permutation round-robin: balanced (sizes differ
+        # by <= 1) and deterministic in (n_stations, n_shards, seed).
+        perm = as_generator(seed).permutation(n_stations)
+        assignment = np.empty(n_stations, dtype=np.int64)
+        assignment[perm] = np.arange(n_stations, dtype=np.int64) % self.n_shards
+        self.assignment = assignment
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def n_stations(self) -> int:
+        return int(self.assignment.size)
+
+    def shard_of(self, stations: np.ndarray) -> np.ndarray:
+        """Owning shard per (global) station index."""
+        return self.assignment[np.asarray(stations, dtype=np.int64)]
+
+    def members(self, shard: int) -> np.ndarray:
+        """Global station indices owned by ``shard``, in local order.
+
+        Local order is ascending global index — the order the worker's
+        detector rows are laid out in (see module docstring).
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.n_shards})")
+        return np.nonzero(self.assignment == shard)[0].astype(np.int64)
+
+    def counts(self) -> np.ndarray:
+        """Stations per shard, ``(n_shards,)``."""
+        return np.bincount(self.assignment, minlength=self.n_shards).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # churn
+
+    def add_stations(self, n_new: int) -> np.ndarray:
+        """Assign ``n_new`` stations joining at the global tail.
+
+        Each newcomer goes to the currently least-loaded shard (lowest
+        index on ties) — a deterministic greedy rebalance that never
+        touches existing assignments.  Returns the ``(n_new,)`` shard
+        assignment of the newcomers.
+        """
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        counts = self.counts()
+        new_assignment = np.empty(n_new, dtype=np.int64)
+        for i in range(n_new):
+            shard = int(np.argmin(counts))
+            new_assignment[i] = shard
+            counts[shard] += 1
+        self.assignment = np.concatenate([self.assignment, new_assignment])
+        return new_assignment
+
+    def drop_stations(self, stations: np.ndarray) -> np.ndarray:
+        """Remove stations; survivors renumber compactly, never migrate.
+
+        Mirrors :meth:`StreamingDetector.drop_stations`: station ``j``
+        becomes ``j - (dropped below j)``, so global and shard-local
+        renumbering stay aligned.  A drop that would empty a shard is
+        rejected — every worker's detector must keep at least one
+        station (the same invariant ``check_drop`` enforces fleet-wide).
+        Returns the validated dropped indices, sorted ascending (the
+        order the engine's renumbering arithmetic assumes).
+        """
+        stations = np.sort(check_drop(stations, self.n_stations))
+        remaining = self.counts() - np.bincount(
+            self.assignment[stations], minlength=self.n_shards
+        )
+        if (remaining < 1).any():
+            emptied = np.nonzero(remaining < 1)[0].tolist()
+            raise ValueError(
+                f"drop would empty shard(s) {emptied}; every shard must keep "
+                "at least one station"
+            )
+        self.assignment = np.delete(self.assignment, stations)
+        return stations
+
+    # ------------------------------------------------------------------
+    # state
+
+    def state_dict(self) -> StateDict:
+        return {
+            "assignment": self.assignment.copy(),
+            "n_shards": scalar(self.n_shards),
+        }
+
+    def load_state_dict(self, state: StateDict) -> None:
+        owner = type(self).__name__
+        check_keys(state, {"assignment", "n_shards"}, owner)
+        n_shards = int(take(state, "n_shards", owner, (), np.int64))
+        if n_shards != self.n_shards:
+            raise ValueError(
+                f"{owner} state tracks {n_shards} shards, this plan {self.n_shards}"
+            )
+        assignment = take(state, "assignment", owner, dtype=np.int64)
+        if assignment.ndim != 1 or assignment.size < 1:
+            raise ValueError(f"{owner} assignment must be a non-empty 1-D array")
+        if assignment.min() < 0 or assignment.max() >= self.n_shards:
+            raise ValueError(
+                f"{owner} assignment references shards outside [0, {self.n_shards})"
+            )
+        self.assignment = assignment
+
+    @classmethod
+    def from_assignment(cls, assignment: np.ndarray, n_shards: int) -> "ShardPlan":
+        """Rebuild a plan from a serialized assignment (manifest restore)."""
+        assignment = np.asarray(assignment, dtype=np.int64)
+        plan = cls.__new__(cls)
+        plan.n_shards = int(n_shards)
+        plan.seed = None
+        plan.assignment = np.empty(0, dtype=np.int64)
+        plan.load_state_dict({"assignment": assignment, "n_shards": scalar(n_shards)})
+        return plan
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(n_stations={self.n_stations}, n_shards={self.n_shards}, "
+            f"counts={self.counts().tolist()})"
+        )

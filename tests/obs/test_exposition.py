@@ -127,6 +127,8 @@ class TestIngestMetricFamilies:
         metrics["late"].inc(1)
         metrics["corrupt"].inc(1)
         metrics["busy"].inc(2)
+        metrics["rate_limited"].inc(1)
+        metrics["auth_failures"].inc(1)
         metrics["shed"].inc(1)
         metrics["blocks"].inc(1)
         metrics["queue_depth"].set(3)
@@ -140,6 +142,9 @@ class TestIngestMetricFamilies:
             "# HELP repro_serve_accepted_total Readings filed into the reorder buffer.\n"
             "# TYPE repro_serve_accepted_total counter\n"
             "repro_serve_accepted_total 9\n"
+            "# HELP repro_serve_auth_failures_total HELLO handshakes rejected for a bad or missing token.\n"
+            "# TYPE repro_serve_auth_failures_total counter\n"
+            "repro_serve_auth_failures_total 1\n"
             "# HELP repro_serve_blocks_total Blocks fed through the streaming detector.\n"
             "# TYPE repro_serve_blocks_total counter\n"
             "repro_serve_blocks_total 1\n"
@@ -176,6 +181,9 @@ class TestIngestMetricFamilies:
             "# HELP repro_serve_queue_depth Readings waiting in the bounded ingest queue.\n"
             "# TYPE repro_serve_queue_depth gauge\n"
             "repro_serve_queue_depth 3\n"
+            "# HELP repro_serve_rate_limited_total DATA frames refused by the per-client token bucket.\n"
+            "# TYPE repro_serve_rate_limited_total counter\n"
+            "repro_serve_rate_limited_total 1\n"
             "# HELP repro_serve_shed_total Queued readings shed under the shed-oldest policy.\n"
             "# TYPE repro_serve_shed_total counter\n"
             "repro_serve_shed_total 1\n"

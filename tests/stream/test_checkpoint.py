@@ -358,13 +358,18 @@ class TestCheckpointProvenance:
             restored = load_checkpoint(saved)
         assert restored.library == {}
 
-    def test_sharded_archive_rejected_for_now(self, saved):
+    def test_sharded_member_points_at_manifest_loader(self, saved):
+        """A shard member of a sharded fleet checkpoint must not restore
+        as if it were the whole fleet — the error names the real loader."""
+        from repro.stream.checkpoint import CheckpointError
+
         def shard(meta):
             meta["sharding"] = {"shards": 4, "shard_index": 2}
 
         _rewrite_meta(saved, shard)
-        with pytest.raises(ValueError, match="shard 2 of 4"):
+        with pytest.raises(CheckpointError, match="shard 2 of 4") as excinfo:
             load_checkpoint(saved)
+        assert "load_sharded_checkpoint" in str(excinfo.value)
 
 
 class TestCorruptArchives:

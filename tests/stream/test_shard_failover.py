@@ -1,0 +1,197 @@
+"""Shard failover: killed workers respawn and the stream never forks.
+
+Property under test: for any kill point and any victim shard, the
+gathered output of the run with the kill equals the uninterrupted run
+bit-for-bit — the respawned worker replays its journal gap from the
+last snapshot and lands in the exact state it died with.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.stream.engine import synthesize_fleet
+from repro.stream.shard import (
+    ShardedFleetEngine,
+    ShardFailoverError,
+    save_sharded_checkpoint,
+)
+
+from .conftest import build_fleet_engine
+
+N_STATIONS = 9
+N_TICKS = 24
+N_SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def train_fleet():
+    return synthesize_fleet(N_STATIONS, 60, seed=51)
+
+
+@pytest.fixture(scope="module")
+def live_fleet():
+    return synthesize_fleet(N_STATIONS, N_TICKS, seed=52, dropout_rate=0.05)
+
+
+@pytest.fixture(scope="module")
+def reference(shard_autoencoder, train_fleet, live_fleet):
+    return build_fleet_engine(shard_autoencoder, train_fleet).run(
+        live_fleet, block_size=4
+    )
+
+
+def _kill_worker(engine, shard):
+    worker = engine._workers[shard]
+    os.kill(worker.process.pid, signal.SIGKILL)
+    worker.process.join(timeout=5.0)
+
+
+def _run_blocks(engine, fleet, reference, start=0):
+    """Step 4-wide blocks from ``start``, asserting parity per block."""
+    for t in range(start, N_TICKS, 4):
+        block = fleet[:, t : t + 4]
+        flags, scores, missing, mitigated = engine.step_block(block)
+        sl = slice(t, t + 4)
+        assert np.array_equal(flags, reference.flags[:, sl])
+        assert np.array_equal(scores, reference.scores[:, sl], equal_nan=True)
+        assert np.array_equal(missing, reference.missing[:, sl])
+        assert np.array_equal(
+            mitigated, reference.mitigated[:, sl], equal_nan=True
+        )
+
+
+class TestFailover:
+    @pytest.mark.parametrize("kill_tick", [0, 8, 20])
+    @pytest.mark.parametrize("victim", [0, 2])
+    def test_kill_one_worker_output_uninterrupted(
+        self, shard_autoencoder, train_fleet, live_fleet, reference,
+        kill_tick, victim,
+    ):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), N_SHARDS, seed=3
+        ) as engine:
+            for t in range(0, N_TICKS, 4):
+                if t == kill_tick:
+                    _kill_worker(engine, victim)
+                block = live_fleet[:, t : t + 4]
+                flags, scores, missing, mitigated = engine.step_block(block)
+                sl = slice(t, t + 4)
+                assert np.array_equal(flags, reference.flags[:, sl])
+                assert np.array_equal(
+                    scores, reference.scores[:, sl], equal_nan=True
+                )
+                assert np.array_equal(missing, reference.missing[:, sl])
+                assert np.array_equal(
+                    mitigated, reference.mitigated[:, sl], equal_nan=True
+                )
+
+    def test_kill_after_checkpoint_replays_short_journal(
+        self, tmp_path, shard_autoencoder, train_fleet, live_fleet, reference
+    ):
+        """A checkpoint refreshes the snapshot; the gap replay is only
+        the commands issued since, not the whole history."""
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), N_SHARDS
+        ) as engine:
+            _run_blocks(engine, live_fleet, reference, start=0)
+        # Fresh engine: step half, checkpoint, step some, kill, finish.
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), N_SHARDS
+        ) as engine:
+            for t in range(0, 12, 4):
+                engine.step_block(live_fleet[:, t : t + 4])
+            save_sharded_checkpoint(tmp_path / "ckpt", engine)
+            assert all(len(j) == 0 for j in engine._journal)
+            engine.step_block(live_fleet[:, 12:16])
+            assert all(len(j) == 1 for j in engine._journal)
+            _kill_worker(engine, 1)
+            _run_blocks(engine, live_fleet, reference, start=16)
+
+    def test_kill_multiple_workers_sequentially(
+        self, shard_autoencoder, train_fleet, live_fleet, reference
+    ):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), N_SHARDS
+        ) as engine:
+            for t in range(0, N_TICKS, 4):
+                if t == 8:
+                    _kill_worker(engine, 0)
+                if t == 12:
+                    _kill_worker(engine, 1)
+                if t == 16:
+                    _kill_worker(engine, 2)
+                block = live_fleet[:, t : t + 4]
+                flags, scores, missing, mitigated = engine.step_block(block)
+                sl = slice(t, t + 4)
+                assert np.array_equal(flags, reference.flags[:, sl])
+                assert np.array_equal(
+                    mitigated, reference.mitigated[:, sl], equal_nan=True
+                )
+
+    def test_kill_survives_churn_in_journal(
+        self, shard_autoencoder, train_fleet, live_fleet
+    ):
+        """The journal replays churn commands too, not just blocks."""
+        single = build_fleet_engine(shard_autoencoder, train_fleet)
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), N_SHARDS
+        ) as engine:
+            for t in range(0, 8, 4):
+                block = live_fleet[:, t : t + 4]
+                single.step_block(block)
+                engine.step_block(block)
+            single.drop_stations([4])
+            engine.drop_stations([4])
+            _kill_worker(engine, 0)
+            shrunk = synthesize_fleet(N_STATIONS - 1, 8, seed=53)
+            for t in range(0, 8, 4):
+                block = shrunk[:, t : t + 4]
+                a = single.step_block(block)
+                b = engine.step_block(block)
+                for x, y in zip(a, b):
+                    assert np.array_equal(x, y, equal_nan=True)
+
+    def test_respawn_metric_increments(
+        self, shard_autoencoder, train_fleet, live_fleet, reference
+    ):
+        obs.enable(obs.MetricsRegistry())
+        try:
+            with ShardedFleetEngine(
+                build_fleet_engine(shard_autoencoder, train_fleet), N_SHARDS
+            ) as engine:
+                engine.step_block(live_fleet[:, :4])
+                _kill_worker(engine, 1)
+                engine.step_block(live_fleet[:, 4:8])
+            reg = obs.registry()
+            counter = reg.counter(
+                "repro_shard_respawns_total", labels={"shard": "1"}
+            )
+            assert counter.value == 1
+        finally:
+            obs.disable()
+
+
+class TestFailoverDisabled:
+    def test_dead_worker_raises(self, shard_autoencoder, train_fleet, live_fleet):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet),
+            N_SHARDS,
+            failover=False,
+        ) as engine:
+            engine.step_block(live_fleet[:, :4])
+            _kill_worker(engine, 1)
+            with pytest.raises(ShardFailoverError, match="failover is disabled"):
+                engine.step_block(live_fleet[:, 4:8])
+
+    def test_no_journal_kept(self, shard_autoencoder, train_fleet, live_fleet):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet),
+            N_SHARDS,
+            failover=False,
+        ) as engine:
+            engine.step_block(live_fleet[:, :4])
+            assert all(len(j) == 0 for j in engine._journal)

@@ -1,0 +1,281 @@
+"""ShardedFleetEngine outputs are bit-exact vs the single-process path.
+
+The tentpole contract: scattering a fleet across N worker processes
+changes *where* each station's pipeline runs, never what it decides.
+Every comparison below is exact (``array_equal``), covering tick mode,
+block mode, NaN/missing readings, adaptive thresholds, and mid-run
+churn across shard boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stream.engine import synthesize_fleet
+from repro.stream.shard import ShardedFleetEngine, ShardPlan
+
+from .conftest import build_fleet_engine
+
+N_STATIONS = 9
+N_TICKS = 30
+
+
+def assert_reports_equal(sharded, reference):
+    assert sharded.n_stations == reference.n_stations
+    assert sharded.n_ticks == reference.n_ticks
+    assert np.array_equal(sharded.flags, reference.flags)
+    assert np.array_equal(sharded.scores, reference.scores, equal_nan=True)
+    assert np.array_equal(sharded.missing, reference.missing)
+    assert np.array_equal(sharded.mitigated, reference.mitigated, equal_nan=True)
+
+
+@pytest.fixture(scope="module")
+def train_fleet():
+    return synthesize_fleet(N_STATIONS, 60, seed=31)
+
+
+@pytest.fixture(scope="module")
+def live_fleet():
+    # 5% NaN dropout: the missing/impute path is part of every parity run.
+    return synthesize_fleet(N_STATIONS, N_TICKS, seed=32, dropout_rate=0.05)
+
+
+class TestRunParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    @pytest.mark.parametrize("block_size", [1, 5])
+    def test_bit_exact_vs_single_engine(
+        self, shard_autoencoder, train_fleet, live_fleet, n_shards, block_size
+    ):
+        reference = build_fleet_engine(shard_autoencoder, train_fleet).run(
+            live_fleet, block_size=block_size
+        )
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), n_shards, seed=5
+        ) as engine:
+            report = engine.run(live_fleet, block_size=block_size)
+        assert_reports_equal(report, reference)
+
+    def test_adaptive_thresholds_bit_exact(
+        self, shard_autoencoder, train_fleet, live_fleet
+    ):
+        """Per-shard P² banks evolve exactly like the fleet-wide bank."""
+        reference = build_fleet_engine(
+            shard_autoencoder, train_fleet, adaptive=True
+        ).run(live_fleet, block_size=4)
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet, adaptive=True), 3
+        ) as engine:
+            report = engine.run(live_fleet, block_size=4)
+        assert_reports_equal(report, reference)
+
+    def test_no_mitigator_bit_exact(self, shard_autoencoder, train_fleet, live_fleet):
+        reference = build_fleet_engine(
+            shard_autoencoder, train_fleet, mitigator=None
+        ).run(live_fleet, block_size=4)
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet, mitigator=None), 2
+        ) as engine:
+            report = engine.run(live_fleet, block_size=4)
+        assert_reports_equal(report, reference)
+
+    def test_explicit_plan_routes_identically(
+        self, shard_autoencoder, train_fleet, live_fleet
+    ):
+        plan = ShardPlan(N_STATIONS, 2, seed=99)
+        reference = build_fleet_engine(shard_autoencoder, train_fleet).run(
+            live_fleet, block_size=5
+        )
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 2, plan=plan
+        ) as engine:
+            report = engine.run(live_fleet, block_size=5)
+        assert_reports_equal(report, reference)
+
+
+class TestStepParity:
+    def test_step_tick_matches_step_block_one(
+        self, shard_autoencoder, train_fleet, live_fleet
+    ):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 2
+        ) as by_tick, ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 2
+        ) as by_block:
+            for t in range(8):
+                column = live_fleet[:, t]
+                tick_out = by_tick.step_tick(column)
+                block_out = by_block.step_block(column[:, None])
+                for a, b in zip(tick_out, block_out):
+                    assert np.array_equal(a, b[:, 0], equal_nan=True)
+
+    def test_tick_counter_tracks_stream(self, shard_autoencoder, train_fleet):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 2
+        ) as engine:
+            start = engine.tick
+            engine.step_tick(train_fleet[:, 0])
+            engine.step_block(train_fleet[:, 1:4])
+            assert engine.tick == start + 4
+
+
+class TestChurnParity:
+    @pytest.mark.parametrize("n_shards", [2, 7])
+    def test_churn_mid_run_bit_exact(
+        self, shard_autoencoder, train_fleet, live_fleet, n_shards
+    ):
+        """add + drop across shard boundaries, interleaved with blocks.
+
+        The same churn schedule drives a single-process engine and the
+        sharded fleet; every decided column must match bit-for-bit.
+        """
+        single = build_fleet_engine(shard_autoencoder, train_fleet)
+        sharded = ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), n_shards, seed=1
+        )
+        rng = np.random.default_rng(7)
+        with sharded:
+            # Phase 1: stream a few blocks at the original size.
+            for t in range(0, 8, 4):
+                block = live_fleet[:, t : t + 4]
+                a = single.step_block(block)
+                b = sharded.step_block(block)
+                for x, y in zip(a, b):
+                    assert np.array_equal(x, y, equal_nan=True)
+
+            # Grow by 3: same thresholds/bounds on both sides.
+            thresholds = np.asarray([0.5, 0.7, 0.9])
+            data_min = np.zeros(3)
+            data_max = np.full(3, 60.0)
+            single.add_stations(
+                3, thresholds=thresholds, data_min=data_min, data_max=data_max
+            )
+            sharded.add_stations(
+                3, thresholds=thresholds, data_min=data_min, data_max=data_max
+            )
+            assert sharded.n_stations == N_STATIONS + 3
+
+            grown = synthesize_fleet(N_STATIONS + 3, 8, seed=33, dropout_rate=0.05)
+            for t in range(0, 8, 4):
+                block = grown[:, t : t + 4]
+                a = single.step_block(block)
+                b = sharded.step_block(block)
+                for x, y in zip(a, b):
+                    assert np.array_equal(x, y, equal_nan=True)
+
+            # Drop three stations chosen to straddle shard boundaries.
+            plan = sharded.plan
+            drop = [int(plan.members(0)[0]), int(plan.members(1)[-1]), N_STATIONS]
+            drop = sorted(set(drop))
+            single.drop_stations(drop)
+            sharded.drop_stations(drop)
+            assert sharded.n_stations == N_STATIONS + 3 - len(drop)
+
+            shrunk = synthesize_fleet(sharded.n_stations, 8, seed=34)
+            noise = rng.normal(0.0, 0.1, size=shrunk.shape)
+            for t in range(0, 8, 4):
+                block = shrunk[:, t : t + 4] + noise[:, t : t + 4]
+                a = single.step_block(block)
+                b = sharded.step_block(block)
+                for x, y in zip(a, b):
+                    assert np.array_equal(x, y, equal_nan=True)
+
+    def test_survivor_state_bit_identical_after_churn(
+        self, shard_autoencoder, train_fleet, live_fleet
+    ):
+        """Worker-held state rows equal the single engine's, key by key."""
+        single = build_fleet_engine(shard_autoencoder, train_fleet)
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 3, seed=2
+        ) as sharded:
+            for t in range(0, 12, 4):
+                block = live_fleet[:, t : t + 4]
+                single.step_block(block)
+                sharded.step_block(block)
+            drop = [1, 6]
+            single.drop_stations(drop)
+            sharded.drop_stations(drop)
+
+            full = single.detector.state_dict()
+            full_mit = single.mitigator.state_dict()
+            for s in range(3):
+                members = sharded.shard_members(s)
+                state = sharded.shard_state(s)
+                for key, value in state["detector"].items():
+                    expected = full[key]
+                    if (
+                        getattr(value, "ndim", 0) >= 1
+                        and value.shape[0] == members.size
+                        and expected.shape[0] == single.n_stations
+                    ):
+                        expected = expected[members]
+                    assert np.array_equal(value, expected, equal_nan=True), key
+                for key, value in state["mitigator"].items():
+                    expected = full_mit[key]
+                    if (
+                        getattr(value, "ndim", 0) >= 1
+                        and value.shape[0] == members.size
+                        and expected.shape[0] == single.n_stations
+                    ):
+                        expected = expected[members]
+                    assert np.array_equal(value, expected, equal_nan=True), key
+
+    def test_add_validation_matches_single_engine(
+        self, shard_autoencoder, train_fleet
+    ):
+        from repro.stream.shard import ShardWorkerError
+
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 2
+        ) as engine:
+            with pytest.raises(ValueError, match="n_new"):
+                engine.add_stations(0)
+            with pytest.raises(ShardWorkerError):
+                # Frozen-bounds scaler: newcomers need bounds; the
+                # worker-side rejection surfaces without killing it.
+                engine.add_stations(1, thresholds=0.5)
+            # The failed add never mutated anything fleet-wide.
+            assert engine.n_stations == N_STATIONS
+            assert engine.plan.n_stations == N_STATIONS
+
+    def test_drop_that_empties_a_shard_rejected_fleetwide(
+        self, shard_autoencoder, train_fleet
+    ):
+        with ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 7
+        ) as engine:
+            lone = engine.shard_members(0)
+            before = engine.n_stations
+            with pytest.raises(ValueError, match="empty shard"):
+                engine.drop_stations(lone)
+            assert engine.n_stations == before
+
+
+class TestLifecycle:
+    def test_closed_engine_refuses_work(self, shard_autoencoder, train_fleet):
+        engine = ShardedFleetEngine(
+            build_fleet_engine(shard_autoencoder, train_fleet), 2
+        )
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.step_tick(train_fleet[:, 0])
+
+    def test_plan_mismatch_rejected(self, shard_autoencoder, train_fleet):
+        plan = ShardPlan(N_STATIONS, 3)
+        with pytest.raises(ValueError, match="3 shards"):
+            ShardedFleetEngine(
+                build_fleet_engine(shard_autoencoder, train_fleet), 2, plan=plan
+            )
+
+    def test_worker_error_keeps_engine_alive(self, shard_autoencoder, train_fleet):
+        """A pipeline error in one worker surfaces but doesn't kill it."""
+        from repro.stream.shard import ShardWorkerError
+
+        raising = build_fleet_engine(shard_autoencoder, train_fleet)
+        raising.detector.missing = "raise"
+        with ShardedFleetEngine(raising, 2) as engine:
+            bad = train_fleet[:, 0].copy()
+            bad[0] = np.nan
+            with pytest.raises(ShardWorkerError, match="NaN"):
+                engine.step_tick(bad)
+            out = engine.step_tick(train_fleet[:, 1])
+            assert out[0].shape == (N_STATIONS,)

@@ -1,0 +1,132 @@
+"""ShardPlan: deterministic, balanced, churn-stable routing."""
+
+import numpy as np
+import pytest
+
+from repro.stream.shard import ShardPlan
+
+
+class TestConstruction:
+    def test_deterministic_under_same_seed(self):
+        a = ShardPlan(101, 7, seed=3)
+        b = ShardPlan(101, 7, seed=3)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_different_seeds_shuffle_differently(self):
+        a = ShardPlan(101, 7, seed=3)
+        b = ShardPlan(101, 7, seed=4)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    @pytest.mark.parametrize("n_stations,n_shards", [(10, 1), (10, 3), (97, 8)])
+    def test_balanced_within_one(self, n_stations, n_shards):
+        counts = ShardPlan(n_stations, n_shards, seed=0).counts()
+        assert counts.sum() == n_stations
+        assert counts.max() - counts.min() <= 1
+
+    def test_members_partition_every_station(self):
+        plan = ShardPlan(23, 4, seed=1)
+        seen = np.concatenate([plan.members(s) for s in range(4)])
+        assert sorted(seen.tolist()) == list(range(23))
+
+    def test_members_are_ascending(self):
+        plan = ShardPlan(23, 4, seed=1)
+        for s in range(4):
+            members = plan.members(s)
+            assert np.array_equal(members, np.sort(members))
+
+    def test_shard_of_matches_members(self):
+        plan = ShardPlan(23, 4, seed=1)
+        for s in range(4):
+            assert (plan.shard_of(plan.members(s)) == s).all()
+
+    def test_rejects_more_shards_than_stations(self):
+        with pytest.raises(ValueError, match="at least one station per shard"):
+            ShardPlan(3, 4)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardPlan(3, 0)
+
+
+class TestChurn:
+    def test_add_goes_to_least_loaded(self):
+        plan = ShardPlan(7, 3, seed=0)  # counts like [3, 2, 2]
+        counts = plan.counts()
+        light = np.nonzero(counts == counts.min())[0]
+        new = plan.add_stations(1)
+        assert new[0] in light
+        assert plan.n_stations == 8
+        assert plan.counts().max() - plan.counts().min() <= 1
+
+    def test_add_keeps_balance(self):
+        plan = ShardPlan(10, 3, seed=2)
+        plan.add_stations(17)
+        assert plan.counts().max() - plan.counts().min() <= 1
+
+    def test_add_never_moves_survivors(self):
+        plan = ShardPlan(10, 3, seed=2)
+        before = plan.assignment.copy()
+        plan.add_stations(5)
+        assert np.array_equal(plan.assignment[:10], before)
+
+    def test_drop_renumbers_compactly(self):
+        plan = ShardPlan(10, 3, seed=2)
+        before = plan.assignment.copy()
+        plan.drop_stations([2, 7])
+        assert plan.n_stations == 8
+        survivors = np.delete(np.arange(10), [2, 7])
+        assert np.array_equal(plan.assignment, before[survivors])
+
+    def test_drop_returns_sorted(self):
+        plan = ShardPlan(10, 3, seed=2)
+        dropped = plan.drop_stations([7, 2])
+        assert dropped.tolist() == [2, 7]
+
+    def test_drop_rejects_duplicates(self):
+        plan = ShardPlan(10, 3, seed=2)
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.drop_stations([7, 2, 7])
+
+    def test_drop_that_empties_a_shard_is_rejected(self):
+        plan = ShardPlan(4, 3, seed=0)
+        # The doubled-up shard has 2 members; emptying any single-member
+        # shard must be refused, and the plan left untouched.
+        counts = plan.counts()
+        lone = int(np.nonzero(counts == 1)[0][0])
+        before = plan.assignment.copy()
+        with pytest.raises(ValueError, match="empty shard"):
+            plan.drop_stations(plan.members(lone))
+        assert np.array_equal(plan.assignment, before)
+
+    def test_drop_everything_rejected(self):
+        plan = ShardPlan(4, 2, seed=0)
+        with pytest.raises(ValueError, match="cannot drop every station"):
+            plan.drop_stations(np.arange(4))
+
+
+class TestState:
+    def test_state_round_trip(self):
+        plan = ShardPlan(19, 4, seed=9)
+        plan.add_stations(3)
+        plan.drop_stations([0, 11])
+        restored = ShardPlan(20, 4, seed=123)
+        restored.load_state_dict(plan.state_dict())
+        assert np.array_equal(restored.assignment, plan.assignment)
+
+    def test_from_assignment(self):
+        plan = ShardPlan(19, 4, seed=9)
+        rebuilt = ShardPlan.from_assignment(plan.assignment, 4)
+        assert np.array_equal(rebuilt.assignment, plan.assignment)
+        for s in range(4):
+            assert np.array_equal(rebuilt.members(s), plan.members(s))
+
+    def test_load_rejects_wrong_shard_count(self):
+        plan = ShardPlan(10, 3)
+        state = plan.state_dict()
+        other = ShardPlan(10, 4)
+        with pytest.raises(ValueError, match="3 shards"):
+            other.load_state_dict(state)
+
+    def test_load_rejects_out_of_range_assignment(self):
+        with pytest.raises(ValueError, match="outside"):
+            ShardPlan.from_assignment(np.array([0, 1, 5]), 3)
