@@ -365,15 +365,23 @@ def obs_overhead_profile(args: argparse.Namespace) -> dict:
 
 
 def slo_profile(args: argparse.Namespace) -> dict:
-    """Ingest→flag latency SLO under injected faults.
+    """Ingest→flag latency SLO under injected faults, v1 vs v2 wire.
 
-    Serves a fleet through real loopback sockets with a
+    Serves the same fleet twice through real loopback sockets with a
     ``ChaosTransport`` injecting ``--slo-fault-rate`` each of
-    drop/duplicate/reorder/delay, and reports end-to-end readings/s plus
-    the p50/p99 of per-tick ingest latency (first frame arrival →
-    flag decision, watermark hold included).  Informational: no
-    ``speedup_`` keys, so nothing here is baseline-gated — the numbers
-    exist to make latency regressions visible in the artifact.
+    drop/duplicate/reorder/delay:
+
+    * **per-reading leg** — clients pinned to protocol v1
+      (``versions=(1,)``), one DATA frame per reading;
+    * **batch leg** — protocol v2 negotiation, ``send_block`` moves each
+      gateway's whole station column per tick as one BATCH_DATA frame
+      acked by one vectorized BATCH_ACK.
+
+    Both legs report end-to-end readings/s plus the p50/p99 of per-tick
+    ingest latency (first frame arrival → flag decision, watermark hold
+    included).  ``speedup_batch_vs_per_reading`` is baseline-gated like
+    every ``speedup_*`` metric, and ``main`` additionally enforces the
+    >= 3x batch-over-per-reading floor in-code at >= 128 stations.
     """
     import asyncio
 
@@ -382,21 +390,28 @@ def slo_profile(args: argparse.Namespace) -> dict:
     config = AutoencoderConfig(
         sequence_length=12, encoder_units=(4, 2), decoder_units=(2, 4)
     )
-    autoencoder = LSTMAutoencoder(config, seed=args.seed)
     stations = min(args.stations, args.slo_stations)
     ticks = args.slo_ticks
     rate = args.slo_fault_rate
     fleet = synthesize_fleet(stations, ticks, seed=args.seed)
-    scaler = StreamingMinMaxScaler.from_bounds(fleet.min(axis=1), fleet.max(axis=1))
-    detector = StreamingDetector(
-        autoencoder, stations, scaler=scaler, threshold=1.0, missing="impute"
-    )
-    engine = StreamReplayEngine(detector, mitigator="hold_last_good")
     stations_per_client = max(1, stations // 16)
+    n_clients = -(-stations // stations_per_client)
 
-    async def scenario() -> tuple[object, list, float]:
+    def build_engine() -> StreamReplayEngine:
+        # Fresh seeded model per leg: closed-loop feedback mutates the
+        # pipeline, and both legs must start from the identical state.
+        autoencoder = LSTMAutoencoder(config, seed=args.seed)
+        scaler = StreamingMinMaxScaler.from_bounds(
+            fleet.min(axis=1), fleet.max(axis=1)
+        )
+        detector = StreamingDetector(
+            autoencoder, stations, scaler=scaler, threshold=1.0, missing="impute"
+        )
+        return StreamReplayEngine(detector, mitigator="hold_last_good")
+
+    async def scenario(versions: tuple[int, ...]) -> tuple[object, list, float]:
         server = IngestionServer(
-            engine,
+            build_engine(),
             block_size=args.slo_block_size,
             lateness=4,
             capacity=4096,
@@ -405,7 +420,7 @@ def slo_profile(args: argparse.Namespace) -> dict:
         )
         await server.start()
         clients = []
-        for i in range(-(-stations // stations_per_client)):
+        for i in range(n_clients):
             transport = ChaosTransport(
                 TcpTransport("127.0.0.1", server.port),
                 drop=rate,
@@ -419,37 +434,66 @@ def slo_profile(args: argparse.Namespace) -> dict:
                 transport=transport,
                 seed=args.seed + i,
                 max_attempts=20,
+                versions=versions,
             )
             await client.connect()
             clients.append(client)
         start = time.perf_counter()
-        for tick in range(ticks):
-            for station in range(stations):
-                await clients[station // stations_per_client].send(
-                    station, tick, fleet[station, tick]
-                )
+        if max(versions) >= 2:
+            for tick in range(ticks):
+                for i, client in enumerate(clients):
+                    lo = i * stations_per_client
+                    idx = np.arange(lo, min(lo + stations_per_client, stations))
+                    await client.send_block(idx, tick, fleet[idx, tick])
+        else:
+            for tick in range(ticks):
+                for station in range(stations):
+                    await clients[station // stations_per_client].send(
+                        station, tick, fleet[station, tick]
+                    )
         for client in clients:
             await client.drain(timeout=300)
             await client.close()
         await server.finish()
         return server, clients, time.perf_counter() - start
 
-    server, clients, elapsed = asyncio.run(scenario())
-    latencies = np.asarray(server.ingest_latencies, dtype=np.float64)
-    acked = sum(len(client.ack_log) for client in clients)
+    def leg_stats(server, clients, elapsed) -> dict:
+        latencies = np.asarray(server.ingest_latencies, dtype=np.float64)
+        return {
+            "served_ticks": int(server.served()["ticks"].size),
+            "acked_readings": sum(len(client.ack_log) for client in clients),
+            "readings_per_second": stations * ticks / elapsed,
+            "ingest_latency_p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+            "ingest_latency_p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+            "ingest_latency_max_ms": float(latencies.max()) * 1e3,
+        }
+
+    v1 = leg_stats(*asyncio.run(scenario((1,))))
+    v2 = leg_stats(*asyncio.run(scenario((1, 2))))
     return {
         "stations": stations,
         "ticks": ticks,
         "block_size": args.slo_block_size,
         "fault_rate_each": rate,
         "faults": "drop, duplicate, reorder, delay",
-        "clients": len(clients),
-        "served_ticks": int(server.served()["ticks"].size),
-        "acked_readings": acked,
-        "ingest_readings_per_second": stations * ticks / elapsed,
-        "ingest_latency_p50_ms": float(np.percentile(latencies, 50)) * 1e3,
-        "ingest_latency_p99_ms": float(np.percentile(latencies, 99)) * 1e3,
-        "ingest_latency_max_ms": float(latencies.max()) * 1e3,
+        "clients": n_clients,
+        "served_ticks": v1["served_ticks"],
+        "acked_readings": v1["acked_readings"],
+        # Per-reading (protocol v1) leg keeps its historical key names so
+        # artifact diffs stay continuous across the v2 redesign.
+        "ingest_readings_per_second": v1["readings_per_second"],
+        "ingest_latency_p50_ms": v1["ingest_latency_p50_ms"],
+        "ingest_latency_p99_ms": v1["ingest_latency_p99_ms"],
+        "ingest_latency_max_ms": v1["ingest_latency_max_ms"],
+        "batch_served_ticks": v2["served_ticks"],
+        "batch_acked_readings": v2["acked_readings"],
+        "batch_readings_per_second": v2["readings_per_second"],
+        "batch_ingest_latency_p50_ms": v2["ingest_latency_p50_ms"],
+        "batch_ingest_latency_p99_ms": v2["ingest_latency_p99_ms"],
+        "batch_ingest_latency_max_ms": v2["ingest_latency_max_ms"],
+        "speedup_batch_vs_per_reading": (
+            v2["readings_per_second"] / v1["readings_per_second"]
+        ),
     }
 
 
@@ -685,18 +729,26 @@ def main(argv: list[str] | None = None) -> int:
             f"(allowed: <= {100 * args.obs_overhead_max:.0f}%) | outputs bit-identical"
         )
 
+    slo = None
     if "slo" in profiles:
         print(
             f"[bench_streaming] slo: {min(args.stations, args.slo_stations)} stations, "
-            f"{100 * args.slo_fault_rate:.1f}% drop/dup/reorder/delay ...", flush=True,
+            f"{100 * args.slo_fault_rate:.1f}% drop/dup/reorder/delay, "
+            f"v1 per-reading + v2 batch legs ...", flush=True,
         )
         slo = slo_profile(args)
         results["workloads"]["slo"] = slo
         print(
             f"served {slo['served_ticks']} ticks via {slo['clients']} chaotic clients | "
-            f"{slo['ingest_readings_per_second']:,.0f} readings/s | "
-            f"ingest→flag p50 {slo['ingest_latency_p50_ms']:.1f} ms, "
-            f"p99 {slo['ingest_latency_p99_ms']:.1f} ms"
+            f"v1 per-reading: {slo['ingest_readings_per_second']:,.0f} readings/s "
+            f"(p50 {slo['ingest_latency_p50_ms']:.1f} ms, "
+            f"p99 {slo['ingest_latency_p99_ms']:.1f} ms)"
+        )
+        print(
+            f"v2 batch: {slo['batch_readings_per_second']:,.0f} readings/s "
+            f"(p50 {slo['batch_ingest_latency_p50_ms']:.1f} ms, "
+            f"p99 {slo['batch_ingest_latency_p99_ms']:.1f} ms) | "
+            f"speedup {slo['speedup_batch_vs_per_reading']:.2f}x"
         )
 
     scale = None
@@ -735,6 +787,21 @@ def main(argv: list[str] | None = None) -> int:
             f"[bench_streaming] FAIL: observability overhead "
             f"{100 * obs_overhead['obs_overhead_fraction']:.1f}% > "
             f"{100 * args.obs_overhead_max:.0f}%"
+        )
+        return 1
+
+    # The v2 batch wire only earns its keep once per-frame overhead
+    # dominates, which needs fleet-scale fan-in; below 128 stations the
+    # floor stays informational.
+    if (
+        slo is not None
+        and slo["stations"] >= 128
+        and slo["speedup_batch_vs_per_reading"] < 3.0
+    ):
+        print(
+            f"[bench_streaming] FAIL: v2 batch ingest only "
+            f"{slo['speedup_batch_vs_per_reading']:.2f}x the v1 per-reading leg "
+            f"at {slo['stations']} stations (required: >= 3x)"
         )
         return 1
 

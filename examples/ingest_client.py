@@ -15,13 +15,19 @@ What the serving layer guarantees, and what this script demonstrates:
     offline ``StreamReplayEngine.run`` over the effectively-delivered
     readings (LATE slots become NaN and take the missing-data path);
  3. retry/backoff + idempotent resend do all of the repair work — the
-    application code below just calls ``send`` and ``drain``.
+    application code below just calls ``send_block`` and ``drain``.
+
+The session negotiates protocol v2 in HELLO/WELCOME, so each
+``send_block`` tick travels as one binary BATCH_DATA frame (one CRC,
+one vectorized BATCH_ACK) instead of per-reading DATA frames; chaos
+recovery is identical either way.
 
 Run:  PYTHONPATH=src python examples/ingest_client.py
 Takes a few seconds.  REPRO_EXAMPLES_SMOKE=1 shrinks the fleet further.
 """
 
 import asyncio
+import contextlib
 import os
 
 import numpy as np
@@ -80,31 +86,40 @@ async def serve_fleet(fleet: np.ndarray):
     print(f"ingestion server listening on 127.0.0.1:{server.port}")
 
     clients, chaos = [], []
-    for i in range(N_STATIONS // STATIONS_PER_CLIENT):
-        transport = ChaosTransport(
-            TcpTransport("127.0.0.1", server.port),
-            drop=0.02,
-            duplicate=0.02,
-            reorder=0.02,
-            delay=0.02,
-            corrupt=0.01,
-            disconnect=0.005,
-            max_delay=8,
-            seed=SEED * 100 + i,
-        )
-        client = IngestClient(
-            client_id=f"gateway-{i}", transport=transport, seed=i, max_attempts=20
-        )
-        await client.connect()
-        clients.append(client)
-        chaos.append(transport)
+    async with contextlib.AsyncExitStack() as stack:
+        for i in range(N_STATIONS // STATIONS_PER_CLIENT):
+            transport = ChaosTransport(
+                TcpTransport("127.0.0.1", server.port),
+                drop=0.02,
+                duplicate=0.02,
+                reorder=0.02,
+                delay=0.02,
+                corrupt=0.01,
+                disconnect=0.005,
+                max_delay=8,
+                seed=SEED * 100 + i,
+            )
+            client = await stack.enter_async_context(
+                IngestClient(
+                    client_id=f"gateway-{i}",
+                    transport=transport,
+                    seed=i,
+                    max_attempts=20,
+                )
+            )
+            clients.append(client)
+            chaos.append(transport)
 
-    for tick in range(N_TICKS):
-        for station in range(N_STATIONS):
-            await clients[station // STATIONS_PER_CLIENT].send(station, tick, fleet[station, tick])
-    for client in clients:
-        await client.drain(timeout=120)
-        await client.close()
+        # One BATCH_DATA frame per gateway per tick — the whole column
+        # of that gateway's stations moves under a single CRC.
+        for tick in range(N_TICKS):
+            for i, client in enumerate(clients):
+                stations = np.arange(
+                    i * STATIONS_PER_CLIENT, (i + 1) * STATIONS_PER_CLIENT
+                )
+                await client.send_block(stations, tick, fleet[stations, tick])
+        for client in clients:
+            await client.drain(timeout=120)
     await server.finish()
     return server.served(), clients, chaos
 

@@ -2,8 +2,9 @@
 
 ``StreamReplayEngine`` scores the whole fleet in one process.  This
 example partitions the same calibrated pipeline across N shard workers
-with ``ShardedFleetEngine`` and demonstrates the three guarantees that
-make the scale-out transparent:
+with ``create_engine(detector, ..., shards=N)`` — the factory that
+picks the deployment shape — and demonstrates the three guarantees
+that make the scale-out transparent:
 
  1. **bit-exactness** — the sharded fleet's flags/scores/mitigated are
     compared bit-for-bit against a single-process replay of the same
@@ -29,11 +30,10 @@ from repro.anomaly import AutoencoderConfig, LSTMAutoencoder
 from repro.stream import (
     StreamingDetector,
     StreamingMinMaxScaler,
-    StreamReplayEngine,
+    create_engine,
     synthesize_fleet,
 )
 from repro.stream.shard import (
-    ShardedFleetEngine,
     load_sharded_checkpoint,
     save_sharded_checkpoint,
 )
@@ -58,8 +58,8 @@ train = synthesize_fleet(N_STATIONS, 80, seed=SEED)
 live = synthesize_fleet(N_STATIONS, N_TICKS, seed=SEED + 1, dropout_rate=0.03)
 
 
-def build_pipeline() -> StreamReplayEngine:
-    """A calibrated impute-capable pipeline (fresh, deterministic)."""
+def build_detector() -> StreamingDetector:
+    """A calibrated impute-capable detector (fresh, deterministic)."""
     scaler = StreamingMinMaxScaler.from_bounds(
         np.nanmin(train, axis=1), np.nanmax(train, axis=1)
     )
@@ -67,14 +67,18 @@ def build_pipeline() -> StreamReplayEngine:
         autoencoder, N_STATIONS, scaler=scaler, missing="impute"
     )
     detector.calibrate(train)
-    return StreamReplayEngine(detector, mitigator="hold_last_good")
+    return detector
 
+
+# ``create_engine`` is the deployment-shape dial: the same call builds
+# the single-process reference and the multi-process fleet — no
+# branching anywhere downstream.
 
 # 1. The single-process reference replay.
-reference = build_pipeline().run(live, block_size=BLOCK)
+reference = create_engine(build_detector(), "hold_last_good").run(live, block_size=BLOCK)
 
 # 2. The same pipeline, scattered across N_SHARDS worker processes.
-engine = ShardedFleetEngine(build_pipeline(), N_SHARDS, seed=SEED)
+engine = create_engine(build_detector(), "hold_last_good", shards=N_SHARDS, seed=SEED)
 print(f"sharded fleet: {engine!r}")
 print(f"stations per shard: {engine.plan.counts().tolist()}")
 

@@ -7,7 +7,11 @@ this package provides the serving layer:
 
 * :mod:`~repro.serve.protocol` — length-prefixed, CRC-checked frames
   carrying ``(station, seq, timestamp, reading)``; corruption is
-  detected per-frame without losing stream sync.
+  detected per-frame without losing stream sync.  Protocol **v2**
+  (negotiated in HELLO/WELCOME; v1 peers interoperate unchanged) adds
+  binary BATCH_DATA/BATCH_ACK frames that move whole blocks per frame,
+  and an HMAC-gated control plane (ADD_STATIONS/DROP_STATIONS) for
+  live fleet churn.
 * :mod:`~repro.serve.reorder` — re-sequencing with a lateness
   watermark, dedup by ``(station, seq)``, u32 seq unwrapping, and
   bounded-memory backpressure.
@@ -43,13 +47,16 @@ pipeline decides about the ones that do.
 """
 
 from repro.serve.chaos import ChaosTransport
-from repro.serve.client import DeliveryError, IngestClient, TcpTransport
+from repro.serve.client import ControlError, DeliveryError, IngestClient, TcpTransport
 from repro.serve.protocol import (
+    MAX_BATCH_RECORDS,
+    PROTOCOL_VERSIONS,
     SEQ_MOD,
     AckStatus,
     FrameDecoder,
     FrameType,
     ProtocolError,
+    sign_control_token,
     sign_token,
 )
 from repro.serve.reorder import Offer, ReorderBuffer
@@ -58,15 +65,19 @@ from repro.serve.server import IngestionServer
 __all__ = [
     "AckStatus",
     "ChaosTransport",
+    "ControlError",
     "DeliveryError",
     "FrameDecoder",
     "FrameType",
     "IngestClient",
     "IngestionServer",
+    "MAX_BATCH_RECORDS",
     "Offer",
+    "PROTOCOL_VERSIONS",
     "ProtocolError",
     "ReorderBuffer",
     "SEQ_MOD",
     "TcpTransport",
+    "sign_control_token",
     "sign_token",
 ]

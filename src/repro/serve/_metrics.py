@@ -19,6 +19,22 @@ def ingest_metrics(reg) -> dict:
             "repro_serve_frames_total",
             help="DATA frames received (before dedup/watermark).",
         ),
+        "batch_frames": reg.counter(
+            "repro_serve_batch_frames_total",
+            help="BATCH_DATA frames received (protocol v2).",
+        ),
+        "batch_readings": reg.counter(
+            "repro_serve_batch_readings_total",
+            help="Readings carried by BATCH_DATA frames.",
+        ),
+        "control": reg.counter(
+            "repro_serve_control_total",
+            help="Control-plane churn ops applied (ADD/DROP_STATIONS).",
+        ),
+        "control_denied": reg.counter(
+            "repro_serve_control_denied_total",
+            help="Control-plane ops refused (bad HMAC or invalid request).",
+        ),
         "corrupt": reg.counter(
             "repro_serve_corrupt_frames_total",
             help="Frames whose CRC check failed (not acked; client resends).",

@@ -2,7 +2,8 @@
 
 :class:`ChaosTransport` wraps any transport with the
 :class:`~repro.serve.client.TcpTransport` interface and mangles
-*outgoing DATA frames* with independently seeded probabilities — the
+*outgoing data frames* — scalar ``DATA`` and protocol-v2
+``BATCH_DATA`` alike — with independently seeded probabilities, the
 failure modes a sensor fleet's uplink actually exhibits:
 
 =============== ====================================================
@@ -11,8 +12,12 @@ failure modes a sensor fleet's uplink actually exhibits:
 ``delay``       frame held back 1..\\ ``max_delay`` later sends — the
                 straggler generator (arrives out of order, maybe LATE)
 ``reorder``     frame swapped with the next one sent
-``corrupt``     one byte past the header flipped — CRC fails at the
-                server, frame is ignored, resend delivers it
+``corrupt``     one byte past the header flipped — usually a CRC
+                failure (frame ignored, resend delivers it); flipping a
+                large BATCH_DATA frame's *type* byte instead makes the
+                decoder reject the length as structurally implausible,
+                tearing the session down — the client re-dials and
+                resends, so the soak exercises both recovery paths
 ``disconnect``  connection torn down mid-stream (client re-dials,
                 re-HELLOs, resends everything unacked)
 =============== ====================================================
@@ -30,7 +35,7 @@ from repro.serve.protocol import FrameType, MAGIC
 
 
 class ChaosTransport:
-    """Wrap ``inner`` and interfere with its outgoing DATA frames."""
+    """Wrap ``inner`` and interfere with its outgoing data frames."""
 
     def __init__(
         self,
@@ -107,7 +112,11 @@ class ChaosTransport:
 
     @staticmethod
     def _is_data(frame: bytes) -> bool:
-        return len(frame) > 5 and frame[0] == MAGIC and frame[5] == FrameType.DATA
+        return (
+            len(frame) > 5
+            and frame[0] == MAGIC
+            and frame[5] in (FrameType.DATA, FrameType.BATCH_DATA)
+        )
 
     def send(self, frame: bytes) -> None:
         if not self._is_data(frame):

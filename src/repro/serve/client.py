@@ -34,23 +34,40 @@ import time
 import numpy as np
 
 from repro.serve.protocol import (
+    MAX_BATCH_RECORDS,
+    PROTOCOL_VERSIONS,
     SEQ_MOD,
     FrameDecoder,
     FrameType,
     AckStatus,
     ProtocolError,
     encode_frame,
+    pack_add_stations,
+    pack_batch_data,
     pack_data,
+    pack_drop_stations,
     pack_hello,
+    sign_control_token,
     sign_token,
     unpack_ack,
+    unpack_batch_ack,
     unpack_busy,
+    unpack_control_ack,
     unpack_welcome,
 )
 
 
 class DeliveryError(RuntimeError):
     """A reading exhausted its retry budget without a terminal ack."""
+
+
+class ControlError(RuntimeError):
+    """A control-plane op failed, was refused, or lost its connection.
+
+    Control ops are not idempotent, so unlike data frames they are
+    never retried automatically — the caller decides what a safe retry
+    looks like for its fleet.
+    """
 
 
 class TcpTransport:
@@ -101,14 +118,29 @@ class TcpTransport:
 
 
 class _PendingSend:
-    __slots__ = ("frame", "station", "seq", "attempts", "due")
+    __slots__ = ("station", "seq", "timestamp", "reading", "attempts", "due", "_frame")
 
-    def __init__(self, frame: bytes, station: int, seq: int, due: float) -> None:
-        self.frame = frame
+    def __init__(
+        self, station: int, seq: int, timestamp: float, reading: float, due: float
+    ) -> None:
         self.station = station
         self.seq = seq
+        self.timestamp = timestamp
+        self.reading = reading
         self.attempts = 0
         self.due = due
+        self._frame: bytes | None = None
+
+    @property
+    def frame(self) -> bytes:
+        """The v1 DATA frame for this reading, built once on first use.
+
+        On a v2 session the pump usually coalesces due readings into
+        BATCH_DATA frames instead, so the scalar frame is lazy.
+        """
+        if self._frame is None:
+            self._frame = pack_data(self.station, self.seq, self.timestamp, self.reading)
+        return self._frame
 
 
 class IngestClient:
@@ -135,11 +167,19 @@ class IngestClient:
         connect_timeout: float = 5.0,
         read_timeout: float = 0.02,
         seed: int = 0,
+        versions: tuple[int, ...] = PROTOCOL_VERSIONS,
     ) -> None:
         self.client_id = client_id
         # A shared secret outranks an explicit token: the credential is
         # derived per client id, matching IngestionServer(auth_secret=...).
         self.token = sign_token(secret, client_id) if secret is not None else token
+        #: Control-plane credential (HMAC, distinct from the HELLO one).
+        self.control_token = (
+            sign_control_token(secret, client_id) if secret is not None else token
+        )
+        #: Protocol versions this client offers in HELLO; ``(1,)`` pins
+        #: a byte-for-byte v1 session against any server.
+        self.versions = tuple(sorted(int(v) for v in versions))
         self.transport = transport if transport is not None else TcpTransport(host, port)
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
@@ -158,6 +198,20 @@ class IngestClient:
         self.reconnect_count = 0
         self.retransmits = 0
         self._connected = False
+        #: Negotiated per session (WELCOME); 1 until connected.
+        self.protocol_version = 1
+        #: Per-frame batch budget the server announced (v2 sessions).
+        self.max_batch = MAX_BATCH_RECORDS
+        self._control_cid = 0
+        self._control_acks: dict[int, dict] = {}
+
+    async def __aenter__(self) -> "IngestClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
 
     # ------------------------------------------------------------------
 
@@ -172,14 +226,22 @@ class IngestClient:
             try:
                 await self.transport.connect(self.connect_timeout)
                 self._decoder = FrameDecoder()
-                self.transport.send(pack_hello(self.client_id, self.token))
+                self.transport.send(
+                    pack_hello(self.client_id, self.token, versions=self.versions)
+                )
                 await self.transport.drain()
                 deadline = time.perf_counter() + self.connect_timeout
                 while True:
                     chunk = await self.transport.read(self.read_timeout)
                     for ftype, body in self._decoder.feed(chunk):
                         if ftype is FrameType.WELCOME:
-                            self.max_inflight = int(unpack_welcome(body)["max_inflight"])
+                            welcome = unpack_welcome(body)
+                            self.max_inflight = int(welcome["max_inflight"])
+                            # A WELCOME without a version is a v1 server.
+                            self.protocol_version = int(welcome.get("version", 1))
+                            self.max_batch = int(
+                                welcome.get("max_batch", MAX_BATCH_RECORDS)
+                            )
                             self._connected = True
                             return
                         if ftype is FrameType.ERROR:
@@ -212,16 +274,58 @@ class IngestClient:
         key = (station, seq % SEQ_MOD)
         if key in self.ack_log or key in self._unacked:
             return  # idempotent: already terminal or already queued
-        frame = pack_data(
-            station,
-            seq,
-            # The wire timestamp is the payload, not hidden state.
-            time.time() if timestamp is None else timestamp,  # reprolint: disable=RPR004
-            reading,
+        # The wire timestamp is the payload, not hidden state.
+        stamp = time.time() if timestamp is None else timestamp  # reprolint: disable=RPR004
+        self._unacked[key] = _PendingSend(
+            station, key[1], stamp, reading, time.perf_counter()
         )
-        self._unacked[key] = _PendingSend(frame, station, key[1], time.perf_counter())
         await self._pump()
         while len(self._unacked) >= self.max_inflight:
+            await self._pump()
+
+    async def send_block(
+        self,
+        stations,
+        seqs,
+        readings,
+        timestamps=None,
+    ) -> None:
+        """File a block of readings, shipped as BATCH_DATA frames (v2).
+
+        ``stations`` must be 1-D; ``seqs``/``readings``/``timestamps``
+        broadcast against it (the common call sends one tick: all
+        stations, one seq).  Filing happens in chunks small enough to
+        respect the server's inflight quota and per-frame batch budget;
+        like :meth:`send`, already-filed or already-acked readings are
+        skipped (idempotent).  On a v1 session the readings simply go
+        out as per-reading DATA frames — same delivery contract.
+        """
+        stations = np.asarray(stations, dtype=np.int64)
+        if stations.ndim != 1:
+            raise ValueError("stations must be 1-D")
+        n = stations.size
+        seqs = np.broadcast_to(np.asarray(seqs, dtype=np.int64), stations.shape)
+        readings = np.broadcast_to(np.asarray(readings, dtype=np.float64), stations.shape)
+        if timestamps is None:
+            timestamps = time.time()  # reprolint: disable=RPR004 — wire payload
+        timestamps = np.broadcast_to(
+            np.asarray(timestamps, dtype=np.float64), stations.shape
+        )
+        chunk = max(1, min(self.max_batch, self.max_inflight))
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            # Keep total unacked within the server's quota so a whole
+            # chunk can be admitted in one BATCH_DATA frame.
+            while len(self._unacked) + (stop - start) > self.max_inflight:
+                await self._pump()
+            now = time.perf_counter()
+            for i in range(start, stop):
+                key = (int(stations[i]), int(seqs[i]) % SEQ_MOD)
+                if key in self.ack_log or key in self._unacked:
+                    continue
+                self._unacked[key] = _PendingSend(
+                    key[0], key[1], float(timestamps[i]), float(readings[i]), now
+                )
             await self._pump()
 
     async def drain(self, timeout: float = 30.0) -> None:
@@ -254,6 +358,7 @@ class IngestClient:
             await self._reconnect()
         try:
             now = time.perf_counter()
+            due: list[_PendingSend] = []
             for pending in list(self._unacked.values()):
                 if pending.due > now:
                     continue
@@ -262,11 +367,34 @@ class IngestClient:
                         f"reading (station={pending.station}, seq={pending.seq}) "
                         f"got no terminal ack after {pending.attempts} attempts"
                     )
-                self.transport.send(pending.frame)
-                if pending.attempts:
-                    self.retransmits += 1
-                pending.attempts += 1
-                pending.due = now + self._backoff(pending.attempts)
+                due.append(pending)
+            if self.protocol_version >= 2 and len(due) > 1:
+                # Coalesce everything due into BATCH_DATA frames — one
+                # frame, one CRC, one vectorized ack for the lot.  This
+                # covers fresh send_block chunks *and* retransmits.
+                chunk = max(1, min(self.max_batch, self.max_inflight))
+                for start in range(0, len(due), chunk):
+                    group = due[start : start + chunk]
+                    self.transport.send(
+                        pack_batch_data(
+                            np.asarray([p.station for p in group], dtype=np.int64),
+                            np.asarray([p.seq for p in group], dtype=np.int64),
+                            np.asarray([p.timestamp for p in group], dtype=np.float64),
+                            np.asarray([p.reading for p in group], dtype=np.float64),
+                        )
+                    )
+                    for pending in group:
+                        if pending.attempts:
+                            self.retransmits += 1
+                        pending.attempts += 1
+                        pending.due = now + self._backoff(pending.attempts)
+            else:
+                for pending in due:
+                    self.transport.send(pending.frame)
+                    if pending.attempts:
+                        self.retransmits += 1
+                    pending.attempts += 1
+                    pending.due = now + self._backoff(pending.attempts)
             await self.transport.drain()
             chunk = await self.transport.read(self.read_timeout)
             for ftype, body in self._decoder.feed(chunk):
@@ -281,15 +409,115 @@ class IngestClient:
             key = (station, seq)
             self._unacked.pop(key, None)
             self.ack_log.setdefault(key, status)
+        elif ftype is FrameType.BATCH_ACK:
+            stations, seqs, statuses = unpack_batch_ack(body)
+            now = time.perf_counter()
+            for station, seq, status in zip(
+                stations.tolist(), seqs.tolist(), statuses.tolist(), strict=True
+            ):
+                if status == AckStatus.BUSY:
+                    self.busy_count += 1
+                    pending = self._unacked.get((station, seq))
+                    if pending is not None:
+                        pending.due = now + self._backoff(max(1, pending.attempts))
+                else:
+                    key = (station, seq)
+                    self._unacked.pop(key, None)
+                    self.ack_log.setdefault(key, AckStatus(status))
         elif ftype is FrameType.BUSY:
-            station, seq = unpack_busy(body)
+            station, seq, retry_after = unpack_busy(body)
             self.busy_count += 1
             pending = self._unacked.get((station, seq))
             if pending is not None:
-                # Backpressure costs backoff, not a retry attempt.
-                pending.due = time.perf_counter() + self._backoff(max(1, pending.attempts))
+                # Backpressure costs backoff, not a retry attempt.  A
+                # retry-after hint is the token bucket's actual refill
+                # time; jitter only stretches it so a fleet of limited
+                # clients does not return in lockstep.
+                if retry_after is not None:
+                    delay = retry_after * (1.0 + 0.5 * float(self._rng.random()))
+                else:
+                    delay = self._backoff(max(1, pending.attempts))
+                pending.due = time.perf_counter() + delay
+        elif ftype is FrameType.CONTROL_ACK:
+            ack = unpack_control_ack(body)
+            self._control_acks[int(ack.get("cid", 0))] = ack
         elif ftype is FrameType.BYE:
             raise ConnectionError("server said BYE")
         elif ftype is FrameType.ERROR:
             raise ConnectionError(f"server error: {body.decode(errors='replace')}")
         # CORRUPT or unexpected types: drop; retransmission recovers.
+
+    # ------------------------------------------------------------------
+    # control plane (v2)
+
+    async def add_stations(
+        self,
+        n_new: int,
+        *,
+        thresholds=None,
+        data_min=None,
+        data_max=None,
+        timeout: float = 30.0,
+    ) -> int:
+        """Grow the served fleet live; returns the new fleet width.
+
+        Requires a v2 session and, on an authenticated server, the
+        control credential derived from the shared ``secret``.  Mirrors
+        :meth:`StreamReplayEngine.add_stations` — newcomers take the
+        next station ids.
+        """
+        self._control_cid += 1
+        cid = self._control_cid
+        frame = pack_add_stations(
+            n_new,
+            thresholds=thresholds,
+            data_min=data_min,
+            data_max=data_max,
+            token=self.control_token,
+            cid=cid,
+        )
+        return await self._control(frame, cid, timeout)
+
+    async def drop_stations(self, stations, *, timeout: float = 30.0) -> int:
+        """Shrink the served fleet live; returns the new fleet width.
+
+        Survivors renumber compactly (the engine's drop semantics) —
+        wire station ids above the dropped ones shift down.
+        """
+        self._control_cid += 1
+        cid = self._control_cid
+        frame = pack_drop_stations(stations, token=self.control_token, cid=cid)
+        return await self._control(frame, cid, timeout)
+
+    async def _control(self, frame: bytes, cid: int, timeout: float) -> int:
+        """Ship one control frame; pump until its CONTROL_ACK lands.
+
+        No automatic retry: churn is not idempotent, so a connection
+        loss mid-op raises :class:`ControlError` instead of re-dialing.
+        """
+        if not self._connected or self.transport.closed:
+            await self._reconnect()
+        if self.protocol_version < 2:
+            raise ControlError(
+                f"control plane requires protocol v2; session negotiated "
+                f"v{self.protocol_version}"
+            )
+        deadline = time.perf_counter() + timeout
+        try:
+            self.transport.send(frame)
+            await self.transport.drain()
+            while True:
+                ack = self._control_acks.pop(cid, None)
+                if ack is not None:
+                    if not ack.get("ok"):
+                        raise ControlError(str(ack.get("error") or "control op refused"))
+                    return int(ack.get("n_stations", -1))
+                if time.perf_counter() > deadline:
+                    raise ControlError(f"no CONTROL_ACK within {timeout}s")
+                chunk = await self.transport.read(self.read_timeout)
+                for ftype, body in self._decoder.feed(chunk):
+                    self._on_frame(ftype, body)
+        except (ConnectionError, OSError, ProtocolError, asyncio.IncompleteReadError) as exc:
+            self.transport.close()
+            self._connected = False
+            raise ControlError(f"connection lost awaiting CONTROL_ACK: {exc}") from exc

@@ -50,6 +50,12 @@ class Offer(Enum):
     OVERFLOW = "overflow"
 
 
+#: Dense uint8 encoding of :class:`Offer` for the vectorized batch path:
+#: ``offer_block`` returns codes indexing this tuple.
+OFFER_BY_CODE = (Offer.ACCEPTED, Offer.DUPLICATE, Offer.LATE, Offer.OVERFLOW)
+_CODE = {offer: np.uint8(i) for i, offer in enumerate(OFFER_BY_CODE)}
+
+
 class _Pending:
     __slots__ = ("values", "filled", "first_arrival")
 
@@ -165,6 +171,121 @@ class ReorderBuffer:
             self.last_seen[station] = tick
         self.counts[Offer.ACCEPTED] += 1
         return Offer.ACCEPTED
+
+    def offer_block(
+        self,
+        stations: np.ndarray,
+        raw_seqs: np.ndarray,
+        readings: np.ndarray,
+        arrival: float = 0.0,
+    ) -> np.ndarray:
+        """File many readings at once; per-reading codes into :data:`OFFER_BY_CODE`.
+
+        Exactly equivalent to calling :meth:`offer` once per reading in
+        order — the batch tests assert this property — but the unwrap,
+        watermark, dedup, and filing steps run vectorized per *tick
+        group* instead of per reading.  When the batch mentions the same
+        station twice, later entries depend on how earlier ones filed
+        (unwrap reference, dedup), so such batches take the scalar path.
+        """
+        stations = np.asarray(stations, dtype=np.int64)
+        raw_seqs = np.asarray(raw_seqs, dtype=np.int64)
+        readings = np.asarray(readings, dtype=np.float64)
+        if not (stations.shape == raw_seqs.shape == readings.shape and stations.ndim == 1):
+            raise ValueError("stations, raw_seqs, readings must be equal-length 1-D arrays")
+        n = stations.size
+        if n == 0:
+            return np.empty(0, dtype=np.uint8)
+        if int(stations.min()) < 0 or int(stations.max()) >= self.n_stations:
+            raise ValueError(f"station out of range [0, {self.n_stations})")
+        if np.unique(stations).size != n:
+            codes = np.empty(n, dtype=np.uint8)
+            for i in range(n):
+                codes[i] = _CODE[
+                    self.offer(
+                        int(stations[i]), int(raw_seqs[i]), float(readings[i]), arrival=arrival
+                    )
+                ]
+            return codes
+        # Unique stations: no offer in the batch can change another's
+        # unwrap reference or dedup slot, so the outcome is independent
+        # of processing order and each step vectorizes.
+        ref = self.last_seen[stations]
+        ref = np.where(ref < 0, self.next_emit, ref)
+        delta = np.mod(raw_seqs - ref, SEQ_MOD)
+        ticks = np.where(delta < _HALF, ref + delta, ref - (SEQ_MOD - delta))
+        codes = np.empty(n, dtype=np.uint8)
+        late = ticks < self.next_emit
+        codes[late] = _CODE[Offer.LATE]
+        live = np.nonzero(~late)[0]
+        for tick in np.unique(ticks[live]):
+            idx = live[ticks[live] == tick]
+            tick = int(tick)
+            entry = self._pending.get(tick)
+            if entry is None:
+                if tick - self.next_emit >= self.capacity:
+                    codes[idx] = _CODE[Offer.OVERFLOW]
+                    continue
+                entry = self._pending[tick] = _Pending(self.n_stations, arrival)
+            group = stations[idx]
+            dup = entry.filled[group]
+            codes[idx[dup]] = _CODE[Offer.DUPLICATE]
+            fresh = idx[~dup]
+            accept = stations[fresh]
+            entry.values[accept] = readings[fresh]
+            entry.filled[accept] = True
+            codes[fresh] = _CODE[Offer.ACCEPTED]
+            if tick > self.high:
+                self.high = tick
+            self.last_seen[accept] = np.maximum(self.last_seen[accept], tick)
+        tally = np.bincount(codes, minlength=len(OFFER_BY_CODE))
+        for i, offer in enumerate(OFFER_BY_CODE):
+            self.counts[offer] += int(tally[i])
+        return codes
+
+    # ------------------------------------------------------------------
+    # churn (the wire control plane resizes the buffer alongside the
+    # engine so in-flight ticks stay consistent with the fleet width)
+
+    def add_stations(self, n_new: int) -> None:
+        """Grow the fleet width; newcomers have no history.
+
+        Pending (emitted-later) ticks gain NaN slots for the newcomers —
+        they had not joined when those ticks were in flight, so their
+        slots serve as missing, exactly like an engine-local
+        ``add_stations`` between two ``run`` calls.
+        """
+        if n_new < 1:
+            raise ValueError(f"n_new must be >= 1, got {n_new}")
+        self.n_stations += int(n_new)
+        self.last_seen = np.concatenate(
+            [self.last_seen, np.full(n_new, -1, dtype=np.int64)]
+        )
+        for entry in self._pending.values():
+            entry.values = np.concatenate([entry.values, np.full(n_new, np.nan)])
+            entry.filled = np.concatenate([entry.filled, np.zeros(n_new, dtype=bool)])
+
+    def drop_stations(self, stations: np.ndarray) -> None:
+        """Shrink the fleet width; survivors renumber compactly.
+
+        Same renumbering as the engine's ``drop_stations`` (survivor
+        order preserved), so wire station ids keep matching engine rows.
+        Pending ticks lose the dropped rows — those stations' timelines
+        end at the churn point.
+        """
+        stations = np.unique(np.asarray(stations, dtype=np.int64))
+        if stations.size == 0:
+            raise ValueError("no stations to drop")
+        if stations[0] < 0 or stations[-1] >= self.n_stations:
+            raise ValueError(f"station to drop out of range [0, {self.n_stations})")
+        if stations.size >= self.n_stations:
+            raise ValueError("cannot drop every station")
+        keep = np.setdiff1d(np.arange(self.n_stations, dtype=np.int64), stations)
+        self.n_stations = int(keep.size)
+        self.last_seen = self.last_seen[keep].copy()
+        for entry in self._pending.values():
+            entry.values = entry.values[keep].copy()
+            entry.filled = entry.filled[keep].copy()
 
     # ------------------------------------------------------------------
     # emit

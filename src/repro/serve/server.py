@@ -52,20 +52,27 @@ import numpy as np
 from repro import obs
 from repro.serve._metrics import ingest_metrics
 from repro.serve.protocol import (
+    MAX_BATCH_RECORDS,
     FrameDecoder,
     FrameType,
     AckStatus,
     ProtocolError,
     encode_frame,
+    negotiate_version,
     pack_ack,
+    pack_batch_ack,
     pack_busy,
+    pack_control_ack,
     pack_error,
     pack_welcome,
+    sign_control_token,
     sign_token,
+    unpack_batch_data,
+    unpack_control,
     unpack_data,
     unpack_hello,
 )
-from repro.serve.reorder import Offer, ReorderBuffer
+from repro.serve.reorder import OFFER_BY_CODE, Offer, ReorderBuffer
 from repro.stream.checkpoint import load_checkpoint, save_checkpoint
 from repro.stream.engine import ReplayDriver, StreamReplayEngine
 from repro.stream.shard import (
@@ -80,6 +87,14 @@ _OFFER_ACK = {
     Offer.DUPLICATE: AckStatus.DUPLICATE,
     Offer.LATE: AckStatus.LATE,
 }
+#: Vectorized Offer-code → AckStatus map, indexed by the uint8 codes
+#: ``ReorderBuffer.offer_block`` returns (OVERFLOW acks as BUSY: not
+#: terminal, the sender backs off and resends that reading).
+_ACK_FOR_CODE = np.array(
+    [int(_OFFER_ACK.get(offer, AckStatus.BUSY)) for offer in OFFER_BY_CODE],
+    dtype=np.uint8,
+)
+_CODE_LATE = OFFER_BY_CODE.index(Offer.LATE)
 
 
 class _TokenBucket:
@@ -91,25 +106,34 @@ class _TokenBucket:
         self.tokens = float(burst)
         self.last = time.perf_counter()
 
-    def take(self, rate: float, burst: float) -> bool:
+    def take_many(self, need: float, rate: float, burst: float) -> bool:
+        """Spend ``need`` tokens at once, or none (batch admission)."""
         now = time.perf_counter()
         self.tokens = min(float(burst), self.tokens + (now - self.last) * rate)
         self.last = now
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
+        if self.tokens >= need:
+            self.tokens -= need
             return True
         return False
 
+    def take(self, rate: float, burst: float) -> bool:
+        return self.take_many(1.0, rate, burst)
+
+    def retry_after(self, need: float, rate: float) -> float:
+        """Seconds until the bucket can cover ``need`` tokens."""
+        return max(0.0, (need - self.tokens) / rate)
+
 
 class _Conn:
-    """Per-connection bookkeeping: writer, identity, inflight quota."""
+    """Per-connection bookkeeping: writer, identity, version, quota."""
 
-    __slots__ = ("writer", "client_id", "inflight")
+    __slots__ = ("writer", "client_id", "inflight", "version")
 
-    def __init__(self, writer: asyncio.StreamWriter, client_id: str) -> None:
+    def __init__(self, writer: asyncio.StreamWriter, client_id: str, version: int = 1) -> None:
         self.writer = writer
         self.client_id = client_id
         self.inflight = 0
+        self.version = version
 
     def send(self, frame: bytes) -> None:
         try:
@@ -394,17 +418,12 @@ class IngestionServer:
             if conn is None:
                 return
             while True:
-                chunk = await reader.read(4096)
+                chunk = await reader.read(65536)
                 if not chunk:
                     return
                 for ftype, body in decoder.feed(chunk):
-                    if ftype is FrameType.DATA:
-                        self._on_data(conn, body)
-                    elif ftype is FrameType.CORRUPT:
-                        self._metrics["corrupt"].inc()
-                    elif ftype is FrameType.BYE:
+                    if await self._dispatch(conn, ftype, body):
                         return
-                    # Anything else from a client is ignorable noise.
         except ProtocolError as exc:
             try:
                 writer.write(pack_error(str(exc)))
@@ -441,16 +460,36 @@ class IngestionServer:
                 writer.close()
                 return None
             self._sessions += 1
-            conn = _Conn(writer, str(hello["client_id"]))
-            writer.write(pack_welcome(f"s{self._sessions}", self.max_inflight))
+            version = negotiate_version(hello)
+            conn = _Conn(writer, str(hello["client_id"]), version)
+            writer.write(
+                pack_welcome(
+                    f"s{self._sessions}",
+                    self.max_inflight,
+                    version=version if version > 1 else None,
+                    max_batch=MAX_BATCH_RECORDS,
+                )
+            )
             await writer.drain()
             # A greedy client may pipeline DATA right behind HELLO.
             for extra_type, extra_body in frames[1:]:
-                if extra_type is FrameType.DATA:
-                    self._on_data(conn, extra_body)
-                elif extra_type is FrameType.CORRUPT:
-                    self._metrics["corrupt"].inc()
+                await self._dispatch(conn, extra_type, extra_body)
             return conn
+
+    async def _dispatch(self, conn: _Conn, ftype: FrameType, body: bytes) -> bool:
+        """Route one post-handshake frame; True means BYE (close)."""
+        if ftype is FrameType.DATA:
+            self._on_data(conn, body)
+        elif ftype is FrameType.BATCH_DATA:
+            self._on_batch_data(conn, body)
+        elif ftype in (FrameType.ADD_STATIONS, FrameType.DROP_STATIONS):
+            await self._on_control(conn, ftype, body)
+        elif ftype is FrameType.CORRUPT:
+            self._metrics["corrupt"].inc()
+        elif ftype is FrameType.BYE:
+            return True
+        # Anything else from a client is ignorable noise.
+        return False
 
     def _authenticate(self, hello: dict) -> bool:
         """Check HELLO credentials (constant-time on both paths)."""
@@ -462,40 +501,133 @@ class IngestionServer:
             return hmac.compare_digest(token, self.auth_token)
         return True
 
+    def _bucket(self, conn: _Conn) -> _TokenBucket:
+        bucket = self._buckets.get(conn.client_id)
+        if bucket is None:
+            bucket = self._buckets[conn.client_id] = _TokenBucket(self.rate_burst)
+        return bucket
+
     def _on_data(self, conn: _Conn, body: bytes) -> None:
         station, seq, timestamp, reading = unpack_data(body)
         self._metrics["frames"].inc()
         if not 0 <= station < self.n_stations:
             raise ProtocolError(f"station {station} out of range [0, {self.n_stations})")
         if self.rate_limit is not None:
-            bucket = self._buckets.get(conn.client_id)
-            if bucket is None:
-                bucket = self._buckets[conn.client_id] = _TokenBucket(self.rate_burst)
+            bucket = self._bucket(conn)
             if not bucket.take(self.rate_limit, self.rate_burst):
-                # Over budget: BUSY, unacked — the client backs off and
-                # resends, exactly like queue backpressure.
+                # Over budget: BUSY, unacked — the client backs off for
+                # the bucket's actual refill time and resends.
                 self._metrics["rate_limited"].inc()
                 self._metrics["busy"].inc()
-                conn.send(pack_busy(station, seq))
+                conn.send(
+                    pack_busy(station, seq, bucket.retry_after(1.0, self.rate_limit))
+                )
                 return
         if conn.inflight >= self.max_inflight:
             self._metrics["busy"].inc()
             conn.send(pack_busy(station, seq))
             return
-        item = (conn, station, seq, timestamp, reading, time.perf_counter())
+        item = ("data", conn, station, seq, reading, time.perf_counter())
+        if not self._admit(item, 1):
+            self._metrics["busy"].inc()
+            conn.send(pack_busy(station, seq))
+
+    def _on_batch_data(self, conn: _Conn, body: bytes) -> None:
+        if conn.version < 2:
+            raise ProtocolError("BATCH_DATA requires negotiated protocol v2")
+        stations, seqs, _timestamps, readings = unpack_batch_data(body)
+        n = int(stations.size)
+        self._metrics["frames"].inc()
+        self._metrics["batch_frames"].inc()
+        self._metrics["batch_readings"].inc(n)
+        if int(stations.min()) < 0 or int(stations.max()) >= self.n_stations:
+            raise ProtocolError(f"batch station out of range [0, {self.n_stations})")
+        if self.rate_limit is not None:
+            bucket = self._bucket(conn)
+            if not bucket.take_many(float(n), self.rate_limit, self.rate_burst):
+                # All-or-nothing: a partial batch admission would force
+                # per-reading bucket accounting back into the hot path.
+                self._metrics["rate_limited"].inc(n)
+                self._busy_batch(conn, stations, seqs)
+                return
+        if conn.inflight + n > self.max_inflight:
+            self._busy_batch(conn, stations, seqs)
+            return
+        item = ("batch", conn, stations, seqs, readings, time.perf_counter())
+        if not self._admit(item, n):
+            self._busy_batch(conn, stations, seqs)
+
+    def _busy_batch(self, conn: _Conn, stations: np.ndarray, seqs: np.ndarray) -> None:
+        """Refuse a whole batch: one BATCH_ACK, every status BUSY."""
+        self._metrics["busy"].inc()
+        statuses = np.full(stations.size, int(AckStatus.BUSY), dtype=np.uint8)
+        conn.send(pack_batch_ack(stations, seqs, statuses))
+
+    def _admit(self, item: tuple, cost: int) -> bool:
+        """Queue one ingest item (``cost`` readings) under backpressure.
+
+        False means rejected (caller answers BUSY).  Under the shed
+        policy the oldest queued *data* item is dropped instead — a
+        control op at the queue head is applied on the spot, which
+        preserves its ordering exactly (everything before it has
+        already been applied).
+        """
         if self._queue.full():
             if self.policy == "reject":
-                self._metrics["busy"].inc()
-                conn.send(pack_busy(station, seq))
-                return
-            # shed-oldest: the victim is silently dropped — never acked,
-            # so its sender retransmits it after backoff.
-            victim = self._queue.get_nowait()
-            victim[0].inflight -= 1
-            self._metrics["shed"].inc()
-        conn.inflight += 1
+                return False
+            while self._queue.full():
+                victim = self._queue.get_nowait()
+                if victim[0] == "control":
+                    self._apply(victim)
+                    continue
+                # The victim is silently dropped — never acked, so its
+                # sender retransmits it after backoff.
+                victim[1].inflight -= self._cost(victim)
+                self._metrics["shed"].inc(self._cost(victim))
+                break
+        item[1].inflight += cost
         self._queue.put_nowait(item)
         self._metrics["queue_depth"].set(float(self._queue.qsize()))
+        return True
+
+    @staticmethod
+    def _cost(item: tuple) -> int:
+        """Readings an ingest queue item holds against its conn's quota."""
+        return int(item[2].size) if item[0] == "batch" else 1
+
+    # ------------------------------------------------------------------
+    # control plane
+
+    async def _on_control(self, conn: _Conn, ftype: FrameType, body: bytes) -> None:
+        if conn.version < 2:
+            raise ProtocolError(f"{ftype.name} requires negotiated protocol v2")
+        payload = unpack_control(body)
+        cid = int(payload.get("cid", 0))
+        op = "add" if ftype is FrameType.ADD_STATIONS else "drop"
+        if not self._authorize_control(conn, payload):
+            self._metrics["auth_failures"].inc()
+            self._metrics["control_denied"].inc()
+            conn.send(
+                pack_control_ack(
+                    cid, op, False, self.n_stations, "control authorization failed"
+                )
+            )
+            return
+        # Churn rides the ingest queue so it applies in order with the
+        # data already admitted ahead of it.  ``put`` (not put_nowait)
+        # may wait for space — control is rare and must not be shed.
+        await self._queue.put(("control", conn, ftype, payload))
+        self._metrics["queue_depth"].set(float(self._queue.qsize()))
+
+    def _authorize_control(self, conn: _Conn, payload: dict) -> bool:
+        """Check a control frame's HMAC credential (constant-time)."""
+        token = str(payload.get("token") or "")
+        if self.auth_secret is not None:
+            expected = sign_control_token(self.auth_secret, conn.client_id)
+            return hmac.compare_digest(token, expected)
+        if self.auth_token is not None:
+            return hmac.compare_digest(token, self.auth_token)
+        return True
 
     # ------------------------------------------------------------------
     # consumer
@@ -506,9 +638,23 @@ class IngestionServer:
             self._apply(item)
             self._metrics["queue_depth"].set(float(self._queue.qsize()))
 
-    def _apply(self, item) -> None:
-        conn, station, seq, _timestamp, reading, arrival = item
+    def _apply(self, item: tuple) -> None:
+        kind = item[0]
+        if kind == "data":
+            self._apply_data(*item[1:])
+        elif kind == "batch":
+            self._apply_batch(*item[1:])
+        else:
+            self._apply_control(*item[1:])
+
+    def _apply_data(self, conn: _Conn, station, seq, reading, arrival) -> None:
         conn.inflight -= 1
+        if station >= self.n_stations:
+            # A drop applied ahead of this queued straggler ended its
+            # station's timeline — terminal, the slot cannot be served.
+            conn.send(pack_ack(station, seq, AckStatus.LATE))
+            self._metrics["late"].inc()
+            return
         outcome = self.reorder.offer(station, seq, reading, arrival=arrival)
         if outcome is Offer.OVERFLOW:
             self._metrics["busy"].inc()
@@ -521,6 +667,94 @@ class IngestionServer:
             else:
                 self._metrics["late"].inc()
             conn.send(pack_ack(station, seq, _OFFER_ACK[outcome]))
+        self._drain_columns()
+
+    def _apply_batch(self, conn: _Conn, stations, seqs, readings, arrival) -> None:
+        conn.inflight -= int(stations.size)
+        valid = stations < self.n_stations
+        if valid.all():
+            codes = self.reorder.offer_block(stations, seqs, readings, arrival=arrival)
+        else:
+            # Stations a drop renumbered away while this batch queued:
+            # their timelines are over — terminal LATE, like the scalar
+            # path's straggler handling.
+            codes = np.full(stations.size, _CODE_LATE, dtype=np.uint8)
+            idx = np.nonzero(valid)[0]
+            if idx.size:
+                codes[idx] = self.reorder.offer_block(
+                    stations[idx], seqs[idx], readings[idx], arrival=arrival
+                )
+        tally = np.bincount(codes, minlength=len(OFFER_BY_CODE))
+        accepted, duplicates, late, overflow = (int(c) for c in tally[:4])
+        if accepted:
+            self._metrics["accepted"].inc(accepted)
+        if duplicates:
+            self._metrics["duplicates"].inc(duplicates)
+        if late:
+            self._metrics["late"].inc(late)
+        if overflow:
+            self._metrics["busy"].inc(overflow)
+        conn.send(pack_batch_ack(stations, seqs, _ACK_FOR_CODE[codes]))
+        self._drain_columns()
+
+    def _apply_control(self, conn: _Conn, ftype: FrameType, payload: dict) -> None:
+        """Apply a queued churn op: engine, reorder window, partial block.
+
+        Full blocks ahead of the op were already processed (it rides the
+        same queue), so the churn lands exactly at the next unprocessed
+        tick — the same boundary an engine-local ``add_stations``/
+        ``drop_stations`` between two ``step_block`` calls would hit.
+        """
+        cid = int(payload.get("cid", 0))
+        op = "add" if ftype is FrameType.ADD_STATIONS else "drop"
+        try:
+            if ftype is FrameType.ADD_STATIONS:
+                n_new = int(payload["n_new"])
+                thresholds = payload.get("thresholds")
+                if thresholds is not None and not isinstance(thresholds, (int, float)):
+                    thresholds = np.asarray(thresholds, dtype=np.float64)
+                data_min = payload.get("data_min")
+                if data_min is not None:
+                    data_min = np.asarray(data_min, dtype=np.float64)
+                data_max = payload.get("data_max")
+                if data_max is not None:
+                    data_max = np.asarray(data_max, dtype=np.float64)
+                self.engine.add_stations(
+                    n_new, thresholds=thresholds, data_min=data_min, data_max=data_max
+                )
+                self.reorder.add_stations(n_new)
+                # Emitted-but-unprocessed columns predate the newcomers:
+                # their slots serve as NaN missing.
+                self._columns = [
+                    (tick, np.concatenate([vals, np.full(n_new, np.nan)]), arr)
+                    for tick, vals, arr in self._columns
+                ]
+            else:
+                stations = np.unique(np.asarray(payload["stations"], dtype=np.int64))
+                if (
+                    stations.size == 0
+                    or stations[0] < 0
+                    or stations[-1] >= self.n_stations
+                    or stations.size >= self.n_stations
+                ):
+                    raise ValueError(
+                        f"stations to drop must be a non-empty strict subset of "
+                        f"[0, {self.n_stations})"
+                    )
+                keep = np.setdiff1d(np.arange(self.n_stations, dtype=np.int64), stations)
+                self.engine.drop_stations(stations)
+                self.reorder.drop_stations(stations)
+                self._columns = [
+                    (tick, vals[keep].copy(), arr) for tick, vals, arr in self._columns
+                ]
+            self.n_stations = self.engine.n_stations
+            self._metrics["control"].inc()
+            conn.send(pack_control_ack(cid, op, True, self.n_stations))
+        except Exception as exc:  # noqa: BLE001 — report to the client, keep serving
+            self._metrics["control_denied"].inc()
+            conn.send(pack_control_ack(cid, op, False, self.n_stations, str(exc)))
+
+    def _drain_columns(self) -> None:
         self._columns.extend(self.reorder.drain())
         self._metrics["pending_ticks"].set(float(self.reorder.pending_ticks))
         while len(self._columns) >= self.block_size:
@@ -547,17 +781,31 @@ class IngestionServer:
     # results
 
     def served(self) -> dict[str, np.ndarray]:
-        """Everything decided so far, one column per processed tick."""
+        """Everything decided so far, one column per processed tick.
 
-        def stack(cols: list[np.ndarray], dtype) -> np.ndarray:
+        After a control-plane churn the fleet width differs across
+        ticks; columns are padded at the *tail* to the widest width
+        seen (flags/missing ``False``, scores/mitigated NaN) — a padded
+        slot means the station did not exist at that tick.  Note a drop
+        renumbers survivors, so row identities change at the churn
+        boundary exactly as they do for the engine's ``drop_stations``.
+        """
+
+        def stack(cols: list[np.ndarray], dtype, fill) -> np.ndarray:
             if not cols:
                 return np.empty((self.n_stations, 0), dtype=dtype)
-            return np.stack(cols, axis=1)
+            widths = {col.shape[0] for col in cols}
+            if len(widths) == 1:
+                return np.stack(cols, axis=1)
+            out = np.full((max(widths), len(cols)), fill, dtype=dtype)
+            for i, col in enumerate(cols):
+                out[: col.shape[0], i] = col
+            return out
 
         return {
             "ticks": np.asarray(self._served_ticks, dtype=np.int64),
-            "flags": stack(self._served_flags, bool),
-            "scores": stack(self._served_scores, np.float64),
-            "missing": stack(self._served_missing, bool),
-            "mitigated": stack(self._served_mitigated, np.float64),
+            "flags": stack(self._served_flags, bool, False),
+            "scores": stack(self._served_scores, np.float64, np.nan),
+            "missing": stack(self._served_missing, bool, False),
+            "mitigated": stack(self._served_mitigated, np.float64, np.nan),
         }

@@ -64,6 +64,7 @@ from repro.stream.engine import (
     StreamReplayEngine,
     StreamReport,
     attack_fleet,
+    create_engine,
     synthesize_fleet,
 )
 from repro.stream.mitigation import (
@@ -93,6 +94,7 @@ __all__ = [
     "StreamReplayEngine",
     "StreamReport",
     "attack_fleet",
+    "create_engine",
     "synthesize_fleet",
     "CausalLinearMitigator",
     "HoldLastGoodMitigator",

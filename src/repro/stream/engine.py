@@ -221,6 +221,22 @@ class ReplayDriver:
             mitigated = values.copy()
         return result.flags, result.scores, missing, mitigated
 
+    def close(self, timeout: float = 5.0) -> None:
+        """Release any engine-held resources.
+
+        A no-op for the single-process engine; the sharded engine
+        overrides it to shut its worker processes down.  Having it on
+        the base class lets callers treat every :func:`create_engine`
+        product uniformly (``with create_engine(...) as engine:``)
+        without branching on the implementation.
+        """
+
+    def __enter__(self) -> "ReplayDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def run(
         self,
         fleet: np.ndarray,
@@ -722,6 +738,49 @@ class StreamReplayEngine(ReplayDriver):
                 help="Stations added to / dropped from the fleet at runtime.",
                 labels={"op": op},
             ).inc(n)
+
+
+def create_engine(
+    detector: StreamingDetector,
+    mitigator=None,
+    *,
+    feedback: bool = True,
+    shards: int | None = None,
+    seed=0,
+    plan=None,
+    mp_context=None,
+    failover: bool = True,
+) -> ReplayDriver:
+    """Build a replay engine, single-process or sharded, behind one API.
+
+    ``shards=None`` (or ``1``) returns a plain
+    :class:`StreamReplayEngine`; ``shards=N >= 2`` wraps the same
+    pipeline in a :class:`~repro.stream.shard.ShardedFleetEngine` with
+    ``N`` worker processes.  Either way the result is a
+    :class:`ReplayDriver` — ``run``/``step_tick``/``step_block``,
+    ``add_stations``/``drop_stations``, and ``close()`` (a no-op on the
+    single-process engine) all behave identically, so servers, examples
+    and tests need not branch on the deployment shape.  The sharded
+    path is bit-exact against the single-process one by construction.
+
+    ``seed``/``plan``/``mp_context``/``failover`` are forwarded to
+    :class:`~repro.stream.shard.ShardedFleetEngine` and ignored for a
+    single-process engine.  The existing constructors stay untouched —
+    this is sugar, not a replacement.
+    """
+    pipeline = StreamReplayEngine(detector, mitigator, feedback=feedback)
+    if shards is None or int(shards) <= 1:
+        return pipeline
+    from repro.stream.shard import ShardedFleetEngine
+
+    return ShardedFleetEngine(
+        pipeline,
+        int(shards),
+        seed=seed,
+        plan=plan,
+        mp_context=mp_context,
+        failover=failover,
+    )
 
 
 def _apply_dropout(

@@ -122,6 +122,10 @@ class TestIngestMetricFamilies:
         registry = MetricsRegistry()
         metrics = ingest_metrics(registry)
         metrics["frames"].inc(12)
+        metrics["batch_frames"].inc(2)
+        metrics["batch_readings"].inc(24)
+        metrics["control"].inc(1)
+        metrics["control_denied"].inc(1)
         metrics["accepted"].inc(9)
         metrics["duplicates"].inc(1)
         metrics["late"].inc(1)
@@ -145,12 +149,24 @@ class TestIngestMetricFamilies:
             "# HELP repro_serve_auth_failures_total HELLO handshakes rejected for a bad or missing token.\n"
             "# TYPE repro_serve_auth_failures_total counter\n"
             "repro_serve_auth_failures_total 1\n"
+            "# HELP repro_serve_batch_frames_total BATCH_DATA frames received (protocol v2).\n"
+            "# TYPE repro_serve_batch_frames_total counter\n"
+            "repro_serve_batch_frames_total 2\n"
+            "# HELP repro_serve_batch_readings_total Readings carried by BATCH_DATA frames.\n"
+            "# TYPE repro_serve_batch_readings_total counter\n"
+            "repro_serve_batch_readings_total 24\n"
             "# HELP repro_serve_blocks_total Blocks fed through the streaming detector.\n"
             "# TYPE repro_serve_blocks_total counter\n"
             "repro_serve_blocks_total 1\n"
             "# HELP repro_serve_busy_total BUSY frames sent (backpressure: queue full or quota).\n"
             "# TYPE repro_serve_busy_total counter\n"
             "repro_serve_busy_total 2\n"
+            "# HELP repro_serve_control_denied_total Control-plane ops refused (bad HMAC or invalid request).\n"
+            "# TYPE repro_serve_control_denied_total counter\n"
+            "repro_serve_control_denied_total 1\n"
+            "# HELP repro_serve_control_total Control-plane churn ops applied (ADD/DROP_STATIONS).\n"
+            "# TYPE repro_serve_control_total counter\n"
+            "repro_serve_control_total 1\n"
             "# HELP repro_serve_corrupt_frames_total Frames whose CRC check failed (not acked; client resends).\n"
             "# TYPE repro_serve_corrupt_frames_total counter\n"
             "repro_serve_corrupt_frames_total 1\n"

@@ -3,16 +3,24 @@
 The soak tests need *several identically-initialized* engines (one to
 serve, one for the offline reference replay), so the factory is a
 function of (autoencoder, fleet) rather than a one-shot fixture.
+
+``REPRO_SERVE_PROTOCOL=1`` in the environment pins every client built
+through :func:`client_versions` to protocol v1 — CI runs the chaos
+soaks once per protocol version with the same test code.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.anomaly.autoencoder import AutoencoderConfig, LSTMAutoencoder
+from repro.serve.protocol import PROTOCOL_VERSIONS
 from repro.stream import (
+    ReplayDriver,
     StreamingDetector,
     StreamingMinMaxScaler,
-    StreamReplayEngine,
+    create_engine,
 )
 
 
@@ -24,13 +32,30 @@ def small_autoencoder():
     return LSTMAutoencoder(config, seed=11)
 
 
+def client_versions() -> tuple[int, ...]:
+    """Protocol versions test clients should offer in HELLO.
+
+    Defaults to everything the SDK speaks; ``REPRO_SERVE_PROTOCOL=1``
+    pins v1 so the same soak exercises the legacy wire format.
+    """
+    pinned = os.environ.get("REPRO_SERVE_PROTOCOL", "")
+    if pinned:
+        return tuple(range(1, int(pinned) + 1))
+    return PROTOCOL_VERSIONS
+
+
 def build_engine(
-    autoencoder, fleet: np.ndarray, mitigator: str = "hold_last_good"
-) -> StreamReplayEngine:
+    autoencoder,
+    fleet: np.ndarray,
+    mitigator: str = "hold_last_good",
+    shards: int | None = None,
+) -> ReplayDriver:
     """A calibrated impute-capable pipeline over ``fleet``'s bounds.
 
     Deterministic in its inputs: calling it twice yields two engines
     that produce bit-identical decisions — the soak tests' foundation.
+    ``shards`` forwards to :func:`repro.stream.create_engine`, so the
+    same factory serves single-process and sharded soaks.
     """
     scaler = StreamingMinMaxScaler.from_bounds(np.nanmin(fleet, axis=1), np.nanmax(fleet, axis=1))
     detector = StreamingDetector(
@@ -41,4 +66,4 @@ def build_engine(
         missing="impute",
     )
     detector.calibrate(fleet)
-    return StreamReplayEngine(detector, mitigator=mitigator)
+    return create_engine(detector, mitigator, shards=shards)

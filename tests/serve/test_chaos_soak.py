@@ -27,7 +27,7 @@ from repro.serve import (
 )
 from repro.stream import load_checkpoint, save_checkpoint, synthesize_fleet
 
-from tests.serve.conftest import build_engine
+from tests.serve.conftest import build_engine, client_versions
 
 
 def run(coro, timeout=240):
@@ -85,6 +85,7 @@ class TestChaosSoak:
                     transport=transport,
                     seed=i,
                     max_attempts=20,
+                    versions=client_versions(),
                 )
                 await client.connect()
                 clients.append(client)
@@ -150,6 +151,7 @@ class TestChaosSoak:
                     transport=transport,
                     seed=station,
                     max_attempts=20,
+                    versions=client_versions(),
                 )
                 await client.connect()
                 clients.append(client)
@@ -194,7 +196,10 @@ class TestSigtermResume:
             clients = []
             for station in range(n_stations):
                 client = IngestClient(
-                    port=server.port, client_id=f"station-{station}", seed=station
+                    port=server.port,
+                    client_id=f"station-{station}",
+                    seed=station,
+                    versions=client_versions(),
                 )
                 await client.connect()
                 clients.append(client)
@@ -224,7 +229,10 @@ class TestSigtermResume:
             clients = []
             for station in range(n_stations):
                 client = IngestClient(
-                    port=server.port, client_id=f"station-{station}", seed=station
+                    port=server.port,
+                    client_id=f"station-{station}",
+                    seed=station,
+                    versions=client_versions(),
                 )
                 await client.connect()
                 clients.append(client)

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.serve.protocol import SEQ_MOD
-from repro.serve.reorder import Offer, ReorderBuffer
+from repro.serve.reorder import OFFER_BY_CODE, Offer, ReorderBuffer
 
 
 def drained_matrix(emitted, n_stations):
@@ -204,3 +204,151 @@ class TestCheckpoint:
         clone = ReorderBuffer(2, lateness=0, capacity=8)
         with pytest.raises(ValueError, match="stations"):
             clone.load_state_dict(buf.state_dict())
+
+
+class TestOfferBlock:
+    """The bulk path's contract: bit-identical to sequential offers."""
+
+    @staticmethod
+    def _twin_buffers(**kwargs):
+        defaults = dict(lateness=3, capacity=32)
+        defaults.update(kwargs)
+        return (
+            ReorderBuffer(8, **defaults),
+            ReorderBuffer(8, **defaults),
+        )
+
+    def _assert_twins_equal(self, a: ReorderBuffer, b: ReorderBuffer):
+        sa, sb = a.state_dict(), b.state_dict()
+        assert sa.keys() == sb.keys()
+        for key in sa:
+            np.testing.assert_array_equal(sa[key], sb[key], err_msg=key)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_block_equals_sequential_offers(self, seed):
+        """Random batches (in-window, late, duplicate, overflow, gaps)
+        produce the same codes, counts, drains, and internal state as
+        scalar offers in order."""
+        rng = np.random.default_rng(seed)
+        block_buf, scalar_buf = self._twin_buffers()
+        for _ in range(30):
+            n = int(rng.integers(1, 9))
+            stations = rng.choice(8, size=n, replace=False)
+            # Seqs spread around the current frontier: some late, some
+            # duplicates, some far enough ahead to overflow capacity.
+            base = int(scalar_buf.next_emit)
+            seqs = base + rng.integers(-6, 40, size=n)
+            seqs = np.mod(seqs, SEQ_MOD)
+            readings = rng.normal(size=n)
+            codes = block_buf.offer_block(stations, seqs, readings, arrival=1.0)
+            expected = [
+                scalar_buf.offer(int(s), int(q), float(r), arrival=1.0)
+                for s, q, r in zip(stations, seqs, readings, strict=True)
+            ]
+            assert [OFFER_BY_CODE[c] for c in codes] == expected
+            drained_a = block_buf.drain()
+            drained_b = scalar_buf.drain()
+            np.testing.assert_array_equal(
+                drained_matrix(drained_a, 8), drained_matrix(drained_b, 8)
+            )
+            self._assert_twins_equal(block_buf, scalar_buf)
+
+    def test_repeated_stations_in_one_batch_match_sequential(self):
+        """A batch mentioning a station twice (client retransmit merged
+        with fresh data) must apply in order — dedup included."""
+        block_buf, scalar_buf = self._twin_buffers()
+        stations = np.array([0, 1, 0, 0, 2])
+        seqs = np.array([0, 0, 0, 1, 0])  # station 0: dup of tick 0 + tick 1
+        readings = np.arange(5, dtype=np.float64)
+        codes = block_buf.offer_block(stations, seqs, readings)
+        expected = [
+            scalar_buf.offer(int(s), int(q), float(r))
+            for s, q, r in zip(stations, seqs, readings, strict=True)
+        ]
+        assert [OFFER_BY_CODE[c] for c in codes] == expected
+        assert OFFER_BY_CODE[codes[2]] is Offer.DUPLICATE
+        self._assert_twins_equal(block_buf, scalar_buf)
+
+    def test_block_counts_match_scalar_tallies(self):
+        buf = ReorderBuffer(4, lateness=1, capacity=8)
+        buf.offer_block(np.arange(4), np.zeros(4, dtype=np.int64), np.ones(4))
+        buf.offer_block(np.arange(4), np.ones(4, dtype=np.int64), np.ones(4))
+        buf.drain()
+        codes = buf.offer_block(
+            np.array([0, 1, 2, 3]),
+            np.array([0, 1, 2, 100]),  # late, dup, fresh, overflow
+            np.ones(4),
+        )
+        assert [OFFER_BY_CODE[c] for c in codes] == [
+            Offer.LATE,
+            Offer.DUPLICATE,
+            Offer.ACCEPTED,
+            Offer.OVERFLOW,
+        ]
+
+    def test_mismatched_lengths_raise(self):
+        buf = ReorderBuffer(4, lateness=1, capacity=8)
+        with pytest.raises(ValueError, match="length"):
+            buf.offer_block(np.arange(3), np.arange(2), np.ones(3))
+
+    def test_station_out_of_range_raises(self):
+        buf = ReorderBuffer(4, lateness=1, capacity=8)
+        with pytest.raises(ValueError, match="station"):
+            buf.offer_block(np.array([0, 4]), np.zeros(2, dtype=np.int64), np.ones(2))
+
+    def test_empty_block_is_a_noop(self):
+        buf = ReorderBuffer(4, lateness=1, capacity=8)
+        codes = buf.offer_block(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0)
+        )
+        assert codes.size == 0
+
+
+class TestReorderChurn:
+    def test_add_stations_extends_pending_with_nan(self):
+        buf = ReorderBuffer(2, lateness=2, capacity=16)
+        buf.offer(0, 0, 1.0)
+        buf.offer(1, 0, 2.0)
+        buf.offer(0, 2, 3.0)  # advance high so tick 0 emits later
+        buf.add_stations(2)
+        assert buf.n_stations == 4
+        buf.offer(3, 2, 9.0)  # a newcomer reports, same pending tick
+        buf.offer(0, 4, 0.0)  # advance the watermark
+        emitted = buf.drain()
+        matrix = drained_matrix(emitted, 4)
+        np.testing.assert_array_equal(matrix[:, 0], [1.0, 2.0, np.nan, np.nan])
+        np.testing.assert_array_equal(matrix[:2, 2], [3.0, np.nan])
+        assert matrix[3, 2] == 9.0
+
+    def test_drop_stations_renumbers_pending_rows(self):
+        buf = ReorderBuffer(4, lateness=4, capacity=16)
+        for station in range(4):
+            buf.offer(station, 0, float(station))
+        buf.drop_stations([1])
+        assert buf.n_stations == 3
+        # Survivors renumbered compactly: old station 2 -> row 1.
+        buf.offer(0, 4, 0.0)
+        matrix = drained_matrix(buf.flush(), 3)
+        np.testing.assert_array_equal(matrix[:, 0], [0.0, 2.0, 3.0])
+
+    def test_drop_validates_strict_subset(self):
+        buf = ReorderBuffer(4, lateness=1, capacity=8)
+        with pytest.raises(ValueError):
+            buf.drop_stations([0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            buf.drop_stations([4])
+        with pytest.raises(ValueError):
+            buf.drop_stations([])
+
+    def test_dropped_then_readded_station_starts_cold(self):
+        """Churn must not leak last_seen across identities: drop the
+        tail station, add a new one, and the newcomer's first seq is
+        unwrapped from the emission frontier, not the ghost's history."""
+        buf = ReorderBuffer(2, lateness=1, capacity=64)
+        buf.offer(1, 30, 1.0)  # station 1 far ahead
+        buf.drop_stations([1])
+        buf.add_stations(1)
+        # The fresh station 1 reporting seq 0 is LATE only relative to
+        # the frontier, never judged against the dead station's seq 30.
+        outcome = buf.offer(1, int(buf.next_emit), 5.0)
+        assert outcome is Offer.ACCEPTED
